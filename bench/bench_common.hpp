@@ -1,0 +1,110 @@
+#ifndef COOLAIR_BENCH_COMMON_HPP
+#define COOLAIR_BENCH_COMMON_HPP
+
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: run the
+ * §5.1 protocol over the five named sites and a set of systems, and
+ * print paper-style rows.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace coolair {
+namespace bench {
+
+/** Result of one (site, system) cell. */
+struct Cell
+{
+    sim::Summary system;
+    sim::Summary outside;
+};
+
+/** Key for the grid map. */
+using GridKey = std::pair<environment::NamedSite, sim::SystemId>;
+
+/**
+ * Run the year protocol for every (site, system) combination.
+ * @p mutate lets a bench adjust the spec (workload, forecast error,
+ * max temperature) before each run.
+ */
+inline std::map<GridKey, Cell>
+runGrid(const std::vector<environment::NamedSite> &sites,
+        const std::vector<sim::SystemId> &systems, int weeks = 52,
+        const std::function<void(sim::ExperimentSpec &)> &mutate = {})
+{
+    std::map<GridKey, Cell> grid;
+    for (auto site : sites) {
+        for (auto system : systems) {
+            sim::ExperimentSpec spec;
+            spec.location = environment::namedLocation(site);
+            spec.system = system;
+            spec.weeks = weeks;
+            if (mutate)
+                mutate(spec);
+            sim::ExperimentResult r = sim::runYearExperiment(spec);
+            grid[{site, system}] = Cell{r.system, r.outside};
+            std::fprintf(stderr, "  ran %s / %s\n",
+                         spec.location.name.c_str(),
+                         sim::systemName(system));
+        }
+    }
+    return grid;
+}
+
+/** The five paper sites. */
+inline const std::vector<environment::NamedSite> &
+paperSites()
+{
+    return environment::allNamedSites();
+}
+
+/** The five Figure 8-10 systems. */
+inline std::vector<sim::SystemId>
+paperSystems()
+{
+    return {sim::SystemId::Baseline, sim::SystemId::Temperature,
+            sim::SystemId::Energy, sim::SystemId::Variation,
+            sim::SystemId::AllNd};
+}
+
+/**
+ * Print one metric of the grid as a systems-by-sites table, like the
+ * paper's grouped bar charts.
+ */
+inline void
+printMetricTable(const std::map<GridKey, Cell> &grid,
+                 const std::vector<environment::NamedSite> &sites,
+                 const std::vector<sim::SystemId> &systems,
+                 const char *metric_name,
+                 const std::function<double(const Cell &)> &metric,
+                 int precision = 2)
+{
+    std::vector<std::string> header{metric_name};
+    for (auto site : sites)
+        header.push_back(environment::siteName(site));
+    util::TextTable table(std::move(header));
+
+    for (auto system : systems) {
+        std::vector<std::string> row{sim::systemName(system)};
+        for (auto site : sites) {
+            row.push_back(util::TextTable::fmt(
+                metric(grid.at({site, system})), precision));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+}
+
+} // namespace bench
+} // namespace coolair
+
+#endif // COOLAIR_BENCH_COMMON_HPP

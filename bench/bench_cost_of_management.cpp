@@ -1,0 +1,73 @@
+/**
+ * @file
+ * §5.2 "Cost of managing temperature and variation" reproduction: the
+ * yearly energy cost of lowering absolute temperature by 1 C versus
+ * reducing the maximum daily range by 1 C, per location.
+ *
+ * Method (as the paper's version comparison implies): the Temperature
+ * version buys lower absolute temperatures relative to the Energy
+ * version, and the Variation version buys smaller maximum ranges — both
+ * at a cooling-energy premium.  Cost-per-degree = extra cooling energy /
+ * metric improvement.
+ *
+ * Paper shape: managing absolute temperature costs more than managing
+ * variation at places with warmer seasons (Newark 232 vs 53 kWh, Chad
+ * 1275 vs 131, Singapore 2145 vs 716) and less at cooler ones (Santiago
+ * 110 vs 171, Iceland 7 vs 29).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace coolair;
+using namespace coolair::bench;
+
+int
+main()
+{
+    std::printf("=== Cost of managing temperature vs variation "
+                "[kWh per C per year] ===\n\n");
+
+    std::vector<sim::SystemId> systems = {sim::SystemId::Energy,
+                                          sim::SystemId::Temperature,
+                                          sim::SystemId::Variation};
+    auto grid = runGrid(paperSites(), systems);
+
+    util::TextTable table({"site", "temp cost [kWh/C]",
+                           "variation cost [kWh/C]", "costlier"});
+
+    // Scale 52 simulated days to a full year.
+    const double kYearScale = 365.0 / 52.0;
+
+    for (auto site : paperSites()) {
+        const Cell &energy = grid.at({site, sim::SystemId::Energy});
+        const Cell &temp = grid.at({site, sim::SystemId::Temperature});
+        const Cell &var = grid.at({site, sim::SystemId::Variation});
+
+        double temp_gain =
+            energy.system.avgMaxInletC - temp.system.avgMaxInletC;
+        double temp_cost =
+            (temp.system.coolingKwh - energy.system.coolingKwh) *
+            kYearScale / std::max(temp_gain, 0.1);
+
+        double range_gain = energy.system.maxWorstDailyRangeC -
+                            var.system.maxWorstDailyRangeC;
+        double var_cost =
+            (var.system.coolingKwh - energy.system.coolingKwh) *
+            kYearScale / std::max(range_gain, 0.1);
+
+        table.addRow({environment::siteName(site),
+                      util::TextTable::fmt(temp_cost, 0),
+                      util::TextTable::fmt(var_cost, 0),
+                      temp_cost > var_cost ? "temperature" : "variation"});
+    }
+    table.print(std::cout);
+
+    std::printf("\nShape check vs paper: temperature costs more than "
+                "variation in regions with warmer seasons (Newark, Chad, "
+                "Singapore) and less in cooler ones (Santiago, "
+                "Iceland).\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension study (beyond the paper's evaluation): alternative cooling
+ * hardware the paper discusses but does not evaluate.
+ *
+ *  - Adiabatic/evaporative pre-cooling (§2: "some free-cooled datacenters
+ *    also apply adiabatic cooling ... within the humidity constraint"):
+ *    pays off at hot-arid sites (Chad), not at hot-humid ones (Singapore).
+ *  - Chilled-water backup instead of the DX AC (§6: "For datacenters that
+ *    combine free cooling with chillers ... strike the proper ratio of
+ *    power consumptions"): cuts backup-cooling energy wherever the AC
+ *    runs a lot.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace coolair;
+using namespace coolair::bench;
+
+int
+main()
+{
+    std::printf("=== Extensions: evaporative pre-cooling and chiller "
+                "backup ===\n");
+    std::printf("(All-ND; Facebook workload; 52-week year protocol)\n\n");
+
+    std::vector<sim::SystemId> systems = {sim::SystemId::AllNd};
+
+    auto dx = runGrid(paperSites(), systems);
+    auto evap = runGrid(paperSites(), systems, 52,
+                        [](sim::ExperimentSpec &s) {
+                            s.variant = sim::PlantVariant::Evaporative;
+                        });
+    auto chiller = runGrid(paperSites(), systems, 52,
+                           [](sim::ExperimentSpec &s) {
+                               s.variant = sim::PlantVariant::Chiller;
+                           });
+
+    util::TextTable table({"site", "PUE (DX)", "PUE (+evap)",
+                           "PUE (chiller)", "viol (DX)", "viol (+evap)",
+                           "RH-viol (+evap)"});
+    for (auto site : paperSites()) {
+        const Cell &d = dx.at({site, sim::SystemId::AllNd});
+        const Cell &e = evap.at({site, sim::SystemId::AllNd});
+        const Cell &c = chiller.at({site, sim::SystemId::AllNd});
+        table.addRow({environment::siteName(site),
+                      util::TextTable::fmt(d.system.pue, 3),
+                      util::TextTable::fmt(e.system.pue, 3),
+                      util::TextTable::fmt(c.system.pue, 3),
+                      util::TextTable::fmt(d.system.avgViolationC, 2),
+                      util::TextTable::fmt(e.system.avgViolationC, 2),
+                      util::TextTable::fmt(
+                          e.system.humidityViolationFrac, 3)});
+    }
+    table.print(std::cout);
+
+    using environment::NamedSite;
+    double chad_gain = dx.at({NamedSite::Chad, sim::SystemId::AllNd})
+                           .system.pue -
+                       evap.at({NamedSite::Chad, sim::SystemId::AllNd})
+                           .system.pue;
+    double sing_gain =
+        dx.at({NamedSite::Singapore, sim::SystemId::AllNd}).system.pue -
+        evap.at({NamedSite::Singapore, sim::SystemId::AllNd}).system.pue;
+    std::printf("\nShape check:\n");
+    std::printf("  evaporative PUE gain at arid Chad: %.3f vs humid "
+                "Singapore: %.3f (expect Chad >> Singapore)\n",
+                chad_gain, sing_gain);
+    std::printf("  chiller backup helps most where the AC runs most "
+                "(hot sites).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 10 reproduction: yearly PUEs (including Parasol's 0.08 power-
+ * delivery overhead) for the five systems at the five locations.
+ *
+ * Paper shape: the baseline exhibits high PUEs in Chad and Singapore;
+ * the Energy version reduces them significantly; Variation pays a
+ * substantial cooling-energy penalty; All-ND brings PUEs back down to
+ * nearly the Energy version's values, except at Santiago where limiting
+ * variation stays costly.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace coolair;
+using namespace coolair::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 10: yearly PUE (incl. 0.08 delivery) ===\n");
+    std::printf("(year protocol; Facebook workload; smooth units)\n\n");
+
+    auto grid = runGrid(paperSites(), paperSystems());
+
+    printMetricTable(grid, paperSites(), paperSystems(), "PUE",
+                     [](const Cell &c) { return c.system.pue; }, 3);
+
+    std::printf("\n--- cooling energy [kWh / 52 simulated days] ---\n");
+    printMetricTable(grid, paperSites(), paperSystems(), "cooling [kWh]",
+                     [](const Cell &c) { return c.system.coolingKwh; }, 0);
+
+    std::printf("\nShape check vs paper:\n");
+    using environment::NamedSite;
+    auto pue = [&](NamedSite s, sim::SystemId sys) {
+        return grid.at({s, sys}).system.pue;
+    };
+    std::printf("  hot sites, baseline vs Energy: Chad %.3f -> %.3f, "
+                "Singapore %.3f -> %.3f (paper: Energy reduces "
+                "significantly)\n",
+                pue(NamedSite::Chad, sim::SystemId::Baseline),
+                pue(NamedSite::Chad, sim::SystemId::Energy),
+                pue(NamedSite::Singapore, sim::SystemId::Baseline),
+                pue(NamedSite::Singapore, sim::SystemId::Energy));
+    std::printf("  Variation pays for variation control: Iceland "
+                "baseline %.3f vs Variation %.3f\n",
+                pue(NamedSite::Iceland, sim::SystemId::Baseline),
+                pue(NamedSite::Iceland, sim::SystemId::Variation));
+    std::printf("  All-ND vs Energy (should be close): Newark %.3f vs "
+                "%.3f, Singapore %.3f vs %.3f\n",
+                pue(NamedSite::Newark, sim::SystemId::AllNd),
+                pue(NamedSite::Newark, sim::SystemId::Energy),
+                pue(NamedSite::Singapore, sim::SystemId::AllNd),
+                pue(NamedSite::Singapore, sim::SystemId::Energy));
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 1 reproduction: disk, inlet, and outside temperatures under
+ * free cooling for two days, with disks 50 % utilized.
+ *
+ * Paper (Figure 1, July 6-7 2013): there is a strong correlation between
+ * air and disk temperatures; disks run ~10 C above inlets at 50 %
+ * utilization; inlets ride a couple of degrees above the outside air
+ * (Offset ~2.5 C in the figure).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "environment/location.hpp"
+#include "plant/parasol.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace coolair;
+
+int
+main()
+{
+    std::printf("=== Figure 1: disk, inlet, and outside temps under free "
+                "cooling ===\n");
+    std::printf("(two July days at Newark; disks 50%% utilized; free "
+                "cooling at 60%% fan)\n\n");
+
+    environment::Location newark =
+        environment::namedLocation(environment::NamedSite::Newark);
+    environment::Climate climate = newark.makeClimate(7);
+
+    plant::PlantConfig pc = plant::PlantConfig::parasol();
+    plant::Plant plant(pc, 7);
+    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
+
+    const int kStartDay = 186;  // early July
+    util::SimTime start = util::SimTime::fromCalendar(kStartDay, 0);
+    plant.initializeSteadyState(climate.sample(start), 4.0);
+
+    util::TextTable table({"hour", "outside [C]", "inlet lo [C]",
+                           "inlet hi [C]", "disk lo [C]", "disk hi [C]"});
+
+    // For the correlation statistic.
+    std::vector<double> inlets, disks, outs;
+
+    cooling::Regime fc = cooling::Regime::freeCooling(0.6);
+    for (int64_t t = 0; t < 48 * util::kSecondsPerHour; t += 30) {
+        util::SimTime now = start + t;
+        environment::WeatherSample w = climate.sample(now);
+        plant.step(30.0, w, load, fc);
+
+        if (t % (2 * util::kSecondsPerHour) == 0) {
+            double ilo = 1e9, ihi = -1e9, dlo = 1e9, dhi = -1e9;
+            for (int p = 0; p < 8; ++p) {
+                ilo = std::min(ilo, plant.truePodInletC(p));
+                ihi = std::max(ihi, plant.truePodInletC(p));
+                dlo = std::min(dlo, plant.diskTempC(p));
+                dhi = std::max(dhi, plant.diskTempC(p));
+            }
+            char hour[16];
+            std::snprintf(hour, sizeof(hour), "%lld",
+                          (long long)(t / util::kSecondsPerHour));
+            table.addRow({hour, util::TextTable::fmt(w.tempC, 1),
+                          util::TextTable::fmt(ilo, 1),
+                          util::TextTable::fmt(ihi, 1),
+                          util::TextTable::fmt(dlo, 1),
+                          util::TextTable::fmt(dhi, 1)});
+        }
+        if (t % 600 == 0) {
+            outs.push_back(w.tempC);
+            inlets.push_back(plant.truePodInletC(4));
+            disks.push_back(plant.diskTempC(4));
+        }
+    }
+    table.print(std::cout);
+
+    // Correlation between inlet and disk temperature.
+    auto correlation = [](const std::vector<double> &a,
+                          const std::vector<double> &b) {
+        util::RunningStats sa, sb;
+        for (double x : a) sa.add(x);
+        for (double x : b) sb.add(x);
+        double cov = 0.0;
+        for (size_t i = 0; i < a.size(); ++i)
+            cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+        cov /= double(a.size());
+        return cov / (sa.stddev() * sb.stddev() + 1e-12);
+    };
+
+    util::RunningStats offset_air, offset_disk;
+    for (size_t i = 0; i < inlets.size(); ++i) {
+        offset_air.add(inlets[i] - outs[i]);
+        offset_disk.add(disks[i] - inlets[i]);
+    }
+
+    std::printf("\nShape check vs paper:\n");
+    std::printf("  inlet-outside offset: mean %.1f C (paper Fig.1 ~2.5 C "
+                "at speed)\n", offset_air.mean());
+    std::printf("  disk-inlet offset at 50%% util: mean %.1f C (paper "
+                "~10 C)\n", offset_disk.mean());
+    std::printf("  corr(inlet, disk) = %.3f (paper: \"strong "
+                "correlation\")\n", correlation(inlets, disks));
+    std::printf("  corr(outside, inlet) = %.3f\n",
+                correlation(outs, inlets));
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 9 reproduction: daily temperature ranges — the average of each
+ * day's worst-sensor range (bars) plus min/max across days (whiskers),
+ * including the outside air itself.
+ *
+ * Paper shape: baseline average daily ranges hover around 9 C with much
+ * wider maxima (>=16.5 C at sites with cold seasons); Temperature and
+ * Energy can make maxima worse; Variation and All-ND lower both the
+ * average and especially the maximum (roughly halved at Iceland, nearly
+ * halved at Newark/Santiago, unchanged at Chad); inside ranges can
+ * exceed outside ones under the baseline.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace coolair;
+using namespace coolair::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 9: daily temperature ranges [C] ===\n");
+    std::printf("(year protocol; Facebook workload; smooth units)\n\n");
+
+    auto grid = runGrid(paperSites(), paperSystems());
+
+    std::printf("--- outside air (reference bars) ---\n");
+    util::TextTable outside({"outside", "avg", "min", "max"});
+    for (auto site : paperSites()) {
+        const Cell &c = grid.at({site, sim::SystemId::Baseline});
+        outside.addRow(
+            {environment::siteName(site),
+             util::TextTable::fmt(c.outside.avgWorstDailyRangeC, 1),
+             util::TextTable::fmt(c.outside.minWorstDailyRangeC, 1),
+             util::TextTable::fmt(c.outside.maxWorstDailyRangeC, 1)});
+    }
+    outside.print(std::cout);
+
+    std::printf("\n--- average worst daily range ---\n");
+    printMetricTable(
+        grid, paperSites(), paperSystems(), "avg range [C]",
+        [](const Cell &c) { return c.system.avgWorstDailyRangeC; }, 1);
+
+    std::printf("\n--- maximum worst daily range ---\n");
+    printMetricTable(
+        grid, paperSites(), paperSystems(), "max range [C]",
+        [](const Cell &c) { return c.system.maxWorstDailyRangeC; }, 1);
+
+    std::printf("\nShape check vs paper:\n");
+    for (auto site :
+         {environment::NamedSite::Newark, environment::NamedSite::Iceland,
+          environment::NamedSite::Santiago}) {
+        double base = grid.at({site, sim::SystemId::Baseline})
+                          .system.maxWorstDailyRangeC;
+        double allnd =
+            grid.at({site, sim::SystemId::AllNd}).system.maxWorstDailyRangeC;
+        std::printf("  %s: All-ND max range %.1f vs baseline %.1f "
+                    "(paper: roughly halved)\n",
+                    environment::siteName(site), allnd, base);
+    }
+    double chad_base = grid.at({environment::NamedSite::Chad,
+                                sim::SystemId::Baseline})
+                           .system.maxWorstDailyRangeC;
+    double chad_all = grid.at({environment::NamedSite::Chad,
+                               sim::SystemId::AllNd})
+                          .system.maxWorstDailyRangeC;
+    std::printf("  Chad: All-ND %.1f vs baseline %.1f (paper: "
+                "unchanged)\n", chad_all, chad_base);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * §5.2 "Impact of the desired maximum temperature" reproduction: run
+ * the baseline and All-ND with desired maxima of 25 C and 30 C.
+ *
+ * Paper shape: CoolAir's benefits are greater when operators accept
+ * higher maximum temperatures; where PUE is high at a 30 C maximum
+ * CoolAir lowers it, but at a 25 C maximum CoolAir tends to increase
+ * PUE at those same locations.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace coolair;
+using namespace coolair::bench;
+
+int
+main()
+{
+    std::printf("=== Impact of the desired maximum temperature "
+                "(25 C vs 30 C) ===\n\n");
+
+    std::vector<sim::SystemId> systems = {sim::SystemId::Baseline,
+                                          sim::SystemId::AllNd};
+
+    auto grid30 = runGrid(paperSites(), systems, 52,
+                          [](sim::ExperimentSpec &s) { s.maxTempC = 30.0; });
+    auto grid25 = runGrid(paperSites(), systems, 52,
+                          [](sim::ExperimentSpec &s) { s.maxTempC = 25.0; });
+
+    util::TextTable table({"site", "range cut @30 [C]", "range cut @25 [C]",
+                           "dPUE @30", "dPUE @25"});
+    for (auto site : paperSites()) {
+        auto cut = [&](std::map<GridKey, Cell> &g) {
+            return g.at({site, sim::SystemId::Baseline})
+                       .system.maxWorstDailyRangeC -
+                   g.at({site, sim::SystemId::AllNd})
+                       .system.maxWorstDailyRangeC;
+        };
+        auto dpue = [&](std::map<GridKey, Cell> &g) {
+            return g.at({site, sim::SystemId::AllNd}).system.pue -
+                   g.at({site, sim::SystemId::Baseline}).system.pue;
+        };
+        table.addRow({environment::siteName(site),
+                      util::TextTable::fmt(cut(grid30), 1),
+                      util::TextTable::fmt(cut(grid25), 1),
+                      util::TextTable::fmt(dpue(grid30), 3),
+                      util::TextTable::fmt(dpue(grid25), 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nShape check vs paper:\n");
+    int greater_at_30 = 0;
+    for (auto site : paperSites()) {
+        double c30 = grid30.at({site, sim::SystemId::Baseline})
+                         .system.maxWorstDailyRangeC -
+                     grid30.at({site, sim::SystemId::AllNd})
+                         .system.maxWorstDailyRangeC;
+        double c25 = grid25.at({site, sim::SystemId::Baseline})
+                         .system.maxWorstDailyRangeC -
+                     grid25.at({site, sim::SystemId::AllNd})
+                         .system.maxWorstDailyRangeC;
+        if (c30 >= c25)
+            ++greater_at_30;
+    }
+    std::printf("  range reductions greater at 30 C than 25 C at %d/5 "
+                "sites (paper: \"tend to be greater\")\n", greater_at_30);
+
+    using environment::NamedSite;
+    for (auto site : {NamedSite::Singapore, NamedSite::Chad}) {
+        double d30 = grid30.at({site, sim::SystemId::AllNd}).system.pue -
+                     grid30.at({site, sim::SystemId::Baseline}).system.pue;
+        double d25 = grid25.at({site, sim::SystemId::AllNd}).system.pue -
+                     grid25.at({site, sim::SystemId::Baseline}).system.pue;
+        std::printf("  %s: dPUE %.3f @30 vs %.3f @25 (paper: CoolAir "
+                    "lowers PUE at 30, raises it at 25)\n",
+                    environment::siteName(site), d30, d25);
+    }
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the performance-critical
+ * building blocks: plant physics stepping, model prediction rollout,
+ * regression fitting, and the cluster simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.hpp"
+#include "core/predictor.hpp"
+#include "model/learner.hpp"
+#include "model/linreg.hpp"
+#include "plant/parasol.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+#include "workload/cluster.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+
+namespace {
+
+environment::WeatherSample
+mildWeather()
+{
+    environment::WeatherSample w;
+    w.tempC = 15.0;
+    w.rhPercent = 50.0;
+    w.absHumidity = physics::absoluteHumidity(15.0, 50.0);
+    return w;
+}
+
+void
+BM_PlantStep(benchmark::State &state)
+{
+    plant::Plant plant(plant::PlantConfig::parasol(), 1);
+    plant.initializeSteadyState(mildWeather(), 6.0);
+    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
+    cooling::Regime fc = cooling::Regime::freeCooling(0.5);
+    auto w = mildWeather();
+    for (auto _ : state) {
+        plant.step(30.0, w, load, fc);
+        benchmark::DoNotOptimize(plant.truePodInletC(0));
+    }
+}
+BENCHMARK(BM_PlantStep);
+
+void
+BM_SensorRead(benchmark::State &state)
+{
+    plant::Plant plant(plant::PlantConfig::parasol(), 1);
+    plant.initializeSteadyState(mildWeather(), 6.0);
+    for (auto _ : state) {
+        auto sensors = plant.readSensors();
+        benchmark::DoNotOptimize(sensors.podInletC[0]);
+    }
+}
+BENCHMARK(BM_SensorRead);
+
+void
+BM_PredictorRollout(benchmark::State &state)
+{
+    const model::LearnedBundle &bundle = sim::sharedBundle();
+    core::CoolingPredictor predictor(&bundle.model,
+                                     int(state.range(0)));
+    core::PredictorState st;
+    st.podTempC.assign(8, 27.0);
+    st.podTempPrevC.assign(8, 27.0);
+    st.podPowerFraction.assign(8, 0.6);
+    cooling::Regime fc = cooling::Regime::freeCooling(0.4);
+    for (auto _ : state) {
+        core::Trajectory traj = predictor.predict(st, fc);
+        benchmark::DoNotOptimize(traj.steps.back().podTempC[0]);
+    }
+}
+BENCHMARK(BM_PredictorRollout)->Arg(5)->Arg(8);
+
+void
+BM_OptimizerChoose(benchmark::State &state)
+{
+    const model::LearnedBundle &bundle = sim::sharedBundle();
+    core::CoolingPredictor predictor(&bundle.model, 8);
+    core::UtilityConfig ucfg;
+    core::CoolingOptimizer opt(cooling::RegimeMenu::smooth(), ucfg);
+    core::TemperatureBand band = core::TemperatureBand::fixed(25.0, 30.0);
+
+    core::PredictorState st;
+    st.podTempC.assign(8, 29.0);
+    st.podTempPrevC.assign(8, 28.8);
+    st.podPowerFraction.assign(8, 0.6);
+    std::vector<int> pods{0, 1, 2, 3, 4, 5, 6, 7};
+    for (auto _ : state) {
+        auto d = opt.choose(predictor, st, pods, band);
+        benchmark::DoNotOptimize(d.score);
+    }
+}
+BENCHMARK(BM_OptimizerChoose);
+
+void
+BM_RidgeFit(benchmark::State &state)
+{
+    util::Rng rng(1);
+    model::Dataset data;
+    std::array<double, model::TempFeatures::kCount> row;
+    for (int i = 0; i < int(state.range(0)); ++i) {
+        for (auto &v : row)
+            v = rng.uniform(-1.0, 1.0);
+        row[0] = 1.0;
+        data.addRow(row, rng.uniform(15.0, 35.0));
+    }
+    for (auto _ : state) {
+        model::LinearModel m = model::fitRidge(data, 1e-4);
+        benchmark::DoNotOptimize(m.weights()[0]);
+    }
+}
+BENCHMARK(BM_RidgeFit)->Arg(256)->Arg(4096);
+
+void
+BM_ClusterDayStep(benchmark::State &state)
+{
+    workload::ClusterSim sim({}, workload::facebookTrace({}));
+    sim.applyPlan(workload::ComputePlan::passthrough());
+    int64_t t = 0;
+    for (auto _ : state) {
+        sim.step(util::SimTime(t), 30.0);
+        t += 30;
+        benchmark::DoNotOptimize(sim.busySlots());
+    }
+}
+BENCHMARK(BM_ClusterDayStep);
+
+void
+BM_ClimateSample(benchmark::State &state)
+{
+    environment::Location loc =
+        environment::namedLocation(environment::NamedSite::Newark);
+    environment::Climate climate = loc.makeClimate(7);
+    int64_t t = 0;
+    for (auto _ : state) {
+        auto w = climate.sample(util::SimTime(t));
+        t += 30;
+        benchmark::DoNotOptimize(w.tempC);
+    }
+}
+BENCHMARK(BM_ClimateSample);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

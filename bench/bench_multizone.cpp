@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Multi-zone study (§6's scaling sketch, beyond the paper's single-
+ * container evaluation): four independent cooling zones at Newark
+ * sharing the Facebook job stream, under the baseline and under
+ * per-zone CoolAir managers, for each balancing policy.
+ *
+ * Expected shape: per-zone CoolAir managers deliver the single-zone
+ * benefits independently (each zone's violations and ranges look like
+ * the one-container results), and the temperature-driven balancer
+ * (coolest-first) — the within-building analogue of the energy-driven
+ * techniques — shifts load but does not manage variation.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "environment/location.hpp"
+#include "multizone/multizone.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+using namespace coolair::multizone;
+
+namespace {
+
+struct RunResult
+{
+    sim::Summary aggregate;
+    double worstZoneRangeC = 0.0;
+    double zoneJobSpread = 0.0;   // max/min assigned ratio
+};
+
+RunResult
+runWeeks(bool use_coolair, BalancePolicy policy,
+         const environment::Climate &climate,
+         environment::Forecaster &forecaster, int weeks)
+{
+    MultiZoneConfig cfg;
+    cfg.zones = 4;
+    cfg.policy = policy;
+
+    auto factory = [&](int) -> std::unique_ptr<sim::Controller> {
+        if (!use_coolair)
+            return std::make_unique<sim::BaselineController>();
+        core::CoolAirConfig c = core::CoolAirConfig::forVersion(
+            core::Version::AllNd, cooling::RegimeMenu::smooth());
+        return std::make_unique<sim::CoolAirController>(
+            c, sim::sharedBundle(), &forecaster);
+    };
+
+    MultiZoneEngine engine(cfg, climate, factory);
+    // Four containers' worth of load: merge four independently seeded
+    // day traces so each zone sees the single-container utilization.
+    workload::Trace trace;
+    trace.name = "facebook-x4";
+    for (uint64_t seed : {2013u, 2014u, 2015u, 2016u}) {
+        workload::TraceGenConfig tg;
+        tg.seed = seed;
+        workload::Trace part = workload::facebookTrace(tg);
+        trace.jobs.insert(trace.jobs.end(), part.jobs.begin(),
+                          part.jobs.end());
+    }
+    for (int w = 0; w < weeks; ++w)
+        engine.runDay((w * 7) % 365, trace);
+
+    RunResult out;
+    out.aggregate = engine.aggregateSummary();
+    int64_t lo = 1 << 30, hi = 0;
+    for (int z = 0; z < engine.zoneCount(); ++z) {
+        out.worstZoneRangeC = std::max(
+            out.worstZoneRangeC, engine.zoneSummary(z).maxWorstDailyRangeC);
+        lo = std::min(lo, engine.zoneJobsAssigned(z));
+        hi = std::max(hi, engine.zoneJobsAssigned(z));
+    }
+    out.zoneJobSpread = lo > 0 ? double(hi) / double(lo) : 0.0;
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== Multi-zone datacenter: 4 zones at Newark ===\n");
+    std::printf("(shared Facebook job stream; 12-week year sample)\n\n");
+
+    environment::Climate climate =
+        environment::namedLocation(environment::NamedSite::Newark)
+            .makeClimate(9);
+    environment::Forecaster forecaster(climate);
+    const int kWeeks = 12;
+
+    util::TextTable table({"system / balancer", "agg PUE",
+                           "avg range [C]", "worst zone range [C]",
+                           "job spread (max/min)"});
+
+    for (bool coolair : {false, true}) {
+        for (BalancePolicy policy :
+             {BalancePolicy::RoundRobin, BalancePolicy::LeastLoaded,
+              BalancePolicy::CoolestFirst}) {
+            RunResult r =
+                runWeeks(coolair, policy, climate, forecaster, kWeeks);
+            std::string name = std::string(coolair ? "All-ND" : "Baseline") +
+                               " / " + policyName(policy);
+            table.addRow(
+                {name, util::TextTable::fmt(r.aggregate.pue, 3),
+                 util::TextTable::fmt(r.aggregate.avgWorstDailyRangeC, 1),
+                 util::TextTable::fmt(r.worstZoneRangeC, 1),
+                 util::TextTable::fmt(r.zoneJobSpread, 2)});
+            std::fprintf(stderr, "  ran %s\n", name.c_str());
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading the table: per-zone CoolAir managers reproduce "
+                "the single-container\nbenefits independently (§6); the "
+                "coolest-first balancer concentrates load\nwithout "
+                "managing variation.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parasol day explorer: simulate one day of a chosen site and system and
+ * dump a minute-resolution CSV trace (outside temperature, inlet
+ * min/max, cooling mode, fan/compressor speeds, power draws, disk
+ * temperatures) — the data behind plots like the paper's Figures 6/7.
+ *
+ * Usage:
+ *   parasol_day [site 0-4] [day-of-year] [system] > day.csv
+ *     site:   0=Newark 1=Chad 2=Santiago 3=Iceland 4=Singapore
+ *     system: baseline | allnd | variation | energy
+ *
+ * Example:  ./build/examples/parasol_day 0 166 allnd > newark_june.csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "environment/location.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+#include "workload/cluster.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+
+int
+main(int argc, char **argv)
+{
+    int site_idx = argc > 1 ? std::atoi(argv[1]) : 0;
+    int day = argc > 2 ? std::atoi(argv[2]) : 166;
+    const char *system = argc > 3 ? argv[3] : "allnd";
+
+    if (site_idx < 0 || site_idx > 4) {
+        std::fprintf(stderr, "site must be 0..4\n");
+        return 1;
+    }
+    day = ((day % 365) + 365) % 365;
+
+    environment::Location loc = environment::namedLocation(
+        environment::allNamedSites()[size_t(site_idx)]);
+    environment::Climate climate = loc.makeClimate(7);
+    environment::Forecaster forecaster(climate);
+
+    plant::PlantConfig pc = plant::PlantConfig::smoothParasol();
+    plant::Plant plant(pc, 7);
+    workload::ClusterSim cluster({}, workload::facebookTrace({}));
+
+    std::unique_ptr<sim::Controller> controller;
+    if (std::strcmp(system, "baseline") == 0) {
+        controller = std::make_unique<sim::BaselineController>();
+    } else {
+        core::Version version = core::Version::AllNd;
+        if (std::strcmp(system, "variation") == 0)
+            version = core::Version::Variation;
+        else if (std::strcmp(system, "energy") == 0)
+            version = core::Version::Energy;
+        core::CoolAirConfig config = core::CoolAirConfig::forVersion(
+            version, cooling::RegimeMenu::smooth());
+        controller = std::make_unique<sim::CoolAirController>(
+            config, sim::sharedBundle(), &forecaster);
+    }
+
+    std::fprintf(stderr, "simulating %s day %d under %s...\n",
+                 loc.name.c_str(), day, controller->name());
+
+    util::CsvWriter csv(
+        std::cout,
+        {"minute", "outside_c", "inlet_min_c", "inlet_max_c", "mode",
+         "fc_fan", "compressor", "it_w", "cooling_w", "disk_min_c",
+         "disk_max_c", "utilization"});
+
+    sim::MetricsCollector metrics({}, pc.numPods);
+    sim::Engine engine(plant, cluster, *controller, climate);
+    engine.setMetrics(&metrics);
+    int minute = 0;
+    engine.setTraceSink([&](const sim::TraceRow &r) {
+        csv.writeRow(std::vector<std::string>{
+            std::to_string(minute++), util::TextTable::fmt(r.outsideC, 2),
+            util::TextTable::fmt(r.inletMinC, 2),
+            util::TextTable::fmt(r.inletMaxC, 2),
+            cooling::modeName(r.mode),
+            util::TextTable::fmt(r.fcFanSpeed, 2),
+            util::TextTable::fmt(r.compressorSpeed, 2),
+            util::TextTable::fmt(r.itPowerW, 0),
+            util::TextTable::fmt(r.coolingPowerW, 0),
+            util::TextTable::fmt(r.diskMinC, 2),
+            util::TextTable::fmt(r.diskMaxC, 2),
+            util::TextTable::fmt(r.dcUtilization, 3)});
+    });
+    engine.runDay(day);
+
+    sim::Summary s = metrics.summary();
+    std::fprintf(stderr,
+                 "day summary: worst range %.1f C, avg violation %.2f C, "
+                 "IT %.1f kWh, cooling %.1f kWh, PUE %.3f\n",
+                 s.maxWorstDailyRangeC, s.avgViolationC, s.itKwh,
+                 s.coolingKwh, s.pue);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end CoolAir session.
+ *
+ * Learns the cooling models from the Parasol plant simulator, then runs
+ * one simulated summer day at Newark twice — once under the baseline
+ * (extended TKS) controller and once under CoolAir All-ND — and prints
+ * the temperature/variation/energy outcomes side by side.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "environment/location.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "workload/cluster.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+
+namespace {
+
+sim::Summary
+runOneDay(sim::Controller &controller, const environment::Climate &climate,
+          cooling::ActuatorStyle style, int day)
+{
+    plant::PlantConfig pc = style == cooling::ActuatorStyle::Abrupt
+                                ? plant::PlantConfig::parasol()
+                                : plant::PlantConfig::smoothParasol();
+    plant::Plant plant(pc, 7);
+
+    workload::ClusterConfig cc;
+    workload::ClusterSim cluster(cc, workload::facebookTrace({}));
+
+    sim::MetricsCollector metrics({}, pc.numPods);
+    sim::Engine engine(plant, cluster, controller, climate);
+    engine.setMetrics(&metrics);
+    engine.runDay(day);
+    return metrics.summary();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "CoolAir quickstart: a winter day and a summer day in "
+                 "Newark\n";
+    std::cout << "Learning cooling models from the plant simulator...\n";
+    const model::LearnedBundle &bundle = sim::sharedBundle();
+    std::printf("  fitted %zu temperature models, train RMSE %.2f C\n",
+                bundle.fittedTempModels, bundle.tempTrainRmse);
+
+    environment::Location newark =
+        environment::namedLocation(environment::NamedSite::Newark);
+    environment::Climate climate = newark.makeClimate(7);
+
+    struct DayCase
+    {
+        const char *name;
+        int day;
+    };
+    for (DayCase dc : {DayCase{"winter (late Jan)", 25},
+                       DayCase{"summer (early Jul)", 186}}) {
+        environment::Forecaster forecaster(climate);
+
+        // Baseline: extended TKS, 30 C setpoint, humidity control.
+        sim::BaselineController baseline;
+        sim::Summary base =
+            runOneDay(baseline, climate, cooling::ActuatorStyle::Smooth,
+                      dc.day);
+
+        // CoolAir All-ND on the smooth cooling infrastructure.
+        core::CoolAirConfig config = core::CoolAirConfig::forVersion(
+            core::Version::AllNd, cooling::RegimeMenu::smooth());
+        sim::CoolAirController coolair(config, bundle, &forecaster,
+                                       "All-ND");
+        sim::Summary ca = runOneDay(coolair, climate,
+                                    cooling::ActuatorStyle::Smooth,
+                                    dc.day);
+
+        std::printf("\n--- %s ---\n", dc.name);
+        std::printf("%-28s %12s %12s\n", "metric", "Baseline", "All-ND");
+        std::printf("%-28s %12.2f %12.2f\n", "avg violation >30C [C]",
+                    base.avgViolationC, ca.avgViolationC);
+        std::printf("%-28s %12.2f %12.2f\n", "worst daily range [C]",
+                    base.maxWorstDailyRangeC, ca.maxWorstDailyRangeC);
+        std::printf("%-28s %12.2f %12.2f\n", "avg max inlet [C]",
+                    base.avgMaxInletC, ca.avgMaxInletC);
+        std::printf("%-28s %12.3f %12.3f\n", "PUE", base.pue, ca.pue);
+        std::printf("%-28s %12.2f %12.2f\n", "cooling energy [kWh]",
+                    base.coolingKwh, ca.coolingKwh);
+        std::printf("%-28s %12.2f %12.2f\n", "IT energy [kWh]",
+                    base.itKwh, ca.itKwh);
+    }
+
+    std::cout << "\nCoolAir holds inlet temperatures inside a daily band "
+                 "chosen from the forecast\n(winter: tighter variation), "
+                 "and spends cooling energy only when the band\ndemands "
+                 "it (summer: lower PUE); the baseline only reacts to its "
+                 "fixed setpoint.\n";
+    return 0;
+}

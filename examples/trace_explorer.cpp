@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace explorer: print the statistical shape of the bundled workload
+ * traces (the SWIM-Facebook-like and Nutch-like generators) and simulate
+ * them on the Hadoop-like cluster to report achieved utilization, job
+ * latency, and server power-cycle counts.
+ *
+ * Usage:  trace_explorer [facebook|nutch|steady]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/cluster.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+using namespace coolair::workload;
+
+namespace {
+
+void
+printDistribution(const char *name, std::vector<double> values)
+{
+    if (values.empty())
+        return;
+    std::sort(values.begin(), values.end());
+    auto q = [&](double p) {
+        return values[size_t(p * double(values.size() - 1))];
+    };
+    std::printf("  %-18s p10=%-8.0f p50=%-8.0f p90=%-8.0f p99=%-8.0f "
+                "max=%.0f\n",
+                name, q(0.10), q(0.50), q(0.90), q(0.99), values.back());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *which = argc > 1 ? argv[1] : "facebook";
+
+    Trace trace;
+    if (std::strcmp(which, "nutch") == 0)
+        trace = nutchTrace({});
+    else if (std::strcmp(which, "steady") == 0)
+        trace = steadyTrace(0.5, {});
+    else
+        trace = facebookTrace({});
+
+    std::printf("=== trace \"%s\" ===\n", trace.name.c_str());
+    std::printf("jobs: %zu   tasks: %lld   offered utilization (128 "
+                "slots): %.1f%%\n\n",
+                trace.jobs.size(), (long long)trace.totalTasks(),
+                100.0 * trace.offeredUtilization(128));
+
+    std::vector<double> maps, reduces, map_dur, input_mb;
+    std::vector<double> arrivals_per_hour(24, 0.0);
+    for (const auto &j : trace.jobs) {
+        maps.push_back(double(j.mapTasks));
+        reduces.push_back(double(j.reduceTasks));
+        map_dur.push_back(double(j.mapTaskDurS));
+        input_mb.push_back(j.inputMb);
+        arrivals_per_hour[size_t(j.submitS / util::kSecondsPerHour) %
+                          24] += 1.0;
+    }
+    std::printf("distributions:\n");
+    printDistribution("map tasks/job", maps);
+    printDistribution("reduce tasks/job", reduces);
+    printDistribution("map task dur [s]", map_dur);
+    printDistribution("input [MB]", input_mb);
+
+    std::printf("\narrivals by hour:\n ");
+    double peak = *std::max_element(arrivals_per_hour.begin(),
+                                    arrivals_per_hour.end());
+    for (int h = 0; h < 24; ++h) {
+        int bars = peak > 0.0
+                       ? int(8.0 * arrivals_per_hour[size_t(h)] / peak)
+                       : 0;
+        std::printf(" %02d:%-8.*s\n ", h, bars, "########");
+    }
+
+    // Simulate the day on the cluster and report achieved behavior.
+    std::printf("\nsimulating one day on the 64-server cluster...\n");
+    ClusterSim sim({}, trace);
+    sim.applyPlan(ComputePlan::passthrough());
+    util::RunningStats busy;
+    for (int64_t t = 0; t < util::kSecondsPerDay; t += 30) {
+        sim.step(util::SimTime(t), 30.0);
+        busy.add(double(sim.busySlots()) / 128.0);
+    }
+    ClusterStats st = sim.stats();
+    std::printf("  jobs completed: %lld   tasks completed: %lld\n",
+                (long long)st.jobsCompleted, (long long)st.tasksCompleted);
+    std::printf("  achieved utilization: mean %.1f%%  peak %.1f%%\n",
+                100.0 * busy.mean(), 100.0 * busy.max());
+    std::printf("  mean job queueing delay: %.0f s   max: %.0f s\n",
+                st.meanJobDelayS, st.maxJobDelayS);
+    return 0;
+}

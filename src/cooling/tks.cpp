@@ -1,0 +1,108 @@
+#include "cooling/tks.hpp"
+
+#include <algorithm>
+
+#include "physics/psychrometrics.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace cooling {
+
+TksConfig
+TksConfig::extendedBaseline()
+{
+    TksConfig c;
+    c.setpointC = 30.0;
+    c.humidityControl = true;
+    c.maxRelHumidityPercent = 80.0;
+    return c;
+}
+
+TksController::TksController(const TksConfig &config) : _config(config)
+{
+}
+
+bool
+TksController::freeCoolingTooHumid(const ControlInputs &in) const
+{
+    if (!_config.humidityControl)
+        return false;
+    // Relative humidity the outside air would have once warmed to the
+    // inside temperature.  If that already exceeds the ceiling, letting
+    // it in can only make things worse.
+    double rh_at_inlet = physics::relativeHumidity(in.controlSensorC,
+                                                   in.outsideAbsHumidity);
+    return rh_at_inlet > _config.maxRelHumidityPercent;
+}
+
+Regime
+TksController::control(const ControlInputs &in)
+{
+    // LOT/HOT mode selection from outside temperature, with hysteresis.
+    if (_hotMode) {
+        if (in.outsideTempC < _config.setpointC - _config.hysteresisC)
+            _hotMode = false;
+    } else {
+        if (in.outsideTempC > _config.setpointC + _config.hysteresisC)
+            _hotMode = true;
+    }
+
+    return _hotMode ? controlHot(in) : controlLot(in);
+}
+
+Regime
+TksController::controlLot(const ControlInputs &in)
+{
+    _compressorOn = false;
+
+    double sp = _config.setpointC;
+    double band_lo = sp - _config.proportionalBandC;
+
+    if (in.controlSensorC < band_lo) {
+        // Cold enough: seal the container; recirculation warms it back.
+        return Regime::closed();
+    }
+
+    if (freeCoolingTooHumid(in)) {
+        // Outside air too humid to admit.  Recirculate if we can afford
+        // to; otherwise fall back to the AC, which dehumidifies.
+        if (in.controlSensorC <= sp)
+            return Regime::closed();
+        _compressorOn = true;
+        return Regime::acCompressor(1.0);
+    }
+
+    if (in.controlSensorC <= sp) {
+        // Inside the proportional band: fan speed scales with how close
+        // outside is to inside (closer => less driving gradient => blow
+        // faster).
+        double gap = std::max(0.0, in.controlSensorC - in.outsideTempC);
+        double closeness =
+            util::clamp(1.0 - gap / _config.fanSpeedGapScaleC, 0.0, 1.0);
+        double speed = _config.minFanSpeed +
+                       (1.0 - _config.minFanSpeed) * closeness;
+        return Regime::freeCooling(speed);
+    }
+
+    // Above the setpoint but outside air is still cool: free cool at max.
+    return Regime::freeCooling(1.0);
+}
+
+Regime
+TksController::controlHot(const ControlInputs &in)
+{
+    // Damper closed, free cooling off, AC on.  Compressor cycles between
+    // SP and SP - margin.
+    double sp = _config.setpointC;
+    if (_compressorOn) {
+        if (in.controlSensorC < sp - _config.compressorOffMarginC)
+            _compressorOn = false;
+    } else {
+        if (in.controlSensorC > sp)
+            _compressorOn = true;
+    }
+    return _compressorOn ? Regime::acCompressor(1.0) : Regime::acFanOnly();
+}
+
+} // namespace cooling
+} // namespace coolair

@@ -1,0 +1,115 @@
+#ifndef COOLAIR_COOLING_TKS_HPP
+#define COOLAIR_COOLING_TKS_HPP
+
+/**
+ * @file
+ * The TKS 3000 feedback controller — the paper's baseline.
+ *
+ * Parasol ships with a commercial controller (TKS 3000) that selects the
+ * cooling mode from the outside temperature relative to a setpoint SP
+ * (paper §4.1):
+ *
+ *  - LOT (Low Outside Temperature) mode, outside < SP: use free cooling
+ *    as much as possible.  When the control sensor (a typically warmer
+ *    cold-aisle location) reads below SP - P, close the container and let
+ *    recirculation warm it.  Between SP - P and SP, run free cooling with
+ *    the fan speed proportional to how close the outside temperature is
+ *    to the inside temperature (closer => faster).
+ *  - HOT mode, outside > SP: close the damper, stop free cooling, run the
+ *    AC.  The AC cycles its compressor: off below SP - 2 °C, on above SP.
+ *  - 1 °C hysteresis around SP for the LOT/HOT switch.
+ *
+ * The *extended baseline* of §5.1 raises SP to 30 °C and adds relative-
+ * humidity control with an 80 % ceiling.
+ */
+
+#include "cooling/regime.hpp"
+
+namespace coolair {
+namespace cooling {
+
+/** The sensor values a reactive cooling controller consumes. */
+struct ControlInputs
+{
+    double outsideTempC = 20.0;
+    double outsideRhPercent = 50.0;
+    /** Temperature at the TKS control sensor (warm cold-aisle spot). */
+    double controlSensorC = 25.0;
+    /** Cold-aisle relative humidity [0..100]. */
+    double insideRhPercent = 50.0;
+    /** Outside absolute humidity [g/m^3]. */
+    double outsideAbsHumidity = 8.0;
+};
+
+/** TKS configuration knobs. */
+struct TksConfig
+{
+    /** Temperature setpoint SP [°C] (Parasol default 25; baseline 30). */
+    double setpointC = 25.0;
+
+    /** Proportional band P [°C] below SP where FC speed modulates. */
+    double proportionalBandC = 5.0;
+
+    /** Hysteresis around SP for the LOT/HOT mode switch [°C]. */
+    double hysteresisC = 1.0;
+
+    /** Compressor cycles off below SP minus this margin [°C]. */
+    double compressorOffMarginC = 2.0;
+
+    /** Minimum free-cooling fan speed (unit limitation). */
+    double minFanSpeed = 0.15;
+
+    /**
+     * Temperature gap [°C] over which FC fan speed scales: at gap 0 the
+     * fan runs at max, at this gap or more it runs at minimum.
+     */
+    double fanSpeedGapScaleC = 10.0;
+
+    /** Enable the extended baseline's humidity control. */
+    bool humidityControl = false;
+
+    /** Maximum relative humidity when humidity control is on [%]. */
+    double maxRelHumidityPercent = 80.0;
+
+    /** The extended baseline used in the paper's evaluation (§5.1). */
+    static TksConfig extendedBaseline();
+};
+
+/**
+ * Stateful TKS controller.  Call control() once per control epoch with
+ * fresh sensor inputs; returns the regime the unit should run.
+ */
+class TksController
+{
+  public:
+    explicit TksController(const TksConfig &config = {});
+
+    /** Select the cooling regime given current sensor readings. */
+    Regime control(const ControlInputs &in);
+
+    /** True if currently in HOT (AC) mode. */
+    bool inHotMode() const { return _hotMode; }
+
+    /** True if the AC compressor is currently commanded on. */
+    bool compressorOn() const { return _compressorOn; }
+
+    /** Change the setpoint at runtime (CoolAir's Configurer does this). */
+    void setSetpoint(double sp_c) { _config.setpointC = sp_c; }
+
+    /** Current configuration. */
+    const TksConfig &config() const { return _config; }
+
+  private:
+    Regime controlLot(const ControlInputs &in);
+    Regime controlHot(const ControlInputs &in);
+    bool freeCoolingTooHumid(const ControlInputs &in) const;
+
+    TksConfig _config;
+    bool _hotMode = false;
+    bool _compressorOn = false;
+};
+
+} // namespace cooling
+} // namespace coolair
+
+#endif // COOLAIR_COOLING_TKS_HPP

@@ -1,0 +1,78 @@
+#include "core/band.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace core {
+
+double
+TemperatureBand::violation(double temp_c) const
+{
+    if (temp_c < lowC)
+        return lowC - temp_c;
+    if (temp_c > highC)
+        return temp_c - highC;
+    return 0.0;
+}
+
+TemperatureBand
+TemperatureBand::fixed(double low_c, double high_c)
+{
+    if (high_c < low_c)
+        util::panic("TemperatureBand::fixed: inverted band");
+    TemperatureBand band;
+    band.lowC = low_c;
+    band.highC = high_c;
+    return band;
+}
+
+TemperatureBand
+selectBand(const environment::Forecast &forecast, const BandConfig &config)
+{
+    TemperatureBand band;
+    double center;
+    if (forecast.empty()) {
+        center = config.maxC - 0.5 * config.widthC;
+    } else {
+        center = forecast.meanTempC() + config.offsetC;
+    }
+    band.lowC = center - 0.5 * config.widthC;
+    band.highC = center + 0.5 * config.widthC;
+
+    if (band.highC > config.maxC) {
+        band.highC = config.maxC;
+        band.lowC = config.maxC - config.widthC;
+        band.slidToMax = true;
+    }
+    if (band.lowC < config.minC) {
+        band.lowC = config.minC;
+        band.highC = std::min(config.minC + config.widthC, config.maxC);
+        band.slidToMin = true;
+    }
+    return band;
+}
+
+bool
+temporalSchedulingFutile(const environment::Forecast &forecast,
+                         const TemperatureBand &band,
+                         const BandConfig &config)
+{
+    if (band.slidToMax || band.slidToMin)
+        return true;
+    if (forecast.empty())
+        return true;
+    // Outside-air coordinates of the band.
+    double lo = band.lowC - config.offsetC;
+    double hi = band.highC - config.offsetC;
+    for (const auto &h : forecast.hours) {
+        if (h.tempC >= lo && h.tempC <= hi)
+            return false;
+    }
+    return true;
+}
+
+} // namespace core
+} // namespace coolair

@@ -1,0 +1,86 @@
+#ifndef COOLAIR_CORE_BAND_HPP
+#define COOLAIR_CORE_BAND_HPP
+
+/**
+ * @file
+ * Daily temperature-band selection (paper §3.2, Figure 3).
+ *
+ * Once per day CoolAir picks the band of inlet temperatures it will try
+ * to hold: Width degrees around the day's average predicted outside
+ * temperature plus Offset (the natural outside-to-inlet warm-up).  The
+ * band may not extend above Max or below Min; it slides just below Max
+ * or just above Min when it would.
+ */
+
+#include "environment/forecast.hpp"
+
+namespace coolair {
+namespace core {
+
+/** Band-selection parameters (§5.1 defaults). */
+struct BandConfig
+{
+    /** Band width [°C].  Narrower costs energy; wider allows variation. */
+    double widthC = 5.0;
+
+    /** Typical outside-to-inlet temperature offset [°C]. */
+    double offsetC = 8.0;
+
+    /** Absolute floor for the band [°C]. */
+    double minC = 10.0;
+
+    /** Absolute ceiling for the band [°C] (the desired max temp). */
+    double maxC = 30.0;
+};
+
+/** A selected inlet-temperature band. */
+struct TemperatureBand
+{
+    double lowC = 20.0;
+    double highC = 25.0;
+
+    /** True if the band had to slide down to fit under Max. */
+    bool slidToMax = false;
+
+    /** True if the band had to slide up to stay above Min. */
+    bool slidToMin = false;
+
+    /** Width of the band. */
+    double width() const { return highC - lowC; }
+
+    /** Center of the band. */
+    double center() const { return 0.5 * (lowC + highC); }
+
+    /** True if @p temp_c falls inside the band. */
+    bool contains(double temp_c) const
+    {
+        return temp_c >= lowC && temp_c <= highC;
+    }
+
+    /** Distance outside the band (0 when inside) [°C]. */
+    double violation(double temp_c) const;
+
+    /** A fixed band that never slides (Fig. 11's Var-*-Recirc systems). */
+    static TemperatureBand fixed(double low_c, double high_c);
+};
+
+/**
+ * Select the band for the day from the hourly outside forecast.
+ * An empty forecast yields a band pinned just below Max.
+ */
+TemperatureBand selectBand(const environment::Forecast &forecast,
+                           const BandConfig &config);
+
+/**
+ * True if temporal scheduling should be skipped for the day (§3.3): the
+ * band slid against Min/Max, or the predicted outside temperatures never
+ * overlap the band (shifted back to outside-air coordinates).
+ */
+bool temporalSchedulingFutile(const environment::Forecast &forecast,
+                              const TemperatureBand &band,
+                              const BandConfig &config);
+
+} // namespace core
+} // namespace coolair
+
+#endif // COOLAIR_CORE_BAND_HPP

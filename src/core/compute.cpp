@@ -1,0 +1,108 @@
+#include "core/compute.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace core {
+
+ComputeOptimizer::ComputeOptimizer(const ComputeConfig &config,
+                                   std::vector<int> recirc_rank)
+    : _config(config), _recircRankAscending(std::move(recirc_rank))
+{
+    if (_recircRankAscending.empty())
+        util::fatal("ComputeOptimizer: empty recirculation ranking");
+}
+
+std::vector<int>
+ComputeOptimizer::podOrder() const
+{
+    std::vector<int> order = _recircRankAscending;
+    if (_config.placement == Placement::HighRecircFirst)
+        std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::array<bool, 24>
+ComputeOptimizer::hourMask(const TemperatureBand &band,
+                           const environment::Forecast &forecast,
+                           const BandConfig &bandCfg) const
+{
+    std::array<bool, 24> mask;
+    mask.fill(true);
+
+    switch (_config.temporal) {
+      case TemporalPolicy::None:
+        return mask;
+
+      case TemporalPolicy::BandHours: {
+        // Skip deferral entirely on futile days (§3.3).
+        if (temporalSchedulingFutile(forecast, band, bandCfg))
+            return mask;
+        mask.fill(false);
+        double lo = band.lowC - bandCfg.offsetC;
+        double hi = band.highC - bandCfg.offsetC;
+        for (const auto &h : forecast.hours) {
+            int hour = h.hourStart.hourOfDay();
+            if (h.tempC >= lo && h.tempC <= hi)
+                mask[size_t(hour)] = true;
+        }
+        return mask;
+      }
+
+      case TemporalPolicy::ColdHours: {
+        // Energy-centric deferral: allow the colder half of the day.
+        if (forecast.empty())
+            return mask;
+        double mean = forecast.meanTempC();
+        mask.fill(false);
+        bool any = false;
+        for (const auto &h : forecast.hours) {
+            int hour = h.hourStart.hourOfDay();
+            if (h.tempC <= mean) {
+                mask[size_t(hour)] = true;
+                any = true;
+            }
+        }
+        if (!any)
+            mask.fill(true);
+        return mask;
+      }
+    }
+    util::panic("ComputeOptimizer::hourMask: unknown temporal policy");
+}
+
+workload::ComputePlan
+ComputeOptimizer::plan(const workload::WorkloadStatus &status,
+                       const TemperatureBand &band,
+                       const environment::Forecast &forecast,
+                       const BandConfig &bandCfg)
+{
+    workload::ComputePlan plan;
+    plan.podOrder = podOrder();
+    plan.hourAllowed = hourMask(band, forecast, bandCfg);
+    plan.manageServerStates = _config.manageServerStates;
+
+    if (_config.manageServerStates) {
+        double wanted =
+            double(status.demandServers) * (1.0 + _config.headroomFraction);
+        // Wake instantly, sleep gradually (see sleepDecayPerEpoch).
+        if (wanted >= _targetEwma) {
+            _targetEwma = wanted;
+        } else {
+            _targetEwma =
+                std::max(wanted, _targetEwma * _config.sleepDecayPerEpoch);
+        }
+        plan.targetActiveServers =
+            std::clamp(int(std::ceil(_targetEwma)),
+                       _config.coveringSubsetSize, _config.totalServers);
+    } else {
+        plan.targetActiveServers = _config.totalServers;
+    }
+    return plan;
+}
+
+} // namespace core
+} // namespace coolair

@@ -1,0 +1,111 @@
+#ifndef COOLAIR_CORE_COMPUTE_HPP
+#define COOLAIR_CORE_COMPUTE_HPP
+
+/**
+ * @file
+ * The Compute Optimizer (paper §3.3): decides how many servers stay
+ * awake, which pods host load (spatial placement by recirculation rank),
+ * and when deferrable jobs run (temporal scheduling within deadlines).
+ *
+ * CoolAir deliberately places load on the pods *most* prone to heat
+ * recirculation: those pods stay consistently warm and are less exposed
+ * to cooling-infrastructure swings, which shrinks temperature variation.
+ * The energy-centric prior art places on the *least* recirculating pods;
+ * both policies are provided for the Figure 11 ablation.
+ */
+
+#include <vector>
+
+#include "core/band.hpp"
+#include "environment/forecast.hpp"
+#include "workload/compute_plan.hpp"
+#include "workload/model.hpp"
+
+namespace coolair {
+namespace core {
+
+/** Spatial placement policy. */
+enum class Placement
+{
+    LowRecircFirst,   ///< Energy-centric prior art [30, 32].
+    HighRecircFirst   ///< CoolAir's variation-centric choice.
+};
+
+/** Temporal scheduling policy. */
+enum class TemporalPolicy
+{
+    None,        ///< Release jobs on submission.
+    BandHours,   ///< Prefer hours whose forecast lies in the band (§3.3).
+    ColdHours    ///< Prefer the coldest hours (energy-centric, Energy-DEF).
+};
+
+/** Compute-management configuration. */
+struct ComputeConfig
+{
+    Placement placement = Placement::HighRecircFirst;
+    TemporalPolicy temporal = TemporalPolicy::None;
+
+    /** Put unneeded servers to sleep. */
+    bool manageServerStates = true;
+
+    /** Awake-server headroom above instantaneous demand. */
+    double headroomFraction = 0.25;
+
+    /**
+     * Shrink factor applied to the awake-server target per epoch when
+     * demand falls.  Waking is instantaneous (queued work must run) but
+     * sleeping is gradual — otherwise bursty arrivals make the cluster
+     * flap between near-idle and fully-awake, and the resulting IT-power
+     * swings become the dominant source of temperature variation.
+     */
+    double sleepDecayPerEpoch = 0.85;
+
+    /** Total servers (for clamping targets). */
+    int totalServers = 64;
+
+    /** Covering-subset size (never sleeps). */
+    int coveringSubsetSize = 8;
+};
+
+/** Produces compute plans. */
+class ComputeOptimizer
+{
+  public:
+    /**
+     * @param config      policy knobs
+     * @param recirc_rank pods by *increasing* recirculation potential
+     *                    (from the Cooling Modeler's probe)
+     */
+    ComputeOptimizer(const ComputeConfig &config,
+                     std::vector<int> recirc_rank);
+
+    /**
+     * Build the day's plan.
+     *
+     * @param status    current workload status
+     * @param band      today's temperature band
+     * @param forecast  full-day hourly forecast (for temporal policy)
+     * @param bandCfg   band parameters (offset maps band to outside air)
+     */
+    workload::ComputePlan plan(const workload::WorkloadStatus &status,
+                               const TemperatureBand &band,
+                               const environment::Forecast &forecast,
+                               const BandConfig &bandCfg);
+
+    /** Pod activation order implied by the placement policy. */
+    std::vector<int> podOrder() const;
+
+  private:
+    std::array<bool, 24> hourMask(const TemperatureBand &band,
+                                  const environment::Forecast &forecast,
+                                  const BandConfig &bandCfg) const;
+
+    ComputeConfig _config;
+    std::vector<int> _recircRankAscending;
+    double _targetEwma = -1.0;   ///< Decaying awake-server target.
+};
+
+} // namespace core
+} // namespace coolair
+
+#endif // COOLAIR_CORE_COMPUTE_HPP

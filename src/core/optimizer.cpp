@@ -1,0 +1,71 @@
+#include "core/optimizer.hpp"
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace core {
+
+CoolingOptimizer::CoolingOptimizer(const cooling::RegimeMenu &menu,
+                                   const UtilityConfig &utility)
+    : _menu(menu), _utility(utility)
+{
+    if (_menu.candidates.empty())
+        util::fatal("CoolingOptimizer: empty regime menu");
+}
+
+OptimizerDecision
+CoolingOptimizer::choose(const CoolingPredictor &predictor,
+                         const PredictorState &state,
+                         const std::vector<int> &activePods,
+                         const TemperatureBand &band) const
+{
+    OptimizerDecision best;
+    bool have_best = false;
+
+    for (const auto &candidate : _menu.candidates) {
+        Trajectory traj = predictor.predict(state, candidate);
+        double penalty =
+            trajectoryPenalty(traj.steps, state.podTempC, activePods, band,
+                              candidate, _utility);
+        double score = penalty;
+        if (_utility.energyAware)
+            score += _utility.energyWeightPerKwh * traj.coolingEnergyKwh;
+        if (cooling::classify(candidate) !=
+            cooling::classify(state.currentRegime)) {
+            score += _utility.switchPenalty;
+        }
+
+        bool better;
+        if (!have_best) {
+            better = true;
+        } else if (score < best.score - 1e-9) {
+            better = true;
+        } else if (score < best.score + 1e-9) {
+            // Tie: prefer the incumbent regime (stability), then the
+            // cheaper candidate.
+            bool cand_incumbent = candidate == state.currentRegime;
+            bool best_incumbent = best.regime == state.currentRegime;
+            if (cand_incumbent && !best_incumbent)
+                better = true;
+            else if (cand_incumbent == best_incumbent &&
+                     traj.coolingEnergyKwh < best.energyKwh - 1e-12)
+                better = true;
+            else
+                better = false;
+        } else {
+            better = false;
+        }
+
+        if (better) {
+            best.regime = candidate;
+            best.penalty = penalty;
+            best.energyKwh = traj.coolingEnergyKwh;
+            best.score = score;
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace coolair

@@ -1,0 +1,65 @@
+#ifndef COOLAIR_CORE_OPTIMIZER_HPP
+#define COOLAIR_CORE_OPTIMIZER_HPP
+
+/**
+ * @file
+ * The Cooling Optimizer (paper §3.2): every 10 minutes, roll out each
+ * candidate cooling regime over the horizon with the Cooling Predictor,
+ * score it with the utility function, and pick the cheapest.  Energy-
+ * aware versions weigh predicted cooling energy into the score; ties
+ * prefer the incumbent regime to avoid churn.
+ */
+
+#include <vector>
+
+#include "cooling/regime.hpp"
+#include "core/predictor.hpp"
+#include "core/utility.hpp"
+
+namespace coolair {
+namespace core {
+
+/** The optimizer's choice and its diagnostics. */
+struct OptimizerDecision
+{
+    cooling::Regime regime;
+    double penalty = 0.0;          ///< Violation units along the horizon.
+    double energyKwh = 0.0;        ///< Predicted cooling energy.
+    double score = 0.0;            ///< penalty + energy term.
+};
+
+/** Selects cooling regimes. */
+class CoolingOptimizer
+{
+  public:
+    CoolingOptimizer(const cooling::RegimeMenu &menu,
+                     const UtilityConfig &utility);
+
+    /**
+     * Choose the regime for the next period.
+     *
+     * @param predictor  rollout engine over the learned model
+     * @param state      current predictor inputs
+     * @param activePods pods whose sensors are charged penalties
+     * @param band       today's temperature band
+     */
+    OptimizerDecision choose(const CoolingPredictor &predictor,
+                             const PredictorState &state,
+                             const std::vector<int> &activePods,
+                             const TemperatureBand &band) const;
+
+    /** The candidate menu. */
+    const cooling::RegimeMenu &menu() const { return _menu; }
+
+    /** The utility configuration. */
+    const UtilityConfig &utility() const { return _utility; }
+
+  private:
+    cooling::RegimeMenu _menu;
+    UtilityConfig _utility;
+};
+
+} // namespace core
+} // namespace coolair
+
+#endif // COOLAIR_CORE_OPTIMIZER_HPP

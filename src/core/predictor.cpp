@@ -1,0 +1,132 @@
+#include "core/predictor.hpp"
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace core {
+
+PredictorState
+PredictorState::fromSensors(const plant::SensorReadings &sensors,
+                            const std::vector<double> &prev_temp,
+                            double prev_fan, double prev_outside,
+                            const cooling::Regime &current,
+                            const plant::PodLoad *load)
+{
+    PredictorState st;
+    if (load && !load->activeServers.empty()) {
+        int pods = int(load->activeServers.size());
+        st.podPowerFraction.resize(size_t(pods));
+        for (int p = 0; p < pods; ++p)
+            st.podPowerFraction[size_t(p)] = load->podPowerFraction(p);
+    }
+    st.podTempC = sensors.podInletC;
+    st.podTempPrevC =
+        prev_temp.size() == sensors.podInletC.size() ? prev_temp
+                                                     : sensors.podInletC;
+    st.coldAbsHumidity = sensors.coldAisleAbsHumidity;
+    st.outsideC = sensors.outsideC;
+    st.outsidePrevC = prev_outside;
+    st.outsideAbsHumidity = sensors.outsideAbsHumidity;
+    st.fanSpeedPrev = prev_fan;
+    st.dcUtilization = sensors.dcUtilization;
+    st.currentRegime = current;
+    return st;
+}
+
+CoolingPredictor::CoolingPredictor(const model::CoolingModel *model,
+                                   int horizon_steps)
+    : _model(model), _horizonSteps(horizon_steps)
+{
+    if (!model)
+        util::panic("CoolingPredictor: null model");
+    if (horizon_steps <= 0)
+        util::fatal("CoolingPredictor: horizon must be positive");
+}
+
+Trajectory
+CoolingPredictor::predict(const PredictorState &state,
+                          const cooling::Regime &candidate) const
+{
+    Trajectory traj;
+    traj.steps.reserve(size_t(_horizonSteps));
+
+    const int pods = int(state.podTempC.size());
+    const double step_s = _model->config().stepS;
+    const double step_h = step_s / 3600.0;
+
+    std::vector<double> temp = state.podTempC;
+    std::vector<double> temp_prev = state.podTempPrevC;
+    double abs_h = state.coldAbsHumidity;
+    double fan_prev = state.fanSpeedPrev;
+    cooling::Regime prev = state.currentRegime;
+
+    double candidate_fan = candidate.mode == cooling::Mode::FreeCooling
+                               ? candidate.fanSpeed
+                               : 0.0;
+
+    // Evaporative candidates are driven by the pre-cooled intake.
+    double outside_c = state.outsideC;
+    double outside_prev_c = state.outsidePrevC;
+    if (candidate.mode == cooling::Mode::FreeCooling &&
+        candidate.evaporative) {
+        double rh = physics::relativeHumidity(state.outsideC,
+                                              state.outsideAbsHumidity);
+        outside_c = physics::evaporativeOutletTemp(
+            state.outsideC, rh, _model->config().evapEffectiveness);
+        outside_prev_c = outside_c;
+    }
+
+    for (int step = 0; step < _horizonSteps; ++step) {
+        PredictedStep out;
+        out.stepHours = step_h;
+        out.podTempC.resize(size_t(pods));
+
+        model::TempInputs tin;
+        // Outside conditions held at the current observation across the
+        // short horizon — they change far slower than that.
+        tin.outsideC = outside_c;
+        tin.outsidePrevC = step == 0 ? outside_prev_c : outside_c;
+        tin.fanSpeed = candidate_fan;
+        tin.fanSpeedPrev = fan_prev;
+        tin.dcUtilization = state.dcUtilization;
+
+        for (int p = 0; p < pods; ++p) {
+            tin.insideC = temp[size_t(p)];
+            tin.insidePrevC = temp_prev[size_t(p)];
+            tin.podPowerFraction =
+                p < int(state.podPowerFraction.size())
+                    ? state.podPowerFraction[size_t(p)]
+                    : 0.5;
+            out.podTempC[size_t(p)] =
+                _model->predictTemp(prev, candidate, p, tin);
+        }
+
+        model::HumidityInputs hin;
+        hin.insideAbs = abs_h;
+        hin.outsideAbs = state.outsideAbsHumidity;
+        hin.fanSpeed = candidate_fan;
+        double next_abs = _model->predictHumidity(prev, candidate, hin);
+
+        // Relative humidity at the (predicted) cold-aisle temperature.
+        double avg_t = 0.0;
+        for (double t : out.podTempC)
+            avg_t += t;
+        avg_t = pods > 0 ? avg_t / pods : 20.0;
+        out.rhPercent = physics::relativeHumidity(avg_t, next_abs);
+
+        traj.coolingEnergyKwh +=
+            _model->predictCoolingPower(candidate) * step_h / 1000.0;
+
+        temp_prev = temp;
+        temp = out.podTempC;
+        abs_h = next_abs;
+        fan_prev = candidate_fan;
+        prev = candidate;
+
+        traj.steps.push_back(std::move(out));
+    }
+    return traj;
+}
+
+} // namespace core
+} // namespace coolair

@@ -1,0 +1,85 @@
+#ifndef COOLAIR_CORE_PREDICTOR_HPP
+#define COOLAIR_CORE_PREDICTOR_HPP
+
+/**
+ * @file
+ * The Cooling Predictor (paper §3.2): the Cooling Model predicts only
+ * one short model step ahead, so the Predictor chains it — each
+ * prediction's outputs become the next prediction's inputs — to cover
+ * the Optimizer's 10-minute decision horizon.
+ */
+
+#include <vector>
+
+#include "cooling/regime.hpp"
+#include "core/utility.hpp"
+#include "model/cooling_model.hpp"
+#include "plant/parasol.hpp"
+
+namespace coolair {
+namespace core {
+
+/** A rolled-out prediction over the decision horizon. */
+struct Trajectory
+{
+    std::vector<PredictedStep> steps;
+
+    /** Predicted cooling energy over the horizon [kWh]. */
+    double coolingEnergyKwh = 0.0;
+};
+
+/** The state the predictor starts a rollout from. */
+struct PredictorState
+{
+    std::vector<double> podTempC;       ///< Current pod inlet temps.
+    std::vector<double> podTempPrevC;   ///< One model step ago.
+    double coldAbsHumidity = 8.0;
+    double outsideC = 15.0;
+    double outsidePrevC = 15.0;
+    double outsideAbsHumidity = 8.0;
+    double fanSpeedPrev = 0.0;
+    double dcUtilization = 1.0;
+
+    /** Per-pod power fractions [0..1]; empty means 0.5 everywhere. */
+    std::vector<double> podPowerFraction;
+
+    cooling::Regime currentRegime;      ///< Regime in effect right now.
+
+    /** Build from current sensor readings and controller memory. */
+    static PredictorState fromSensors(const plant::SensorReadings &sensors,
+                                      const std::vector<double> &prev_temp,
+                                      double prev_fan,
+                                      double prev_outside,
+                                      const cooling::Regime &current,
+                                      const plant::PodLoad *load = nullptr);
+};
+
+/** Chains the Cooling Model over the optimizer horizon. */
+class CoolingPredictor
+{
+  public:
+    /**
+     * @param model         the learned cooling model
+     * @param horizon_steps model steps per rollout (5 x 2 min = 10 min)
+     */
+    CoolingPredictor(const model::CoolingModel *model, int horizon_steps = 5);
+
+    /** Roll out @p candidate from @p state. */
+    Trajectory predict(const PredictorState &state,
+                       const cooling::Regime &candidate) const;
+
+    /** Number of steps per rollout. */
+    int horizonSteps() const { return _horizonSteps; }
+
+    /** The model driving predictions. */
+    const model::CoolingModel &model() const { return *_model; }
+
+  private:
+    const model::CoolingModel *_model;
+    int _horizonSteps;
+};
+
+} // namespace core
+} // namespace coolair
+
+#endif // COOLAIR_CORE_PREDICTOR_HPP

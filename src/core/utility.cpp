@@ -1,0 +1,79 @@
+#include "core/utility.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace core {
+
+double
+trajectoryPenalty(const std::vector<PredictedStep> &steps,
+                  const std::vector<double> &initialTempC,
+                  const std::vector<int> &activePods,
+                  const TemperatureBand &band,
+                  const cooling::Regime &regime,
+                  const UtilityConfig &config)
+{
+    double penalty = 0.0;
+
+    const std::vector<double> *prev = &initialTempC;
+    for (const auto &step : steps) {
+        for (int pod : activePods) {
+            if (pod < 0 || pod >= int(step.podTempC.size()))
+                util::panic("trajectoryPenalty: pod index out of range");
+            double t = step.podTempC[size_t(pod)];
+
+            if (config.penalizeMaxTemp && t > config.maxTempC)
+                penalty += (t - config.maxTempC) / 0.5;
+
+            if (config.penalizeBand)
+                penalty += band.violation(t) / 0.5;
+
+            if (config.penalizeRate && pod < int(prev->size())) {
+                double rate = std::fabs(t - (*prev)[size_t(pod)]) /
+                              std::max(step.stepHours, 1e-9);
+                // Pro-rate by the step duration so the charge for a
+                // sustained 1 °C/hour excess over one hour is one unit
+                // regardless of prediction granularity; a brief
+                // corrective swing costs little, a sustained drift a lot.
+                if (rate > config.maxRateCPerHour) {
+                    penalty += (rate - config.maxRateCPerHour) *
+                               step.stepHours;
+                }
+            }
+        }
+
+        if (config.penalizeHumidity) {
+            if (step.rhPercent > config.humidityMaxPercent) {
+                penalty +=
+                    (step.rhPercent - config.humidityMaxPercent) / 5.0;
+            } else if (step.rhPercent < config.humidityMinPercent) {
+                penalty +=
+                    (config.humidityMinPercent - step.rhPercent) / 5.0;
+            }
+        }
+
+        if (config.penalizeAcFull &&
+            regime.mode == cooling::Mode::AirConditioning &&
+            regime.compressorOn && regime.compressorSpeed >= 1.0 - 1e-9) {
+            penalty += 1.0;
+        }
+
+        prev = &step.podTempC;
+    }
+
+    if (config.penalizeBand && config.centeringWeightPerC > 0.0 &&
+        !steps.empty()) {
+        const PredictedStep &last = steps.back();
+        double center = band.center();
+        for (int pod : activePods) {
+            penalty += config.centeringWeightPerC *
+                       std::fabs(last.podTempC[size_t(pod)] - center);
+        }
+    }
+    return penalty;
+}
+
+} // namespace core
+} // namespace coolair

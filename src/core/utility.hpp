@@ -1,0 +1,102 @@
+#ifndef COOLAIR_CORE_UTILITY_HPP
+#define COOLAIR_CORE_UTILITY_HPP
+
+/**
+ * @file
+ * The Cooling Optimizer's utility (penalty) function, paper §3.2:
+ * identical penalty units are charged for each 0.5 °C above the maximum
+ * temperature, each 1 °C/hour of change rate beyond 20 °C/hour, each
+ * 0.5 °C outside the temperature band, each 5 % of relative humidity
+ * outside the humidity band, and for running the AC at full compressor
+ * speed.  The value of a cooling regime is the sum over the sensors of
+ * all active pods along the predicted trajectory.  Table 1's CoolAir
+ * versions enable different penalty components, so each component has a
+ * switch here.
+ */
+
+#include <vector>
+
+#include "cooling/regime.hpp"
+#include "core/band.hpp"
+
+namespace coolair {
+namespace core {
+
+/** Which penalty components a CoolAir version cares about. */
+struct UtilityConfig
+{
+    /** Penalize exceeding the desired maximum temperature. */
+    bool penalizeMaxTemp = true;
+    double maxTempC = 30.0;
+
+    /** Penalize readings outside the temperature band. */
+    bool penalizeBand = true;
+
+    /** Penalize air-temperature change rate beyond the ASHRAE limit. */
+    bool penalizeRate = true;
+    double maxRateCPerHour = 20.0;
+
+    /** Penalize relative humidity outside the humidity band. */
+    bool penalizeHumidity = true;
+    double humidityMaxPercent = 80.0;
+    double humidityMinPercent = 10.0;
+
+    /** Penalize turning the AC compressor on at full speed. */
+    bool penalizeAcFull = true;
+
+    /**
+     * If true, predicted cooling energy breaks ties (and nudges) among
+     * near-equal candidates.  Weight per kWh, small relative to one
+     * violation unit.
+     */
+    bool energyAware = true;
+    double energyWeightPerKwh = 5.0;
+
+    /**
+     * Penalty units charged when a candidate changes the cooling-regime
+     * class (closed / fc / ac-fan / ac-comp) relative to the current
+     * one.  Damps chattering between strong cooling and sealing when
+     * model error makes both look attractive in alternation; large
+     * violations still force a switch.
+     */
+    double switchPenalty = 1.0;
+
+    /**
+     * Small preference for trajectories that end near the band center
+     * (units per °C per sensor, charged on the final predicted step
+     * only).  Keeps the controller from coasting to a band edge and
+     * then needing a large correction; only meaningful when the band
+     * penalty is enabled.
+     */
+    double centeringWeightPerC = 0.0;
+};
+
+/** One evaluated step of a predicted trajectory. */
+struct PredictedStep
+{
+    std::vector<double> podTempC;
+    double rhPercent = 50.0;
+    double stepHours = 1.0 / 30.0;   ///< Model step expressed in hours.
+};
+
+/**
+ * Penalty for one predicted trajectory under @p regime.
+ *
+ * @param steps        predicted states, oldest first
+ * @param initialTempC pod temperatures at the start of the horizon
+ * @param activePods   pods with awake servers (penalties count these)
+ * @param band         today's temperature band
+ * @param regime       the candidate being evaluated
+ * @param config       enabled components and thresholds
+ */
+double trajectoryPenalty(const std::vector<PredictedStep> &steps,
+                         const std::vector<double> &initialTempC,
+                         const std::vector<int> &activePods,
+                         const TemperatureBand &band,
+                         const cooling::Regime &regime,
+                         const UtilityConfig &config);
+
+} // namespace core
+} // namespace coolair
+
+#endif // COOLAIR_CORE_UTILITY_HPP

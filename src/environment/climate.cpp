@@ -1,0 +1,143 @@
+#include "environment/climate.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace environment {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+} // anonymous namespace
+
+Climate::Climate(const ClimateParams &params, uint64_t seed)
+    : _params(params)
+{
+    util::Rng rng(seed, "climate.synoptic");
+    // Periods spread from sub-daily frontal passages (0.8 d) to slow
+    // highs/lows (12 d); amplitudes grow with the square root of the
+    // period so the slowest fronts dominate, matching real synoptic
+    // spectra, while the fast components still produce occasional large
+    // *intra-day* swings.
+    double weight_sum = 0.0;
+    for (int i = 0; i < kSynopticBankSize; ++i) {
+        double frac = double(i) / double(kSynopticBankSize - 1);
+        _bank[i].periodDays = 0.8 + (12.0 - 0.8) * frac * frac;
+        _bank[i].periodDays *= rng.uniform(0.85, 1.15);
+        _bank[i].phase = rng.uniform(0.0, kTwoPi);
+        _bank[i].amplitude = std::pow(_bank[i].periodDays, 0.3);
+        weight_sum += _bank[i].amplitude;
+    }
+    for (auto &s : _bank)
+        s.amplitude /= weight_sum;
+
+    // Day-to-day modulation of the diurnal swing (clear vs. overcast
+    // days): factor in roughly [0.45, 1.55].
+    util::Rng drng(seed, "climate.diurnal-mod");
+    for (int i = 0; i < kDiurnalModBankSize; ++i) {
+        _diurnalModBank[i].periodDays = drng.uniform(4.0, 17.0);
+        _diurnalModBank[i].phase = drng.uniform(0.0, kTwoPi);
+        _diurnalModBank[i].amplitude = 1.0 / double(i + 1);
+    }
+
+    util::Rng hrng(seed, "climate.humidity");
+    weight_sum = 0.0;
+    for (int i = 0; i < kSynopticBankSize; ++i) {
+        _humidityBank[i].periodDays = hrng.uniform(3.0, 15.0);
+        _humidityBank[i].phase = hrng.uniform(0.0, kTwoPi);
+        _humidityBank[i].amplitude = 1.0 / double(i + 1);
+        weight_sum += _humidityBank[i].amplitude;
+    }
+    for (auto &s : _humidityBank)
+        s.amplitude /= weight_sum;
+}
+
+double
+Climate::smoothTemperature(util::SimTime t) const
+{
+    double peak_day = _params.seasonalPeakDay;
+    if (_params.southernHemisphere)
+        peak_day = std::fmod(peak_day + 182.5, 365.0);
+
+    // Use fractional day so the seasonal term is continuous across
+    // midnight (no 0.1 °C jumps at day boundaries).
+    double day = t.days();
+    double seasonal = _params.seasonalAmplitudeC *
+        std::cos(kTwoPi * (day - peak_day) / double(util::kDaysPerYear));
+
+    double hour = t.fractionalHourOfDay();
+    double diurnal = _params.diurnalAmplitudeC * diurnalModulation(day) *
+        std::cos(kTwoPi * (hour - _params.diurnalPeakHour) / 24.0);
+
+    return _params.annualMeanC + seasonal + diurnal;
+}
+
+double
+Climate::diurnalModulation(double day) const
+{
+    double sum = 0.0;
+    double weight = 0.0;
+    for (const auto &s : _diurnalModBank) {
+        sum += s.amplitude * std::sin(kTwoPi * day / s.periodDays + s.phase);
+        weight += s.amplitude;
+    }
+    return 1.0 + 0.55 * (sum / weight);
+}
+
+double
+Climate::synoptic(util::SimTime t) const
+{
+    double day = t.days();
+    double sum = 0.0;
+    for (const auto &s : _bank)
+        sum += s.amplitude * std::sin(kTwoPi * day / s.periodDays + s.phase);
+    // The bank's weighted sum has RMS < 1; scale to the configured
+    // amplitude so the typical excursion matches synopticAmplitudeC.
+    return 1.8 * _params.synopticAmplitudeC * sum;
+}
+
+double
+Climate::temperature(util::SimTime t) const
+{
+    return smoothTemperature(t) + synoptic(t);
+}
+
+double
+Climate::depressionAt(util::SimTime t) const
+{
+    double day = t.days();
+    double sum = 0.0;
+    for (const auto &s : _humidityBank)
+        sum += s.amplitude * std::sin(kTwoPi * day / s.periodDays + s.phase);
+    double depression =
+        _params.dewPointDepressionC + 1.6 * _params.dewPointVariabilityC * sum;
+    // Dew point can touch but not exceed the air temperature.
+    return std::max(0.0, depression);
+}
+
+double
+Climate::dewPointAt(util::SimTime t) const
+{
+    return temperature(t) - depressionAt(t);
+}
+
+WeatherSample
+Climate::sample(util::SimTime t) const
+{
+    WeatherSample out;
+    out.tempC = temperature(t);
+    double dew = dewPointAt(t);
+    // RH from dew point: ratio of saturation pressures.
+    double rh = 100.0 * physics::saturationVaporPressure(dew) /
+                physics::saturationVaporPressure(out.tempC);
+    out.rhPercent = util::clamp(rh, 1.0, 100.0);
+    out.absHumidity = physics::absoluteHumidity(out.tempC, out.rhPercent);
+    return out;
+}
+
+} // namespace environment
+} // namespace coolair

@@ -1,0 +1,130 @@
+#ifndef COOLAIR_ENVIRONMENT_CLIMATE_HPP
+#define COOLAIR_ENVIRONMENT_CLIMATE_HPP
+
+/**
+ * @file
+ * Parametric synthetic climate model.
+ *
+ * The paper drives its simulators with "typical meteorological year" (TMY)
+ * temperature and humidity data from the US DOE.  Those proprietary files
+ * are not available offline, so we substitute a parametric climate model
+ * that produces a frozen, deterministic year of weather per location:
+ *
+ *   T(t) = annual mean
+ *        + seasonal sinusoid (hemisphere-phased)
+ *        + diurnal sinusoid (peaking mid-afternoon)
+ *        + synoptic component (multi-day "weather front" sinusoid bank
+ *          with location-seeded pseudo-random phases)
+ *
+ * Dew point follows a parallel, slower model and is capped below the air
+ * temperature; relative humidity is derived psychrometrically.  Because
+ * the synthetic year is a pure function of time, it plays the same role
+ * TMY data plays in the paper: the "actual" weather is frozen and a
+ * forecast of it can be made perfectly accurate or deliberately biased
+ * (paper §5.2, "Impact of weather forecast accuracy").
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "environment/weather.hpp"
+#include "physics/psychrometrics.hpp"
+#include "util/sim_time.hpp"
+
+namespace coolair {
+namespace environment {
+
+/** Parameters describing a location's climate. */
+struct ClimateParams
+{
+    /** Annual mean dry-bulb temperature [°C]. */
+    double annualMeanC = 12.0;
+
+    /** Half peak-to-trough seasonal swing [°C]. */
+    double seasonalAmplitudeC = 10.0;
+
+    /** Half peak-to-trough average diurnal swing [°C]. */
+    double diurnalAmplitudeC = 5.0;
+
+    /** Amplitude of multi-day synoptic (weather front) variability [°C]. */
+    double synopticAmplitudeC = 3.0;
+
+    /**
+     * Mean difference between air temperature and dew point [°C].
+     * Small values mean humid climates; large values arid ones.
+     */
+    double dewPointDepressionC = 6.0;
+
+    /** Variability of the dew point depression [°C]. */
+    double dewPointVariabilityC = 2.0;
+
+    /** True for the southern hemisphere (seasons flipped). */
+    bool southernHemisphere = false;
+
+    /** Day of year with the seasonal temperature peak (northern). */
+    double seasonalPeakDay = 201.0;
+
+    /** Hour of day of the diurnal peak (solar-afternoon lag). */
+    double diurnalPeakHour = 15.0;
+};
+
+/**
+ * A frozen synthetic meteorological year for one location.  Thread-safe
+ * after construction: sampling is a pure function of time.
+ */
+class Climate : public WeatherProvider
+{
+  public:
+    /**
+     * Build the climate from parameters and a seed.  The seed fixes the
+     * synoptic sinusoid bank's phases, i.e. *which* typical year this is.
+     */
+    Climate(const ClimateParams &params, uint64_t seed);
+
+    /** Outside dry-bulb temperature [°C] at @p t. */
+    double temperature(util::SimTime t) const override;
+
+    /**
+     * Smooth (seasonal + diurnal only) temperature at @p t — the
+     * climatological expectation without synoptic weather.  Used by tests
+     * and by biased forecasts.
+     */
+    double smoothTemperature(util::SimTime t) const;
+
+    /** Outside dew point [°C] at @p t (always <= temperature). */
+    double dewPointAt(util::SimTime t) const;
+
+    /** Full weather observation at @p t. */
+    WeatherSample sample(util::SimTime t) const override;
+
+    /** The parameters this climate was built from. */
+    const ClimateParams &params() const { return _params; }
+
+  private:
+    /** Number of sinusoids in the synoptic bank. */
+    static constexpr int kSynopticBankSize = 8;
+
+    /** Number of sinusoids modulating the diurnal amplitude. */
+    static constexpr int kDiurnalModBankSize = 3;
+
+    struct Sinusoid
+    {
+        double periodDays;
+        double phase;       // radians
+        double amplitude;   // relative weight, sums to ~1 over the bank
+    };
+
+    double synoptic(util::SimTime t) const;
+    double depressionAt(util::SimTime t) const;
+    double diurnalModulation(double day) const;
+
+    ClimateParams _params;
+    std::array<Sinusoid, kSynopticBankSize> _bank;
+    std::array<Sinusoid, kSynopticBankSize> _humidityBank;
+    std::array<Sinusoid, kDiurnalModBankSize> _diurnalModBank;
+};
+
+} // namespace environment
+} // namespace coolair
+
+#endif // COOLAIR_ENVIRONMENT_CLIMATE_HPP

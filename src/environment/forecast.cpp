@@ -1,0 +1,96 @@
+#include "environment/forecast.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace environment {
+
+double
+Forecast::meanTempC() const
+{
+    if (hours.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &h : hours)
+        sum += h.tempC;
+    return sum / double(hours.size());
+}
+
+double
+Forecast::minTempC() const
+{
+    if (hours.empty())
+        return 0.0;
+    double lo = hours.front().tempC;
+    for (const auto &h : hours)
+        lo = std::min(lo, h.tempC);
+    return lo;
+}
+
+double
+Forecast::maxTempC() const
+{
+    if (hours.empty())
+        return 0.0;
+    double hi = hours.front().tempC;
+    for (const auto &h : hours)
+        hi = std::max(hi, h.tempC);
+    return hi;
+}
+
+Forecaster::Forecaster(const WeatherProvider &weather,
+                       const ForecastErrorModel &error, uint64_t seed)
+    : _weather(weather), _error(error), _rng(seed, "forecaster")
+{
+}
+
+double
+Forecaster::predictHour(util::SimTime hour_start)
+{
+    double truth =
+        _weather.meanTemperature(hour_start,
+                                 hour_start + util::kSecondsPerHour, 300);
+    double value = truth + _error.biasC;
+    if (_error.noiseStddevC > 0.0)
+        value += _rng.normal(0.0, _error.noiseStddevC);
+    return value;
+}
+
+Forecast
+Forecaster::restOfDay(util::SimTime now)
+{
+    Forecast fc;
+    util::SimTime day_start = now.startOfDay();
+    int first_hour = now.hourOfDay();
+    for (int h = first_hour; h < 24; ++h) {
+        util::SimTime hs = day_start + int64_t(h) * util::kSecondsPerHour;
+        fc.hours.push_back({hs, predictHour(hs)});
+    }
+    return fc;
+}
+
+Forecast
+Forecaster::fullDay(util::SimTime day_start)
+{
+    return horizon(day_start.startOfDay(), 24);
+}
+
+Forecast
+Forecaster::horizon(util::SimTime now, int hours)
+{
+    if (hours < 0)
+        util::panic("Forecaster::horizon: negative horizon");
+    Forecast fc;
+    util::SimTime hour_start =
+        now - (now.secondOfDay() % int(util::kSecondsPerHour));
+    for (int h = 0; h < hours; ++h) {
+        util::SimTime hs = hour_start + int64_t(h) * util::kSecondsPerHour;
+        fc.hours.push_back({hs, predictHour(hs)});
+    }
+    return fc;
+}
+
+} // namespace environment
+} // namespace coolair

@@ -1,0 +1,100 @@
+#ifndef COOLAIR_ENVIRONMENT_FORECAST_HPP
+#define COOLAIR_ENVIRONMENT_FORECAST_HPP
+
+/**
+ * @file
+ * Weather forecast service.
+ *
+ * CoolAir queries a Web-based forecast service for the hourly outside
+ * temperatures for the rest of the day (paper §3.2).  Since our typical
+ * year is frozen, the Forecaster can reproduce both the paper's baseline
+ * assumption ("our simulated predictions of average outside temperature
+ * are perfectly accurate") and its sensitivity study (predictions
+ * consistently 5 °C too high / too low, §5.2).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "environment/climate.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace coolair {
+namespace environment {
+
+/** One hourly temperature prediction. */
+struct HourlyPrediction
+{
+    util::SimTime hourStart;   ///< Start of the predicted hour.
+    double tempC = 0.0;        ///< Predicted mean temperature [°C].
+};
+
+/** A day-scoped forecast: hourly predictions for the rest of the day. */
+struct Forecast
+{
+    std::vector<HourlyPrediction> hours;
+
+    /** Mean predicted temperature across the forecast horizon. */
+    double meanTempC() const;
+
+    /** Lowest hourly prediction. */
+    double minTempC() const;
+
+    /** Highest hourly prediction. */
+    double maxTempC() const;
+
+    /** True if no hours are predicted. */
+    bool empty() const { return hours.empty(); }
+};
+
+/** Configuration for forecast error injection. */
+struct ForecastErrorModel
+{
+    /** Systematic bias added to every prediction [°C]. */
+    double biasC = 0.0;
+
+    /** Std-dev of independent per-hour gaussian noise [°C]. */
+    double noiseStddevC = 0.0;
+};
+
+/**
+ * Produces hourly outside-temperature forecasts against a frozen Climate.
+ * Not thread-safe when noise is enabled (owns an RNG stream).
+ */
+class Forecaster
+{
+  public:
+    /** Forecast against @p weather with optional error injection. */
+    Forecaster(const WeatherProvider &weather,
+               const ForecastErrorModel &error = {}, uint64_t seed = 7);
+
+    /**
+     * Hourly predictions from the hour containing @p now through the end
+     * of that calendar day.  Each prediction is the true hourly-mean
+     * temperature plus the configured error.
+     */
+    Forecast restOfDay(util::SimTime now);
+
+    /**
+     * Hourly predictions covering the full calendar day containing
+     * @p day_start.  Used by temporal scheduling, which plans the next
+     * 24 hours.
+     */
+    Forecast fullDay(util::SimTime day_start);
+
+    /** Predictions for @p hours hours starting at the hour of @p now. */
+    Forecast horizon(util::SimTime now, int hours);
+
+  private:
+    double predictHour(util::SimTime hour_start);
+
+    const WeatherProvider &_weather;
+    ForecastErrorModel _error;
+    util::Rng _rng;
+};
+
+} // namespace environment
+} // namespace coolair
+
+#endif // COOLAIR_ENVIRONMENT_FORECAST_HPP

@@ -1,0 +1,111 @@
+#include "environment/location.hpp"
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace environment {
+
+Climate
+Location::makeClimate(uint64_t seed) const
+{
+    // Mix the coordinates into the seed so distinct sites sharing a root
+    // seed still get distinct synoptic years.
+    uint64_t site_seed = seed ^
+        (uint64_t(int64_t(latitude * 100.0)) * 0x9E3779B97F4A7C15ULL) ^
+        (uint64_t(int64_t(longitude * 100.0)) * 0xC2B2AE3D27D4EB4FULL);
+    return Climate(climate, site_seed);
+}
+
+const std::vector<NamedSite> &
+allNamedSites()
+{
+    static const std::vector<NamedSite> sites = {
+        NamedSite::Newark, NamedSite::Chad, NamedSite::Santiago,
+        NamedSite::Iceland, NamedSite::Singapore
+    };
+    return sites;
+}
+
+const char *
+siteName(NamedSite site)
+{
+    switch (site) {
+      case NamedSite::Newark:    return "Newark";
+      case NamedSite::Chad:      return "Chad";
+      case NamedSite::Santiago:  return "Santiago";
+      case NamedSite::Iceland:   return "Iceland";
+      case NamedSite::Singapore: return "Singapore";
+    }
+    util::panic("siteName: unknown site");
+}
+
+Location
+namedLocation(NamedSite site)
+{
+    Location loc;
+    loc.name = siteName(site);
+    ClimateParams &c = loc.climate;
+
+    // Climate normals below are calibrated to published monthly means for
+    // each city; seasonal/diurnal amplitudes are half the peak-to-trough
+    // swings of those normals.
+    switch (site) {
+      case NamedSite::Newark:
+        loc.latitude = 40.7;
+        loc.longitude = -74.2;
+        c.annualMeanC = 12.5;
+        c.seasonalAmplitudeC = 12.0;
+        c.diurnalAmplitudeC = 5.5;
+        c.synopticAmplitudeC = 5.5;
+        c.dewPointDepressionC = 5.5;
+        c.dewPointVariabilityC = 3.0;
+        break;
+      case NamedSite::Chad:
+        loc.latitude = 12.1;
+        loc.longitude = 15.0;
+        c.annualMeanC = 28.0;
+        c.seasonalAmplitudeC = 5.0;
+        c.diurnalAmplitudeC = 6.0;
+        c.synopticAmplitudeC = 1.5;
+        c.dewPointDepressionC = 13.0;
+        c.dewPointVariabilityC = 6.0;
+        // Sahel heat peaks before the rainy season, in April/May.
+        c.seasonalPeakDay = 115.0;
+        break;
+      case NamedSite::Santiago:
+        loc.latitude = -33.4;
+        loc.longitude = -70.7;
+        c.annualMeanC = 14.5;
+        c.seasonalAmplitudeC = 6.5;
+        c.diurnalAmplitudeC = 6.5;
+        c.synopticAmplitudeC = 3.0;
+        c.dewPointDepressionC = 8.0;
+        c.dewPointVariabilityC = 3.0;
+        c.southernHemisphere = true;
+        break;
+      case NamedSite::Iceland:
+        loc.latitude = 64.1;
+        loc.longitude = -21.9;
+        c.annualMeanC = 4.5;
+        c.seasonalAmplitudeC = 5.5;
+        c.diurnalAmplitudeC = 2.5;
+        c.synopticAmplitudeC = 4.5;
+        c.dewPointDepressionC = 2.5;
+        c.dewPointVariabilityC = 1.5;
+        break;
+      case NamedSite::Singapore:
+        loc.latitude = 1.35;
+        loc.longitude = 103.8;
+        c.annualMeanC = 27.5;
+        c.seasonalAmplitudeC = 1.0;
+        c.diurnalAmplitudeC = 3.5;
+        c.synopticAmplitudeC = 1.0;
+        c.dewPointDepressionC = 3.0;
+        c.dewPointVariabilityC = 1.0;
+        break;
+    }
+    return loc;
+}
+
+} // namespace environment
+} // namespace coolair

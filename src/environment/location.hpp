@@ -1,0 +1,57 @@
+#ifndef COOLAIR_ENVIRONMENT_LOCATION_HPP
+#define COOLAIR_ENVIRONMENT_LOCATION_HPP
+
+/**
+ * @file
+ * Geographic locations and the five named evaluation sites.
+ *
+ * The paper evaluates CoolAir at Newark (hot summers / cold winters),
+ * Chad (hot year-round), Santiago de Chile (mild), Iceland (cold), and
+ * Singapore (hot and humid), plus 1520 world-wide sites.  Each location
+ * carries the climate parameters used to synthesize its typical year.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "environment/climate.hpp"
+
+namespace coolair {
+namespace environment {
+
+/** A geographic site with its climate description. */
+struct Location
+{
+    std::string name;
+    double latitude = 0.0;     ///< Degrees, positive north.
+    double longitude = 0.0;    ///< Degrees, positive east.
+    ClimateParams climate;
+
+    /** Build the frozen typical year for this site. */
+    Climate makeClimate(uint64_t seed = 0) const;
+};
+
+/** The five named sites of the paper's evaluation (§5.1). */
+enum class NamedSite
+{
+    Newark,     ///< Hot summer, cold winter (closest TMY site to Parasol).
+    Chad,       ///< N'Djamena: hot year-round, arid.
+    Santiago,   ///< Mild year-round, large diurnal swing.
+    Iceland,    ///< Reykjavik: cold year-round, maritime.
+    Singapore   ///< Hot and humid year-round.
+};
+
+/** All five named sites, in the paper's presentation order. */
+const std::vector<NamedSite> &allNamedSites();
+
+/** Location (with calibrated climate normals) for a named site. */
+Location namedLocation(NamedSite site);
+
+/** Human-readable name of a named site. */
+const char *siteName(NamedSite site);
+
+} // namespace environment
+} // namespace coolair
+
+#endif // COOLAIR_ENVIRONMENT_LOCATION_HPP

@@ -1,0 +1,101 @@
+#include "environment/weather.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "physics/psychrometrics.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace environment {
+
+double
+WeatherProvider::meanTemperature(util::SimTime from, util::SimTime to,
+                                 int64_t step_s) const
+{
+    if (to <= from)
+        return temperature(from);
+    util::RunningStats stats;
+    for (util::SimTime t = from; t < to; t += step_s)
+        stats.add(temperature(t));
+    return stats.mean();
+}
+
+CsvWeatherSeries::CsvWeatherSeries(std::vector<double> hourly_temp_c,
+                                   std::vector<double> hourly_rh_percent)
+    : _tempC(std::move(hourly_temp_c)),
+      _rhPercent(std::move(hourly_rh_percent))
+{
+    if (_tempC.empty() || _tempC.size() != _rhPercent.size())
+        util::fatal("CsvWeatherSeries: need matching, non-empty series");
+}
+
+CsvWeatherSeries
+CsvWeatherSeries::fromCsv(std::istream &in)
+{
+    std::vector<double> temps, rhs;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first) {  // header
+            first = false;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string cell;
+        double vals[3] = {0.0, 0.0, 50.0};
+        int col = 0;
+        while (std::getline(row, cell, ',') && col < 3)
+            vals[col++] = std::atof(cell.c_str());
+        if (col < 2)
+            util::fatal("CsvWeatherSeries: malformed row: " + line);
+        size_t hour = size_t(vals[0]);
+        if (temps.size() <= hour) {
+            temps.resize(hour + 1,
+                         temps.empty() ? vals[1] : temps.back());
+            rhs.resize(hour + 1, rhs.empty() ? vals[2] : rhs.back());
+        }
+        temps[hour] = vals[1];
+        rhs[hour] = vals[2];
+    }
+    if (temps.empty())
+        util::fatal("CsvWeatherSeries: no data rows");
+    return CsvWeatherSeries(std::move(temps), std::move(rhs));
+}
+
+CsvWeatherSeries
+CsvWeatherSeries::fromCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("CsvWeatherSeries: cannot open " + path);
+    return fromCsv(in);
+}
+
+WeatherSample
+CsvWeatherSeries::sample(util::SimTime t) const
+{
+    double hour_f = t.hours();
+    double wrapped = std::fmod(hour_f, double(_tempC.size()));
+    if (wrapped < 0.0)
+        wrapped += double(_tempC.size());
+    size_t h0 = size_t(wrapped) % _tempC.size();
+    size_t h1 = (h0 + 1) % _tempC.size();
+    double frac = wrapped - std::floor(wrapped);
+
+    WeatherSample out;
+    out.tempC = _tempC[h0] + frac * (_tempC[h1] - _tempC[h0]);
+    out.rhPercent = util::clamp(
+        _rhPercent[h0] + frac * (_rhPercent[h1] - _rhPercent[h0]), 1.0,
+        100.0);
+    out.absHumidity =
+        physics::absoluteHumidity(out.tempC, out.rhPercent);
+    return out;
+}
+
+} // namespace environment
+} // namespace coolair

@@ -1,0 +1,90 @@
+#ifndef COOLAIR_ENVIRONMENT_WEATHER_HPP
+#define COOLAIR_ENVIRONMENT_WEATHER_HPP
+
+/**
+ * @file
+ * The weather-provider abstraction.
+ *
+ * Everything that consumes outdoor conditions (the plant, the engine,
+ * the Forecaster) does so through WeatherProvider, so the same
+ * experiments run against the parametric synthetic climate (Climate),
+ * a recorded hourly series loaded from CSV (CsvWeatherSeries — e.g.
+ * real TMY exports), or any custom source a downstream user supplies.
+ */
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace coolair {
+namespace environment {
+
+/** One instantaneous outdoor weather observation. */
+struct WeatherSample
+{
+    double tempC = 0.0;        ///< Outside dry-bulb temperature [°C].
+    double rhPercent = 50.0;   ///< Outside relative humidity [0..100].
+    double absHumidity = 5.0;  ///< Outside absolute humidity [g/m^3].
+};
+
+/** Source of outdoor conditions over the simulated year. */
+class WeatherProvider
+{
+  public:
+    virtual ~WeatherProvider() = default;
+
+    /** Full weather observation at @p t. */
+    virtual WeatherSample sample(util::SimTime t) const = 0;
+
+    /** Outside dry-bulb temperature [°C] at @p t. */
+    virtual double temperature(util::SimTime t) const
+    {
+        return sample(t).tempC;
+    }
+
+    /**
+     * Mean temperature over [@p from, @p to] sampled at @p step_s
+     * resolution.
+     */
+    double meanTemperature(util::SimTime from, util::SimTime to,
+                           int64_t step_s = 600) const;
+};
+
+/**
+ * A recorded hourly weather series (e.g. exported from TMY data as CSV)
+ * with linear interpolation between hours and yearly wrap-around.
+ *
+ * CSV format: one header line, then rows `hour_of_year,temp_c,rh_percent`
+ * with hour_of_year in [0, 8760).  Missing trailing hours repeat the
+ * last value.
+ */
+class CsvWeatherSeries : public WeatherProvider
+{
+  public:
+    /** Build from explicit hourly (temp, rh) pairs. */
+    CsvWeatherSeries(std::vector<double> hourly_temp_c,
+                     std::vector<double> hourly_rh_percent);
+
+    /** Parse the CSV format described above from a stream. */
+    static CsvWeatherSeries fromCsv(std::istream &in);
+
+    /** Parse from a file path (fatal on open failure). */
+    static CsvWeatherSeries fromCsvFile(const std::string &path);
+
+    WeatherSample sample(util::SimTime t) const override;
+
+    /** Number of recorded hours. */
+    size_t hours() const { return _tempC.size(); }
+
+  private:
+    std::vector<double> _tempC;
+    std::vector<double> _rhPercent;
+};
+
+} // namespace environment
+} // namespace coolair
+
+#endif // COOLAIR_ENVIRONMENT_WEATHER_HPP

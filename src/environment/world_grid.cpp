@@ -1,0 +1,85 @@
+#include "environment/world_grid.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace environment {
+
+ClimateParams
+climateFor(double latitude, double continentality, double aridity)
+{
+    ClimateParams c;
+    double abs_lat = std::fabs(latitude);
+
+    // Annual mean: ~27 °C at the equator falling toward the poles,
+    // faster once outside the tropics.
+    double tropics = std::min(abs_lat, 23.5);
+    double extratropics = std::max(0.0, abs_lat - 23.5);
+    c.annualMeanC = 27.0 - 0.12 * tropics - 0.58 * extratropics;
+
+    // Seasonal swing: nearly zero at the equator, large at high latitude,
+    // amplified inland (continental climates).
+    c.seasonalAmplitudeC =
+        (0.5 + 0.26 * abs_lat) * (0.55 + 0.9 * continentality);
+
+    // Diurnal swing: driven by aridity (clear skies) and damped at very
+    // high latitudes (low sun angle).
+    double lat_damp = util::clamp(1.0 - (abs_lat - 50.0) / 40.0, 0.4, 1.0);
+    c.diurnalAmplitudeC = (3.0 + 7.0 * aridity) * lat_damp;
+
+    // Synoptic variability: storm tracks live in the mid/high latitudes.
+    c.synopticAmplitudeC = 0.8 + 0.05 * abs_lat +
+                           1.5 * continentality * (abs_lat / 60.0);
+
+    // Humidity: arid sites have large dew-point depressions.
+    c.dewPointDepressionC = 2.0 + 14.0 * aridity;
+    c.dewPointVariabilityC = 1.0 + 3.0 * aridity;
+
+    c.southernHemisphere = latitude < 0.0;
+    return c;
+}
+
+std::vector<Location>
+worldGrid(size_t count, uint64_t seed)
+{
+    std::vector<Location> sites;
+    sites.reserve(count);
+    util::Rng rng(seed, "world-grid");
+
+    for (size_t i = 0; i < sites.capacity(); ++i) {
+        // Two-thirds of land area (and datacenters) sit in the northern
+        // hemisphere; weight the draw accordingly.
+        bool northern = rng.bernoulli(0.68);
+        double lat;
+        if (northern) {
+            // Mode around the 25..55N band.
+            lat = util::clamp(40.0 + 18.0 * rng.normal(), 0.0, 68.0);
+        } else {
+            lat = -util::clamp(22.0 + 14.0 * std::fabs(rng.normal()),
+                               0.0, 55.0);
+        }
+        double lon = rng.uniform(-180.0, 180.0);
+        double continentality = util::clamp(
+            rng.uniform(0.0, 1.0) * (0.4 + std::fabs(lat) / 70.0), 0.0, 1.0);
+        double aridity =
+            util::clamp(rng.uniform(-0.15, 1.05), 0.0, 1.0);
+
+        Location loc;
+        char name[48];
+        std::snprintf(name, sizeof(name), "site-%04zu(%+05.1f,%+06.1f)", i,
+                      lat, lon);
+        loc.name = name;
+        loc.latitude = lat;
+        loc.longitude = lon;
+        loc.climate = climateFor(lat, continentality, aridity);
+        sites.push_back(std::move(loc));
+    }
+    return sites;
+}
+
+} // namespace environment
+} // namespace coolair

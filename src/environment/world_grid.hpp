@@ -1,0 +1,43 @@
+#ifndef COOLAIR_ENVIRONMENT_WORLD_GRID_HPP
+#define COOLAIR_ENVIRONMENT_WORLD_GRID_HPP
+
+/**
+ * @file
+ * Deterministic generation of the world-wide site set.
+ *
+ * The paper's Figures 12 and 13 sweep 1520 locations with TMY data.  We
+ * substitute a deterministic sampler over the habitable-latitude band with
+ * climate parameters derived from latitude plus pseudo-random
+ * continentality and aridity factors.  The derivation follows first-order
+ * climatology: annual means fall with |latitude|, seasonal swing grows
+ * with |latitude| and continentality, diurnal swing grows with aridity,
+ * synoptic variability grows with latitude (storm tracks).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "environment/location.hpp"
+
+namespace coolair {
+namespace environment {
+
+/**
+ * Generate @p count world-wide locations, deterministically from
+ * @p seed.  Latitudes span [-55, 68] weighted toward the land-heavy
+ * northern mid-latitudes.
+ */
+std::vector<Location> worldGrid(size_t count = 1520, uint64_t seed = 42);
+
+/**
+ * Derive climate parameters for a site at @p latitude with the given
+ * @p continentality (0 = maritime .. 1 = deep continental) and
+ * @p aridity (0 = rainforest .. 1 = desert) factors.
+ */
+ClimateParams climateFor(double latitude, double continentality,
+                         double aridity);
+
+} // namespace environment
+} // namespace coolair
+
+#endif // COOLAIR_ENVIRONMENT_WORLD_GRID_HPP

@@ -1,0 +1,209 @@
+#include "model/cooling_model.hpp"
+
+#include <array>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace model {
+
+using cooling::Mode;
+using cooling::Regime;
+using cooling::RegimeClass;
+using cooling::TransitionKey;
+
+CoolingModel::CoolingModel(const CoolingModelConfig &config)
+    : _config(config),
+      _tempModels(size_t(TransitionKey::count()),
+                  std::vector<LinearModel>(size_t(config.numPods))),
+      _humidityModels(size_t(TransitionKey::count()))
+{
+    if (config.numPods <= 0)
+        util::fatal("CoolingModelConfig: numPods must be positive");
+}
+
+void
+CoolingModel::setTempModel(const TransitionKey &key, int pod,
+                           LinearModel model)
+{
+    if (pod < 0 || pod >= _config.numPods)
+        util::panic("CoolingModel::setTempModel: pod out of range");
+    _tempModels[size_t(key.index())][size_t(pod)] = std::move(model);
+}
+
+void
+CoolingModel::setHumidityModel(const TransitionKey &key, LinearModel model)
+{
+    _humidityModels[size_t(key.index())] = std::move(model);
+}
+
+void
+CoolingModel::setAcPower(double fan_only_w, double full_w)
+{
+    _acFanOnlyW = fan_only_w;
+    _acFullW = full_w;
+}
+
+bool
+CoolingModel::hasTempModel(const TransitionKey &key, int pod) const
+{
+    if (pod < 0 || pod >= _config.numPods)
+        return false;
+    return _tempModels[size_t(key.index())][size_t(pod)].valid();
+}
+
+const LinearModel *
+CoolingModel::tempModelFor(const TransitionKey &key, int pod) const
+{
+    const LinearModel &exact = _tempModels[size_t(key.index())][size_t(pod)];
+    if (exact.valid())
+        return &exact;
+    // Fallback 1: steady-state model of the destination class.
+    TransitionKey steady{key.to, key.to};
+    const LinearModel &fb =
+        _tempModels[size_t(steady.index())][size_t(pod)];
+    if (fb.valid())
+        return &fb;
+    return nullptr;
+}
+
+const LinearModel *
+CoolingModel::humidityModelFor(const TransitionKey &key) const
+{
+    const LinearModel &exact = _humidityModels[size_t(key.index())];
+    if (exact.valid())
+        return &exact;
+    TransitionKey steady{key.to, key.to};
+    const LinearModel &fb = _humidityModels[size_t(steady.index())];
+    if (fb.valid())
+        return &fb;
+    return nullptr;
+}
+
+double
+CoolingModel::predictTempKeyed(const TransitionKey &key, int pod,
+                               const TempInputs &in) const
+{
+    const LinearModel *m = tempModelFor(key, pod);
+    if (!m)
+        return in.insideC;  // persistence fallback
+    auto features = TempFeatures::build(in);
+    return m->predict(features);
+}
+
+double
+CoolingModel::predictTemp(const Regime &prev, const Regime &next, int pod,
+                          const TempInputs &in) const
+{
+    if (pod < 0 || pod >= _config.numPods)
+        util::panic("CoolingModel::predictTemp: pod out of range");
+
+    RegimeClass from = classify(prev);
+
+    if (next.mode == Mode::AirConditioning && next.compressorOn &&
+        next.compressorSpeed < 1.0 - 1e-9) {
+        // Variable-speed AC: interpolate compressor-on and -off models.
+        TempInputs in_ac = in;
+        in_ac.fanSpeed = 0.0;
+        double t_on = predictTempKeyed(
+            {from, RegimeClass::AcCompressor}, pod, in_ac);
+        double t_off = predictTempKeyed(
+            {from, RegimeClass::AcFanOnly}, pod, in_ac);
+        double s = util::clamp(next.compressorSpeed, 0.0, 1.0);
+        return t_off + (t_on - t_off) * s;
+    }
+
+    TransitionKey key{from, classify(next)};
+    return predictTempKeyed(key, pod, in);
+}
+
+double
+CoolingModel::predictHumidityKeyed(const TransitionKey &key,
+                                   const HumidityInputs &in) const
+{
+    const LinearModel *m = humidityModelFor(key);
+    if (!m)
+        return in.insideAbs;
+    auto features = HumidityFeatures::build(in);
+    return m->predict(features);
+}
+
+double
+CoolingModel::predictHumidity(const Regime &prev, const Regime &next,
+                              const HumidityInputs &in) const
+{
+    RegimeClass from = classify(prev);
+
+    if (next.mode == Mode::AirConditioning && next.compressorOn &&
+        next.compressorSpeed < 1.0 - 1e-9) {
+        HumidityInputs in_ac = in;
+        in_ac.fanSpeed = 0.0;
+        double h_on = predictHumidityKeyed(
+            {from, RegimeClass::AcCompressor}, in_ac);
+        double h_off = predictHumidityKeyed(
+            {from, RegimeClass::AcFanOnly}, in_ac);
+        double s = util::clamp(next.compressorSpeed, 0.0, 1.0);
+        return h_off + (h_on - h_off) * s;
+    }
+
+    TransitionKey key{from, classify(next)};
+    return predictHumidityKeyed(key, in);
+}
+
+double
+CoolingModel::predictCoolingPower(const Regime &regime) const
+{
+    switch (regime.mode) {
+      case Mode::Closed:
+        return 0.0;
+      case Mode::FreeCooling: {
+        if (_fcPower.valid()) {
+            std::array<double, 2> f{1.0, regime.fanSpeed};
+            return std::max(0.0, _fcPower.predict(f));
+        }
+        return 8.0 + 417.0 * regime.fanSpeed * regime.fanSpeed *
+                   regime.fanSpeed;
+      }
+      case Mode::AirConditioning: {
+        if (!regime.compressorOn)
+            return _acFanOnlyW;
+        // Fan ~1/4 of unit power; compressor linear in speed (§5.1).
+        double fan_w = 0.25 * _acFullW;
+        double comp_w = 0.75 * _acFullW *
+                        util::clamp(regime.compressorSpeed, 0.0, 1.0);
+        return fan_w + comp_w;
+      }
+    }
+    util::panic("CoolingModel::predictCoolingPower: unknown mode");
+}
+
+const LinearModel *
+CoolingModel::rawTempModel(const TransitionKey &key, int pod) const
+{
+    if (pod < 0 || pod >= _config.numPods)
+        return nullptr;
+    const LinearModel &m = _tempModels[size_t(key.index())][size_t(pod)];
+    return m.valid() ? &m : nullptr;
+}
+
+const LinearModel *
+CoolingModel::rawHumidityModel(const TransitionKey &key) const
+{
+    const LinearModel &m = _humidityModels[size_t(key.index())];
+    return m.valid() ? &m : nullptr;
+}
+
+size_t
+CoolingModel::fittedTempModels() const
+{
+    size_t count = 0;
+    for (const auto &per_pod : _tempModels)
+        for (const auto &m : per_pod)
+            if (m.valid())
+                ++count;
+    return count;
+}
+
+} // namespace model
+} // namespace coolair

@@ -1,0 +1,132 @@
+#ifndef COOLAIR_MODEL_COOLING_MODEL_HPP
+#define COOLAIR_MODEL_COOLING_MODEL_HPP
+
+/**
+ * @file
+ * The learned Cooling Model: one linear temperature model per pod per
+ * (regime, transition) key, one humidity model per key, and a power
+ * model (piece-wise linear in fan speed for free cooling, constants for
+ * the AC modes) — exactly the structure of paper §3.1.
+ *
+ * Prediction-time conventions reproduce §5.1's Smooth-Sim construction:
+ * free-cooling behavior below the abrupt unit's 15 % minimum speed is
+ * *extrapolated* (the linear models accept any fan value), and the
+ * variable-speed AC is *interpolated* between the compressor-on and
+ * compressor-off models by compressor speed.
+ */
+
+#include <vector>
+
+#include "cooling/regime.hpp"
+#include "model/features.hpp"
+#include "model/linreg.hpp"
+#include "model/model_tree.hpp"
+
+namespace coolair {
+namespace model {
+
+/** Structural configuration of a cooling model. */
+struct CoolingModelConfig
+{
+    int numPods = 8;
+
+    /** Model step: predictions are this far into the future [s]. */
+    double stepS = 120.0;
+
+    /**
+     * Evaporative-cooler effectiveness of the plant the model was
+     * learned for.  Consumers substitute the evaporative *intake*
+     * temperature for the outside-temperature feature when predicting
+     * FcEvap regimes, since the driving temperature under evaporation
+     * is the pre-cooled intake, not the raw dry bulb.
+     */
+    double evapEffectiveness = 0.75;
+};
+
+/**
+ * The fitted model bank.  Invalid (unfitted) entries fall back first to
+ * the steady-state model of the destination regime class, then to
+ * persistence (predicting no change).
+ */
+class CoolingModel
+{
+  public:
+    explicit CoolingModel(const CoolingModelConfig &config = {});
+
+    const CoolingModelConfig &config() const { return _config; }
+
+    /** Install the temperature model for (key, pod). */
+    void setTempModel(const cooling::TransitionKey &key, int pod,
+                      LinearModel model);
+
+    /** Install the humidity model for key. */
+    void setHumidityModel(const cooling::TransitionKey &key,
+                          LinearModel model);
+
+    /** Install the free-cooling power model (features [1, speed]). */
+    void setFcPowerModel(ModelTree tree) { _fcPower = std::move(tree); }
+
+    /** Install AC power constants. */
+    void setAcPower(double fan_only_w, double full_w);
+
+    /** True if a fitted temperature model exists for (key, pod). */
+    bool hasTempModel(const cooling::TransitionKey &key, int pod) const;
+
+    /**
+     * Predict pod temperature one model step ahead under a transition
+     * from @p prev to @p next.  Handles key fallback, FC extrapolation,
+     * and AC compressor-speed interpolation.
+     */
+    double predictTemp(const cooling::Regime &prev,
+                       const cooling::Regime &next, int pod,
+                       const TempInputs &in) const;
+
+    /** Predict inside absolute humidity one model step ahead. */
+    double predictHumidity(const cooling::Regime &prev,
+                           const cooling::Regime &next,
+                           const HumidityInputs &in) const;
+
+    /** Predicted cooling power [W] for running @p regime steadily. */
+    double predictCoolingPower(const cooling::Regime &regime) const;
+
+    /** Count of fitted temperature models (for diagnostics). */
+    size_t fittedTempModels() const;
+
+    /** Raw fitted temperature model, or nullptr (for serialization). */
+    const LinearModel *rawTempModel(const cooling::TransitionKey &key,
+                                    int pod) const;
+
+    /** Raw fitted humidity model, or nullptr (for serialization). */
+    const LinearModel *rawHumidityModel(
+        const cooling::TransitionKey &key) const;
+
+    /** AC fan-only power constant [W]. */
+    double acFanOnlyPowerW() const { return _acFanOnlyW; }
+
+    /** AC full-blast power constant [W]. */
+    double acFullPowerW() const { return _acFullW; }
+
+  private:
+    const LinearModel *tempModelFor(const cooling::TransitionKey &key,
+                                    int pod) const;
+    const LinearModel *humidityModelFor(
+        const cooling::TransitionKey &key) const;
+    double predictTempKeyed(const cooling::TransitionKey &key,
+                            int pod, const TempInputs &in) const;
+    double predictHumidityKeyed(const cooling::TransitionKey &key,
+                                const HumidityInputs &in) const;
+
+    CoolingModelConfig _config;
+    /** [key.index()][pod] */
+    std::vector<std::vector<LinearModel>> _tempModels;
+    /** [key.index()] */
+    std::vector<LinearModel> _humidityModels;
+    ModelTree _fcPower;
+    double _acFanOnlyW = 135.0;
+    double _acFullW = 2200.0;
+};
+
+} // namespace model
+} // namespace coolair
+
+#endif // COOLAIR_MODEL_COOLING_MODEL_HPP

@@ -1,0 +1,97 @@
+#ifndef COOLAIR_MODEL_FEATURES_HPP
+#define COOLAIR_MODEL_FEATURES_HPP
+
+/**
+ * @file
+ * Feature vectors for the Cooling Model.
+ *
+ * Paper §3.1: the temperature of each sensed location is predicted as a
+ * linear function of the current and last inside air temperature, the
+ * current and last outside air temperature, the current and last free-
+ * cooling fan speed, the current datacenter utilization, and the two
+ * composed inputs fan x inside-temperature and fan x outside-temperature
+ * (compositions let a linear learner capture the bilinear mixing term).
+ * Humidity is predicted from the current inside and outside absolute
+ * humidity, the fan speed, and the two analogous compositions.
+ */
+
+#include <array>
+
+namespace coolair {
+namespace model {
+
+/** Raw inputs for one temperature prediction. */
+struct TempInputs
+{
+    double insideC = 22.0;       ///< Current inside air temp at the sensor.
+    double insidePrevC = 22.0;   ///< Inside temp one model step ago.
+    double outsideC = 15.0;      ///< Current outside temp.
+    double outsidePrevC = 15.0;  ///< Outside temp one model step ago.
+    double fanSpeed = 0.0;       ///< Current FC fan fraction.
+    double fanSpeedPrev = 0.0;   ///< FC fan fraction one step ago.
+    double dcUtilization = 1.0;  ///< Fraction of servers awake.
+
+    /**
+     * This pod's power draw as a fraction of its maximum [0..1].
+     * Extension beyond the paper's input list: with spatial placement
+     * concentrating load on specific pods, a pod's inlet depends on its
+     * *own* dissipation (local exhaust recirculation), which the global
+     * utilization input cannot express.
+     */
+    double podPowerFraction = 0.5;
+};
+
+/** Raw inputs for one absolute-humidity prediction. */
+struct HumidityInputs
+{
+    double insideAbs = 8.0;   ///< Current inside absolute humidity [g/m^3].
+    double outsideAbs = 8.0;  ///< Current outside absolute humidity.
+    double fanSpeed = 0.0;    ///< Current FC fan fraction.
+};
+
+/**
+ * Temperature feature vector: bias + the nine paper inputs + the pod's
+ * own power fraction.
+ */
+struct TempFeatures
+{
+    static constexpr size_t kCount = 11;
+
+    static std::array<double, kCount>
+    build(const TempInputs &in)
+    {
+        return {1.0,
+                in.insideC,
+                in.insidePrevC,
+                in.outsideC,
+                in.outsidePrevC,
+                in.fanSpeed,
+                in.fanSpeedPrev,
+                in.dcUtilization,
+                in.fanSpeed * in.insideC,
+                in.fanSpeed * in.outsideC,
+                in.podPowerFraction};
+    }
+};
+
+/** Humidity feature vector: bias + the five paper inputs. */
+struct HumidityFeatures
+{
+    static constexpr size_t kCount = 6;
+
+    static std::array<double, kCount>
+    build(const HumidityInputs &in)
+    {
+        return {1.0,
+                in.insideAbs,
+                in.outsideAbs,
+                in.fanSpeed,
+                in.fanSpeed * in.insideAbs,
+                in.fanSpeed * in.outsideAbs};
+    }
+};
+
+} // namespace model
+} // namespace coolair
+
+#endif // COOLAIR_MODEL_FEATURES_HPP

@@ -1,0 +1,356 @@
+#include "model/learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "physics/psychrometrics.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace model {
+
+using cooling::Regime;
+using cooling::TransitionKey;
+
+CampaignWeather::CampaignWeather(double min_c, double max_c, uint64_t seed)
+    : _minC(min_c), _maxC(max_c)
+{
+    util::Rng rng(seed, "campaign-weather");
+    _phase = rng.uniform(0.0, 2.0 * M_PI);
+    _humidityPhase = rng.uniform(0.0, 2.0 * M_PI);
+}
+
+environment::WeatherSample
+CampaignWeather::at(util::SimTime t) const
+{
+    double mid = 0.5 * (_minC + _maxC);
+    double half = 0.5 * (_maxC - _minC);
+    double days = t.days();
+
+    // Slow two-day sweep covers the range; diurnal and fast components
+    // enrich the dataset with realistic short-term dynamics.
+    double slow = std::sin(2.0 * M_PI * days / 2.0 + _phase);
+    double diurnal =
+        std::sin(2.0 * M_PI * (t.fractionalHourOfDay() - 15.0) / 24.0);
+    double fast = std::sin(2.0 * M_PI * days * 11.0 + 2.0 * _phase);
+
+    environment::WeatherSample out;
+    out.tempC = mid + half * (0.78 * slow + 0.16 * diurnal + 0.06 * fast);
+
+    double rh = 62.0 + 28.0 * std::sin(2.0 * M_PI * days / 3.0 +
+                                       _humidityPhase);
+    out.rhPercent = util::clamp(rh, 20.0, 97.0);
+    out.absHumidity = physics::absoluteHumidity(out.tempC, out.rhPercent);
+    return out;
+}
+
+std::vector<double>
+CoolingLearner::probeRecirculation(const plant::PlantConfig &plant_config,
+                                   double probe_minutes)
+{
+    std::vector<double> rises(size_t(plant_config.numPods), 0.0);
+    environment::WeatherSample outside;
+    outside.tempC = 15.0;
+    outside.rhPercent = 50.0;
+    outside.absHumidity = physics::absoluteHumidity(15.0, 50.0);
+
+    int steps = int(probe_minutes * 60.0 / 30.0);
+
+    // Control run: sealed container, no load.  The per-pod "change when
+    // load is scheduled on a pod" is measured against this, isolating
+    // the load response from each pod's static temperature offset.
+    plant::Plant control(plant_config, /*seed=*/1234);
+    control.initializeSteadyState(outside, 5.0);
+    plant::PodLoad idle;
+    idle.serversPerPod = plant_config.serversPerPod;
+    idle.activeServers.assign(size_t(plant_config.numPods), 0);
+    idle.utilization.assign(size_t(plant_config.numPods), 0.0);
+    for (int s = 0; s < steps; ++s)
+        control.step(30.0, outside, idle, Regime::closed());
+
+    for (int pod = 0; pod < plant_config.numPods; ++pod) {
+        plant::Plant probe(plant_config, /*seed=*/1234);
+        probe.initializeSteadyState(outside, 5.0);
+
+        plant::PodLoad load = idle;
+        load.activeServers[size_t(pod)] = plant_config.serversPerPod;
+        load.utilization[size_t(pod)] = 1.0;
+
+        for (int s = 0; s < steps; ++s)
+            probe.step(30.0, outside, load, Regime::closed());
+        rises[size_t(pod)] =
+            probe.truePodInletC(pod) - control.truePodInletC(pod);
+    }
+    return rises;
+}
+
+LearnedBundle
+CoolingLearner::learn(const plant::PlantConfig &plant_config,
+                      const cooling::RegimeMenu &menu,
+                      const LearnerConfig &config)
+{
+    if (menu.candidates.empty())
+        util::fatal("CoolingLearner: empty regime menu");
+
+    LearnedBundle bundle;
+    CoolingModelConfig mc;
+    mc.numPods = plant_config.numPods;
+    mc.stepS = config.modelStepS;
+    mc.evapEffectiveness = plant_config.evapEffectiveness;
+    bundle.model = CoolingModel(mc);
+
+    plant::Plant plant(plant_config, config.seed);
+    CampaignWeather weather(config.outsideMinC, config.outsideMaxC,
+                            config.seed);
+    util::Rng rng(config.seed, "learner");
+
+    plant.initializeSteadyState(weather.at(util::SimTime(0)), 6.0);
+
+    const int pods = plant_config.numPods;
+    const int keys = TransitionKey::count();
+
+    // Per-(key, pod) temperature datasets; per-key humidity datasets.
+    auto temp_data = std::vector<std::vector<Dataset>>(
+        size_t(keys), std::vector<Dataset>(size_t(pods)));
+    auto hum_data = std::vector<Dataset>(size_t(keys));
+    Dataset fc_power_data;
+    util::RunningStats ac_fan_power, ac_full_power;
+
+    // Campaign state.
+    Regime current = Regime::closed();
+    Regime previous = current;
+    int64_t hold_until = 0;
+    plant::PodLoad load = plant::PodLoad::uniform(
+        pods, plant_config.serversPerPod, 0.4);
+    int64_t load_until = 0;
+
+    const int64_t model_step = int64_t(config.modelStepS);
+    const int64_t total_s =
+        int64_t(config.campaignDays) * util::kSecondsPerDay;
+    const int sub_steps =
+        std::max(1, int(config.modelStepS / config.physicsStepS));
+    const double sub_dt = config.modelStepS / double(sub_steps);
+
+    plant::SensorReadings sensors = plant.readSensors();
+    std::vector<double> prev_temp = sensors.podInletC;
+    double prev_fan = 0.0;
+    double prev_outside = weather.at(util::SimTime(0)).tempC;
+
+    for (int64_t t = 0; t < total_s; t += model_step) {
+        util::SimTime now(t);
+
+        // Rotate regimes and load to enrich the dataset.  Free-cooling
+        // speeds are drawn from the whole runnable range (not just the
+        // menu's discrete speeds) so each speed bucket sees *varied* fan
+        // values — otherwise the fan and fan-x-temperature features are
+        // collinear within a bucket and the fitted weights cannot
+        // extrapolate to unseen speeds.
+        if (t >= hold_until) {
+            previous = current;
+            current = menu.candidates[size_t(rng.uniformInt(
+                0, int64_t(menu.candidates.size()) - 1))];
+            if (current.mode == cooling::Mode::FreeCooling) {
+                double min_fan =
+                    plant_config.actuators.style ==
+                            cooling::ActuatorStyle::Abrupt
+                        ? plant_config.actuators.abruptMinFanSpeed
+                        : plant_config.actuators.smoothMinFanSpeed;
+                bool evap = current.evaporative;
+                current =
+                    Regime::freeCooling(rng.uniform(min_fan, 1.0));
+                current.evaporative = evap;
+            }
+            hold_until = t + rng.uniformInt(config.regimeHoldMinS,
+                                            config.regimeHoldMaxS);
+        }
+        if (t >= load_until) {
+            double util_level = rng.uniform(0.05, 0.95);
+            int awake = int(rng.uniformInt(pods, // at least 1/pod
+                                           int64_t(plant_config
+                                                       .totalServers())));
+            load = plant::PodLoad::uniform(
+                pods, plant_config.serversPerPod, util_level);
+            // Vary placement too: half the time spread the awake
+            // servers evenly, half the time concentrate them on a
+            // random contiguous run of pods, mimicking the spatial
+            // placement the Compute Optimizer performs at runtime.
+            if (rng.bernoulli(0.5)) {
+                int per_pod = awake / pods;
+                for (int p = 0; p < pods; ++p)
+                    load.activeServers[size_t(p)] = std::max(
+                        1, std::min(plant_config.serversPerPod,
+                                    per_pod + int(rng.uniformInt(-1, 1))));
+            } else {
+                int first = int(rng.uniformInt(0, pods - 1));
+                int remaining = awake;
+                for (int k = 0; k < pods; ++k) {
+                    int p = (first + k) % pods;
+                    int grant = std::min(remaining,
+                                         plant_config.serversPerPod);
+                    load.activeServers[size_t(p)] = std::max(1, grant);
+                    remaining -= grant;
+                }
+            }
+            load_until = t + rng.uniformInt(1800, 5400);
+        }
+
+        environment::WeatherSample outside = weather.at(now);
+
+        // Under evaporative free cooling the driving temperature is the
+        // pre-cooled intake, not the raw dry bulb: substitute it for the
+        // outside-temperature feature (the predictor does the same).
+        double effective_outside = outside.tempC;
+        if (current.mode == cooling::Mode::FreeCooling &&
+            current.evaporative && plant_config.hasEvaporativeCooler) {
+            effective_outside = physics::evaporativeOutletTemp(
+                outside.tempC, outside.rhPercent,
+                plant_config.evapEffectiveness);
+        }
+
+        // Inputs *before* stepping.
+        TempInputs tin;
+        tin.outsideC = effective_outside;
+        tin.outsidePrevC = prev_outside;
+        tin.dcUtilization = sensors.dcUtilization;
+        tin.fanSpeedPrev = prev_fan;
+
+        HumidityInputs hin;
+        hin.insideAbs = sensors.coldAisleAbsHumidity;
+        hin.outsideAbs = outside.absHumidity;
+
+        // The transition key covers the step we are about to take.
+        TransitionKey key{classify(previous), classify(current)};
+
+        std::vector<double> inside_now = sensors.podInletC;
+
+        // Step the plant one model step.
+        for (int s = 0; s < sub_steps; ++s)
+            plant.step(sub_dt, outside, load, current);
+        sensors = plant.readSensors();
+
+        double fan_now = sensors.cooling.fcFanSpeed;
+        tin.fanSpeed = fan_now;
+        hin.fanSpeed = fan_now;
+
+        // Record rows: target is the *new* reading.
+        for (int p = 0; p < pods; ++p) {
+            tin.insideC = inside_now[size_t(p)];
+            tin.insidePrevC = prev_temp[size_t(p)];
+            tin.podPowerFraction = load.podPowerFraction(p);
+            auto features = TempFeatures::build(tin);
+            temp_data[size_t(key.index())][size_t(p)].addRow(
+                features, sensors.podInletC[size_t(p)]);
+        }
+        {
+            auto features = HumidityFeatures::build(hin);
+            hum_data[size_t(key.index())].addRow(
+                features, sensors.coldAisleAbsHumidity);
+        }
+
+        // Power rows.
+        switch (sensors.cooling.mode) {
+          case cooling::Mode::FreeCooling: {
+            std::array<double, 2> pf{1.0, fan_now};
+            fc_power_data.addRow(pf, sensors.coolingPowerW);
+            break;
+          }
+          case cooling::Mode::AirConditioning:
+            if (sensors.cooling.compressorSpeed > 0.5)
+                ac_full_power.add(sensors.coolingPowerW);
+            else
+                ac_fan_power.add(sensors.coolingPowerW);
+            break;
+          case cooling::Mode::Closed:
+            break;
+        }
+
+        prev_temp = inside_now;
+        prev_fan = fan_now;
+        prev_outside = effective_outside;
+        previous = current;  // steady from here until the next switch
+    }
+
+    // Enforce contraction on the autoregressive part of a fitted
+    // temperature model: if the weights on Tin and TinPrev sum above 1,
+    // chained prediction diverges (and Real-Sim pods run away to
+    // physical clamps).  Rescale them to sum 0.995 and shift the
+    // intercept so predictions at the training-mean temperature are
+    // unchanged.
+    auto stabilize = [](LinearModel m, const Dataset &d) {
+        std::vector<double> w = m.weights();
+        double ar = w[1] + w[2];
+        constexpr double kMaxAr = 0.995;
+        if (ar <= kMaxAr)
+            return m;
+        double tbar = 0.0;
+        for (size_t r = 0; r < d.rows(); ++r)
+            tbar += d.row(r)[1];
+        tbar /= double(std::max<size_t>(d.rows(), 1));
+        double scale = kMaxAr / ar;
+        w[0] += (w[1] + w[2]) * (1.0 - scale) * tbar;
+        w[1] *= scale;
+        w[2] *= scale;
+        return LinearModel(std::move(w));
+    };
+
+    // ---- Fit the bank ----------------------------------------------------
+    util::RunningStats temp_rmse, hum_rmse;
+    for (int k = 0; k < keys; ++k) {
+        for (int p = 0; p < pods; ++p) {
+            Dataset &d = temp_data[size_t(k)][size_t(p)];
+            if (int(d.rows()) < config.minSamplesPerKey)
+                continue;
+            FitReport rep;
+            LinearModel m = stabilize(fitRidge(d, 1e-4, &rep), d);
+            temp_rmse.add(rep.rmse);
+            TransitionKey key{cooling::RegimeClass(k / cooling::kNumRegimeClasses),
+                              cooling::RegimeClass(k % cooling::kNumRegimeClasses)};
+            bundle.model.setTempModel(key, p, std::move(m));
+        }
+        Dataset &hd = hum_data[size_t(k)];
+        if (int(hd.rows()) >= config.minSamplesPerKey) {
+            FitReport rep;
+            LinearModel m = fitRobust(hd, 1e-4, &rep);
+            hum_rmse.add(rep.rmse);
+            TransitionKey key{cooling::RegimeClass(k / cooling::kNumRegimeClasses),
+                              cooling::RegimeClass(k % cooling::kNumRegimeClasses)};
+            bundle.model.setHumidityModel(key, std::move(m));
+        }
+    }
+    bundle.tempTrainRmse = temp_rmse.mean();
+    bundle.humidityTrainRmse = hum_rmse.mean();
+    bundle.fittedTempModels = bundle.model.fittedTempModels();
+
+    // Power models.
+    if (fc_power_data.rows() >= 48) {
+        ModelTreeConfig tc;
+        tc.splitFeature = 1;
+        tc.maxLeaves = 5;
+        tc.minLeafRows = 12;
+        bundle.model.setFcPowerModel(ModelTree::fit(fc_power_data, tc));
+    }
+    double ac_fan_w =
+        ac_fan_power.count() ? ac_fan_power.mean() : 135.0;
+    double ac_full_w =
+        ac_full_power.count() ? ac_full_power.mean() : 2200.0;
+    bundle.model.setAcPower(ac_fan_w, ac_full_w);
+
+    // Recirculation ranking.
+    bundle.recircProbeRiseC = probeRecirculation(plant_config);
+    bundle.recircRankAscending.resize(size_t(pods));
+    std::iota(bundle.recircRankAscending.begin(),
+              bundle.recircRankAscending.end(), 0);
+    std::stable_sort(bundle.recircRankAscending.begin(),
+                     bundle.recircRankAscending.end(), [&](int a, int b) {
+                         return bundle.recircProbeRiseC[size_t(a)] <
+                                bundle.recircProbeRiseC[size_t(b)];
+                     });
+
+    return bundle;
+}
+
+} // namespace model
+} // namespace coolair

@@ -1,0 +1,182 @@
+#include "model/linreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace model {
+
+LinearModel::LinearModel(std::vector<double> weights)
+    : _weights(std::move(weights))
+{
+}
+
+double
+LinearModel::predict(std::span<const double> features) const
+{
+    if (features.size() != _weights.size())
+        util::panic("LinearModel::predict: feature arity mismatch");
+    double sum = 0.0;
+    for (size_t i = 0; i < _weights.size(); ++i)
+        sum += _weights[i] * features[i];
+    return sum;
+}
+
+void
+Dataset::addRow(std::span<const double> features, double target)
+{
+    if (featureCount == 0)
+        featureCount = features.size();
+    if (features.size() != featureCount)
+        util::panic("Dataset::addRow: feature arity mismatch");
+    x.insert(x.end(), features.begin(), features.end());
+    y.push_back(target);
+}
+
+std::span<const double>
+Dataset::row(size_t r) const
+{
+    if (r >= rows())
+        util::panic("Dataset::row: index out of range");
+    return {x.data() + r * featureCount, featureCount};
+}
+
+bool
+solveCholesky(std::vector<double> &a, std::vector<double> &b, size_t n)
+{
+    // Decompose A = L L^T in the lower triangle of a.
+    for (size_t j = 0; j < n; ++j) {
+        double diag = a[j * n + j];
+        for (size_t k = 0; k < j; ++k)
+            diag -= a[j * n + k] * a[j * n + k];
+        if (diag <= 0.0)
+            return false;
+        diag = std::sqrt(diag);
+        a[j * n + j] = diag;
+        for (size_t i = j + 1; i < n; ++i) {
+            double sum = a[i * n + j];
+            for (size_t k = 0; k < j; ++k)
+                sum -= a[i * n + k] * a[j * n + k];
+            a[i * n + j] = sum / diag;
+        }
+    }
+    // Forward solve L z = b.
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= a[i * n + k] * b[k];
+        b[i] = sum / a[i * n + i];
+    }
+    // Back solve L^T x = z.
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = b[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= a[k * n + ii] * b[k];
+        b[ii] = sum / a[ii * n + ii];
+    }
+    return true;
+}
+
+namespace {
+
+LinearModel
+fitWeighted(const Dataset &data, const std::vector<double> &weights,
+            double lambda)
+{
+    size_t n = data.featureCount;
+    size_t rows = data.rows();
+    std::vector<double> ata(n * n, 0.0);
+    std::vector<double> atb(n, 0.0);
+
+    for (size_t r = 0; r < rows; ++r) {
+        double w = weights.empty() ? 1.0 : weights[r];
+        if (w <= 0.0)
+            continue;
+        auto xr = data.row(r);
+        for (size_t i = 0; i < n; ++i) {
+            atb[i] += w * xr[i] * data.y[r];
+            for (size_t j = i; j < n; ++j)
+                ata[i * n + j] += w * xr[i] * xr[j];
+        }
+    }
+    // Mirror the upper triangle and add the ridge.
+    for (size_t i = 0; i < n; ++i) {
+        ata[i * n + i] += lambda;
+        for (size_t j = i + 1; j < n; ++j)
+            ata[j * n + i] = ata[i * n + j];
+    }
+
+    if (!solveCholesky(ata, atb, n)) {
+        // Severely rank-deficient even with the ridge; retry stiffer.
+        util::warn("fitRidge: ill-conditioned system, raising lambda");
+        return fitWeighted(data, weights, std::max(lambda * 1e6, 1e-3));
+    }
+    return LinearModel(std::move(atb));
+}
+
+} // anonymous namespace
+
+LinearModel
+fitRidge(const Dataset &data, double lambda, FitReport *report)
+{
+    if (data.rows() == 0 || data.featureCount == 0)
+        return LinearModel();
+    LinearModel model = fitWeighted(data, {}, lambda);
+    if (report)
+        *report = evaluate(model, data);
+    return model;
+}
+
+LinearModel
+fitRobust(const Dataset &data, double lambda, FitReport *report)
+{
+    if (data.rows() == 0 || data.featureCount == 0)
+        return LinearModel();
+
+    LinearModel model = fitWeighted(data, {}, lambda);
+    std::vector<double> weights(data.rows(), 1.0);
+
+    for (int round = 0; round < 2; ++round) {
+        // Median absolute residual.
+        std::vector<double> resid(data.rows());
+        for (size_t r = 0; r < data.rows(); ++r)
+            resid[r] = std::fabs(model.predict(data.row(r)) - data.y[r]);
+        std::vector<double> sorted = resid;
+        std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                         sorted.end());
+        double mad = sorted[sorted.size() / 2];
+        if (mad <= 0.0)
+            break;
+        double cutoff = 2.5 * mad;
+        for (size_t r = 0; r < data.rows(); ++r)
+            weights[r] = resid[r] <= cutoff
+                             ? 1.0
+                             : cutoff / std::max(resid[r], 1e-12);
+        model = fitWeighted(data, weights, lambda);
+    }
+    if (report)
+        *report = evaluate(model, data);
+    return model;
+}
+
+FitReport
+evaluate(const LinearModel &model, const Dataset &data)
+{
+    FitReport rep;
+    rep.rows = data.rows();
+    if (!model.valid() || rep.rows == 0)
+        return rep;
+    double sq_sum = 0.0;
+    for (size_t r = 0; r < data.rows(); ++r) {
+        double err = model.predict(data.row(r)) - data.y[r];
+        sq_sum += err * err;
+        rep.maxAbsError = std::max(rep.maxAbsError, std::fabs(err));
+    }
+    rep.rmse = std::sqrt(sq_sum / double(rep.rows));
+    return rep;
+}
+
+} // namespace model
+} // namespace coolair

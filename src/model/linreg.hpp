@@ -1,0 +1,99 @@
+#ifndef COOLAIR_MODEL_LINREG_HPP
+#define COOLAIR_MODEL_LINREG_HPP
+
+/**
+ * @file
+ * Linear least-squares fitting.
+ *
+ * The paper's Cooling Modeler fits linear functions T = F(I) and
+ * H = G(I') with Weka, choosing between ordinary linear regression and
+ * least-median-of-squares, and M5P model trees for piece-wise-linear
+ * behaviors (§4.2).  This module implements ordinary/ridge least squares
+ * (normal equations + Cholesky) and an iteratively-reweighted robust
+ * variant standing in for least-median-of-squares.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace coolair {
+namespace model {
+
+/** A fitted linear model: y = w . x (the caller includes any bias in x). */
+class LinearModel
+{
+  public:
+    LinearModel() = default;
+
+    /** Construct from explicit weights. */
+    explicit LinearModel(std::vector<double> weights);
+
+    /** Predict for a feature vector (must match weight arity). */
+    double predict(std::span<const double> features) const;
+
+    /** The weight vector. */
+    const std::vector<double> &weights() const { return _weights; }
+
+    /** True if the model has been fitted. */
+    bool valid() const { return !_weights.empty(); }
+
+  private:
+    std::vector<double> _weights;
+};
+
+/** A training set of feature rows and targets. */
+struct Dataset
+{
+    size_t featureCount = 0;
+    std::vector<double> x;   ///< Row-major, rows x featureCount.
+    std::vector<double> y;
+
+    /** Number of rows. */
+    size_t rows() const { return featureCount ? y.size() : 0; }
+
+    /** Append one row (arity-checked). */
+    void addRow(std::span<const double> features, double target);
+
+    /** Feature row @p r as a span. */
+    std::span<const double> row(size_t r) const;
+};
+
+/** Fit statistics returned alongside a model. */
+struct FitReport
+{
+    double rmse = 0.0;
+    double maxAbsError = 0.0;
+    size_t rows = 0;
+};
+
+/**
+ * Ridge least squares: minimizes |Xw - y|^2 + lambda |w|^2.  lambda of
+ * 1e-6 gives numerically-stable OLS behavior.  Returns an invalid model
+ * when the dataset is empty.
+ */
+LinearModel fitRidge(const Dataset &data, double lambda = 1e-6,
+                     FitReport *report = nullptr);
+
+/**
+ * Robust fit standing in for Weka's least-median-squares: ridge fit,
+ * then two rounds of down-weighting rows with residuals beyond 2.5x the
+ * median absolute residual.
+ */
+LinearModel fitRobust(const Dataset &data, double lambda = 1e-6,
+                      FitReport *report = nullptr);
+
+/** Evaluate a model on a dataset. */
+FitReport evaluate(const LinearModel &model, const Dataset &data);
+
+/**
+ * Solve the symmetric positive-definite system A x = b in place via
+ * Cholesky decomposition.  @p a is row-major n x n.  Returns false if
+ * the matrix is not positive definite.
+ */
+bool solveCholesky(std::vector<double> &a, std::vector<double> &b, size_t n);
+
+} // namespace model
+} // namespace coolair
+
+#endif // COOLAIR_MODEL_LINREG_HPP

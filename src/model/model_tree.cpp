@@ -1,0 +1,151 @@
+#include "model/model_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace model {
+
+namespace {
+
+/** Sum of squared residuals of a ridge fit over a row subset. */
+double
+subsetSse(const Dataset &data, const std::vector<size_t> &rows,
+          double lambda, LinearModel *out_model = nullptr)
+{
+    Dataset subset;
+    for (size_t r : rows)
+        subset.addRow(data.row(r), data.y[r]);
+    FitReport rep;
+    LinearModel model = fitRidge(subset, lambda, &rep);
+    if (out_model)
+        *out_model = model;
+    return rep.rmse * rep.rmse * double(rep.rows);
+}
+
+} // anonymous namespace
+
+ModelTree
+ModelTree::fit(const Dataset &data, const ModelTreeConfig &config)
+{
+    ModelTree tree;
+    tree._splitFeature = config.splitFeature;
+    if (data.rows() == 0)
+        return tree;
+    if (config.splitFeature >= data.featureCount)
+        util::panic("ModelTree::fit: splitFeature out of range");
+
+    // Rows sorted by the split feature.
+    std::vector<size_t> order(data.rows());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return data.row(a)[config.splitFeature] <
+               data.row(b)[config.splitFeature];
+    });
+
+    // Segments are (start, end) index ranges into `order`.
+    struct Segment
+    {
+        size_t begin, end;
+        double sse;
+    };
+    std::vector<Segment> segments;
+    segments.push_back(
+        {0, order.size(),
+         subsetSse(data, order, config.lambda)});
+
+    auto rows_of = [&](size_t begin, size_t end) {
+        return std::vector<size_t>(order.begin() + long(begin),
+                                   order.begin() + long(end));
+    };
+
+    while (int(segments.size()) < config.maxLeaves) {
+        // Find the best split across all segments: candidate split points
+        // are quantiles of the split feature inside each segment.
+        double best_gain = 0.0;
+        size_t best_seg = 0;
+        size_t best_split = 0;
+        double best_left_sse = 0.0, best_right_sse = 0.0;
+
+        for (size_t s = 0; s < segments.size(); ++s) {
+            const Segment &seg = segments[s];
+            size_t len = seg.end - seg.begin;
+            if (int(len) < 2 * config.minLeafRows)
+                continue;
+            for (int q = 1; q <= 3; ++q) {
+                size_t split = seg.begin + len * size_t(q) / 4;
+                if (split - seg.begin < size_t(config.minLeafRows) ||
+                    seg.end - split < size_t(config.minLeafRows)) {
+                    continue;
+                }
+                // Avoid splitting between equal feature values.
+                double lo = data.row(order[split - 1])[config.splitFeature];
+                double hi = data.row(order[split])[config.splitFeature];
+                if (hi - lo < 1e-12)
+                    continue;
+                double left =
+                    subsetSse(data, rows_of(seg.begin, split), config.lambda);
+                double right =
+                    subsetSse(data, rows_of(split, seg.end), config.lambda);
+                double gain = seg.sse - (left + right);
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_seg = s;
+                    best_split = split;
+                    best_left_sse = left;
+                    best_right_sse = right;
+                }
+            }
+        }
+
+        double total_sse = 0.0;
+        for (const auto &seg : segments)
+            total_sse += seg.sse;
+        if (best_gain <= config.minGain * std::max(total_sse, 1e-12))
+            break;
+
+        Segment old = segments[best_seg];
+        segments[best_seg] = {old.begin, best_split, best_left_sse};
+        segments.insert(segments.begin() + long(best_seg) + 1,
+                        {best_split, old.end, best_right_sse});
+    }
+
+    // Order segments by feature value and materialize leaves.
+    std::sort(segments.begin(), segments.end(),
+              [](const Segment &a, const Segment &b) {
+                  return a.begin < b.begin;
+              });
+    for (size_t s = 0; s < segments.size(); ++s) {
+        LinearModel leaf_model;
+        subsetSse(data, rows_of(segments[s].begin, segments[s].end),
+                  config.lambda, &leaf_model);
+        tree._leaves.push_back({std::move(leaf_model)});
+        if (s + 1 < segments.size()) {
+            double lo =
+                data.row(order[segments[s].end - 1])[config.splitFeature];
+            double hi =
+                data.row(order[segments[s].end])[config.splitFeature];
+            tree._thresholds.push_back(0.5 * (lo + hi));
+        }
+    }
+    return tree;
+}
+
+double
+ModelTree::predict(std::span<const double> features) const
+{
+    if (_leaves.empty())
+        util::panic("ModelTree::predict: unfitted tree");
+    double v = features[_splitFeature];
+    size_t leaf = 0;
+    while (leaf < _thresholds.size() && v > _thresholds[leaf])
+        ++leaf;
+    return _leaves[leaf].model.predict(features);
+}
+
+} // namespace model
+} // namespace coolair

@@ -1,0 +1,76 @@
+#ifndef COOLAIR_MODEL_MODEL_TREE_HPP
+#define COOLAIR_MODEL_MODEL_TREE_HPP
+
+/**
+ * @file
+ * M5P-style piece-wise linear model trees.
+ *
+ * The paper uses Weka's M5P for behaviors that are non-linear in the
+ * inputs — notably cooling power as a function of free-cooling fan speed
+ * (a cubic).  This is a single-split-feature model tree: the domain of
+ * one designated feature is partitioned greedily by SSE reduction, and a
+ * ridge linear model is fitted in each leaf.
+ */
+
+#include <vector>
+
+#include "model/linreg.hpp"
+
+namespace coolair {
+namespace model {
+
+/** Configuration for model-tree fitting. */
+struct ModelTreeConfig
+{
+    /** Index of the feature whose domain is split. */
+    size_t splitFeature = 0;
+
+    /** Maximum number of leaves. */
+    int maxLeaves = 6;
+
+    /** Minimum rows per leaf. */
+    int minLeafRows = 24;
+
+    /** Ridge strength for leaf models. */
+    double lambda = 1e-6;
+
+    /** Minimum relative SSE improvement to accept a split. */
+    double minGain = 0.02;
+};
+
+/** A fitted piece-wise linear model. */
+class ModelTree
+{
+  public:
+    ModelTree() = default;
+
+    /** Fit a tree to @p data under @p config. */
+    static ModelTree fit(const Dataset &data, const ModelTreeConfig &config);
+
+    /** Predict for one feature row. */
+    double predict(std::span<const double> features) const;
+
+    /** Number of leaves (0 when unfitted). */
+    size_t leafCount() const { return _leaves.size(); }
+
+    /** True if the tree has been fitted. */
+    bool valid() const { return !_leaves.empty(); }
+
+    /** Split thresholds, ascending (leafCount() - 1 entries). */
+    const std::vector<double> &thresholds() const { return _thresholds; }
+
+  private:
+    struct Leaf
+    {
+        LinearModel model;
+    };
+
+    size_t _splitFeature = 0;
+    std::vector<double> _thresholds;
+    std::vector<Leaf> _leaves;
+};
+
+} // namespace model
+} // namespace coolair
+
+#endif // COOLAIR_MODEL_MODEL_TREE_HPP

@@ -1,0 +1,189 @@
+#include "model/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace model {
+
+using cooling::RegimeClass;
+using cooling::TransitionKey;
+
+namespace {
+
+TransitionKey
+keyFromIndex(int index)
+{
+    return TransitionKey{
+        RegimeClass(index / cooling::kNumRegimeClasses),
+        RegimeClass(index % cooling::kNumRegimeClasses)};
+}
+
+void
+writeWeights(std::ostream &os, const LinearModel &m)
+{
+    for (double w : m.weights())
+        os << ' ' << std::setprecision(17) << w;
+}
+
+std::vector<double>
+readWeights(std::istringstream &row, size_t count, const char *what)
+{
+    std::vector<double> w(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (!(row >> w[i]))
+            util::fatal(std::string("loadBundle: truncated ") + what +
+                        " weights");
+    }
+    return w;
+}
+
+} // anonymous namespace
+
+bool
+saveBundle(const LearnedBundle &bundle, std::ostream &os)
+{
+    const CoolingModel &m = bundle.model;
+    os << "coolair-model v2\n";
+    os << "pods " << m.config().numPods << " step " << m.config().stepS
+       << " evap-eff " << m.config().evapEffectiveness << '\n';
+
+    for (int k = 0; k < TransitionKey::count(); ++k) {
+        TransitionKey key = keyFromIndex(k);
+        for (int p = 0; p < m.config().numPods; ++p) {
+            const LinearModel *lm = m.rawTempModel(key, p);
+            if (!lm)
+                continue;
+            os << "temp " << k << ' ' << p;
+            writeWeights(os, *lm);
+            os << '\n';
+        }
+        const LinearModel *hm = m.rawHumidityModel(key);
+        if (hm) {
+            os << "humidity " << k;
+            writeWeights(os, *hm);
+            os << '\n';
+        }
+    }
+
+    os << "ac-power " << std::setprecision(17) << m.acFanOnlyPowerW() << ' '
+       << m.acFullPowerW() << '\n';
+
+    os << "recirc-rank";
+    for (int pod : bundle.recircRankAscending)
+        os << ' ' << pod;
+    os << '\n';
+    os << "recirc-rise";
+    for (double r : bundle.recircProbeRiseC)
+        os << ' ' << std::setprecision(17) << r;
+    os << '\n';
+    os << "end\n";
+    return bool(os);
+}
+
+void
+saveBundleToFile(const LearnedBundle &bundle, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("saveBundleToFile: cannot open " + path);
+    if (!saveBundle(bundle, os))
+        util::fatal("saveBundleToFile: write failed for " + path);
+}
+
+LearnedBundle
+loadBundle(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != "coolair-model v2")
+        util::fatal("loadBundle: bad magic line");
+
+    LearnedBundle bundle;
+    CoolingModelConfig cfg;
+    bool have_header = false;
+    bool saw_end = false;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string tag;
+        row >> tag;
+
+        if (tag == "pods") {
+            std::string step_tag, evap_tag;
+            if (!(row >> cfg.numPods >> step_tag >> cfg.stepS >> evap_tag >>
+                  cfg.evapEffectiveness) ||
+                step_tag != "step" || evap_tag != "evap-eff" ||
+                cfg.numPods <= 0) {
+                util::fatal("loadBundle: malformed header: " + line);
+            }
+            bundle.model = CoolingModel(cfg);
+            have_header = true;
+        } else if (tag == "temp") {
+            if (!have_header)
+                util::fatal("loadBundle: temp before header");
+            int key_idx = -1, pod = -1;
+            if (!(row >> key_idx >> pod) || key_idx < 0 ||
+                key_idx >= TransitionKey::count() || pod < 0 ||
+                pod >= cfg.numPods) {
+                util::fatal("loadBundle: malformed temp row: " + line);
+            }
+            bundle.model.setTempModel(
+                keyFromIndex(key_idx), pod,
+                LinearModel(readWeights(row, TempFeatures::kCount,
+                                        "temperature")));
+        } else if (tag == "humidity") {
+            if (!have_header)
+                util::fatal("loadBundle: humidity before header");
+            int key_idx = -1;
+            if (!(row >> key_idx) || key_idx < 0 ||
+                key_idx >= TransitionKey::count()) {
+                util::fatal("loadBundle: malformed humidity row: " + line);
+            }
+            bundle.model.setHumidityModel(
+                keyFromIndex(key_idx),
+                LinearModel(readWeights(row, HumidityFeatures::kCount,
+                                        "humidity")));
+        } else if (tag == "ac-power") {
+            double fan = 0.0, full = 0.0;
+            if (!(row >> fan >> full))
+                util::fatal("loadBundle: malformed ac-power row");
+            bundle.model.setAcPower(fan, full);
+        } else if (tag == "recirc-rank") {
+            int pod;
+            bundle.recircRankAscending.clear();
+            while (row >> pod)
+                bundle.recircRankAscending.push_back(pod);
+        } else if (tag == "recirc-rise") {
+            double rise;
+            bundle.recircProbeRiseC.clear();
+            while (row >> rise)
+                bundle.recircProbeRiseC.push_back(rise);
+        } else if (tag == "end") {
+            saw_end = true;
+            break;
+        } else {
+            util::fatal("loadBundle: unknown tag: " + tag);
+        }
+    }
+    if (!have_header || !saw_end)
+        util::fatal("loadBundle: incomplete bundle");
+    bundle.fittedTempModels = bundle.model.fittedTempModels();
+    return bundle;
+}
+
+LearnedBundle
+loadBundleFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("loadBundleFromFile: cannot open " + path);
+    return loadBundle(in);
+}
+
+} // namespace model
+} // namespace coolair

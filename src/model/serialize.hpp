@@ -1,0 +1,58 @@
+#ifndef COOLAIR_MODEL_SERIALIZE_HPP
+#define COOLAIR_MODEL_SERIALIZE_HPP
+
+/**
+ * @file
+ * Persistence for learned bundles.
+ *
+ * The Cooling Modeler "runs offline and only once, after enough data has
+ * been collected" (paper §3.1) — in a real deployment the campaign takes
+ * months (§6: "6 months or 1 year ... during the normal operation of the
+ * datacenter"), so the learned models must outlive the process.  This
+ * module writes and reads a LearnedBundle in a line-oriented,
+ * human-inspectable text format:
+ *
+ *   coolair-model v2
+ *   pods <n> step <s> evap-eff <e>
+ *   temp <key-index> <pod> <w0> <w1> ... <w10>
+ *   humidity <key-index> <w0> ... <w5>
+ *   fc-power-fallback | (fc-power omitted: refit or default cubic)
+ *   ac-power <fan_only_w> <full_w>
+ *   recirc-rank <p0> ... <p7>
+ *   recirc-rise <r0> ... <r7>
+ *   end
+ *
+ * The fan-speed power curve is stored as the AC constants plus the
+ * built-in cubic default; the piece-wise tree refits quickly and is not
+ * serialized.
+ */
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "model/learner.hpp"
+
+namespace coolair {
+namespace model {
+
+/** Write @p bundle to @p os.  Returns false on stream failure. */
+bool saveBundle(const LearnedBundle &bundle, std::ostream &os);
+
+/** Write @p bundle to a file (fatal on open failure). */
+void saveBundleToFile(const LearnedBundle &bundle,
+                      const std::string &path);
+
+/**
+ * Read a bundle from @p in.  Calls util::fatal on malformed input
+ * (user-supplied file); returns the reconstructed bundle.
+ */
+LearnedBundle loadBundle(std::istream &in);
+
+/** Read a bundle from a file (fatal on open failure). */
+LearnedBundle loadBundleFromFile(const std::string &path);
+
+} // namespace model
+} // namespace coolair
+
+#endif // COOLAIR_MODEL_SERIALIZE_HPP

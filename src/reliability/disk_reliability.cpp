@@ -1,0 +1,78 @@
+#include "reliability/disk_reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace reliability {
+
+namespace {
+
+/** Boltzmann constant [eV/K]. */
+constexpr double kBoltzmannEvPerK = 8.617333e-5;
+
+/** Figure 1's disk-above-inlet offset at typical utilization [°C]. */
+constexpr double kDiskOffsetC = 11.0;
+
+} // anonymous namespace
+
+DiskReliabilityModel::DiskReliabilityModel(
+    const DiskReliabilityConfig &config)
+    : _config(config)
+{
+    if (config.variationWeight < 0.0 || config.variationWeight > 1.0)
+        util::fatal("DiskReliabilityConfig: variationWeight must be in "
+                    "[0, 1]");
+}
+
+double
+DiskReliabilityModel::temperatureFactor(double disk_temp_c) const
+{
+    double t = disk_temp_c + 273.15;
+    double t_ref = _config.referenceDiskTempC + 273.15;
+    return std::exp(_config.activationEnergyEv / kBoltzmannEvPerK *
+                    (1.0 / t_ref - 1.0 / t));
+}
+
+double
+DiskReliabilityModel::variationFactor(double daily_range_c) const
+{
+    double excess =
+        std::max(0.0, daily_range_c - _config.referenceDailyRangeC);
+    return 1.0 + _config.variationSlopePerC * excess;
+}
+
+ReliabilityReport
+DiskReliabilityModel::assess(double mean_disk_temp_c,
+                             double avg_daily_range_c,
+                             double power_cycles_per_hour) const
+{
+    ReliabilityReport report;
+    report.temperatureFactor = temperatureFactor(mean_disk_temp_c);
+    report.variationFactor = variationFactor(avg_daily_range_c);
+
+    double w = _config.variationWeight;
+    report.afrMultiplier = (1.0 - w) * report.temperatureFactor +
+                           w * report.variationFactor;
+
+    double cycles_per_year = power_cycles_per_hour * 24.0 * 365.0;
+    report.cycleBudgetFractionPerYear =
+        cycles_per_year / _config.powerCycleBudget;
+    report.cyclesWithinBudget =
+        report.cycleBudgetFractionPerYear * _config.serviceLifeYears <=
+        1.0;
+    return report;
+}
+
+ReliabilityReport
+DiskReliabilityModel::assess(const sim::Summary &summary,
+                             double power_cycles_per_hour) const
+{
+    return assess(summary.avgMaxInletC + kDiskOffsetC,
+                  summary.avgWorstDailyRangeC, power_cycles_per_hour);
+}
+
+} // namespace reliability
+} // namespace coolair

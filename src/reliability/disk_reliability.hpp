@@ -1,0 +1,133 @@
+#ifndef COOLAIR_RELIABILITY_DISK_RELIABILITY_HPP
+#define COOLAIR_RELIABILITY_DISK_RELIABILITY_HPP
+
+/**
+ * @file
+ * Disk-reliability impact model.
+ *
+ * CoolAir's entire motivation (paper §1) is that free cooling exposes
+ * disks — the most temperature-sensitive components — to high absolute
+ * temperatures and wide temporal variation, and that the literature
+ * disagrees about which matters:
+ *
+ *  - Pinheiro et al. [34] and El-Sayed et al. [10]: absolute temperature
+ *    matters little up to ~50 °C, but El-Sayed finds wide *temporal
+ *    variation* increases sector errors significantly and consistently;
+ *  - Sankar et al. [36]: absolute temperature has a significant impact
+ *    (Arrhenius-like), variation does not.
+ *
+ * This module quantifies both effects so the management systems can be
+ * compared on reliability terms under either hypothesis (or a blend):
+ * an Arrhenius acceleration factor for absolute disk temperature and a
+ * linear-in-range factor for daily variation, plus the §4.2 load/unload
+ * power-cycle budget check.  Coefficients are configurable; defaults are
+ * chosen so each factor is 1.0 at a benign reference operating point.
+ */
+
+#include "sim/metrics.hpp"
+
+namespace coolair {
+namespace reliability {
+
+/** Coefficients of the reliability impact model. */
+struct DiskReliabilityConfig
+{
+    /**
+     * Arrhenius activation energy [eV] for the temperature term
+     * (0.4-0.5 eV is typical for drive electronics/media wear).
+     */
+    double activationEnergyEv = 0.46;
+
+    /** Reference disk temperature with factor 1.0 [°C]. */
+    double referenceDiskTempC = 35.0;
+
+    /**
+     * Fractional failure-rate increase per 1 °C of *daily disk
+     * temperature range* beyond the reference range (El-Sayed-style
+     * variation sensitivity).
+     */
+    double variationSlopePerC = 0.08;
+
+    /** Reference daily range with variation factor 1.0 [°C]. */
+    double referenceDailyRangeC = 4.0;
+
+    /** Load/unload cycle budget over the disk's service life. */
+    double powerCycleBudget = 300000.0;
+
+    /** Service life used for the cycle budget [years]. */
+    double serviceLifeYears = 4.0;
+
+    /**
+     * Blend between the two hypotheses in the combined index:
+     * 0 = pure Sankar (temperature only), 1 = pure El-Sayed
+     * (variation only).  0.5 weighs them equally.
+     */
+    double variationWeight = 0.5;
+};
+
+/** Reliability assessment of one run. */
+struct ReliabilityReport
+{
+    /** Arrhenius acceleration factor from mean disk temperature. */
+    double temperatureFactor = 1.0;
+
+    /** Variation factor from the average worst daily range. */
+    double variationFactor = 1.0;
+
+    /** Blended annual-failure-rate multiplier. */
+    double afrMultiplier = 1.0;
+
+    /** Fraction of the load/unload budget a year of operation uses. */
+    double cycleBudgetFractionPerYear = 0.0;
+
+    /** True if cycling stays within budget over the service life. */
+    bool cyclesWithinBudget = true;
+};
+
+/** The reliability impact model. */
+class DiskReliabilityModel
+{
+  public:
+    explicit DiskReliabilityModel(const DiskReliabilityConfig &config = {});
+
+    /**
+     * Arrhenius acceleration factor at @p disk_temp_c relative to the
+     * reference temperature.
+     */
+    double temperatureFactor(double disk_temp_c) const;
+
+    /**
+     * Variation factor for an average daily disk-temperature range of
+     * @p daily_range_c (floored at 1.0 below the reference range).
+     */
+    double variationFactor(double daily_range_c) const;
+
+    /**
+     * Assess a run.
+     *
+     * @param mean_disk_temp_c   mean disk temperature over the run
+     * @param avg_daily_range_c  average worst daily disk range
+     * @param power_cycles_per_hour  worst per-disk cycling rate
+     */
+    ReliabilityReport assess(double mean_disk_temp_c,
+                             double avg_daily_range_c,
+                             double power_cycles_per_hour = 0.0) const;
+
+    /**
+     * Assess from a run summary: disk temperature is approximated as
+     * the mean max inlet plus the 50 %-utilization disk offset (~11 °C,
+     * Figure 1), and the air range transfers to the disks.
+     */
+    ReliabilityReport assess(const sim::Summary &summary,
+                             double power_cycles_per_hour = 0.0) const;
+
+    const DiskReliabilityConfig &config() const { return _config; }
+
+  private:
+    DiskReliabilityConfig _config;
+};
+
+} // namespace reliability
+} // namespace coolair
+
+#endif // COOLAIR_RELIABILITY_DISK_RELIABILITY_HPP

@@ -1,0 +1,64 @@
+#include "sim/controller.hpp"
+
+namespace coolair {
+namespace sim {
+
+BaselineController::BaselineController(const cooling::TksConfig &config,
+                                       int64_t epoch_s)
+    : _tks(config), _epochS(epoch_s)
+{
+}
+
+ControlDecision
+BaselineController::control(const plant::SensorReadings &sensors,
+                            const workload::WorkloadStatus &status,
+                            const plant::PodLoad &load, util::SimTime now)
+{
+    (void)status;
+    (void)load;
+    (void)now;
+
+    cooling::ControlInputs in;
+    in.outsideTempC = sensors.outsideC;
+    in.outsideRhPercent = sensors.outsideRhPercent;
+    in.outsideAbsHumidity = sensors.outsideAbsHumidity;
+    in.insideRhPercent = sensors.coldAisleRhPercent;
+    // The TKS control sensor sits in a typically warm cold-aisle spot:
+    // use the warmest pod reading.
+    in.controlSensorC = sensors.maxPodInletC();
+
+    ControlDecision decision;
+    decision.regime = _tks.control(in);
+    decision.hasPlan = false;
+    return decision;
+}
+
+CoolAirController::CoolAirController(const core::CoolAirConfig &config,
+                                     model::LearnedBundle bundle,
+                                     environment::Forecaster *forecaster,
+                                     const char *name)
+    : _coolair(config, std::move(bundle), forecaster), _name(name)
+{
+}
+
+ControlDecision
+CoolAirController::control(const plant::SensorReadings &sensors,
+                           const workload::WorkloadStatus &status,
+                           const plant::PodLoad &load, util::SimTime now)
+{
+    core::CoolAir::Decision d = _coolair.control(sensors, status, load, now);
+    ControlDecision decision;
+    decision.regime = d.regime;
+    decision.plan = d.plan;
+    decision.hasPlan = true;
+    return decision;
+}
+
+int64_t
+CoolAirController::epochS() const
+{
+    return _coolair.config().controlEpochS;
+}
+
+} // namespace sim
+} // namespace coolair

@@ -1,0 +1,107 @@
+#ifndef COOLAIR_SIM_CONTROLLER_HPP
+#define COOLAIR_SIM_CONTROLLER_HPP
+
+/**
+ * @file
+ * Controller abstraction for the simulation engine: the baseline (the
+ * extended TKS scheme of §5.1) and CoolAir plug in behind the same
+ * interface, so every experiment harness swaps systems with one line.
+ */
+
+#include <memory>
+
+#include "cooling/regime.hpp"
+#include "cooling/tks.hpp"
+#include "core/coolair.hpp"
+#include "plant/parasol.hpp"
+#include "workload/compute_plan.hpp"
+#include "workload/model.hpp"
+
+namespace coolair {
+namespace sim {
+
+/** One controller output. */
+struct ControlDecision
+{
+    cooling::Regime regime;
+    workload::ComputePlan plan = workload::ComputePlan::passthrough();
+    bool hasPlan = false;   ///< Baseline never touches the workload.
+};
+
+/** Interface the engine drives. */
+class Controller
+{
+  public:
+    virtual ~Controller() = default;
+
+    /** Produce the next decision. */
+    virtual ControlDecision control(const plant::SensorReadings &sensors,
+                                    const workload::WorkloadStatus &status,
+                                    const plant::PodLoad &load,
+                                    util::SimTime now) = 0;
+
+    /** Seconds between control invocations. */
+    virtual int64_t epochS() const = 0;
+
+    /** Display name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * The baseline system: Parasol's TKS control scheme with the §5.1
+ * extensions (setpoint 30 °C, 80 % humidity ceiling).  Reacts every
+ * minute; never manages the workload or server states.
+ */
+class BaselineController : public Controller
+{
+  public:
+    explicit BaselineController(
+        const cooling::TksConfig &config =
+            cooling::TksConfig::extendedBaseline(),
+        int64_t epoch_s = 60);
+
+    ControlDecision control(const plant::SensorReadings &sensors,
+                            const workload::WorkloadStatus &status,
+                            const plant::PodLoad &load,
+                            util::SimTime now) override;
+
+    int64_t epochS() const override { return _epochS; }
+    const char *name() const override { return "Baseline"; }
+
+    /** The wrapped TKS (for inspection in tests). */
+    const cooling::TksController &tks() const { return _tks; }
+
+  private:
+    cooling::TksController _tks;
+    int64_t _epochS;
+};
+
+/** CoolAir behind the Controller interface. */
+class CoolAirController : public Controller
+{
+  public:
+    CoolAirController(const core::CoolAirConfig &config,
+                      model::LearnedBundle bundle,
+                      environment::Forecaster *forecaster,
+                      const char *name = "CoolAir");
+
+    ControlDecision control(const plant::SensorReadings &sensors,
+                            const workload::WorkloadStatus &status,
+                            const plant::PodLoad &load,
+                            util::SimTime now) override;
+
+    int64_t epochS() const override;
+    const char *name() const override { return _name; }
+
+    /** The wrapped manager (for inspection). */
+    const core::CoolAir &coolair() const { return _coolair; }
+
+  private:
+    core::CoolAir _coolair;
+    const char *_name;
+};
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_CONTROLLER_HPP

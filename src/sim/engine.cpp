@@ -1,0 +1,129 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace sim {
+
+Engine::Engine(plant::Plant &plant, workload::WorkloadModel &workload,
+               Controller &controller, const environment::WeatherProvider &climate,
+               const EngineConfig &config)
+    : _plant(plant),
+      _workload(workload),
+      _controller(controller),
+      _climate(climate),
+      _config(config)
+{
+    _command = cooling::Regime::closed();
+}
+
+void
+Engine::sample(util::SimTime now, bool collect)
+{
+    plant::SensorReadings sensors = _plant.readSensors();
+    sensors.time = now;
+
+    // Controller epoch?
+    if (now.seconds() >= _nextControlS) {
+        workload::WorkloadStatus status = _workload.status();
+        plant::PodLoad load = _workload.podLoad();
+        ControlDecision decision =
+            _controller.control(sensors, status, load, now);
+        _command = decision.regime;
+        if (decision.hasPlan)
+            _workload.applyPlan(decision.plan);
+        _nextControlS = now.seconds() + _controller.epochS();
+    }
+
+    if (!collect)
+        return;
+
+    if (_metrics) {
+        _metrics->record(now, sensors, double(_config.sampleIntervalS));
+        _metrics->recordOutside(now, _climate.temperature(now));
+    }
+
+    if (_sink) {
+        TraceRow row;
+        row.time = now;
+        environment::WeatherSample outside = _climate.sample(now);
+        row.outsideC = outside.tempC;
+        row.outsideRhPercent = outside.rhPercent;
+        double lo = 1e9, hi = -1e9;
+        for (double t : sensors.podInletC) {
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+        row.inletMinC = lo;
+        row.inletMaxC = hi;
+        row.hotAisleC = sensors.hotAisleC;
+        row.coldAisleRhPercent = sensors.coldAisleRhPercent;
+        row.mode = sensors.cooling.mode;
+        row.fcFanSpeed = sensors.cooling.fcFanSpeed;
+        row.compressorSpeed = sensors.cooling.compressorSpeed;
+        row.itPowerW = sensors.itPowerW;
+        row.coolingPowerW = sensors.coolingPowerW;
+        double dlo = 1e9, dhi = -1e9;
+        for (int p = 0; p < _plant.config().numPods; ++p) {
+            double d = _plant.diskTempC(p);
+            dlo = std::min(dlo, d);
+            dhi = std::max(dhi, d);
+        }
+        row.diskMinC = dlo;
+        row.diskMaxC = dhi;
+        row.dcUtilization = sensors.dcUtilization;
+        _sink(row);
+    }
+}
+
+void
+Engine::runRange(util::SimTime start, util::SimTime end, bool collect)
+{
+    if (end <= start)
+        return;
+
+    const int64_t step = int64_t(_config.physicsStepS);
+    const int64_t interval = _config.sampleIntervalS;
+    if (step <= 0 || interval <= 0 || interval % step != 0)
+        util::fatal("Engine: sample interval must be a multiple of the "
+                    "physics step");
+
+    for (int64_t t = start.seconds(); t < end.seconds(); t += step) {
+        util::SimTime now(t);
+        if ((t - start.seconds()) % interval == 0)
+            sample(now, collect);
+
+        environment::WeatherSample outside = _climate.sample(now);
+        _workload.step(now, double(step));
+        plant::PodLoad load = _workload.podLoad();
+        _plant.step(double(step), outside, load, _command);
+    }
+}
+
+void
+Engine::runDay(int day_of_year)
+{
+    util::SimTime day_start =
+        util::SimTime(int64_t(day_of_year) * util::kSecondsPerDay);
+    util::SimTime warm_start = day_start - _config.warmupS;
+
+    _plant.initializeSteadyState(_climate.sample(warm_start));
+    _nextControlS = warm_start.seconds();
+
+    runRange(warm_start, day_start, /*collect=*/false);
+    runRange(day_start, day_start + util::kSecondsPerDay, /*collect=*/true);
+}
+
+void
+Engine::runYearWeekly(int weeks)
+{
+    for (int w = 0; w < weeks; ++w) {
+        int day = (w * 7) % util::kDaysPerYear;
+        runDay(day);
+    }
+}
+
+} // namespace sim
+} // namespace coolair

@@ -1,0 +1,110 @@
+#ifndef COOLAIR_SIM_ENGINE_HPP
+#define COOLAIR_SIM_ENGINE_HPP
+
+/**
+ * @file
+ * The co-simulation engine: steps climate -> workload -> plant, invokes
+ * the controller on its epoch, and feeds the metrics collector and an
+ * optional trace sink.  Year-long studies follow §5.1: simulate the
+ * first day of each week, repeating the day-long workload.
+ */
+
+#include <functional>
+
+#include "environment/climate.hpp"
+#include "plant/parasol.hpp"
+#include "sim/controller.hpp"
+#include "sim/metrics.hpp"
+#include "workload/model.hpp"
+
+namespace coolair {
+namespace sim {
+
+/** Engine stepping configuration. */
+struct EngineConfig
+{
+    /** Physics step [s]. */
+    double physicsStepS = 30.0;
+
+    /** Sensor sampling / metrics interval [s]. */
+    int64_t sampleIntervalS = 60;
+
+    /** Warm-up run before each measured day [s] (no metrics). */
+    int64_t warmupS = 2 * util::kSecondsPerHour;
+};
+
+/** One row of a run trace, for CSV dumps and figures. */
+struct TraceRow
+{
+    util::SimTime time;
+    double outsideC = 0.0;
+    double outsideRhPercent = 0.0;
+    double inletMinC = 0.0;
+    double inletMaxC = 0.0;
+    double hotAisleC = 0.0;
+    double coldAisleRhPercent = 0.0;
+    cooling::Mode mode = cooling::Mode::Closed;
+    double fcFanSpeed = 0.0;
+    double compressorSpeed = 0.0;
+    double itPowerW = 0.0;
+    double coolingPowerW = 0.0;
+    double diskMinC = 0.0;
+    double diskMaxC = 0.0;
+    double dcUtilization = 0.0;
+};
+
+/** Callback invoked once per sample interval. */
+using TraceSink = std::function<void(const TraceRow &)>;
+
+/** Drives one (plant, workload, controller) assembly. */
+class Engine
+{
+  public:
+    Engine(plant::Plant &plant, workload::WorkloadModel &workload,
+           Controller &controller, const environment::WeatherProvider &climate,
+           const EngineConfig &config = {});
+
+    /** Attach a metrics collector (not owned). */
+    void setMetrics(MetricsCollector *metrics) { _metrics = metrics; }
+
+    /** Attach a trace sink. */
+    void setTraceSink(TraceSink sink) { _sink = std::move(sink); }
+
+    /**
+     * Run the closed loop over [start, end).  @p collect enables
+     * metrics/trace output (disabled during warm-up).
+     */
+    void runRange(util::SimTime start, util::SimTime end, bool collect);
+
+    /**
+     * Measure one calendar day (with warm-up): initialize the plant near
+     * steady state, run the warm-up window, then the measured day.
+     */
+    void runDay(int day_of_year);
+
+    /**
+     * §5.1 year protocol: measure the first day of each of @p weeks
+     * weeks.
+     */
+    void runYearWeekly(int weeks = 52);
+
+  private:
+    void sample(util::SimTime now, bool collect);
+
+    plant::Plant &_plant;
+    workload::WorkloadModel &_workload;
+    Controller &_controller;
+    const environment::WeatherProvider &_climate;
+    EngineConfig _config;
+
+    MetricsCollector *_metrics = nullptr;
+    TraceSink _sink;
+
+    cooling::Regime _command;
+    int64_t _nextControlS = 0;
+};
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_ENGINE_HPP

@@ -1,0 +1,188 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "util/logging.hpp"
+#include "workload/cluster.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace coolair {
+namespace sim {
+
+const char *
+systemName(SystemId id)
+{
+    switch (id) {
+      case SystemId::Baseline:      return "Baseline";
+      case SystemId::Temperature:   return "Temperature";
+      case SystemId::Variation:     return "Variation";
+      case SystemId::Energy:        return "Energy";
+      case SystemId::AllNd:         return "All-ND";
+      case SystemId::AllDef:        return "All-DEF";
+      case SystemId::VarLowRecirc:  return "Var-Low-Recirc";
+      case SystemId::VarHighRecirc: return "Var-High-Recirc";
+      case SystemId::EnergyDef:     return "Energy-DEF";
+    }
+    util::panic("systemName: unknown system");
+}
+
+bool
+systemIsDeferrable(SystemId id)
+{
+    return id == SystemId::AllDef || id == SystemId::EnergyDef;
+}
+
+namespace {
+
+core::Version
+versionOf(SystemId id)
+{
+    switch (id) {
+      case SystemId::Temperature:   return core::Version::Temperature;
+      case SystemId::Variation:     return core::Version::Variation;
+      case SystemId::Energy:        return core::Version::Energy;
+      case SystemId::AllNd:         return core::Version::AllNd;
+      case SystemId::AllDef:        return core::Version::AllDef;
+      case SystemId::VarLowRecirc:  return core::Version::VarLowRecirc;
+      case SystemId::VarHighRecirc: return core::Version::VarHighRecirc;
+      case SystemId::EnergyDef:     return core::Version::EnergyDef;
+      case SystemId::Baseline:
+        break;
+    }
+    util::panic("versionOf: baseline has no CoolAir version");
+}
+
+workload::Trace
+traceFor(WorkloadKind kind, SystemId system, uint64_t seed)
+{
+    workload::TraceGenConfig tg;
+    tg.seed = seed;
+    workload::Trace trace;
+    switch (kind) {
+      case WorkloadKind::Facebook:
+      case WorkloadKind::FacebookProfile:
+        trace = workload::facebookTrace(tg);
+        break;
+      case WorkloadKind::Nutch:
+        trace = workload::nutchTrace(tg);
+        break;
+      case WorkloadKind::SteadyHalf:
+        trace = workload::steadyTrace(0.5, tg);
+        break;
+    }
+    if (systemIsDeferrable(system))
+        trace.makeDeferrable(6.0);  // §5.1: 6-hour start deadlines
+    return trace;
+}
+
+} // anonymous namespace
+
+const model::LearnedBundle &
+sharedBundle()
+{
+    static const model::LearnedBundle bundle = [] {
+        model::LearnerConfig lc;
+        return model::CoolingLearner::learn(plant::PlantConfig::parasol(),
+                                            cooling::RegimeMenu::parasol(),
+                                            lc);
+    }();
+    return bundle;
+}
+
+const model::LearnedBundle &
+sharedEvaporativeBundle()
+{
+    static const model::LearnedBundle bundle = [] {
+        model::LearnerConfig lc;
+        return model::CoolingLearner::learn(
+            plant::PlantConfig::smoothParasolEvaporative(),
+            cooling::RegimeMenu::smoothWithEvaporative(), lc);
+    }();
+    return bundle;
+}
+
+const workload::UtilizationProfile &
+sharedFacebookProfile()
+{
+    static const workload::UtilizationProfile profile = [] {
+        workload::ClusterConfig cc;
+        return workload::UtilizationProfile::fromTrace(
+            workload::facebookTrace({}), cc);
+    }();
+    return profile;
+}
+
+ExperimentResult
+runYearExperiment(const ExperimentSpec &spec)
+{
+    // --- Plant -------------------------------------------------------------
+    plant::PlantConfig pc = spec.style == cooling::ActuatorStyle::Abrupt
+                                ? plant::PlantConfig::parasol()
+                                : plant::PlantConfig::smoothParasol();
+    if (spec.variant == PlantVariant::Evaporative)
+        pc = plant::PlantConfig::smoothParasolEvaporative();
+    else if (spec.variant == PlantVariant::Chiller)
+        pc = plant::PlantConfig::smoothParasolChiller();
+    plant::Plant plant(pc, spec.seed);
+
+    // --- Environment -------------------------------------------------------
+    environment::Climate climate = spec.location.makeClimate(spec.seed);
+    environment::Forecaster forecaster(climate, spec.forecastError,
+                                       spec.seed);
+
+    // --- Workload ----------------------------------------------------------
+    std::unique_ptr<workload::WorkloadModel> workload;
+    workload::ClusterConfig cc;
+    if (spec.workload == WorkloadKind::FacebookProfile) {
+        workload = std::make_unique<workload::ProfileWorkload>(
+            cc, sharedFacebookProfile());
+    } else {
+        workload = std::make_unique<workload::ClusterSim>(
+            cc, traceFor(spec.workload, spec.system, spec.seed));
+    }
+
+    // --- Controller ----------------------------------------------------------
+    std::unique_ptr<Controller> controller;
+    if (spec.system == SystemId::Baseline) {
+        cooling::TksConfig tks = cooling::TksConfig::extendedBaseline();
+        tks.setpointC = spec.maxTempC;
+        controller = std::make_unique<BaselineController>(tks);
+    } else {
+        cooling::RegimeMenu menu =
+            spec.style == cooling::ActuatorStyle::Abrupt
+                ? cooling::RegimeMenu::parasol()
+                : cooling::RegimeMenu::smooth();
+        const model::LearnedBundle *bundle = &sharedBundle();
+        if (spec.variant == PlantVariant::Evaporative) {
+            menu = cooling::RegimeMenu::smoothWithEvaporative();
+            bundle = &sharedEvaporativeBundle();
+        }
+        core::CoolAirConfig config = core::CoolAirConfig::forVersion(
+            versionOf(spec.system), menu, spec.maxTempC);
+        controller = std::make_unique<CoolAirController>(
+            config, *bundle, &forecaster,
+            systemName(spec.system));
+    }
+
+    // --- Run -----------------------------------------------------------------
+    MetricsConfig mc;
+    mc.maxTempC = spec.maxTempC;
+    MetricsCollector metrics(mc, pc.numPods);
+
+    EngineConfig ec;
+    ec.physicsStepS = spec.physicsStepS;
+    ec.sampleIntervalS = std::max<int64_t>(60, int64_t(spec.physicsStepS));
+    Engine engine(plant, *workload, *controller, climate, ec);
+    engine.setMetrics(&metrics);
+    engine.runYearWeekly(spec.weeks);
+
+    ExperimentResult result;
+    result.system = metrics.summary();
+    result.outside = metrics.outsideSummary();
+    return result;
+}
+
+} // namespace sim
+} // namespace coolair

@@ -1,0 +1,119 @@
+#ifndef COOLAIR_SIM_EXPERIMENT_HPP
+#define COOLAIR_SIM_EXPERIMENT_HPP
+
+/**
+ * @file
+ * Canned experiment orchestration reproducing the paper's evaluation
+ * protocol (§5.1): pick a location and a system (the extended-TKS
+ * baseline or a CoolAir version), run the first day of each week for a
+ * year on the chosen plant, and report the Figure 8/9/10 metrics.
+ *
+ * The learned model bundle is expensive to produce and identical across
+ * experiments, so sharedBundle() memoizes one (learned on the abrupt
+ * Parasol plant; smooth-plant runs *extrapolate* it, exactly as
+ * Smooth-Sim does in §5.1).
+ */
+
+#include <cstdint>
+
+#include "cooling/actuators.hpp"
+#include "environment/forecast.hpp"
+#include "environment/location.hpp"
+#include "model/learner.hpp"
+#include "sim/metrics.hpp"
+#include "workload/job.hpp"
+#include "workload/profile.hpp"
+
+namespace coolair {
+namespace sim {
+
+/** The systems compared in the evaluation. */
+enum class SystemId
+{
+    Baseline,
+    Temperature,
+    Variation,
+    Energy,
+    AllNd,
+    AllDef,
+    VarLowRecirc,
+    VarHighRecirc,
+    EnergyDef
+};
+
+/** Display name matching the paper's figures. */
+const char *systemName(SystemId id);
+
+/** True for systems that defer jobs (need deferrable traces). */
+bool systemIsDeferrable(SystemId id);
+
+/** Which plant hardware variant an experiment runs on. */
+enum class PlantVariant
+{
+    Standard,     ///< Per spec.style (abrupt Parasol or smooth units).
+    Evaporative,  ///< Smooth units + adiabatic pre-cooler.
+    Chiller       ///< Smooth units + chilled-water backup loop.
+};
+
+/** Workload selection for an experiment. */
+enum class WorkloadKind
+{
+    Facebook,         ///< SWIM-Facebook-like day trace (task-level sim).
+    Nutch,            ///< Nutch-like day trace (task-level sim).
+    FacebookProfile,  ///< Facebook as a fast utilization profile.
+    SteadyHalf        ///< Constant 50 % load (tests, Figure 1).
+};
+
+/** Everything needed to run one year-long experiment. */
+struct ExperimentSpec
+{
+    environment::Location location;
+    SystemId system = SystemId::Baseline;
+    cooling::ActuatorStyle style = cooling::ActuatorStyle::Smooth;
+    PlantVariant variant = PlantVariant::Standard;
+    WorkloadKind workload = WorkloadKind::Facebook;
+
+    /** The operator's desired maximum temperature [°C]. */
+    double maxTempC = 30.0;
+
+    /** Forecast error injection (§5.2 forecast-accuracy study). */
+    environment::ForecastErrorModel forecastError;
+
+    /** Weeks simulated (52 = the full §5.1 protocol). */
+    int weeks = 52;
+
+    /** Physics step [s] (the world sweep uses a coarser step). */
+    double physicsStepS = 30.0;
+
+    uint64_t seed = 7;
+};
+
+/** Year-experiment outputs. */
+struct ExperimentResult
+{
+    Summary system;    ///< Inlet-temperature metrics of the run.
+    Summary outside;   ///< Outside-temperature ranges for comparison.
+};
+
+/**
+ * The memoized learned bundle (model + recirculation rank), produced
+ * once per process from the abrupt Parasol plant.
+ */
+const model::LearnedBundle &sharedBundle();
+
+/**
+ * The memoized bundle for the evaporative-cooler plant (includes
+ * FcEvap regime models).
+ */
+const model::LearnedBundle &sharedEvaporativeBundle();
+
+/** The memoized Facebook utilization profile (for the world sweep). */
+const workload::UtilizationProfile &sharedFacebookProfile();
+
+/** Run one year-long experiment. */
+ExperimentResult runYearExperiment(const ExperimentSpec &spec);
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_EXPERIMENT_HPP

@@ -1,0 +1,118 @@
+#ifndef COOLAIR_SIM_METRICS_HPP
+#define COOLAIR_SIM_METRICS_HPP
+
+/**
+ * @file
+ * Run metrics matching the paper's evaluation measures:
+ *
+ *  - average temperature violation above the desired maximum (Fig. 8):
+ *    readings at or below the max contribute 0, readings above
+ *    contribute (reading - max), averaged over all sensor readings;
+ *  - worst daily temperature range (Fig. 9): per day, per sensor
+ *    max - min, the worst sensor per day, then the average / min / max
+ *    of those worst ranges across days;
+ *  - yearly PUE including Parasol's 0.08 power-delivery overhead
+ *    (Fig. 10): (IT + cooling + 0.08 x IT) / IT over the whole run;
+ *  - humidity-ceiling and change-rate violation fractions;
+ *  - cooling energy [kWh] for the §5.2 cost analysis.
+ */
+
+#include <vector>
+
+#include "plant/parasol.hpp"
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace sim {
+
+/** Metric configuration. */
+struct MetricsConfig
+{
+    /** The desired maximum temperature for violations [°C]. */
+    double maxTempC = 30.0;
+
+    /** Relative-humidity ceiling [%]. */
+    double maxRhPercent = 80.0;
+
+    /** ASHRAE change-rate limit [°C/hour]. */
+    double maxRateCPerHour = 20.0;
+
+    /** PUE overhead for power delivery (Parasol: 0.08). */
+    double deliveryOverhead = 0.08;
+};
+
+/** Aggregated results of one run. */
+struct Summary
+{
+    double avgViolationC = 0.0;        ///< Fig. 8 metric.
+    double avgWorstDailyRangeC = 0.0;  ///< Fig. 9 bar.
+    double minWorstDailyRangeC = 0.0;  ///< Fig. 9 whisker bottom.
+    double maxWorstDailyRangeC = 0.0;  ///< Fig. 9 whisker top.
+    double pue = 1.0;                  ///< Fig. 10 metric.
+    double itKwh = 0.0;
+    double coolingKwh = 0.0;
+    double humidityViolationFrac = 0.0;
+    double rateViolationFrac = 0.0;
+    double avgMaxInletC = 0.0;         ///< Mean of per-reading max inlet.
+    size_t days = 0;
+};
+
+/** Streaming collector fed by the engine. */
+class MetricsCollector
+{
+  public:
+    MetricsCollector(const MetricsConfig &config, int num_pods);
+
+    /**
+     * Record one observation interval.
+     *
+     * @param now      timestamp of the reading
+     * @param sensors  sensor snapshot
+     * @param dt_s     seconds this snapshot represents (for energy)
+     */
+    void record(util::SimTime now, const plant::SensorReadings &sensors,
+                double dt_s);
+
+    /** Also track outside temperature ranges (Fig. 9's Outside bars). */
+    void recordOutside(util::SimTime now, double outside_c);
+
+    /** Finalize open days and compute the summary. */
+    Summary summary() const;
+
+    /** Summary of the outside-temperature ranges. */
+    Summary outsideSummary() const;
+
+    /** The configuration in effect. */
+    const MetricsConfig &config() const { return _config; }
+
+  private:
+    MetricsConfig _config;
+    int _numPods;
+
+    util::DailyRangeTracker _ranges;
+    util::DailyRangeTracker _outsideRanges;
+    util::RunningStats _violations;
+    util::RunningStats _maxInlet;
+    double _itJoules = 0.0;
+    double _coolingJoules = 0.0;
+    size_t _humidityViolations = 0;
+    size_t _rateViolations = 0;
+    size_t _samples = 0;
+
+    /** Ring of (time, per-pod temps) for windowed rate measurement. */
+    struct RateSample
+    {
+        int64_t timeS;
+        std::vector<double> temps;
+    };
+    std::vector<RateSample> _rateWindow;
+
+    /** Rate is measured over this window [s] (noise-robust). */
+    static constexpr int64_t kRateWindowS = 600;
+};
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_METRICS_HPP

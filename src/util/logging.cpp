@@ -1,0 +1,62 @@
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace util {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(_level))
+        return;
+
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Debug: tag = "debug"; break;
+      case LogLevel::Info:  tag = "info";  break;
+      case LogLevel::Warn:  tag = "warn";  break;
+      case LogLevel::Error: tag = "error"; break;
+    }
+    std::cerr << "[coolair:" << tag << "] " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Warn, msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Debug, msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "[coolair:panic] " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "[coolair:fatal] " << msg << std::endl;
+    std::exit(1);
+}
+
+} // namespace util
+} // namespace coolair

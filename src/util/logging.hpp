@@ -1,0 +1,79 @@
+#ifndef COOLAIR_UTIL_LOGGING_HPP
+#define COOLAIR_UTIL_LOGGING_HPP
+
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user errors (bad configuration), warn() and
+ * inform() for status reporting.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace coolair {
+namespace util {
+
+/** Severity levels for runtime log output. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error
+};
+
+/**
+ * Global log configuration.  The level defaults to Warn so that library
+ * consumers are not spammed; tests and benches raise it as needed.
+ */
+class Logger
+{
+  public:
+    /** Return the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Set the minimum level that gets emitted. */
+    void setLevel(LogLevel level) { _level = level; }
+
+    /** Current minimum level. */
+    LogLevel level() const { return _level; }
+
+    /** Emit a message if @p level is at or above the configured level. */
+    void log(LogLevel level, const std::string &msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel _level = LogLevel::Warn;
+};
+
+/** Emit an informational message (normal operation). */
+void inform(const std::string &msg);
+
+/** Emit a warning (questionable but survivable condition). */
+void warn(const std::string &msg);
+
+/** Emit a debug message (verbose tracing). */
+void debug(const std::string &msg);
+
+/**
+ * Abort due to an internal invariant violation — a bug in this library,
+ * never the user's fault.  Calls std::abort().
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit due to a user error (bad configuration, invalid arguments).
+ * Calls std::exit(1).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace util
+} // namespace coolair
+
+#endif // COOLAIR_UTIL_LOGGING_HPP

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace util {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+uint64_t
+Rng::splitMix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::fnv1a(const std::string &s)
+{
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : s) {
+        h ^= uint64_t(uint8_t(c));
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &word : _state)
+        word = splitMix64(x);
+}
+
+Rng::Rng(uint64_t root_seed, const std::string &stream_name)
+    : Rng(root_seed ^ fnv1a(stream_name))
+{
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo > hi");
+    uint64_t span = uint64_t(hi - lo) + 1;
+    if (span == 0)  // full 64-bit range
+        return int64_t(next());
+    return lo + int64_t(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (_haveSpare) {
+        _haveSpare = false;
+        return _spare;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    _spare = mag * std::sin(2.0 * M_PI * u2);
+    _haveSpare = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("Rng::exponential: mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+Rng
+Rng::fork(const std::string &name)
+{
+    uint64_t seed = next() ^ fnv1a(name);
+    return Rng(seed);
+}
+
+} // namespace util
+} // namespace coolair

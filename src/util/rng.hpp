@@ -1,0 +1,83 @@
+#ifndef COOLAIR_UTIL_RNG_HPP
+#define COOLAIR_UTIL_RNG_HPP
+
+/**
+ * @file
+ * Deterministic, named random-number streams.
+ *
+ * Every stochastic element of the simulator (weather noise, trace
+ * generation, sensor noise) draws from its own named stream so that
+ * experiments are exactly reproducible and adding a consumer of randomness
+ * in one module never perturbs another module's draws.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace coolair {
+namespace util {
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256**).  We implement it directly
+ * rather than using std::mt19937_64 so stream state is tiny and splitting
+ * is cheap and well defined across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /**
+     * Construct a named sub-stream: the stream name is hashed (FNV-1a)
+     * and mixed into the seed, decorrelating streams that share a root
+     * seed.
+     */
+    Rng(uint64_t root_seed, const std::string &stream_name);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal deviate (Box–Muller, cached spare). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential deviate with the given mean (inverse rate). */
+    double exponential(double mean);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+    /**
+     * Log-normal deviate parameterized by the mean and standard deviation
+     * of the *underlying normal* distribution.
+     */
+    double logNormal(double mu, double sigma);
+
+    /** Fork an independent child stream identified by @p name. */
+    Rng fork(const std::string &name);
+
+  private:
+    uint64_t _state[4];
+    bool _haveSpare = false;
+    double _spare = 0.0;
+
+    static uint64_t splitMix64(uint64_t &x);
+    static uint64_t fnv1a(const std::string &s);
+};
+
+} // namespace util
+} // namespace coolair
+
+#endif // COOLAIR_UTIL_RNG_HPP

@@ -1,0 +1,48 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace util {
+
+const int kMonthStartDay[13] = {
+    0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365
+};
+
+static const char *kMonthNames[12] = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"
+};
+
+int
+SimTime::month() const
+{
+    int day = dayOfYear();
+    for (int m = 0; m < 12; ++m) {
+        if (day < kMonthStartDay[m + 1])
+            return m;
+    }
+    panic("SimTime::month: day of year out of range");
+}
+
+std::string
+SimTime::str() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "d%03d %02d:%02d:%02d", dayOfYear(),
+                  hourOfDay(), minuteOfHour(), secondOfDay() % 60);
+    return buf;
+}
+
+const char *
+monthName(int month)
+{
+    if (month < 0 || month > 11)
+        panic("monthName: month index out of range");
+    return kMonthNames[month];
+}
+
+} // namespace util
+} // namespace coolair

@@ -1,0 +1,148 @@
+#ifndef COOLAIR_UTIL_SIM_TIME_HPP
+#define COOLAIR_UTIL_SIM_TIME_HPP
+
+/**
+ * @file
+ * Simulation time representation.
+ *
+ * CoolAir simulations run over (portions of) a calendar year.  SimTime
+ * counts whole seconds since 00:00 on January 1st of a non-leap "typical
+ * meteorological year" (365 days), mirroring how TMY weather datasets are
+ * indexed.  All calendar arithmetic (day of year, hour of day, month) is
+ * derived from that single integer, so time never drifts.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace coolair {
+namespace util {
+
+/** Number of seconds in a minute. */
+constexpr int64_t kSecondsPerMinute = 60;
+/** Number of seconds in an hour. */
+constexpr int64_t kSecondsPerHour = 3600;
+/** Number of seconds in a day. */
+constexpr int64_t kSecondsPerDay = 86400;
+/** Number of days in the typical meteorological year (non-leap). */
+constexpr int kDaysPerYear = 365;
+/** Number of seconds in the typical meteorological year. */
+constexpr int64_t kSecondsPerYear = kSecondsPerDay * kDaysPerYear;
+
+/**
+ * A point in simulated time: whole seconds since 00:00 Jan 1 of a
+ * non-leap year.  Negative values are permitted for relative arithmetic
+ * but most APIs expect times within [0, kSecondsPerYear).
+ */
+class SimTime
+{
+  public:
+    /** Construct time zero (midnight, January 1st). */
+    constexpr SimTime() : _seconds(0) {}
+
+    /** Construct from an absolute second count. */
+    explicit constexpr SimTime(int64_t seconds) : _seconds(seconds) {}
+
+    /** Build a SimTime from calendar components within the year. */
+    static constexpr SimTime
+    fromCalendar(int day_of_year, int hour, int minute = 0, int second = 0)
+    {
+        return SimTime(int64_t(day_of_year) * kSecondsPerDay +
+                       int64_t(hour) * kSecondsPerHour +
+                       int64_t(minute) * kSecondsPerMinute + second);
+    }
+
+    /** Absolute seconds since the year origin. */
+    constexpr int64_t seconds() const { return _seconds; }
+
+    /** Fractional hours since the year origin. */
+    constexpr double hours() const
+    {
+        return double(_seconds) / double(kSecondsPerHour);
+    }
+
+    /** Fractional days since the year origin. */
+    constexpr double days() const
+    {
+        return double(_seconds) / double(kSecondsPerDay);
+    }
+
+    /** Day of year in [0, 364] (wraps for times beyond one year). */
+    constexpr int dayOfYear() const
+    {
+        // Floor division so negative times land on the preceding day.
+        int64_t day = _seconds / kSecondsPerDay;
+        if (_seconds % kSecondsPerDay < 0)
+            --day;
+        int64_t wrapped = ((day % kDaysPerYear) + kDaysPerYear) % kDaysPerYear;
+        return int(wrapped);
+    }
+
+    /** Second within the current day, in [0, 86399]. */
+    constexpr int secondOfDay() const
+    {
+        int64_t s = ((_seconds % kSecondsPerDay) + kSecondsPerDay) %
+                    kSecondsPerDay;
+        return int(s);
+    }
+
+    /** Hour within the current day, in [0, 23]. */
+    constexpr int hourOfDay() const
+    {
+        return secondOfDay() / int(kSecondsPerHour);
+    }
+
+    /** Fractional hour within the current day, in [0, 24). */
+    constexpr double fractionalHourOfDay() const
+    {
+        return double(secondOfDay()) / double(kSecondsPerHour);
+    }
+
+    /** Minute within the current hour, in [0, 59]. */
+    constexpr int minuteOfHour() const
+    {
+        return (secondOfDay() / int(kSecondsPerMinute)) % 60;
+    }
+
+    /** Month index in [0, 11], derived from day of year. */
+    int month() const;
+
+    /** SimTime at the start (midnight) of the current day. */
+    constexpr SimTime startOfDay() const
+    {
+        return SimTime(_seconds - secondOfDay());
+    }
+
+    /** Render as "dDDD hh:mm:ss" for logs and traces. */
+    std::string str() const;
+
+    constexpr SimTime operator+(int64_t s) const
+    {
+        return SimTime(_seconds + s);
+    }
+    constexpr SimTime operator-(int64_t s) const
+    {
+        return SimTime(_seconds - s);
+    }
+    constexpr int64_t operator-(SimTime other) const
+    {
+        return _seconds - other._seconds;
+    }
+    SimTime &operator+=(int64_t s) { _seconds += s; return *this; }
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+  private:
+    int64_t _seconds;
+};
+
+/** Cumulative day-of-year at the start of each month (non-leap). */
+extern const int kMonthStartDay[13];
+
+/** Three-letter month name for a month index in [0, 11]. */
+const char *monthName(int month);
+
+} // namespace util
+} // namespace coolair
+
+#endif // COOLAIR_UTIL_SIM_TIME_HPP

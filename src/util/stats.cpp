@@ -1,0 +1,209 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace util {
+
+void
+RunningStats::add(double x)
+{
+    if (_count == 0) {
+        _min = x;
+        _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_count;
+    double delta = x - _mean;
+    _mean += delta / double(_count);
+    _m2 += delta * (x - _mean);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    size_t n = _count + other._count;
+    double delta = other._mean - _mean;
+    double mean = _mean + delta * double(other._count) / double(n);
+    _m2 = _m2 + other._m2 +
+          delta * delta * double(_count) * double(other._count) / double(n);
+    _mean = mean;
+    _count = n;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / double(_count - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::range() const
+{
+    if (_count == 0)
+        return 0.0;
+    return _max - _min;
+}
+
+void
+EmpiricalCdf::add(double x)
+{
+    _samples.push_back(x);
+    _sorted = false;
+}
+
+void
+EmpiricalCdf::ensureSorted() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+}
+
+double
+EmpiricalCdf::fractionAtOrBelow(double x) const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(_samples.begin(), _samples.end(), x);
+    return double(it - _samples.begin()) / double(_samples.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    q = clamp(q, 0.0, 1.0);
+    size_t idx = size_t(q * double(_samples.size() - 1) + 0.5);
+    return _samples[idx];
+}
+
+const std::vector<double> &
+EmpiricalCdf::sorted() const
+{
+    ensureSorted();
+    return _samples;
+}
+
+DailyRangeTracker::DailyRangeTracker(size_t num_sensors)
+    : _numSensors(num_sensors), _dayStats(num_sensors)
+{
+    if (num_sensors == 0)
+        panic("DailyRangeTracker: need at least one sensor");
+}
+
+void
+DailyRangeTracker::record(int day_index, size_t sensor, double value)
+{
+    if (sensor >= _numSensors)
+        panic("DailyRangeTracker::record: sensor index out of range");
+    if (_dayOpen && day_index < _currentDay)
+        panic("DailyRangeTracker::record: days must be non-decreasing");
+
+    if (!_dayOpen) {
+        _currentDay = day_index;
+        _dayOpen = true;
+    } else if (day_index != _currentDay) {
+        closeDay();
+        _currentDay = day_index;
+        _dayOpen = true;
+    }
+    _dayStats[sensor].add(value);
+}
+
+void
+DailyRangeTracker::finish()
+{
+    if (_dayOpen)
+        closeDay();
+}
+
+void
+DailyRangeTracker::closeDay()
+{
+    double worst = 0.0;
+    for (auto &stats : _dayStats) {
+        if (stats.count() > 0)
+            worst = std::max(worst, stats.range());
+        stats.reset();
+    }
+    _worstRanges.push_back(worst);
+    _dayOpen = false;
+}
+
+double
+DailyRangeTracker::averageWorstDailyRange() const
+{
+    if (_worstRanges.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double r : _worstRanges)
+        sum += r;
+    return sum / double(_worstRanges.size());
+}
+
+double
+DailyRangeTracker::minWorstDailyRange() const
+{
+    if (_worstRanges.empty())
+        return 0.0;
+    return *std::min_element(_worstRanges.begin(), _worstRanges.end());
+}
+
+double
+DailyRangeTracker::maxWorstDailyRange() const
+{
+    if (_worstRanges.empty())
+        return 0.0;
+    return *std::max_element(_worstRanges.begin(), _worstRanges.end());
+}
+
+double
+lerp(double x0, double y0, double x1, double y1, double x)
+{
+    if (x1 == x0)
+        return y0;
+    double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
+double
+clamp(double x, double lo, double hi)
+{
+    return std::max(lo, std::min(hi, x));
+}
+
+} // namespace util
+} // namespace coolair

@@ -1,0 +1,64 @@
+#ifndef COOLAIR_UTIL_TABLE_HPP
+#define COOLAIR_UTIL_TABLE_HPP
+
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the bench harnesses to print
+ * the paper's tables/figure series, and to dump traces for plotting.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coolair {
+namespace util {
+
+/**
+ * A simple column-aligned text table.  Rows are collected as strings and
+ * rendered with per-column padding, markdown-style.
+ */
+class TextTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision decimals. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/**
+ * Streaming CSV writer.  Used by examples to dump time series that can be
+ * plotted externally.
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to an output stream and write the header line. */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &header);
+
+    /** Write one data row (doubles rendered with 6 significant digits). */
+    void writeRow(const std::vector<double> &values);
+
+    /** Write one data row of preformatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &_os;
+    size_t _arity;
+};
+
+} // namespace util
+} // namespace coolair
+
+#endif // COOLAIR_UTIL_TABLE_HPP

@@ -1,0 +1,443 @@
+#include "workload/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace workload {
+
+ClusterSim::ClusterSim(const ClusterConfig &config, Trace trace)
+    : _config(config), _trace(std::move(trace))
+{
+    if (config.numPods <= 0 || config.serversPerPod <= 0 ||
+        config.slotsPerServer <= 0) {
+        util::fatal("ClusterConfig: dimensions must be positive");
+    }
+    if (config.coveringSubsetSize > config.totalServers())
+        util::fatal("ClusterConfig: covering subset larger than cluster");
+
+    std::sort(_trace.jobs.begin(), _trace.jobs.end(),
+              [](const Job &a, const Job &b) { return a.submitS < b.submitS; });
+
+    _servers.resize(config.totalServers());
+    for (int s = 0; s < config.totalServers(); ++s) {
+        _servers[s].pod = s / config.serversPerPod;
+        _servers[s].state = ServerState::Active;
+    }
+    // Covering subset: spread across pods round-robin so every pod keeps
+    // at least one awake server (and its sensor context) at all times.
+    for (int k = 0; k < config.coveringSubsetSize; ++k) {
+        int pod = k % config.numPods;
+        int within = k / config.numPods;
+        int idx = pod * config.serversPerPod + within;
+        _servers[idx].covering = true;
+    }
+}
+
+void
+ClusterSim::setTrace(Trace trace)
+{
+    std::sort(trace.jobs.begin(), trace.jobs.end(),
+              [](const Job &a, const Job &b) { return a.submitS < b.submitS; });
+    _pendingTrace = std::move(trace);
+    _hasPendingTrace = true;
+}
+
+void
+ClusterSim::applyPlan(const ComputePlan &plan)
+{
+    _plan = plan;
+    _preferenceDirty = true;
+}
+
+const std::vector<int> &
+ClusterSim::serverPreference()
+{
+    if (!_preferenceDirty)
+        return _serverPreference;
+
+    std::vector<int> pod_rank(_config.numPods);
+    for (int p = 0; p < _config.numPods; ++p)
+        pod_rank[p] = p;
+    if (!_plan.podOrder.empty()) {
+        for (int p = 0; p < _config.numPods; ++p)
+            pod_rank[p] = _config.numPods;  // unlisted pods go last
+        int rank = 0;
+        for (int pod : _plan.podOrder) {
+            if (pod >= 0 && pod < _config.numPods)
+                pod_rank[pod] = rank++;
+        }
+    }
+
+    _serverPreference.resize(_servers.size());
+    for (size_t s = 0; s < _servers.size(); ++s)
+        _serverPreference[s] = int(s);
+    std::stable_sort(_serverPreference.begin(), _serverPreference.end(),
+                     [&](int a, int b) {
+                         return pod_rank[_servers[a].pod] <
+                                pod_rank[_servers[b].pod];
+                     });
+    _preferenceDirty = false;
+    return _serverPreference;
+}
+
+void
+ClusterSim::rolloverDay(int day_index)
+{
+    _currentDay = day_index;
+    _nextJobIdx = 0;
+    if (_hasPendingTrace) {
+        _trace = std::move(_pendingTrace);
+        _hasPendingTrace = false;
+    }
+}
+
+void
+ClusterSim::activateJob(const Job &job, int64_t released,
+                        int64_t abs_submit)
+{
+    size_t slot;
+    if (!_freeJobSlots.empty()) {
+        slot = _freeJobSlots.back();
+        _freeJobSlots.pop_back();
+        _activeJobs[slot] = JobRun{};
+    } else {
+        slot = _activeJobs.size();
+        _activeJobs.emplace_back();
+    }
+    JobRun &run = _activeJobs[slot];
+    run.job = job;
+    run.job.submitS = abs_submit;  // delay accounting vs. wall clock
+    run.releasedAtS = released;
+    run.mapsQueued = job.mapTasks;
+    _runnableJobs.push_back(slot);
+}
+
+void
+ClusterSim::submitJob(const Job &job, util::SimTime now)
+{
+    activateJob(job, now.seconds(), job.submitS);
+}
+
+void
+ClusterSim::releaseJobs(util::SimTime now)
+{
+    int64_t day_start = now.startOfDay().seconds();
+    bool manage = _plan.manageServerStates ||
+                  !std::all_of(_plan.hourAllowed.begin(),
+                               _plan.hourAllowed.end(),
+                               [](bool b) { return b; });
+    int hour = now.hourOfDay();
+
+    auto activate = [&](const Job &job, int64_t released,
+                        int64_t abs_submit) {
+        activateJob(job, released, abs_submit);
+    };
+
+    // Intake from today's trace.
+    while (_nextJobIdx < _trace.jobs.size()) {
+        const Job &job = _trace.jobs[_nextJobIdx];
+        int64_t abs_submit = day_start + job.submitS;
+        if (abs_submit > now.seconds())
+            break;
+        ++_nextJobIdx;
+
+        int64_t abs_deadline = day_start + job.startDeadlineS;
+        bool defer = manage && job.deferrable() &&
+                     !_plan.hourAllowed[size_t(hour)] &&
+                     now.seconds() < abs_deadline;
+        if (defer) {
+            Job held = job;
+            // Re-express times as absolute for the holding queue.
+            held.startDeadlineS = abs_deadline;
+            held.submitS = abs_submit;
+            _deferredAbs.push_back(held);
+        } else {
+            activate(job, now.seconds(), abs_submit);
+        }
+    }
+
+    // Re-examine held jobs.
+    for (size_t i = 0; i < _deferredAbs.size();) {
+        const Job &job = _deferredAbs[i];
+        bool release = _plan.hourAllowed[size_t(hour)] ||
+                       now.seconds() >= job.startDeadlineS;
+        if (release) {
+            activate(job, now.seconds(), job.submitS);
+            _deferredAbs[i] = _deferredAbs.back();
+            _deferredAbs.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+ClusterSim::completeTasks(util::SimTime now)
+{
+    for (size_t i = 0; i < _running.size();) {
+        if (_running[i].finishS > now.seconds()) {
+            ++i;
+            continue;
+        }
+        RunningTask task = _running[i];
+        _running[i] = _running.back();
+        _running.pop_back();
+
+        Server &server = _servers[size_t(task.server)];
+        server.busySlots--;
+        _busySlots--;
+        _tasksCompleted++;
+
+        JobRun &run = _activeJobs[task.jobSlot];
+        if (task.isMap) {
+            run.mapsRunning--;
+            run.mapsDone++;
+            if (run.mapsFinished() && run.job.reduceTasks > 0) {
+                run.reducesQueued = run.job.reduceTasks;
+                _runnableJobs.push_back(task.jobSlot);
+            }
+        } else {
+            run.reducesRunning--;
+            run.reducesDone++;
+        }
+
+        if (run.finished()) {
+            _jobsCompleted++;
+            double delay =
+                double(std::max<int64_t>(0, run.startedAtS - run.job.submitS));
+            _delaySumS += delay;
+            _delayMaxS = std::max(_delayMaxS, delay);
+            _freeJobSlots.push_back(task.jobSlot);
+        }
+    }
+}
+
+void
+ClusterSim::applyPowerStates()
+{
+    if (!_plan.manageServerStates) {
+        for (auto &server : _servers) {
+            if (server.state == ServerState::Sleeping)
+                server.powerCycles++;  // waking completes a cycle
+            server.state = ServerState::Active;
+        }
+        return;
+    }
+
+    int target = _plan.targetActiveServers;
+    if (target < 0)
+        target = _config.totalServers();
+    target = std::clamp(target, _config.coveringSubsetSize,
+                        _config.totalServers());
+
+    const auto &pref = serverPreference();
+
+    int awake = 0;
+    for (const auto &server : _servers)
+        if (server.state != ServerState::Sleeping)
+            ++awake;
+
+    if (awake < target) {
+        // Wake in preference order until we reach the target.
+        for (int idx : pref) {
+            if (awake >= target)
+                break;
+            Server &server = _servers[size_t(idx)];
+            if (server.state == ServerState::Sleeping) {
+                server.state = ServerState::Active;
+                server.powerCycles++;
+                ++awake;
+            }
+        }
+        // Surviving decommissioned servers are needed again.
+        for (auto &server : _servers)
+            if (server.state == ServerState::Decommissioned)
+                server.state = ServerState::Active;
+        return;
+    }
+
+    // Shrink: walk preference in reverse, spare the covering subset.
+    int surplus = awake - target;
+    for (auto it = pref.rbegin(); it != pref.rend() && surplus > 0; ++it) {
+        Server &server = _servers[size_t(*it)];
+        if (server.covering || server.state == ServerState::Sleeping)
+            continue;
+        if (server.busySlots == 0) {
+            server.state = ServerState::Sleeping;
+            --surplus;
+        } else {
+            server.state = ServerState::Decommissioned;
+            --surplus;
+        }
+    }
+    // Idle decommissioned servers may now complete their descent.
+    for (auto &server : _servers) {
+        if (server.state == ServerState::Decommissioned &&
+            server.busySlots == 0) {
+            server.state = ServerState::Sleeping;
+        }
+    }
+}
+
+int
+ClusterSim::freeSlotsOn(const Server &server) const
+{
+    if (server.state != ServerState::Active)
+        return 0;
+    return _config.slotsPerServer - server.busySlots;
+}
+
+void
+ClusterSim::scheduleTasks(util::SimTime now)
+{
+    if (_runnableJobs.empty())
+        return;
+    const auto &pref = serverPreference();
+
+    for (int idx : pref) {
+        Server &server = _servers[size_t(idx)];
+        int free = freeSlotsOn(server);
+        while (free > 0 && !_runnableJobs.empty()) {
+            size_t slot = _runnableJobs.front();
+            JobRun &run = _activeJobs[slot];
+
+            bool launched = false;
+            if (run.mapsQueued > 0) {
+                run.mapsQueued--;
+                run.mapsRunning++;
+                _running.push_back({now.seconds() + run.job.mapTaskDurS,
+                                    idx, slot, true});
+                launched = true;
+            } else if (run.reducesQueued > 0) {
+                run.reducesQueued--;
+                run.reducesRunning++;
+                _running.push_back({now.seconds() + run.job.reduceTaskDurS,
+                                    idx, slot, false});
+                launched = true;
+            }
+
+            if (launched) {
+                if (run.startedAtS < 0)
+                    run.startedAtS = now.seconds();
+                server.busySlots++;
+                _busySlots++;
+                free--;
+            }
+
+            if (run.mapsQueued == 0 && run.reducesQueued == 0) {
+                // Nothing left to launch for this job right now.
+                _runnableJobs.pop_front();
+                if (!launched)
+                    continue;
+            }
+        }
+        if (_runnableJobs.empty())
+            break;
+    }
+}
+
+void
+ClusterSim::step(util::SimTime now, double dt_s)
+{
+    int day = int(now.seconds() / util::kSecondsPerDay);
+    if (day != _currentDay)
+        rolloverDay(day);
+
+    completeTasks(now);
+    releaseJobs(now);
+    applyPowerStates();
+    scheduleTasks(now);
+    _elapsedS += int64_t(dt_s);
+}
+
+plant::PodLoad
+ClusterSim::podLoad() const
+{
+    plant::PodLoad load;
+    load.serversPerPod = _config.serversPerPod;
+    load.activeServers.assign(size_t(_config.numPods), 0);
+    load.utilization.assign(size_t(_config.numPods), 0.0);
+
+    std::vector<int> busy(size_t(_config.numPods), 0);
+    for (const auto &server : _servers) {
+        if (server.state != ServerState::Sleeping) {
+            load.activeServers[size_t(server.pod)]++;
+            busy[size_t(server.pod)] += server.busySlots;
+        }
+    }
+    for (int p = 0; p < _config.numPods; ++p) {
+        int awake = load.activeServers[size_t(p)];
+        if (awake > 0) {
+            load.utilization[size_t(p)] =
+                double(busy[size_t(p)]) /
+                double(awake * _config.slotsPerServer);
+        }
+    }
+    return load;
+}
+
+WorkloadStatus
+ClusterSim::status() const
+{
+    WorkloadStatus st;
+    int64_t queued = 0;
+    for (size_t slot : _runnableJobs) {
+        const JobRun &run = _activeJobs[slot];
+        queued += run.mapsQueued + run.reducesQueued;
+    }
+    st.queuedTasks = int(std::min<int64_t>(queued, 1 << 30));
+
+    int64_t wanted_slots = queued + int64_t(_running.size());
+    st.demandServers = int(std::min<int64_t>(
+        (wanted_slots + _config.slotsPerServer - 1) / _config.slotsPerServer,
+        _config.totalServers()));
+
+    st.awakeServers = awakeServers();
+    st.offeredUtilization =
+        double(_busySlots) / double(_config.totalSlots());
+    st.hasDeferrableJobs =
+        std::any_of(_trace.jobs.begin(), _trace.jobs.end(),
+                    [](const Job &j) { return j.deferrable(); });
+    return st;
+}
+
+ClusterStats
+ClusterSim::stats() const
+{
+    ClusterStats st;
+    st.jobsCompleted = _jobsCompleted;
+    st.tasksCompleted = _tasksCompleted;
+    st.meanJobDelayS =
+        _jobsCompleted > 0 ? _delaySumS / double(_jobsCompleted) : 0.0;
+    st.maxJobDelayS = _delayMaxS;
+    for (const auto &server : _servers)
+        st.maxPowerCycles = std::max(st.maxPowerCycles, server.powerCycles);
+    double hours = double(_elapsedS) / double(util::kSecondsPerHour);
+    st.maxPowerCyclesPerHour =
+        hours > 0.0 ? double(st.maxPowerCycles) / hours : 0.0;
+    return st;
+}
+
+ServerState
+ClusterSim::serverState(int server) const
+{
+    if (server < 0 || server >= int(_servers.size()))
+        util::panic("ClusterSim::serverState: index out of range");
+    return _servers[size_t(server)].state;
+}
+
+int
+ClusterSim::awakeServers() const
+{
+    int awake = 0;
+    for (const auto &server : _servers)
+        if (server.state != ServerState::Sleeping)
+            ++awake;
+    return awake;
+}
+
+} // namespace workload
+} // namespace coolair

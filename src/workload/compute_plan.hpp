@@ -1,0 +1,62 @@
+#ifndef COOLAIR_WORKLOAD_COMPUTE_PLAN_HPP
+#define COOLAIR_WORKLOAD_COMPUTE_PLAN_HPP
+
+/**
+ * @file
+ * The plan CoolAir's Compute Manager hands to the cluster.
+ *
+ * The Compute Configurer (paper §3.3, §4.2) controls three things:
+ * how many servers are awake, *which* pods host the load (spatial
+ * placement by recirculation rank), and when deferrable jobs are released
+ * (temporal scheduling within start deadlines).
+ */
+
+#include <array>
+#include <vector>
+
+namespace coolair {
+namespace workload {
+
+/** Directive for the cluster's power/placement/schedule behavior. */
+struct ComputePlan
+{
+    /**
+     * If true, the cluster puts unneeded servers to sleep (through the
+     * decommissioned state) and wakes them on demand.  The baseline
+     * leaves every server active.
+     */
+    bool manageServerStates = false;
+
+    /**
+     * Desired number of awake servers.  Ignored (all awake) when
+     * manageServerStates is false.  The cluster never sleeps the covering
+     * subset and never sleeps servers with running tasks.
+     */
+    int targetActiveServers = -1;
+
+    /**
+     * Pod activation/placement preference: pods earlier in this list are
+     * filled first.  Empty means natural order.
+     */
+    std::vector<int> podOrder;
+
+    /**
+     * Temporal-scheduling mask: deferrable jobs are only *released*
+     * during hours whose entry is true, unless their start deadline
+     * arrives first.  All-true disables deferral.
+     */
+    std::array<bool, 24> hourAllowed{};
+
+    /** A plan that changes nothing: all awake, all hours allowed. */
+    static ComputePlan passthrough()
+    {
+        ComputePlan plan;
+        plan.hourAllowed.fill(true);
+        return plan;
+    }
+};
+
+} // namespace workload
+} // namespace coolair
+
+#endif // COOLAIR_WORKLOAD_COMPUTE_PLAN_HPP

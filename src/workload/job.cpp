@@ -1,0 +1,42 @@
+#include "workload/job.hpp"
+
+namespace coolair {
+namespace workload {
+
+int64_t
+Trace::totalTasks() const
+{
+    int64_t total = 0;
+    for (const auto &job : jobs)
+        total += job.mapTasks + job.reduceTasks;
+    return total;
+}
+
+int64_t
+Trace::totalWorkS() const
+{
+    int64_t total = 0;
+    for (const auto &job : jobs)
+        total += job.totalWorkS();
+    return total;
+}
+
+double
+Trace::offeredUtilization(int total_slots) const
+{
+    if (total_slots <= 0)
+        return 0.0;
+    double slot_seconds = double(total_slots) * double(util::kSecondsPerDay);
+    return double(totalWorkS()) / slot_seconds;
+}
+
+void
+Trace::makeDeferrable(double hours)
+{
+    int64_t window = int64_t(hours * double(util::kSecondsPerHour));
+    for (auto &job : jobs)
+        job.startDeadlineS = job.submitS + window;
+}
+
+} // namespace workload
+} // namespace coolair

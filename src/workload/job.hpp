@@ -1,0 +1,87 @@
+#ifndef COOLAIR_WORKLOAD_JOB_HPP
+#define COOLAIR_WORKLOAD_JOB_HPP
+
+/**
+ * @file
+ * MapReduce job and trace representation.
+ *
+ * The paper drives Parasol with day-long Hadoop traces (§5.1): a scaled-
+ * down Facebook trace generated with SWIM (~5500 jobs / ~68000 tasks,
+ * 27 % average utilization) and the Nutch indexing workload from
+ * CloudSuite (2000 jobs, Poisson arrivals).  Jobs comprise a map phase
+ * followed by a reduce phase; deferrable variants carry a 6-hour start
+ * deadline.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace coolair {
+namespace workload {
+
+/** One MapReduce job. */
+struct Job
+{
+    int id = 0;
+
+    /** Submission time, seconds from the start of the trace day. */
+    int64_t submitS = 0;
+
+    /**
+     * Latest allowed start, seconds from the start of the trace day.
+     * Equal to submitS for non-deferrable jobs.
+     */
+    int64_t startDeadlineS = 0;
+
+    int mapTasks = 1;
+    int reduceTasks = 1;
+
+    /** Duration of each map task [s]. */
+    int64_t mapTaskDurS = 30;
+
+    /** Duration of each reduce task [s]. */
+    int64_t reduceTaskDurS = 60;
+
+    /** Input size [MB] (reported by trace statistics only). */
+    double inputMb = 64.0;
+
+    /** Total task-seconds of work in this job. */
+    int64_t totalWorkS() const
+    {
+        return int64_t(mapTasks) * mapTaskDurS +
+               int64_t(reduceTasks) * reduceTaskDurS;
+    }
+
+    /** True if the job may be delayed past its submission. */
+    bool deferrable() const { return startDeadlineS > submitS; }
+};
+
+/** A day-long trace of jobs, sorted by submission time. */
+struct Trace
+{
+    std::string name;
+    std::vector<Job> jobs;
+
+    /** Total task count across all jobs. */
+    int64_t totalTasks() const;
+
+    /** Total task-seconds across all jobs. */
+    int64_t totalWorkS() const;
+
+    /**
+     * Average utilization this trace would impose on a cluster with
+     * @p total_slots task slots over a day, if perfectly packed.
+     */
+    double offeredUtilization(int total_slots) const;
+
+    /** Mark every job deferrable with a start deadline @p hours out. */
+    void makeDeferrable(double hours);
+};
+
+} // namespace workload
+} // namespace coolair
+
+#endif // COOLAIR_WORKLOAD_JOB_HPP

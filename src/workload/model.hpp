@@ -1,0 +1,62 @@
+#ifndef COOLAIR_WORKLOAD_MODEL_HPP
+#define COOLAIR_WORKLOAD_MODEL_HPP
+
+/**
+ * @file
+ * Abstract workload model consumed by the simulation engine.
+ *
+ * Two implementations exist: ClusterSim (task-level Hadoop-like cluster,
+ * used for the named-site experiments) and ProfileWorkload (a fast
+ * utilization-profile replay used for the 1520-site world sweep, where
+ * task-level simulation would be needlessly expensive).
+ */
+
+#include "plant/parasol.hpp"
+#include "util/sim_time.hpp"
+#include "workload/compute_plan.hpp"
+
+namespace coolair {
+namespace workload {
+
+/** What the Compute Manager can observe about the workload. */
+struct WorkloadStatus
+{
+    /** Servers needed to run everything runnable right now. */
+    int demandServers = 0;
+
+    /** Servers currently awake (active + decommissioned). */
+    int awakeServers = 0;
+
+    /** Tasks waiting for a slot. */
+    int queuedTasks = 0;
+
+    /** Busy slots / total slots across the whole cluster. */
+    double offeredUtilization = 0.0;
+
+    /** True if deferrable jobs exist in today's trace. */
+    bool hasDeferrableJobs = false;
+};
+
+/** Interface between the simulation engine and a workload. */
+class WorkloadModel
+{
+  public:
+    virtual ~WorkloadModel() = default;
+
+    /** Install a new compute plan (takes effect on following steps). */
+    virtual void applyPlan(const ComputePlan &plan) = 0;
+
+    /** Advance the workload by @p dt_s seconds ending at @p now. */
+    virtual void step(util::SimTime now, double dt_s) = 0;
+
+    /** Current per-pod load for the plant. */
+    virtual plant::PodLoad podLoad() const = 0;
+
+    /** Current status for the Compute Manager. */
+    virtual WorkloadStatus status() const = 0;
+};
+
+} // namespace workload
+} // namespace coolair
+
+#endif // COOLAIR_WORKLOAD_MODEL_HPP

@@ -1,0 +1,162 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace workload {
+
+UtilizationProfile::UtilizationProfile(std::vector<double> fractions,
+                                       int interval_s)
+    : _fractions(std::move(fractions)), _intervalS(interval_s)
+{
+    if (_fractions.empty())
+        util::fatal("UtilizationProfile: empty profile");
+    if (interval_s <= 0)
+        util::fatal("UtilizationProfile: interval must be positive");
+}
+
+UtilizationProfile
+UtilizationProfile::fromTrace(const Trace &trace,
+                              const ClusterConfig &config, int interval_s)
+{
+    ClusterSim sim(config, trace);
+    sim.applyPlan(ComputePlan::passthrough());
+
+    size_t intervals =
+        size_t(util::kSecondsPerDay / int64_t(interval_s));
+    std::vector<double> fractions(intervals, 0.0);
+
+    constexpr int kStepS = 30;
+    std::vector<int> samples(intervals, 0);
+    for (int64_t t = 0; t < util::kSecondsPerDay; t += kStepS) {
+        sim.step(util::SimTime(t), kStepS);
+        size_t idx = size_t(t / interval_s);
+        fractions[idx] += double(sim.busySlots()) /
+                          double(config.totalSlots());
+        samples[idx]++;
+    }
+    for (size_t i = 0; i < intervals; ++i) {
+        if (samples[i] > 0)
+            fractions[i] /= double(samples[i]);
+    }
+    return UtilizationProfile(std::move(fractions), interval_s);
+}
+
+double
+UtilizationProfile::demandFraction(util::SimTime now) const
+{
+    int64_t in_day = now.secondOfDay();
+    size_t idx = size_t(in_day / _intervalS) % _fractions.size();
+    return _fractions[idx];
+}
+
+double
+UtilizationProfile::meanFraction() const
+{
+    double sum = 0.0;
+    for (double f : _fractions)
+        sum += f;
+    return sum / double(_fractions.size());
+}
+
+ProfileWorkload::ProfileWorkload(const ClusterConfig &config,
+                                 UtilizationProfile profile)
+    : _config(config), _profile(std::move(profile))
+{
+}
+
+void
+ProfileWorkload::applyPlan(const ComputePlan &plan)
+{
+    _plan = plan;
+}
+
+void
+ProfileWorkload::step(util::SimTime now, double dt_s)
+{
+    (void)dt_s;
+    _demand = _profile.demandFraction(now);
+}
+
+plant::PodLoad
+ProfileWorkload::podLoad() const
+{
+    plant::PodLoad load;
+    load.serversPerPod = _config.serversPerPod;
+    load.activeServers.assign(size_t(_config.numPods), 0);
+    load.utilization.assign(size_t(_config.numPods), 0.0);
+
+    // How many servers are awake.
+    int awake = _config.totalServers();
+    if (_plan.manageServerStates) {
+        int target = _plan.targetActiveServers;
+        if (target < 0)
+            target = _config.totalServers();
+        awake = std::clamp(target, _config.coveringSubsetSize,
+                           _config.totalServers());
+    }
+
+    // Pod preference order (covering subset keeps one server per pod).
+    std::vector<int> order;
+    if (!_plan.podOrder.empty()) {
+        order = _plan.podOrder;
+    } else {
+        for (int p = 0; p < _config.numPods; ++p)
+            order.push_back(p);
+    }
+
+    // One covering server per pod stays awake.
+    int remaining = awake;
+    for (int p = 0; p < _config.numPods; ++p) {
+        load.activeServers[size_t(p)] = 1;
+        remaining -= 1;
+    }
+    remaining = std::max(remaining, 0);
+    for (int pod : order) {
+        if (remaining <= 0)
+            break;
+        int room = _config.serversPerPod - load.activeServers[size_t(pod)];
+        int grant = std::min(room, remaining);
+        load.activeServers[size_t(pod)] += grant;
+        remaining -= grant;
+    }
+
+    // Busy slots fill awake servers, preferred pods first.
+    double busy_slots = _demand * double(_config.totalSlots());
+    for (int pod : order) {
+        double pod_slots = double(load.activeServers[size_t(pod)] *
+                                  _config.slotsPerServer);
+        if (pod_slots <= 0.0)
+            continue;
+        double take = std::min(busy_slots, pod_slots);
+        load.utilization[size_t(pod)] = take / pod_slots;
+        busy_slots -= take;
+    }
+    return load;
+}
+
+WorkloadStatus
+ProfileWorkload::status() const
+{
+    WorkloadStatus st;
+    double busy_slots = _demand * double(_config.totalSlots());
+    st.demandServers = int(std::min<double>(
+        std::ceil(busy_slots / double(_config.slotsPerServer)),
+        double(_config.totalServers())));
+    st.awakeServers = _plan.manageServerStates
+                          ? std::clamp(_plan.targetActiveServers,
+                                       _config.coveringSubsetSize,
+                                       _config.totalServers())
+                          : _config.totalServers();
+    st.queuedTasks = 0;
+    st.offeredUtilization = _demand;
+    st.hasDeferrableJobs = false;
+    return st;
+}
+
+} // namespace workload
+} // namespace coolair

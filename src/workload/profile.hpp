@@ -1,0 +1,79 @@
+#ifndef COOLAIR_WORKLOAD_PROFILE_HPP
+#define COOLAIR_WORKLOAD_PROFILE_HPP
+
+/**
+ * @file
+ * Utilization-profile workload replay.
+ *
+ * The world-wide sweep (Figures 12/13) runs 1520 sites x 2 systems x a
+ * year; task-level cluster simulation there is needless expense.  A
+ * UtilizationProfile captures the slot-occupancy time series that the
+ * full ClusterSim produces for a trace (one precomputation, shared by
+ * every site), and ProfileWorkload replays it: same IT power, same
+ * per-pod placement semantics, no task bookkeeping.
+ *
+ * Limitation (documented, by design): ProfileWorkload does not model
+ * temporal job deferral; experiments involving All-DEF/Energy-DEF use
+ * the full ClusterSim.
+ */
+
+#include <vector>
+
+#include "workload/cluster.hpp"
+#include "workload/job.hpp"
+#include "workload/model.hpp"
+
+namespace coolair {
+namespace workload {
+
+/** A day-long slot-occupancy profile at fixed intervals. */
+class UtilizationProfile
+{
+  public:
+    /** Build from explicit per-interval busy-slot fractions. */
+    UtilizationProfile(std::vector<double> fractions, int interval_s);
+
+    /**
+     * Derive a profile by simulating @p trace on an unmanaged cluster
+     * (all servers awake) for one day at @p interval_s resolution.
+     */
+    static UtilizationProfile fromTrace(const Trace &trace,
+                                        const ClusterConfig &config,
+                                        int interval_s = 600);
+
+    /** Busy-slot fraction at @p now (time wraps daily). */
+    double demandFraction(util::SimTime now) const;
+
+    /** Mean busy-slot fraction over the day. */
+    double meanFraction() const;
+
+    /** Interval resolution [s]. */
+    int intervalS() const { return _intervalS; }
+
+  private:
+    std::vector<double> _fractions;
+    int _intervalS;
+};
+
+/** Profile-replay implementation of WorkloadModel. */
+class ProfileWorkload : public WorkloadModel
+{
+  public:
+    ProfileWorkload(const ClusterConfig &config, UtilizationProfile profile);
+
+    void applyPlan(const ComputePlan &plan) override;
+    void step(util::SimTime now, double dt_s) override;
+    plant::PodLoad podLoad() const override;
+    WorkloadStatus status() const override;
+
+  private:
+    ClusterConfig _config;
+    UtilizationProfile _profile;
+    ComputePlan _plan = ComputePlan::passthrough();
+    double _demand = 0.0;   ///< Current busy-slot fraction.
+};
+
+} // namespace workload
+} // namespace coolair
+
+#endif // COOLAIR_WORKLOAD_PROFILE_HPP

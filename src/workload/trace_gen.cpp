@@ -1,0 +1,153 @@
+#include "workload/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace coolair {
+namespace workload {
+
+namespace {
+
+/**
+ * Diurnal arrival-rate multiplier: interactive-analytics clusters see a
+ * trough in the early morning and a peak in the evening (as in the
+ * paper's Figure 7(a) utilization curve).
+ */
+double
+diurnalRate(double hour)
+{
+    // Peak near 19:00, trough near 05:00; multiplier in ~[0.45, 1.55].
+    return 1.0 + 0.55 * std::sin(2.0 * M_PI * (hour - 13.0) / 24.0);
+}
+
+} // anonymous namespace
+
+Trace
+facebookTrace(const TraceGenConfig &config)
+{
+    util::Rng rng(config.seed, "trace.facebook");
+    Trace trace;
+    trace.name = "facebook";
+
+    constexpr int kTargetJobs = 5500;
+    // Generate arrivals by thinning: expected inter-arrival scaled by the
+    // diurnal multiplier around the mean of one day / kTargetJobs.
+    double mean_gap = double(util::kSecondsPerDay) / double(kTargetJobs);
+
+    int id = 0;
+    double t = rng.exponential(mean_gap);
+    while (t < double(util::kSecondsPerDay)) {
+        Job job;
+        job.id = id++;
+        job.submitS = int64_t(t);
+        job.startDeadlineS = job.submitS;
+
+        // Heavy-tailed map-task counts: median ~6, tail to 1190.
+        job.mapTasks = int(util::clamp(
+            std::round(rng.logNormal(std::log(6.0), 1.15)), 2.0, 1190.0));
+        job.reduceTasks = int(util::clamp(
+            std::round(double(job.mapTasks) / 15.0 +
+                       rng.logNormal(0.0, 0.7)),
+            1.0, 63.0));
+
+        job.mapTaskDurS = int64_t(util::clamp(
+            rng.logNormal(std::log(33.0), 0.95), 12.0, 3600.0));
+        job.reduceTaskDurS = int64_t(util::clamp(
+            rng.logNormal(std::log(40.0), 0.85), 15.0, 2600.0));
+
+        // Input sizes 64 MB .. 74 GB, correlated with map count (HDFS
+        // block per map task, roughly).
+        job.inputMb = util::clamp(64.0 * double(job.mapTasks) *
+                                      rng.uniform(0.8, 1.2),
+                                  64.0, 74.0 * 1024.0);
+
+        trace.jobs.push_back(job);
+
+        double hour = t / double(util::kSecondsPerHour);
+        t += rng.exponential(mean_gap / diurnalRate(hour));
+    }
+
+    // Nudge durations so the offered load lands on the published 27 %.
+    double util_now = trace.offeredUtilization(config.totalSlots);
+    if (util_now > 0.0) {
+        double scale = 0.27 / util_now;
+        for (auto &job : trace.jobs) {
+            job.mapTaskDurS = std::max<int64_t>(
+                12, int64_t(double(job.mapTaskDurS) * scale));
+            job.reduceTaskDurS = std::max<int64_t>(
+                15, int64_t(double(job.reduceTaskDurS) * scale));
+        }
+    }
+    return trace;
+}
+
+Trace
+nutchTrace(const TraceGenConfig &config)
+{
+    util::Rng rng(config.seed, "trace.nutch");
+    Trace trace;
+    trace.name = "nutch";
+
+    constexpr double kMeanInterArrivalS = 40.0;
+    constexpr int kTargetJobs = 2000;
+
+    int id = 0;
+    double t = rng.exponential(kMeanInterArrivalS);
+    while (t < double(util::kSecondsPerDay) && id < kTargetJobs + 200) {
+        Job job;
+        job.id = id++;
+        job.submitS = int64_t(t);
+        job.startDeadlineS = job.submitS;
+        job.mapTasks = 42;
+        job.reduceTasks = 1;
+        job.mapTaskDurS = int64_t(rng.uniform(25.0, 45.0));
+        job.reduceTaskDurS = 150;
+        job.inputMb = 85.0 * rng.uniform(0.9, 1.1);
+        trace.jobs.push_back(job);
+        t += rng.exponential(kMeanInterArrivalS);
+    }
+    return trace;
+}
+
+Trace
+steadyTrace(double utilization, const TraceGenConfig &config)
+{
+    util::Rng rng(config.seed, "trace.steady");
+    Trace trace;
+    trace.name = "steady";
+
+    utilization = util::clamp(utilization, 0.0, 1.0);
+    if (utilization <= 0.0)
+        return trace;
+
+    // Fixed-size jobs arriving at a constant rate: each job occupies
+    // `tasks` slots for `dur` seconds.
+    constexpr int kTasks = 16;
+    constexpr int64_t kDurS = 120;
+    double work_per_job = double(kTasks) * double(kDurS);
+    double target_work =
+        utilization * double(config.totalSlots) *
+        double(util::kSecondsPerDay);
+    int jobs = std::max(1, int(target_work / work_per_job));
+    double gap = double(util::kSecondsPerDay) / double(jobs);
+
+    for (int i = 0; i < jobs; ++i) {
+        Job job;
+        job.id = i;
+        job.submitS = int64_t(double(i) * gap + rng.uniform(0.0, gap * 0.2));
+        job.startDeadlineS = job.submitS;
+        job.mapTasks = kTasks;
+        job.reduceTasks = 1;
+        job.mapTaskDurS = kDurS;
+        job.reduceTaskDurS = 30;
+        job.inputMb = 1024.0;
+        trace.jobs.push_back(job);
+    }
+    return trace;
+}
+
+} // namespace workload
+} // namespace coolair

@@ -1,0 +1,54 @@
+#ifndef COOLAIR_WORKLOAD_TRACE_GEN_HPP
+#define COOLAIR_WORKLOAD_TRACE_GEN_HPP
+
+/**
+ * @file
+ * Statistical trace generators.
+ *
+ * We cannot redistribute the SWIM-generated Facebook trace or the
+ * CloudSuite Nutch inputs, so these generators synthesize day-long traces
+ * matching the published shape (§5.1):
+ *
+ *  Facebook: ~5500 jobs, ~68000 tasks; jobs have 2–1190 map tasks and
+ *  1–63 reduce tasks, heavy-tailed; map phases 25–13000 s, reduce phases
+ *  15–2600 s; inputs 64 MB–74 GB; 27 % average utilization on 64
+ *  machines; a pronounced diurnal arrival pattern (Figure 7(a)).
+ *
+ *  Nutch: 2000 jobs, Poisson arrivals with 40 s mean inter-arrival;
+ *  each job runs 42 map tasks (15–40 s) and 1 reduce task (150 s),
+ *  touching ~85 MB; 32 % average utilization.
+ */
+
+#include <cstdint>
+
+#include "workload/job.hpp"
+
+namespace coolair {
+namespace workload {
+
+/** Parameters shared by the generators. */
+struct TraceGenConfig
+{
+    /** Cluster task slots the utilization target refers to. */
+    int totalSlots = 128;
+
+    /** Root seed for trace randomness. */
+    uint64_t seed = 2013;
+};
+
+/** Generate a SWIM-Facebook-like day trace. */
+Trace facebookTrace(const TraceGenConfig &config = {});
+
+/** Generate a Nutch-indexing-like day trace. */
+Trace nutchTrace(const TraceGenConfig &config = {});
+
+/**
+ * Generate a synthetic constant-rate trace with @p utilization average
+ * load — used by unit tests and by the data-collection campaign.
+ */
+Trace steadyTrace(double utilization, const TraceGenConfig &config = {});
+
+} // namespace workload
+} // namespace coolair
+
+#endif // COOLAIR_WORKLOAD_TRACE_GEN_HPP

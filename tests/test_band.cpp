@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for daily temperature-band selection (§3.2, Figure 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/band.hpp"
+#include "environment/location.hpp"
+
+using namespace coolair;
+using namespace coolair::core;
+using environment::Forecast;
+using environment::HourlyPrediction;
+using util::SimTime;
+
+namespace {
+
+Forecast
+flatForecast(double temp_c)
+{
+    Forecast fc;
+    for (int h = 0; h < 24; ++h) {
+        fc.hours.push_back(
+            {SimTime::fromCalendar(0, h), temp_c});
+    }
+    return fc;
+}
+
+} // anonymous namespace
+
+TEST(BandSelection, CenteredOnForecastPlusOffset)
+{
+    BandConfig cfg;  // width 5, offset 8, min 10, max 30
+    TemperatureBand band = selectBand(flatForecast(12.0), cfg);
+    EXPECT_FALSE(band.slidToMax);
+    EXPECT_FALSE(band.slidToMin);
+    EXPECT_NEAR(band.center(), 20.0, 1e-9);
+    EXPECT_NEAR(band.width(), 5.0, 1e-9);
+    EXPECT_NEAR(band.lowC, 17.5, 1e-9);
+    EXPECT_NEAR(band.highC, 22.5, 1e-9);
+}
+
+TEST(BandSelection, SlidesBelowMaxOnWarmDays)
+{
+    BandConfig cfg;
+    TemperatureBand band = selectBand(flatForecast(28.0), cfg);
+    EXPECT_TRUE(band.slidToMax);
+    EXPECT_NEAR(band.highC, 30.0, 1e-9);
+    EXPECT_NEAR(band.lowC, 25.0, 1e-9);
+}
+
+TEST(BandSelection, SlidesAboveMinOnColdDays)
+{
+    BandConfig cfg;
+    TemperatureBand band = selectBand(flatForecast(-10.0), cfg);
+    EXPECT_TRUE(band.slidToMin);
+    EXPECT_NEAR(band.lowC, 10.0, 1e-9);
+    EXPECT_NEAR(band.highC, 15.0, 1e-9);
+}
+
+TEST(BandSelection, EmptyForecastPinsBelowMax)
+{
+    BandConfig cfg;
+    TemperatureBand band = selectBand(Forecast{}, cfg);
+    EXPECT_NEAR(band.highC, 30.0, 1e-9);
+}
+
+TEST(TemperatureBand, ContainsAndViolation)
+{
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+    EXPECT_TRUE(band.contains(25.0));
+    EXPECT_TRUE(band.contains(30.0));
+    EXPECT_FALSE(band.contains(24.9));
+    EXPECT_DOUBLE_EQ(band.violation(27.0), 0.0);
+    EXPECT_DOUBLE_EQ(band.violation(32.0), 2.0);
+    EXPECT_DOUBLE_EQ(band.violation(23.0), 2.0);
+}
+
+TEST(TemporalFutility, SlidBandSkipsScheduling)
+{
+    BandConfig cfg;
+    Forecast hot = flatForecast(28.0);
+    TemperatureBand band = selectBand(hot, cfg);
+    ASSERT_TRUE(band.slidToMax);
+    EXPECT_TRUE(temporalSchedulingFutile(hot, band, cfg));
+}
+
+TEST(TemporalFutility, NoOverlapSkipsScheduling)
+{
+    BandConfig cfg;
+    TemperatureBand band = TemperatureBand::fixed(17.5, 22.5);
+    // Outside-air band = [9.5, 14.5]; forecast sits way below.
+    Forecast cold = flatForecast(-5.0);
+    EXPECT_TRUE(temporalSchedulingFutile(cold, band, cfg));
+}
+
+TEST(TemporalFutility, OverlappingDayAllowsScheduling)
+{
+    BandConfig cfg;
+    Forecast mild = flatForecast(12.0);
+    TemperatureBand band = selectBand(mild, cfg);
+    EXPECT_FALSE(temporalSchedulingFutile(mild, band, cfg));
+}

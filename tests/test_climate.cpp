@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the synthetic climate model: determinism, seasonal and
+ * diurnal structure, humidity validity.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "environment/climate.hpp"
+#include "environment/location.hpp"
+#include "util/stats.hpp"
+
+using namespace coolair;
+using namespace coolair::environment;
+using coolair::util::SimTime;
+
+namespace {
+
+Climate
+makeClimate(uint64_t seed = 1)
+{
+    ClimateParams p;
+    p.annualMeanC = 12.0;
+    p.seasonalAmplitudeC = 10.0;
+    p.diurnalAmplitudeC = 5.0;
+    p.synopticAmplitudeC = 3.0;
+    return Climate(p, seed);
+}
+
+} // anonymous namespace
+
+TEST(Climate, DeterministicGivenSeed)
+{
+    Climate a = makeClimate(5), b = makeClimate(5);
+    for (int h = 0; h < 100; ++h) {
+        SimTime t = SimTime::fromCalendar(h % 365, h % 24);
+        EXPECT_DOUBLE_EQ(a.temperature(t), b.temperature(t));
+    }
+}
+
+TEST(Climate, DifferentSeedsGiveDifferentYears)
+{
+    Climate a = makeClimate(1), b = makeClimate(2);
+    double diff = 0.0;
+    for (int d = 0; d < 50; ++d)
+        diff += std::fabs(a.temperature(SimTime::fromCalendar(d, 12)) -
+                          b.temperature(SimTime::fromCalendar(d, 12)));
+    EXPECT_GT(diff, 5.0);
+}
+
+TEST(Climate, AnnualMeanIsRespected)
+{
+    Climate c = makeClimate(3);
+    util::RunningStats s;
+    for (int d = 0; d < 365; ++d)
+        for (int h = 0; h < 24; h += 2)
+            s.add(c.temperature(SimTime::fromCalendar(d, h)));
+    EXPECT_NEAR(s.mean(), 12.0, 1.5);
+}
+
+TEST(Climate, NorthernSummerIsWarm)
+{
+    Climate c = makeClimate(4);
+    double july = c.meanTemperature(SimTime::fromCalendar(195, 0),
+                                    SimTime::fromCalendar(202, 0), 3600);
+    double january = c.meanTemperature(SimTime::fromCalendar(10, 0),
+                                       SimTime::fromCalendar(17, 0), 3600);
+    EXPECT_GT(july, january + 10.0);
+}
+
+TEST(Climate, SouthernHemisphereFlipsSeasons)
+{
+    ClimateParams p;
+    p.annualMeanC = 14.0;
+    p.seasonalAmplitudeC = 8.0;
+    p.southernHemisphere = true;
+    Climate c(p, 4);
+    double july = c.meanTemperature(SimTime::fromCalendar(195, 0),
+                                    SimTime::fromCalendar(202, 0), 3600);
+    double january = c.meanTemperature(SimTime::fromCalendar(10, 0),
+                                       SimTime::fromCalendar(17, 0), 3600);
+    EXPECT_LT(july, january - 6.0);
+}
+
+TEST(Climate, DiurnalPeakMidAfternoon)
+{
+    Climate c = makeClimate(6);
+    // Smooth temperature peaks near the configured 15:00.
+    double best_hour = 0.0, best = -1e9;
+    for (double h = 0.0; h < 24.0; h += 0.25) {
+        SimTime t(int64_t(100) * util::kSecondsPerDay +
+                  int64_t(h * 3600.0));
+        double v = c.smoothTemperature(t);
+        if (v > best) {
+            best = v;
+            best_hour = h;
+        }
+    }
+    EXPECT_NEAR(best_hour, 15.0, 1.0);
+}
+
+TEST(Climate, SampleHumidityValid)
+{
+    Climate c = makeClimate(7);
+    for (int d = 0; d < 365; d += 3) {
+        WeatherSample w = c.sample(SimTime::fromCalendar(d, 9));
+        EXPECT_GE(w.rhPercent, 1.0);
+        EXPECT_LE(w.rhPercent, 100.0);
+        EXPECT_GT(w.absHumidity, 0.0);
+    }
+}
+
+TEST(Climate, HumidClimateHasHighRh)
+{
+    ClimateParams humid;
+    humid.annualMeanC = 27.0;
+    humid.dewPointDepressionC = 2.5;
+    humid.dewPointVariabilityC = 1.0;
+    ClimateParams arid = humid;
+    arid.dewPointDepressionC = 14.0;
+
+    Climate ch(humid, 8), ca(arid, 8);
+    util::RunningStats rh_h, rh_a;
+    for (int d = 0; d < 365; d += 5) {
+        rh_h.add(ch.sample(SimTime::fromCalendar(d, 12)).rhPercent);
+        rh_a.add(ca.sample(SimTime::fromCalendar(d, 12)).rhPercent);
+    }
+    EXPECT_GT(rh_h.mean(), rh_a.mean() + 20.0);
+    EXPECT_GT(rh_h.mean(), 70.0);
+}
+
+TEST(Climate, ContinuousAcrossMidnight)
+{
+    Climate c = makeClimate(9);
+    for (int d : {0, 99, 364}) {
+        SimTime before(int64_t(d + 1) * util::kSecondsPerDay - 30);
+        SimTime after(int64_t(d + 1) * util::kSecondsPerDay + 30);
+        EXPECT_NEAR(c.temperature(before), c.temperature(after), 0.3)
+            << "day " << d;
+    }
+}
+
+TEST(Climate, MeanTemperatureMatchesPointwise)
+{
+    Climate c = makeClimate(10);
+    SimTime from = SimTime::fromCalendar(40, 6);
+    SimTime to = from + util::kSecondsPerHour;
+    double mean = c.meanTemperature(from, to, 300);
+    EXPECT_GT(mean, c.temperature(from) - 3.0);
+    EXPECT_LT(mean, c.temperature(from) + 3.0);
+    // Degenerate interval returns the point value.
+    EXPECT_DOUBLE_EQ(c.meanTemperature(from, from), c.temperature(from));
+}
+
+/** Property over named sites: a year of weather stays physical. */
+class NamedSiteClimate : public ::testing::TestWithParam<NamedSite>
+{
+};
+
+TEST_P(NamedSiteClimate, YearIsPhysical)
+{
+    Location loc = namedLocation(GetParam());
+    Climate c = loc.makeClimate(11);
+    util::RunningStats temps;
+    for (int d = 0; d < 365; d += 2) {
+        for (int h = 0; h < 24; h += 3) {
+            WeatherSample w = c.sample(SimTime::fromCalendar(d, h));
+            temps.add(w.tempC);
+            ASSERT_GE(w.rhPercent, 1.0);
+            ASSERT_LE(w.rhPercent, 100.0);
+        }
+    }
+    EXPECT_GT(temps.min(), -45.0);
+    EXPECT_LT(temps.max(), 55.0);
+    EXPECT_NEAR(temps.mean(), loc.climate.annualMeanC, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, NamedSiteClimate,
+                         ::testing::ValuesIn(allNamedSites()));

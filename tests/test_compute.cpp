@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the Compute Optimizer: placement order, awake-server
+ * targeting with decay, and temporal-scheduling hour masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compute.hpp"
+
+using namespace coolair;
+using namespace coolair::core;
+using environment::Forecast;
+using util::SimTime;
+
+namespace {
+
+const std::vector<int> kRankAsc = {2, 0, 1, 3};  // by rising recirc
+
+Forecast
+rampForecast()
+{
+    // Cold at night, warm midday: hours 0-5 at 5 C, 6-17 at 15 C,
+    // 18-23 at 8 C.
+    Forecast fc;
+    for (int h = 0; h < 24; ++h) {
+        double t = h < 6 ? 5.0 : (h < 18 ? 15.0 : 8.0);
+        fc.hours.push_back({SimTime::fromCalendar(0, h), t});
+    }
+    return fc;
+}
+
+workload::WorkloadStatus
+demand(int servers)
+{
+    workload::WorkloadStatus st;
+    st.demandServers = servers;
+    return st;
+}
+
+ComputeConfig
+baseConfig()
+{
+    ComputeConfig cfg;
+    cfg.totalServers = 64;
+    cfg.coveringSubsetSize = 8;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(ComputeOptimizer, PlacementOrders)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.placement = Placement::LowRecircFirst;
+    ComputeOptimizer low(cfg, kRankAsc);
+    EXPECT_EQ(low.podOrder(), kRankAsc);
+
+    cfg.placement = Placement::HighRecircFirst;
+    ComputeOptimizer high(cfg, kRankAsc);
+    std::vector<int> reversed = {3, 1, 0, 2};
+    EXPECT_EQ(high.podOrder(), reversed);
+}
+
+TEST(ComputeOptimizer, TargetTracksDemandWithHeadroom)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.headroomFraction = 0.25;
+    ComputeOptimizer opt(cfg, kRankAsc);
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+
+    auto plan = opt.plan(demand(20), band, Forecast{}, BandConfig{});
+    EXPECT_TRUE(plan.manageServerStates);
+    EXPECT_EQ(plan.targetActiveServers, 25);  // ceil(20 * 1.25)
+}
+
+TEST(ComputeOptimizer, TargetClampedToCoveringAndTotal)
+{
+    ComputeConfig cfg = baseConfig();
+    ComputeOptimizer opt(cfg, kRankAsc);
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+
+    auto low = opt.plan(demand(0), band, Forecast{}, BandConfig{});
+    EXPECT_EQ(low.targetActiveServers, 8);
+
+    ComputeOptimizer opt2(cfg, kRankAsc);
+    auto high = opt2.plan(demand(200), band, Forecast{}, BandConfig{});
+    EXPECT_EQ(high.targetActiveServers, 64);
+}
+
+TEST(ComputeOptimizer, SleepsGraduallyWakesInstantly)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.headroomFraction = 0.0;
+    cfg.sleepDecayPerEpoch = 0.5;
+    ComputeOptimizer opt(cfg, kRankAsc);
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+
+    auto p1 = opt.plan(demand(40), band, Forecast{}, BandConfig{});
+    EXPECT_EQ(p1.targetActiveServers, 40);
+
+    // Demand collapses: the target halves per epoch rather than snapping.
+    auto p2 = opt.plan(demand(8), band, Forecast{}, BandConfig{});
+    EXPECT_EQ(p2.targetActiveServers, 20);
+    auto p3 = opt.plan(demand(8), band, Forecast{}, BandConfig{});
+    EXPECT_EQ(p3.targetActiveServers, 10);
+
+    // Demand spikes: instant wake.
+    auto p4 = opt.plan(demand(60), band, Forecast{}, BandConfig{});
+    EXPECT_EQ(p4.targetActiveServers, 60);
+}
+
+TEST(ComputeOptimizer, UnmanagedKeepsAllServers)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.manageServerStates = false;
+    ComputeOptimizer opt(cfg, kRankAsc);
+    auto plan = opt.plan(demand(5), TemperatureBand::fixed(25.0, 30.0),
+                         Forecast{}, BandConfig{});
+    EXPECT_FALSE(plan.manageServerStates);
+    EXPECT_EQ(plan.targetActiveServers, 64);
+}
+
+TEST(ComputeOptimizer, BandHoursMaskSelectsOverlapHours)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.temporal = TemporalPolicy::BandHours;
+    ComputeOptimizer opt(cfg, kRankAsc);
+
+    // Band in outside coordinates: [lo - offset, hi - offset].
+    BandConfig bc;  // offset 8
+    Forecast fc = rampForecast();
+    // Pick a band overlapping the 15 C hours only: inside [21, 26] ->
+    // outside [13, 18].
+    TemperatureBand band = TemperatureBand::fixed(21.0, 26.0);
+    auto plan = opt.plan(demand(10), band, fc, bc);
+
+    for (int h = 0; h < 24; ++h) {
+        bool expected = h >= 6 && h < 18;
+        EXPECT_EQ(plan.hourAllowed[size_t(h)], expected) << "hour " << h;
+    }
+}
+
+TEST(ComputeOptimizer, BandHoursAllowsEverythingOnFutileDays)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.temporal = TemporalPolicy::BandHours;
+    ComputeOptimizer opt(cfg, kRankAsc);
+
+    BandConfig bc;
+    Forecast fc = rampForecast();
+    TemperatureBand band = TemperatureBand::fixed(21.0, 26.0);
+    band.slidToMax = true;  // the §3.3 skip rule
+    auto plan = opt.plan(demand(10), band, fc, bc);
+    for (int h = 0; h < 24; ++h)
+        EXPECT_TRUE(plan.hourAllowed[size_t(h)]);
+}
+
+TEST(ComputeOptimizer, ColdHoursMaskPrefersColdHalf)
+{
+    ComputeConfig cfg = baseConfig();
+    cfg.temporal = TemporalPolicy::ColdHours;
+    ComputeOptimizer opt(cfg, kRankAsc);
+
+    auto plan = opt.plan(demand(10), TemperatureBand::fixed(21.0, 26.0),
+                         rampForecast(), BandConfig{});
+    // Mean is ~11.75: the 5 C and 8 C hours are allowed, 15 C hours not.
+    EXPECT_TRUE(plan.hourAllowed[2]);
+    EXPECT_TRUE(plan.hourAllowed[20]);
+    EXPECT_FALSE(plan.hourAllowed[12]);
+}
+
+TEST(ComputeOptimizer, NoTemporalPolicyAllowsAllHours)
+{
+    ComputeConfig cfg = baseConfig();
+    ComputeOptimizer opt(cfg, kRankAsc);
+    auto plan = opt.plan(demand(10), TemperatureBand::fixed(21.0, 26.0),
+                         rampForecast(), BandConfig{});
+    for (int h = 0; h < 24; ++h)
+        EXPECT_TRUE(plan.hourAllowed[size_t(h)]);
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the CoolAir facade: version presets (Table 1), daily band
+ * refresh, and end-to-end control decisions on the learned bundle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coolair.hpp"
+#include "environment/location.hpp"
+#include "sim/experiment.hpp"
+
+using namespace coolair;
+using namespace coolair::core;
+using cooling::RegimeMenu;
+
+namespace {
+
+plant::SensorReadings
+sensorsAt(double inlet_c, double outside_c)
+{
+    plant::SensorReadings s;
+    s.podInletC.assign(8, inlet_c);
+    s.coldAisleRhPercent = 50.0;
+    s.coldAisleAbsHumidity = 8.0;
+    s.outsideC = outside_c;
+    s.outsideRhPercent = 50.0;
+    s.outsideAbsHumidity = 6.0;
+    s.itPowerW = 1500.0;
+    s.dcUtilization = 1.0;
+    return s;
+}
+
+workload::WorkloadStatus
+statusWithDemand(int servers)
+{
+    workload::WorkloadStatus st;
+    st.demandServers = servers;
+    st.awakeServers = 64;
+    return st;
+}
+
+} // anonymous namespace
+
+TEST(CoolAirConfig, Table1Presets)
+{
+    RegimeMenu menu = RegimeMenu::smooth();
+
+    CoolAirConfig temp =
+        CoolAirConfig::forVersion(Version::Temperature, menu);
+    EXPECT_EQ(temp.bandMode, BandMode::None);
+    EXPECT_FALSE(temp.utility.penalizeBand);
+    EXPECT_TRUE(temp.utility.energyAware);
+    EXPECT_EQ(temp.compute.placement, Placement::LowRecircFirst);
+    EXPECT_NEAR(temp.utility.maxTempC, 29.0, 1e-9);  // lower setpoint
+
+    CoolAirConfig var = CoolAirConfig::forVersion(Version::Variation, menu);
+    EXPECT_EQ(var.bandMode, BandMode::Adaptive);
+    EXPECT_FALSE(var.utility.energyAware);
+    EXPECT_EQ(var.compute.placement, Placement::HighRecircFirst);
+    EXPECT_EQ(var.compute.temporal, TemporalPolicy::None);
+
+    CoolAirConfig energy = CoolAirConfig::forVersion(Version::Energy, menu);
+    EXPECT_EQ(energy.bandMode, BandMode::None);
+    EXPECT_TRUE(energy.utility.energyAware);
+    EXPECT_NEAR(energy.utility.maxTempC, 30.0, 1e-9);
+
+    CoolAirConfig all = CoolAirConfig::forVersion(Version::AllNd, menu);
+    EXPECT_EQ(all.bandMode, BandMode::Adaptive);
+    EXPECT_TRUE(all.utility.energyAware);
+    EXPECT_EQ(all.compute.placement, Placement::HighRecircFirst);
+
+    CoolAirConfig def = CoolAirConfig::forVersion(Version::AllDef, menu);
+    EXPECT_EQ(def.compute.temporal, TemporalPolicy::BandHours);
+    EXPECT_EQ(def.compute.placement, Placement::LowRecircFirst);
+
+    CoolAirConfig edef =
+        CoolAirConfig::forVersion(Version::EnergyDef, menu);
+    EXPECT_EQ(edef.compute.temporal, TemporalPolicy::ColdHours);
+
+    CoolAirConfig vlr =
+        CoolAirConfig::forVersion(Version::VarLowRecirc, menu);
+    EXPECT_EQ(vlr.bandMode, BandMode::Fixed);
+    EXPECT_NEAR(vlr.fixedBandLowC, 25.0, 1e-9);
+    EXPECT_NEAR(vlr.fixedBandHighC, 30.0, 1e-9);
+    EXPECT_EQ(vlr.compute.placement, Placement::LowRecircFirst);
+
+    CoolAirConfig vhr =
+        CoolAirConfig::forVersion(Version::VarHighRecirc, menu);
+    EXPECT_EQ(vhr.compute.placement, Placement::HighRecircFirst);
+}
+
+TEST(CoolAirConfig, MaxTempParameterPropagates)
+{
+    RegimeMenu menu = RegimeMenu::smooth();
+    CoolAirConfig c =
+        CoolAirConfig::forVersion(Version::AllNd, menu, 25.0);
+    EXPECT_NEAR(c.band.maxC, 25.0, 1e-9);
+    EXPECT_NEAR(c.utility.maxTempC, 25.0, 1e-9);
+}
+
+TEST(VersionName, Strings)
+{
+    EXPECT_STREQ(versionName(Version::AllNd), "All-ND");
+    EXPECT_STREQ(versionName(Version::EnergyDef), "Energy-DEF");
+}
+
+TEST(CoolAir, BandRefreshesDaily)
+{
+    environment::Location loc =
+        environment::namedLocation(environment::NamedSite::Newark);
+    environment::Climate climate = loc.makeClimate(3);
+    environment::Forecaster forecaster(climate);
+
+    CoolAirConfig cfg =
+        CoolAirConfig::forVersion(Version::AllNd, RegimeMenu::smooth());
+    CoolAir ca(cfg, sim::sharedBundle(), &forecaster);
+
+    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
+
+    // Winter day: band hugs Min.
+    auto d1 = ca.control(sensorsAt(22.0, 0.0), statusWithDemand(20), load,
+                         util::SimTime::fromCalendar(10, 0));
+    // Summer day: band slides under Max.
+    auto d2 = ca.control(sensorsAt(22.0, 28.0), statusWithDemand(20), load,
+                         util::SimTime::fromCalendar(190, 0));
+    EXPECT_LT(d1.band.center(), d2.band.center());
+    EXPECT_LE(d2.band.highC, 30.0 + 1e-9);
+    EXPECT_GE(d1.band.lowC, 10.0 - 1e-9);
+}
+
+TEST(CoolAir, HotInsidePicksActiveCooling)
+{
+    environment::Location loc =
+        environment::namedLocation(environment::NamedSite::Newark);
+    environment::Climate climate = loc.makeClimate(3);
+    environment::Forecaster forecaster(climate);
+
+    CoolAirConfig cfg =
+        CoolAirConfig::forVersion(Version::AllNd, RegimeMenu::smooth());
+    CoolAir ca(cfg, sim::sharedBundle(), &forecaster);
+
+    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.8);
+    // 36 C inside with 12 C outside on a summer day: must cool, and
+    // free cooling is available and cheap.
+    auto d = ca.control(sensorsAt(36.0, 12.0), statusWithDemand(40), load,
+                        util::SimTime::fromCalendar(190, 12));
+    EXPECT_EQ(d.regime.mode, cooling::Mode::FreeCooling);
+    EXPECT_GT(d.regime.fanSpeed, 0.0);
+}
+
+TEST(CoolAir, PlanReflectsVersionPolicy)
+{
+    environment::Location loc =
+        environment::namedLocation(environment::NamedSite::Newark);
+    environment::Climate climate = loc.makeClimate(3);
+    environment::Forecaster forecaster(climate);
+
+    CoolAirConfig cfg =
+        CoolAirConfig::forVersion(Version::AllNd, RegimeMenu::smooth());
+    CoolAir ca(cfg, sim::sharedBundle(), &forecaster);
+
+    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
+    auto d = ca.control(sensorsAt(26.0, 15.0), statusWithDemand(16), load,
+                        util::SimTime::fromCalendar(100, 6));
+    EXPECT_TRUE(d.plan.manageServerStates);
+    EXPECT_GE(d.plan.targetActiveServers, 16);
+    ASSERT_EQ(d.plan.podOrder.size(), 8u);
+    // High-recirc-first: pod 7 (highest exposure) leads the order.
+    EXPECT_EQ(d.plan.podOrder.front(), 7);
+}
+
+TEST(CoolAir, DecisionIsDeterministic)
+{
+    environment::Location loc =
+        environment::namedLocation(environment::NamedSite::Iceland);
+    environment::Climate climate = loc.makeClimate(3);
+    environment::Forecaster f1(climate), f2(climate);
+
+    CoolAirConfig cfg =
+        CoolAirConfig::forVersion(Version::Variation, RegimeMenu::smooth());
+    CoolAir a(cfg, sim::sharedBundle(), &f1);
+    CoolAir b(cfg, sim::sharedBundle(), &f2);
+
+    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
+    auto da = a.control(sensorsAt(24.0, 5.0), statusWithDemand(20), load,
+                        util::SimTime::fromCalendar(40, 3));
+    auto db = b.control(sensorsAt(24.0, 5.0), statusWithDemand(20), load,
+                        util::SimTime::fromCalendar(40, 3));
+    EXPECT_TRUE(da.regime == db.regime);
+    EXPECT_DOUBLE_EQ(da.penalty, db.penalty);
+}

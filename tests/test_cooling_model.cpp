@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the CoolingModel bank: key fallback, AC interpolation, and
+ * power prediction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "model/cooling_model.hpp"
+
+using namespace coolair;
+using namespace coolair::model;
+using cooling::Regime;
+using cooling::RegimeClass;
+using cooling::TransitionKey;
+
+namespace {
+
+/** A model that always predicts a constant. */
+LinearModel
+constantModel(double value)
+{
+    std::vector<double> w(TempFeatures::kCount, 0.0);
+    w[0] = value;
+    return LinearModel(std::move(w));
+}
+
+LinearModel
+constantHumidityModel(double value)
+{
+    std::vector<double> w(HumidityFeatures::kCount, 0.0);
+    w[0] = value;
+    return LinearModel(std::move(w));
+}
+
+CoolingModelConfig
+cfg2()
+{
+    CoolingModelConfig c;
+    c.numPods = 2;
+    return c;
+}
+
+} // anonymous namespace
+
+TEST(CoolingModel, PersistenceFallbackWhenEmpty)
+{
+    CoolingModel m(cfg2());
+    TempInputs in;
+    in.insideC = 27.5;
+    double pred = m.predictTemp(Regime::closed(), Regime::freeCooling(0.5),
+                                0, in);
+    EXPECT_DOUBLE_EQ(pred, 27.5);  // no model anywhere: persistence
+}
+
+TEST(CoolingModel, SteadyFallbackForUnseenTransition)
+{
+    CoolingModel m(cfg2());
+    // Only the steady FcMid model exists.
+    m.setTempModel({RegimeClass::FcMid, RegimeClass::FcMid}, 0,
+                   constantModel(21.0));
+    TempInputs in;
+    in.insideC = 30.0;
+    // Transition Closed->FcMid falls back to steady FcMid.
+    double pred = m.predictTemp(Regime::closed(), Regime::freeCooling(0.5),
+                                0, in);
+    EXPECT_DOUBLE_EQ(pred, 21.0);
+}
+
+TEST(CoolingModel, ExactTransitionPreferred)
+{
+    CoolingModel m(cfg2());
+    m.setTempModel({RegimeClass::FcMid, RegimeClass::FcMid}, 0,
+                   constantModel(21.0));
+    m.setTempModel({RegimeClass::Closed, RegimeClass::FcMid}, 0,
+                   constantModel(24.0));
+    TempInputs in;
+    double pred = m.predictTemp(Regime::closed(), Regime::freeCooling(0.5),
+                                0, in);
+    EXPECT_DOUBLE_EQ(pred, 24.0);
+    // Steady usage still hits the steady model.
+    double steady = m.predictTemp(Regime::freeCooling(0.5),
+                                  Regime::freeCooling(0.5), 0, in);
+    EXPECT_DOUBLE_EQ(steady, 21.0);
+}
+
+TEST(CoolingModel, AcCompressorSpeedInterpolates)
+{
+    // §5.1: the smooth AC's temperature is interpolated between the
+    // compressor-on and compressor-off models.
+    CoolingModel m(cfg2());
+    m.setTempModel({RegimeClass::AcFanOnly, RegimeClass::AcFanOnly}, 0,
+                   constantModel(32.0));
+    m.setTempModel({RegimeClass::AcCompressor, RegimeClass::AcCompressor},
+                   0, constantModel(20.0));
+    TempInputs in;
+
+    double half = m.predictTemp(Regime::acFanOnly(),
+                                Regime::acCompressor(0.5), 0, in);
+    EXPECT_NEAR(half, 26.0, 1e-9);
+
+    double quarter = m.predictTemp(Regime::acFanOnly(),
+                                   Regime::acCompressor(0.25), 0, in);
+    EXPECT_NEAR(quarter, 29.0, 1e-9);
+
+    // Full speed hits the compressor model directly.
+    double full = m.predictTemp(Regime::acFanOnly(),
+                                Regime::acCompressor(1.0), 0, in);
+    EXPECT_NEAR(full, 20.0, 1e-9);
+}
+
+TEST(CoolingModel, HumidityInterpolatesToo)
+{
+    CoolingModel m(cfg2());
+    m.setHumidityModel({RegimeClass::AcFanOnly, RegimeClass::AcFanOnly},
+                       constantHumidityModel(12.0));
+    m.setHumidityModel(
+        {RegimeClass::AcCompressor, RegimeClass::AcCompressor},
+        constantHumidityModel(8.0));
+    HumidityInputs in;
+    double half = m.predictHumidity(Regime::acFanOnly(),
+                                    Regime::acCompressor(0.5), in);
+    EXPECT_NEAR(half, 10.0, 1e-9);
+}
+
+TEST(CoolingModel, DefaultPowerModelMatchesParasol)
+{
+    CoolingModel m(cfg2());
+    EXPECT_DOUBLE_EQ(m.predictCoolingPower(Regime::closed()), 0.0);
+    EXPECT_NEAR(m.predictCoolingPower(Regime::freeCooling(1.0)), 425.0,
+                0.5);
+    EXPECT_NEAR(m.predictCoolingPower(Regime::acFanOnly()), 135.0, 0.5);
+    EXPECT_NEAR(m.predictCoolingPower(Regime::acCompressor(1.0)), 2200.0,
+                1.0);
+    // Smooth AC: fan 1/4 of unit power, compressor linear (§5.1).
+    EXPECT_NEAR(m.predictCoolingPower(Regime::acCompressor(0.5)),
+                0.25 * 2200.0 + 0.75 * 2200.0 * 0.5, 1.0);
+}
+
+TEST(CoolingModel, FittedModelCount)
+{
+    CoolingModel m(cfg2());
+    EXPECT_EQ(m.fittedTempModels(), 0u);
+    m.setTempModel({RegimeClass::Closed, RegimeClass::Closed}, 0,
+                   constantModel(20.0));
+    m.setTempModel({RegimeClass::Closed, RegimeClass::Closed}, 1,
+                   constantModel(20.0));
+    EXPECT_EQ(m.fittedTempModels(), 2u);
+    EXPECT_TRUE(
+        m.hasTempModel({RegimeClass::Closed, RegimeClass::Closed}, 0));
+    EXPECT_FALSE(
+        m.hasTempModel({RegimeClass::FcLow, RegimeClass::FcLow}, 0));
+}
+
+TEST(CoolingModel, UsesFeatureValues)
+{
+    CoolingModel m(cfg2());
+    // Weight only the inside-temperature feature: y = 0.9 * Tin.
+    std::vector<double> w(TempFeatures::kCount, 0.0);
+    w[1] = 0.9;
+    m.setTempModel({RegimeClass::Closed, RegimeClass::Closed}, 0,
+                   LinearModel(std::move(w)));
+    TempInputs in;
+    in.insideC = 30.0;
+    double pred =
+        m.predictTemp(Regime::closed(), Regime::closed(), 0, in);
+    EXPECT_NEAR(pred, 27.0, 1e-9);
+}

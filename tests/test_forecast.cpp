@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the Forecaster: horizon semantics, accuracy against the
+ * frozen climate, and error injection (§5.2 forecast-accuracy study).
+ */
+
+#include <gtest/gtest.h>
+
+#include "environment/forecast.hpp"
+#include "environment/location.hpp"
+
+using namespace coolair;
+using namespace coolair::environment;
+using coolair::util::SimTime;
+using coolair::util::kSecondsPerHour;
+
+namespace {
+
+Climate
+testClimate()
+{
+    return namedLocation(NamedSite::Newark).makeClimate(3);
+}
+
+} // anonymous namespace
+
+TEST(Forecaster, RestOfDayHourCount)
+{
+    Climate c = testClimate();
+    Forecaster f(c);
+    EXPECT_EQ(f.restOfDay(SimTime::fromCalendar(5, 0)).hours.size(), 24u);
+    EXPECT_EQ(f.restOfDay(SimTime::fromCalendar(5, 9)).hours.size(), 15u);
+    EXPECT_EQ(f.restOfDay(SimTime::fromCalendar(5, 23, 59)).hours.size(),
+              1u);
+}
+
+TEST(Forecaster, FullDayCoversMidnightToMidnight)
+{
+    Climate c = testClimate();
+    Forecaster f(c);
+    Forecast fc = f.fullDay(SimTime::fromCalendar(5, 13));
+    ASSERT_EQ(fc.hours.size(), 24u);
+    EXPECT_EQ(fc.hours.front().hourStart.hourOfDay(), 0);
+    EXPECT_EQ(fc.hours.front().hourStart.dayOfYear(), 5);
+    EXPECT_EQ(fc.hours.back().hourStart.hourOfDay(), 23);
+}
+
+TEST(Forecaster, PerfectForecastMatchesClimate)
+{
+    Climate c = testClimate();
+    Forecaster f(c);
+    Forecast fc = f.fullDay(SimTime::fromCalendar(100, 0));
+    for (const auto &h : fc.hours) {
+        double truth = c.meanTemperature(
+            h.hourStart, h.hourStart + kSecondsPerHour, 300);
+        EXPECT_NEAR(h.tempC, truth, 1e-9);
+    }
+}
+
+TEST(Forecaster, BiasShiftsEveryHour)
+{
+    Climate c = testClimate();
+    Forecaster perfect(c);
+    ForecastErrorModel err;
+    err.biasC = 5.0;
+    Forecaster biased(c, err);
+
+    Forecast a = perfect.fullDay(SimTime::fromCalendar(50, 0));
+    Forecast b = biased.fullDay(SimTime::fromCalendar(50, 0));
+    ASSERT_EQ(a.hours.size(), b.hours.size());
+    for (size_t i = 0; i < a.hours.size(); ++i)
+        EXPECT_NEAR(b.hours[i].tempC - a.hours[i].tempC, 5.0, 1e-9);
+    EXPECT_NEAR(b.meanTempC() - a.meanTempC(), 5.0, 1e-9);
+}
+
+TEST(Forecaster, NoiseIsZeroMeanish)
+{
+    Climate c = testClimate();
+    ForecastErrorModel err;
+    err.noiseStddevC = 1.0;
+    Forecaster noisy(c, err, 77);
+    Forecaster perfect(c);
+
+    double sum = 0.0;
+    int n = 0;
+    for (int d = 0; d < 40; ++d) {
+        Forecast a = noisy.fullDay(SimTime::fromCalendar(d, 0));
+        Forecast b = perfect.fullDay(SimTime::fromCalendar(d, 0));
+        for (size_t i = 0; i < a.hours.size(); ++i) {
+            sum += a.hours[i].tempC - b.hours[i].tempC;
+            ++n;
+        }
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.2);
+}
+
+TEST(Forecast, MinMaxMeanConsistency)
+{
+    Climate c = testClimate();
+    Forecaster f(c);
+    Forecast fc = f.fullDay(SimTime::fromCalendar(200, 0));
+    EXPECT_LE(fc.minTempC(), fc.meanTempC());
+    EXPECT_GE(fc.maxTempC(), fc.meanTempC());
+}
+
+TEST(Forecast, EmptyForecast)
+{
+    Forecast fc;
+    EXPECT_TRUE(fc.empty());
+    EXPECT_DOUBLE_EQ(fc.meanTempC(), 0.0);
+    EXPECT_DOUBLE_EQ(fc.minTempC(), 0.0);
+}
+
+TEST(Forecaster, HorizonStartsAtCurrentHour)
+{
+    Climate c = testClimate();
+    Forecaster f(c);
+    Forecast fc = f.horizon(SimTime::fromCalendar(10, 14, 37), 6);
+    ASSERT_EQ(fc.hours.size(), 6u);
+    EXPECT_EQ(fc.hours.front().hourStart.hourOfDay(), 14);
+    EXPECT_EQ(fc.hours.back().hourStart.hourOfDay(), 19);
+}

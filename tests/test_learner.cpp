@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the Cooling Learner pipeline: model fitting quality,
+ * recirculation ranking, and power-model recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "model/learner.hpp"
+#include "sim/experiment.hpp"
+
+using namespace coolair;
+using namespace coolair::model;
+
+namespace {
+
+/** A short, fast learner configuration for tests. */
+LearnerConfig
+fastConfig()
+{
+    LearnerConfig cfg;
+    cfg.campaignDays = 6;
+    cfg.seed = 424242;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(Learner, FitsSteadyModelsForAllRegimeClasses)
+{
+    LearnedBundle bundle = CoolingLearner::learn(
+        plant::PlantConfig::parasol(), cooling::RegimeMenu::parasol(),
+        fastConfig());
+
+    // Every steady regime class should have models for every pod.
+    using cooling::RegimeClass;
+    for (RegimeClass c : {RegimeClass::Closed, RegimeClass::FcLow,
+                          RegimeClass::FcMid, RegimeClass::FcHigh,
+                          RegimeClass::AcFanOnly,
+                          RegimeClass::AcCompressor}) {
+        for (int p = 0; p < 8; ++p) {
+            EXPECT_TRUE(bundle.model.hasTempModel({c, c}, p))
+                << cooling::regimeClassName(c) << " pod " << p;
+        }
+    }
+    EXPECT_GT(bundle.fittedTempModels, 48u);
+}
+
+TEST(Learner, TrainErrorIsSmall)
+{
+    LearnedBundle bundle = CoolingLearner::learn(
+        plant::PlantConfig::parasol(), cooling::RegimeMenu::parasol(),
+        fastConfig());
+    // Sensor noise is 0.2 C; a good fit's RMSE is in that ballpark.
+    EXPECT_LT(bundle.tempTrainRmse, 0.6);
+    EXPECT_LT(bundle.humidityTrainRmse, 0.6);
+}
+
+TEST(Learner, RecircRankingMatchesPlantGradient)
+{
+    // The plant config grades recirculation from pod 0 (least) to pod 7
+    // (most); the probe must recover that ordering at the extremes.
+    LearnedBundle bundle = CoolingLearner::learn(
+        plant::PlantConfig::parasol(), cooling::RegimeMenu::parasol(),
+        fastConfig());
+
+    ASSERT_EQ(bundle.recircRankAscending.size(), 8u);
+    EXPECT_EQ(bundle.recircRankAscending.front(), 0);
+    EXPECT_EQ(bundle.recircRankAscending.back(), 7);
+    // Probe rises are monotone within tolerance: last > first clearly.
+    EXPECT_GT(bundle.recircProbeRiseC[7], bundle.recircProbeRiseC[0]);
+}
+
+TEST(Learner, PowerModelTracksFanCubic)
+{
+    LearnedBundle bundle = CoolingLearner::learn(
+        plant::PlantConfig::parasol(), cooling::RegimeMenu::parasol(),
+        fastConfig());
+    // FC power: 8..425 W cubic.
+    double lo =
+        bundle.model.predictCoolingPower(cooling::Regime::freeCooling(0.2));
+    double hi =
+        bundle.model.predictCoolingPower(cooling::Regime::freeCooling(1.0));
+    EXPECT_NEAR(lo, 8.0 + 417.0 * 0.008, 8.0);
+    EXPECT_NEAR(hi, 425.0, 30.0);
+    // AC constants recovered.
+    EXPECT_NEAR(
+        bundle.model.predictCoolingPower(cooling::Regime::acCompressor(1.0)),
+        2200.0, 60.0);
+}
+
+TEST(Learner, DeterministicGivenSeed)
+{
+    LearnedBundle a = CoolingLearner::learn(plant::PlantConfig::parasol(),
+                                            cooling::RegimeMenu::parasol(),
+                                            fastConfig());
+    LearnedBundle b = CoolingLearner::learn(plant::PlantConfig::parasol(),
+                                            cooling::RegimeMenu::parasol(),
+                                            fastConfig());
+    EXPECT_EQ(a.fittedTempModels, b.fittedTempModels);
+    EXPECT_DOUBLE_EQ(a.tempTrainRmse, b.tempTrainRmse);
+    EXPECT_EQ(a.recircRankAscending, b.recircRankAscending);
+}
+
+TEST(Learner, ProbeRisesAreOrderedByRecircExposure)
+{
+    auto rises =
+        CoolingLearner::probeRecirculation(plant::PlantConfig::parasol());
+    ASSERT_EQ(rises.size(), 8u);
+    // Spearman-ish check: the top-3 exposure pods all rise more than the
+    // bottom-3.
+    for (int hi : {5, 6, 7})
+        for (int lo : {0, 1, 2})
+            EXPECT_GT(rises[size_t(hi)], rises[size_t(lo)]);
+}
+
+TEST(Learner, SharedBundleIsMemoized)
+{
+    const LearnedBundle &a = sim::sharedBundle();
+    const LearnedBundle &b = sim::sharedBundle();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GT(a.fittedTempModels, 48u);
+}
+
+TEST(CampaignWeather, CoversConfiguredRange)
+{
+    CampaignWeather w(-5.0, 35.0, 3);
+    double lo = 1e9, hi = -1e9;
+    for (int64_t t = 0; t < 4 * util::kSecondsPerDay; t += 600) {
+        double temp = w.at(util::SimTime(t)).tempC;
+        lo = std::min(lo, temp);
+        hi = std::max(hi, temp);
+    }
+    EXPECT_LT(lo, 2.0);    // approaches the low end
+    EXPECT_GT(hi, 28.0);   // approaches the high end
+    EXPECT_GE(lo, -10.0);
+    EXPECT_LE(hi, 40.0);
+}

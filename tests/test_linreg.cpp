@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the least-squares fitters and model trees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "model/linreg.hpp"
+#include "model/model_tree.hpp"
+#include "util/rng.hpp"
+
+using namespace coolair::model;
+using coolair::util::Rng;
+
+namespace {
+
+/** Build a dataset y = 2 + 3a - b with optional noise. */
+Dataset
+linearData(size_t rows, double noise, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    for (size_t i = 0; i < rows; ++i) {
+        double a = rng.uniform(-5.0, 5.0);
+        double b = rng.uniform(-5.0, 5.0);
+        std::array<double, 3> x{1.0, a, b};
+        d.addRow(x, 2.0 + 3.0 * a - b + rng.normal(0.0, noise));
+    }
+    return d;
+}
+
+} // anonymous namespace
+
+TEST(FitRidge, RecoversExactLinear)
+{
+    Dataset d = linearData(200, 0.0, 1);
+    FitReport rep;
+    LinearModel m = fitRidge(d, 1e-9, &rep);
+    ASSERT_TRUE(m.valid());
+    EXPECT_NEAR(m.weights()[0], 2.0, 1e-6);
+    EXPECT_NEAR(m.weights()[1], 3.0, 1e-6);
+    EXPECT_NEAR(m.weights()[2], -1.0, 1e-6);
+    EXPECT_LT(rep.rmse, 1e-6);
+}
+
+TEST(FitRidge, NoisyFitIsClose)
+{
+    Dataset d = linearData(2000, 0.5, 2);
+    FitReport rep;
+    LinearModel m = fitRidge(d, 1e-6, &rep);
+    EXPECT_NEAR(m.weights()[1], 3.0, 0.05);
+    EXPECT_NEAR(rep.rmse, 0.5, 0.08);
+}
+
+TEST(FitRidge, EmptyDatasetInvalid)
+{
+    Dataset d;
+    EXPECT_FALSE(fitRidge(d).valid());
+}
+
+TEST(FitRidge, RidgeShrinksWeights)
+{
+    Dataset d = linearData(100, 0.1, 3);
+    LinearModel loose = fitRidge(d, 1e-9);
+    LinearModel stiff = fitRidge(d, 1e3);
+    EXPECT_LT(std::fabs(stiff.weights()[1]),
+              std::fabs(loose.weights()[1]));
+}
+
+TEST(FitRidge, HandlesCollinearFeatures)
+{
+    // Third feature duplicates the second: the ridge keeps the normal
+    // equations solvable and predictions sane.
+    Rng rng(4);
+    Dataset d;
+    for (int i = 0; i < 100; ++i) {
+        double a = rng.uniform(-2.0, 2.0);
+        std::array<double, 3> x{1.0, a, a};
+        d.addRow(x, 1.0 + 4.0 * a);
+    }
+    LinearModel m = fitRidge(d, 1e-4);
+    ASSERT_TRUE(m.valid());
+    std::array<double, 3> probe{1.0, 1.5, 1.5};
+    EXPECT_NEAR(m.predict(probe), 7.0, 0.05);
+}
+
+TEST(FitRobust, ResistsOutliers)
+{
+    Dataset d = linearData(400, 0.1, 5);
+    // Corrupt 5 % of targets grossly.
+    for (size_t i = 0; i < d.y.size(); i += 20)
+        d.y[i] += 50.0;
+
+    LinearModel plain = fitRidge(d);
+    LinearModel robust = fitRobust(d);
+
+    // Evaluate both on clean data.
+    Dataset clean = linearData(200, 0.0, 6);
+    double plain_err = evaluate(plain, clean).rmse;
+    double robust_err = evaluate(robust, clean).rmse;
+    EXPECT_LT(robust_err, plain_err);
+}
+
+TEST(SolveCholesky, KnownSystem)
+{
+    // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+    std::vector<double> a{4.0, 2.0, 2.0, 3.0};
+    std::vector<double> b{10.0, 8.0};
+    ASSERT_TRUE(solveCholesky(a, b, 2));
+    EXPECT_NEAR(b[0], 1.75, 1e-12);
+    EXPECT_NEAR(b[1], 1.5, 1e-12);
+}
+
+TEST(SolveCholesky, RejectsIndefinite)
+{
+    std::vector<double> a{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+    std::vector<double> b{1.0, 1.0};
+    EXPECT_FALSE(solveCholesky(a, b, 2));
+}
+
+TEST(Dataset, RowAccessAndArity)
+{
+    Dataset d;
+    std::array<double, 2> r0{1.0, 2.0};
+    d.addRow(r0, 3.0);
+    EXPECT_EQ(d.rows(), 1u);
+    EXPECT_EQ(d.featureCount, 2u);
+    auto row = d.row(0);
+    EXPECT_DOUBLE_EQ(row[1], 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Model trees
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** y = cubic in x plus small noise, feature layout [1, x]. */
+Dataset
+cubicData(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    for (size_t i = 0; i < rows; ++i) {
+        double x = rng.uniform(0.0, 1.0);
+        std::array<double, 2> f{1.0, x};
+        d.addRow(f, 8.0 + 417.0 * x * x * x + rng.normal(0.0, 2.0));
+    }
+    return d;
+}
+
+} // anonymous namespace
+
+TEST(ModelTree, BeatsLinearOnCubic)
+{
+    Dataset d = cubicData(1000, 7);
+    ModelTreeConfig cfg;
+    cfg.splitFeature = 1;
+    cfg.maxLeaves = 5;
+    cfg.minLeafRows = 30;
+    ModelTree tree = ModelTree::fit(d, cfg);
+    ASSERT_TRUE(tree.valid());
+    EXPECT_GT(tree.leafCount(), 1u);
+    EXPECT_LE(tree.leafCount(), 5u);
+
+    LinearModel line = fitRidge(d);
+    double tree_sse = 0.0, line_sse = 0.0;
+    Dataset probe = cubicData(300, 8);
+    for (size_t r = 0; r < probe.rows(); ++r) {
+        double err_t = tree.predict(probe.row(r)) - probe.y[r];
+        double err_l = line.predict(probe.row(r)) - probe.y[r];
+        tree_sse += err_t * err_t;
+        line_sse += err_l * err_l;
+    }
+    EXPECT_LT(tree_sse, line_sse * 0.5);
+}
+
+TEST(ModelTree, PredictsEndpointsOfPowerCurve)
+{
+    Dataset d = cubicData(2000, 9);
+    ModelTreeConfig cfg;
+    cfg.splitFeature = 1;
+    ModelTree tree = ModelTree::fit(d, cfg);
+    std::array<double, 2> lo{1.0, 0.05};
+    std::array<double, 2> hi{1.0, 1.0};
+    EXPECT_NEAR(tree.predict(lo), 8.0, 8.0);
+    EXPECT_NEAR(tree.predict(hi), 425.0, 20.0);
+}
+
+TEST(ModelTree, SingleLeafWhenDataIsLinear)
+{
+    Dataset d = linearData(500, 0.05, 10);
+    ModelTreeConfig cfg;
+    cfg.splitFeature = 1;
+    ModelTree tree = ModelTree::fit(d, cfg);
+    EXPECT_EQ(tree.leafCount(), 1u);
+}
+
+TEST(ModelTree, ThresholdsSorted)
+{
+    Dataset d = cubicData(1500, 11);
+    ModelTreeConfig cfg;
+    cfg.splitFeature = 1;
+    cfg.maxLeaves = 6;
+    ModelTree tree = ModelTree::fit(d, cfg);
+    const auto &th = tree.thresholds();
+    EXPECT_TRUE(std::is_sorted(th.begin(), th.end()));
+    EXPECT_EQ(th.size(), tree.leafCount() - 1);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for named locations and the world grid.
+ */
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "environment/location.hpp"
+#include "environment/world_grid.hpp"
+#include "util/stats.hpp"
+
+using namespace coolair::environment;
+using coolair::util::SimTime;
+
+TEST(NamedLocations, FiveSitesInPaperOrder)
+{
+    const auto &sites = allNamedSites();
+    ASSERT_EQ(sites.size(), 5u);
+    EXPECT_EQ(sites[0], NamedSite::Newark);
+    EXPECT_EQ(sites[4], NamedSite::Singapore);
+}
+
+TEST(NamedLocations, ClimateCharacters)
+{
+    // The paper's characterization (§1): Iceland cold year-round, Chad
+    // hot year-round, Santiago mild, Singapore hot and humid, Newark hot
+    // summers / cold winters.
+    Location iceland = namedLocation(NamedSite::Iceland);
+    Location chad = namedLocation(NamedSite::Chad);
+    Location santiago = namedLocation(NamedSite::Santiago);
+    Location singapore = namedLocation(NamedSite::Singapore);
+    Location newark = namedLocation(NamedSite::Newark);
+
+    EXPECT_LT(iceland.climate.annualMeanC, 8.0);
+    EXPECT_GT(chad.climate.annualMeanC, 25.0);
+    EXPECT_GT(singapore.climate.annualMeanC, 25.0);
+    EXPECT_NEAR(santiago.climate.annualMeanC, 14.5, 2.0);
+
+    // Singapore is humid (small dew point depression), Chad arid.
+    EXPECT_LT(singapore.climate.dewPointDepressionC, 5.0);
+    EXPECT_GT(chad.climate.dewPointDepressionC, 10.0);
+
+    // Newark has the largest seasonal swing of the five.
+    for (NamedSite s : allNamedSites()) {
+        if (s != NamedSite::Newark) {
+            EXPECT_GE(newark.climate.seasonalAmplitudeC,
+                      namedLocation(s).climate.seasonalAmplitudeC);
+        }
+    }
+
+    // Santiago is in the southern hemisphere.
+    EXPECT_TRUE(santiago.climate.southernHemisphere);
+    EXPECT_FALSE(newark.climate.southernHemisphere);
+}
+
+TEST(NamedLocations, SiteNamesMatch)
+{
+    EXPECT_STREQ(siteName(NamedSite::Newark), "Newark");
+    EXPECT_STREQ(siteName(NamedSite::Chad), "Chad");
+    EXPECT_EQ(namedLocation(NamedSite::Iceland).name, "Iceland");
+}
+
+TEST(WorldGrid, CountAndDeterminism)
+{
+    auto a = worldGrid(100, 42);
+    auto b = worldGrid(100, 42);
+    ASSERT_EQ(a.size(), 100u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_DOUBLE_EQ(a[i].latitude, b[i].latitude);
+        EXPECT_DOUBLE_EQ(a[i].climate.annualMeanC,
+                         b[i].climate.annualMeanC);
+    }
+}
+
+TEST(WorldGrid, DefaultCountMatchesPaper)
+{
+    auto sites = worldGrid();
+    EXPECT_EQ(sites.size(), 1520u);
+}
+
+TEST(WorldGrid, LatitudesWithinHabitableBand)
+{
+    for (const auto &loc : worldGrid(500, 7)) {
+        EXPECT_GE(loc.latitude, -55.0);
+        EXPECT_LE(loc.latitude, 68.0);
+        EXPECT_GE(loc.longitude, -180.0);
+        EXPECT_LE(loc.longitude, 180.0);
+    }
+}
+
+TEST(WorldGrid, ColdSitesAreAtHighLatitudes)
+{
+    // First-order climatology: annual mean falls with |latitude|.
+    coolair::util::RunningStats tropical, polar;
+    for (const auto &loc : worldGrid(1000, 3)) {
+        if (std::fabs(loc.latitude) < 20.0)
+            tropical.add(loc.climate.annualMeanC);
+        else if (std::fabs(loc.latitude) > 50.0)
+            polar.add(loc.climate.annualMeanC);
+    }
+    ASSERT_GT(tropical.count(), 10u);
+    ASSERT_GT(polar.count(), 10u);
+    EXPECT_GT(tropical.mean(), polar.mean() + 10.0);
+}
+
+TEST(WorldGrid, SeasonalSwingGrowsWithLatitude)
+{
+    coolair::util::RunningStats tropical, temperate;
+    for (const auto &loc : worldGrid(1000, 3)) {
+        if (std::fabs(loc.latitude) < 15.0)
+            tropical.add(loc.climate.seasonalAmplitudeC);
+        else if (std::fabs(loc.latitude) > 40.0)
+            temperate.add(loc.climate.seasonalAmplitudeC);
+    }
+    EXPECT_GT(temperate.mean(), tropical.mean() + 3.0);
+}
+
+TEST(ClimateFor, AridityDrivesDiurnalAndDryness)
+{
+    ClimateParams wet = climateFor(20.0, 0.5, 0.0);
+    ClimateParams dry = climateFor(20.0, 0.5, 1.0);
+    EXPECT_GT(dry.diurnalAmplitudeC, wet.diurnalAmplitudeC + 3.0);
+    EXPECT_GT(dry.dewPointDepressionC, wet.dewPointDepressionC + 8.0);
+}
+
+TEST(ClimateFor, HemisphereFollowsLatitude)
+{
+    EXPECT_TRUE(climateFor(-30.0, 0.5, 0.5).southernHemisphere);
+    EXPECT_FALSE(climateFor(30.0, 0.5, 0.5).southernHemisphere);
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the ground-truth plant simulator: directional physics,
+ * recirculation gradients, humidity, disks, and numerical stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "physics/psychrometrics.hpp"
+#include "plant/parasol.hpp"
+#include "util/stats.hpp"
+
+using namespace coolair;
+using namespace coolair::plant;
+using coolair::cooling::Regime;
+
+namespace {
+
+environment::WeatherSample
+weather(double temp_c, double rh = 50.0)
+{
+    environment::WeatherSample w;
+    w.tempC = temp_c;
+    w.rhPercent = rh;
+    w.absHumidity = physics::absoluteHumidity(temp_c, rh);
+    return w;
+}
+
+/** Run @p minutes of simulation under fixed conditions. */
+void
+run(Plant &plant, double minutes, const environment::WeatherSample &w,
+    const PodLoad &load, const Regime &regime, double dt = 30.0)
+{
+    int steps = int(minutes * 60.0 / dt);
+    for (int i = 0; i < steps; ++i)
+        plant.step(dt, w, load, regime);
+}
+
+double
+avgInlet(const Plant &plant)
+{
+    double sum = 0.0;
+    for (int p = 0; p < plant.config().numPods; ++p)
+        sum += plant.truePodInletC(p);
+    return sum / plant.config().numPods;
+}
+
+} // anonymous namespace
+
+TEST(Plant, ClosedContainerWarmsUnderLoad)
+{
+    Plant plant(PlantConfig::parasol(), 1);
+    auto w = weather(15.0);
+    plant.initializeSteadyState(w, 5.0);
+    PodLoad load = PodLoad::uniform(8, 8, 0.8);
+
+    double before = avgInlet(plant);
+    run(plant, 60.0, w, load, Regime::closed());
+    double after = avgInlet(plant);
+    EXPECT_GT(after, before + 2.0);
+}
+
+TEST(Plant, FreeCoolingPullsTowardOutside)
+{
+    Plant plant(PlantConfig::parasol(), 1);
+    auto w = weather(10.0);
+    plant.initializeSteadyState(w, 15.0);  // start warm inside
+    PodLoad load = PodLoad::uniform(8, 8, 0.5);
+
+    run(plant, 90.0, w, load, Regime::freeCooling(1.0));
+    // Full-fan steady state sits a few degrees above outside.
+    EXPECT_LT(avgInlet(plant), 10.0 + 8.0);
+    EXPECT_GT(avgInlet(plant), 10.0);
+}
+
+TEST(Plant, FasterFanCoolsCloserToOutside)
+{
+    auto w = weather(12.0);
+    PodLoad load = PodLoad::uniform(8, 8, 0.6);
+
+    Plant slow(PlantConfig::parasol(), 1);
+    slow.initializeSteadyState(w, 12.0);
+    run(slow, 120.0, w, load, Regime::freeCooling(0.15));
+
+    Plant fast(PlantConfig::parasol(), 1);
+    fast.initializeSteadyState(w, 12.0);
+    run(fast, 120.0, w, load, Regime::freeCooling(1.0));
+
+    EXPECT_LT(avgInlet(fast), avgInlet(slow));
+}
+
+TEST(Plant, AcCompressorCoolsBelowFanOnly)
+{
+    auto w = weather(33.0);
+    PodLoad load = PodLoad::uniform(8, 8, 0.5);
+
+    Plant fan_only(PlantConfig::parasol(), 1);
+    fan_only.initializeSteadyState(w, 4.0);
+    run(fan_only, 120.0, w, load, Regime::acFanOnly());
+
+    Plant comp(PlantConfig::parasol(), 1);
+    comp.initializeSteadyState(w, 4.0);
+    run(comp, 120.0, w, load, Regime::acCompressor(1.0));
+
+    EXPECT_LT(avgInlet(comp), avgInlet(fan_only) - 4.0);
+}
+
+TEST(Plant, RecirculationGradientAcrossPods)
+{
+    // When sealed, pods with higher recirculation exposure run warmer
+    // (the lever behind CoolAir's spatial placement).
+    PlantConfig pc = PlantConfig::parasol();
+    Plant plant(pc, 1);
+    auto w = weather(15.0);
+    plant.initializeSteadyState(w, 5.0);
+    run(plant, 120.0, w, PodLoad::uniform(8, 8, 0.7), Regime::closed());
+
+    // Config grades recirc from pod 0 (least) to pod 7 (most).
+    EXPECT_GT(plant.truePodInletC(7), plant.truePodInletC(0) + 0.8);
+}
+
+TEST(Plant, HumidityTracksOutsideUnderFreeCooling)
+{
+    Plant plant(PlantConfig::parasol(), 1);
+    auto humid = weather(22.0, 90.0);
+    plant.initializeSteadyState(weather(22.0, 40.0), 5.0);
+    run(plant, 120.0, humid, PodLoad::uniform(8, 8, 0.4),
+        Regime::freeCooling(0.8));
+    // Inside absolute humidity converges to the outside value.
+    auto sensors = plant.readSensors();
+    EXPECT_NEAR(sensors.coldAisleAbsHumidity, humid.absHumidity, 1.5);
+}
+
+TEST(Plant, CompressorDehumidifies)
+{
+    Plant plant(PlantConfig::parasol(), 1);
+    auto humid = weather(30.0, 90.0);
+    plant.initializeSteadyState(humid, 4.0);
+    double abs_before = plant.readSensors().coldAisleAbsHumidity;
+    run(plant, 180.0, humid, PodLoad::uniform(8, 8, 0.5),
+        Regime::acCompressor(1.0));
+    auto sensors = plant.readSensors();
+    // Moisture is removed: absolute humidity falls toward the coil's
+    // saturation value.  (Relative humidity may *read* higher because
+    // the air is now colder — a real psychrometric effect.)
+    EXPECT_LT(sensors.coldAisleAbsHumidity, abs_before - 2.0);
+    double coil_abs =
+        physics::absoluteHumidity(plant.config().acCoilC, 100.0);
+    EXPECT_GT(sensors.coldAisleAbsHumidity, coil_abs - 1.0);
+}
+
+TEST(Plant, DiskTempsTrackInletPlusLoadOffset)
+{
+    Plant plant(PlantConfig::parasol(), 1);
+    auto w = weather(18.0);
+    plant.initializeSteadyState(w, 6.0);
+
+    // 50 % disk utilization: offset ~= idle + half the busy span
+    // (Figure 1 shows disks ~10 C above inlets at 50 % utilization).
+    run(plant, 180.0, w, PodLoad::uniform(8, 8, 0.5),
+        Regime::freeCooling(0.5));
+    const PlantConfig &pc = plant.config();
+    double expected_offset =
+        pc.diskOffsetIdleC + 0.5 * pc.diskOffsetBusySpanC;
+    for (int p = 0; p < pc.numPods; ++p) {
+        EXPECT_NEAR(plant.diskTempC(p) - plant.truePodInletC(p),
+                    expected_offset, 2.0);
+    }
+}
+
+TEST(Plant, ItPowerMatchesServerModel)
+{
+    Plant plant(PlantConfig::parasol(), 1);
+    auto w = weather(20.0);
+
+    // All 64 awake at 50 %: 64 * (22 + 4) = 1664 W.
+    plant.step(30.0, w, PodLoad::uniform(8, 8, 0.5), Regime::closed());
+    EXPECT_NEAR(plant.itPowerW(), 1664.0, 1e-9);
+
+    // Half asleep: 32*(22+4) + 32*2 = 896 W.
+    PodLoad half = PodLoad::uniform(8, 8, 0.5);
+    for (auto &a : half.activeServers)
+        a = 4;
+    plant.step(30.0, w, half, Regime::closed());
+    EXPECT_NEAR(plant.itPowerW(), 896.0, 1e-9);
+}
+
+TEST(Plant, SensorNoiseMatchesConfig)
+{
+    PlantConfig pc = PlantConfig::parasol();
+    Plant plant(pc, 3);
+    auto w = weather(20.0);
+    plant.initializeSteadyState(w, 5.0);
+
+    // Repeatedly read without stepping: spread comes only from noise.
+    coolair::util::RunningStats noise;
+    double truth = plant.truePodInletC(0);
+    for (int i = 0; i < 3000; ++i)
+        noise.add(plant.readSensors().podInletC[0] - truth);
+    EXPECT_NEAR(noise.mean(), 0.0, 0.02);
+    EXPECT_NEAR(noise.stddev(), pc.sensorNoiseC, 0.02);
+}
+
+TEST(Plant, StableAtLargeTimeStep)
+{
+    // The exponential-relaxation integrator must not oscillate or blow
+    // up even with a 10-minute step.
+    Plant plant(PlantConfig::parasol(), 1);
+    auto w = weather(5.0);
+    plant.initializeSteadyState(w, 10.0);
+    PodLoad load = PodLoad::uniform(8, 8, 0.9);
+    for (int i = 0; i < 50; ++i) {
+        plant.step(600.0, w, load, Regime::freeCooling(1.0));
+        for (int p = 0; p < 8; ++p) {
+            ASSERT_GT(plant.truePodInletC(p), -20.0);
+            ASSERT_LT(plant.truePodInletC(p), 60.0);
+        }
+    }
+}
+
+TEST(Plant, DeterministicGivenSeed)
+{
+    Plant a(PlantConfig::parasol(), 9), b(PlantConfig::parasol(), 9);
+    auto w = weather(14.0);
+    a.initializeSteadyState(w, 6.0);
+    b.initializeSteadyState(w, 6.0);
+    PodLoad load = PodLoad::uniform(8, 8, 0.3);
+    for (int i = 0; i < 100; ++i) {
+        a.step(30.0, w, load, Regime::freeCooling(0.4));
+        b.step(30.0, w, load, Regime::freeCooling(0.4));
+    }
+    for (int p = 0; p < 8; ++p)
+        EXPECT_DOUBLE_EQ(a.truePodInletC(p), b.truePodInletC(p));
+    EXPECT_EQ(a.readSensors().podInletC, b.readSensors().podInletC);
+}
+
+TEST(Plant, SmoothConfigUsesSmoothActuators)
+{
+    PlantConfig pc = PlantConfig::smoothParasol();
+    EXPECT_EQ(pc.actuators.style, cooling::ActuatorStyle::Smooth);
+    Plant plant(pc, 1);
+    auto w = weather(10.0);
+    plant.initializeSteadyState(w, 8.0);
+    plant.step(30.0, w, PodLoad::uniform(8, 8, 0.5),
+               Regime::freeCooling(1.0));
+    // One 30 s step into a commanded 100 % fan: still ramping.
+    EXPECT_LT(plant.actuators().state().fcFanSpeed, 0.2);
+}
+
+TEST(Plant, AbruptTransitionDropsFast)
+{
+    // Paper §5.1: opening Parasol at the 15 % minimum speed dropped the
+    // inlet 9 C in 12 minutes.  Verify a large, fast drop on a cold day.
+    Plant plant(PlantConfig::parasol(), 1);
+    auto w = weather(0.0);
+    plant.initializeSteadyState(w, 20.0);
+    PodLoad load = PodLoad::uniform(8, 8, 0.3);
+    run(plant, 30.0, w, load, Regime::closed());
+    double before = avgInlet(plant);
+    run(plant, 12.0, w, load, Regime::freeCooling(0.15));
+    double drop = before - avgInlet(plant);
+    EXPECT_GT(drop, 4.0);
+}
+
+TEST(PodLoad, UniformFactory)
+{
+    PodLoad load = PodLoad::uniform(4, 8, 0.5);
+    ASSERT_EQ(load.activeServers.size(), 4u);
+    for (int a : load.activeServers)
+        EXPECT_EQ(a, 8);
+    for (double u : load.utilization)
+        EXPECT_DOUBLE_EQ(u, 0.5);
+}
+
+TEST(SensorReadings, MaxAndAvgHelpers)
+{
+    SensorReadings s;
+    s.podInletC = {20.0, 25.0, 22.0};
+    EXPECT_DOUBLE_EQ(s.maxPodInletC(), 25.0);
+    EXPECT_NEAR(s.avgPodInletC(), 22.333, 0.001);
+}

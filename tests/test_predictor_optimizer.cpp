@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the Cooling Predictor's rollout and the Cooling Optimizer's
+ * regime selection, using hand-built models with known dynamics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "core/predictor.hpp"
+#include "model/cooling_model.hpp"
+
+using namespace coolair;
+using namespace coolair::core;
+using namespace coolair::model;
+using cooling::Regime;
+using cooling::RegimeClass;
+using cooling::RegimeMenu;
+
+namespace {
+
+/**
+ * An AR(1) model toward a fixed point: T' = (1-a)*target + a*T.
+ * Expressed in the temperature feature layout (bias, Tin at index 1).
+ */
+LinearModel
+towardModel(double target, double alpha)
+{
+    std::vector<double> w(TempFeatures::kCount, 0.0);
+    w[0] = (1.0 - alpha) * target;
+    w[1] = alpha;
+    return LinearModel(std::move(w));
+}
+
+LinearModel
+holdHumidity()
+{
+    std::vector<double> w(HumidityFeatures::kCount, 0.0);
+    w[1] = 1.0;  // H' = H
+    return LinearModel(std::move(w));
+}
+
+/**
+ * Build a 2-pod model bank where "closed" drifts toward 35 C, free
+ * cooling toward 18 C, and the AC toward 22 C.
+ */
+CoolingModel
+syntheticModel()
+{
+    CoolingModelConfig cfg;
+    cfg.numPods = 2;
+    CoolingModel m(cfg);
+    for (int pod = 0; pod < 2; ++pod) {
+        for (RegimeClass c :
+             {RegimeClass::Closed, RegimeClass::FcLow, RegimeClass::FcMid,
+              RegimeClass::FcHigh, RegimeClass::AcFanOnly,
+              RegimeClass::AcCompressor}) {
+            double target = 35.0;
+            if (c == RegimeClass::FcLow || c == RegimeClass::FcMid ||
+                c == RegimeClass::FcHigh) {
+                target = 18.0;
+            } else if (c == RegimeClass::AcCompressor) {
+                target = 22.0;
+            } else if (c == RegimeClass::AcFanOnly) {
+                target = 33.0;
+            }
+            m.setTempModel({c, c}, pod, towardModel(target, 0.6));
+        }
+    }
+    for (RegimeClass c :
+         {RegimeClass::Closed, RegimeClass::FcLow, RegimeClass::FcMid,
+          RegimeClass::FcHigh, RegimeClass::AcFanOnly,
+          RegimeClass::AcCompressor}) {
+        m.setHumidityModel({c, c}, holdHumidity());
+    }
+    return m;
+}
+
+PredictorState
+stateAt(double temp)
+{
+    PredictorState st;
+    st.podTempC = {temp, temp};
+    st.podTempPrevC = {temp, temp};
+    st.coldAbsHumidity = 8.0;
+    st.outsideC = 15.0;
+    st.outsidePrevC = 15.0;
+    st.outsideAbsHumidity = 6.0;
+    st.currentRegime = Regime::closed();
+    return st;
+}
+
+} // anonymous namespace
+
+TEST(Predictor, RolloutConvergesTowardModelFixedPoint)
+{
+    CoolingModel m = syntheticModel();
+    CoolingPredictor pred(&m, 5);
+    Trajectory traj = pred.predict(stateAt(30.0), Regime::freeCooling(0.5));
+    ASSERT_EQ(traj.steps.size(), 5u);
+    // Monotone descent toward 18.
+    double prev = 30.0;
+    for (const auto &s : traj.steps) {
+        EXPECT_LT(s.podTempC[0], prev);
+        prev = s.podTempC[0];
+    }
+    // After 5 steps of alpha=0.6: 18 + 0.6^5 * 12 ~= 18.93.
+    EXPECT_NEAR(traj.steps.back().podTempC[0], 18.93, 0.05);
+}
+
+TEST(Predictor, EnergyAccumulatesOverHorizon)
+{
+    CoolingModel m = syntheticModel();
+    CoolingPredictor pred(&m, 5);
+    Trajectory traj =
+        pred.predict(stateAt(30.0), Regime::acCompressor(1.0));
+    // 2.2 kW for 5 x 2 min = 1/6 h -> ~0.367 kWh.
+    EXPECT_NEAR(traj.coolingEnergyKwh, 2.2 / 6.0, 0.01);
+
+    Trajectory closed = pred.predict(stateAt(30.0), Regime::closed());
+    EXPECT_DOUBLE_EQ(closed.coolingEnergyKwh, 0.0);
+}
+
+TEST(Predictor, HorizonLengthHonored)
+{
+    CoolingModel m = syntheticModel();
+    CoolingPredictor pred(&m, 8);
+    EXPECT_EQ(pred.predict(stateAt(25.0), Regime::closed()).steps.size(),
+              8u);
+}
+
+TEST(Optimizer, PicksCoolingWhenHot)
+{
+    CoolingModel m = syntheticModel();
+    CoolingPredictor pred(&m, 5);
+    UtilityConfig ucfg;
+    ucfg.penalizeRate = false;
+    CoolingOptimizer opt(RegimeMenu::smooth(), ucfg);
+
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+    OptimizerDecision d =
+        opt.choose(pred, stateAt(33.0), {0, 1}, band);
+    // Hot inside: the optimizer must not stay closed (drifts to 35).
+    EXPECT_NE(d.regime.mode, cooling::Mode::Closed);
+}
+
+TEST(Optimizer, StaysClosedWhenComfortable)
+{
+    CoolingModel m = syntheticModel();
+    // Make closed drift gently around 27 (inside the band).
+    for (int pod = 0; pod < 2; ++pod)
+        m.setTempModel({RegimeClass::Closed, RegimeClass::Closed}, pod,
+                       towardModel(27.0, 0.8));
+    CoolingPredictor pred(&m, 5);
+    UtilityConfig ucfg;
+    CoolingOptimizer opt(RegimeMenu::smooth(), ucfg);
+
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+    PredictorState st = stateAt(27.0);
+    OptimizerDecision d = opt.choose(pred, st, {0, 1}, band);
+    // Everything in band; closed is free, so energy awareness picks it.
+    EXPECT_EQ(d.regime.mode, cooling::Mode::Closed);
+    EXPECT_DOUBLE_EQ(d.penalty, 0.0);
+}
+
+TEST(Optimizer, EnergyAwareAvoidsAcWhenFreeCoolingSuffices)
+{
+    CoolingModel m = syntheticModel();
+    CoolingPredictor pred(&m, 5);
+    UtilityConfig ucfg;
+    ucfg.penalizeRate = false;
+    CoolingOptimizer opt(RegimeMenu::smooth(), ucfg);
+
+    TemperatureBand band = TemperatureBand::fixed(16.0, 21.0);
+    OptimizerDecision d = opt.choose(pred, stateAt(26.0), {0, 1}, band);
+    EXPECT_EQ(d.regime.mode, cooling::Mode::FreeCooling);
+}
+
+TEST(Optimizer, IncumbentWinsTies)
+{
+    // All closed-ish states equal: with zero penalties everywhere and
+    // equal (zero) energy, the incumbent regime must be kept.
+    CoolingModel m = syntheticModel();
+    for (int pod = 0; pod < 2; ++pod) {
+        for (RegimeClass c :
+             {RegimeClass::Closed, RegimeClass::FcLow, RegimeClass::FcMid,
+              RegimeClass::FcHigh, RegimeClass::AcFanOnly,
+              RegimeClass::AcCompressor}) {
+            m.setTempModel({c, c}, pod, towardModel(27.0, 0.9));
+        }
+    }
+    CoolingPredictor pred(&m, 3);
+    UtilityConfig ucfg;
+    ucfg.energyAware = false;
+    CoolingOptimizer opt(RegimeMenu::parasol(), ucfg);
+
+    TemperatureBand band = TemperatureBand::fixed(20.0, 32.0);
+    PredictorState st = stateAt(27.0);
+    st.currentRegime = Regime::freeCooling(0.25);
+    OptimizerDecision d = opt.choose(pred, st, {0, 1}, band);
+    EXPECT_TRUE(d.regime == st.currentRegime);
+}
+
+TEST(Optimizer, DecisionReportsDiagnostics)
+{
+    CoolingModel m = syntheticModel();
+    CoolingPredictor pred(&m, 5);
+    UtilityConfig ucfg;
+    CoolingOptimizer opt(RegimeMenu::smooth(), ucfg);
+    TemperatureBand band = TemperatureBand::fixed(25.0, 30.0);
+    OptimizerDecision d = opt.choose(pred, stateAt(40.0), {0, 1}, band);
+    EXPECT_GT(d.penalty, 0.0);       // nothing avoids all violations
+    EXPECT_GE(d.energyKwh, 0.0);
+    EXPECT_GE(d.score, d.penalty - 1e-9);
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the utilization-profile workload replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+using namespace coolair::workload;
+using coolair::util::SimTime;
+using coolair::util::kSecondsPerHour;
+
+TEST(UtilizationProfile, FromTraceMatchesOfferedLoad)
+{
+    Trace trace = steadyTrace(0.4, {});
+    ClusterConfig cc;
+    UtilizationProfile profile = UtilizationProfile::fromTrace(trace, cc);
+    // Mean busy fraction tracks the offered utilization.
+    EXPECT_NEAR(profile.meanFraction(), 0.4, 0.08);
+}
+
+TEST(UtilizationProfile, WrapsDaily)
+{
+    UtilizationProfile p({0.1, 0.9}, int(util::kSecondsPerDay / 2));
+    EXPECT_DOUBLE_EQ(p.demandFraction(SimTime(0)), 0.1);
+    EXPECT_DOUBLE_EQ(
+        p.demandFraction(SimTime(util::kSecondsPerDay / 2 + 5)), 0.9);
+    EXPECT_DOUBLE_EQ(
+        p.demandFraction(SimTime(util::kSecondsPerDay + 5)), 0.1);
+}
+
+TEST(ProfileWorkload, UnmanagedKeepsAllAwake)
+{
+    ClusterConfig cc;
+    ProfileWorkload wl(cc, UtilizationProfile({0.5}, 600));
+    wl.applyPlan(ComputePlan::passthrough());
+    wl.step(SimTime(0), 30.0);
+
+    plant::PodLoad load = wl.podLoad();
+    int awake = 0;
+    for (int a : load.activeServers)
+        awake += a;
+    EXPECT_EQ(awake, cc.totalServers());
+}
+
+TEST(ProfileWorkload, ManagedRespectsTargetAndCovering)
+{
+    ClusterConfig cc;
+    ProfileWorkload wl(cc, UtilizationProfile({0.2}, 600));
+    ComputePlan plan = ComputePlan::passthrough();
+    plan.manageServerStates = true;
+    plan.targetActiveServers = 20;
+    wl.applyPlan(plan);
+    wl.step(SimTime(0), 30.0);
+
+    plant::PodLoad load = wl.podLoad();
+    int awake = 0;
+    for (int p = 0; p < cc.numPods; ++p) {
+        EXPECT_GE(load.activeServers[size_t(p)], 1);  // covering server
+        awake += load.activeServers[size_t(p)];
+    }
+    EXPECT_EQ(awake, 20);
+}
+
+TEST(ProfileWorkload, PodOrderConcentratesLoad)
+{
+    ClusterConfig cc;
+    ProfileWorkload wl(cc, UtilizationProfile({0.25}, 600));
+    ComputePlan plan = ComputePlan::passthrough();
+    plan.manageServerStates = true;
+    plan.targetActiveServers = 24;
+    plan.podOrder = {3, 2, 1, 0, 4, 5, 6, 7};
+    wl.applyPlan(plan);
+    wl.step(SimTime(0), 30.0);
+
+    plant::PodLoad load = wl.podLoad();
+    EXPECT_GT(load.activeServers[3], load.activeServers[7]);
+    EXPECT_GE(load.utilization[3], load.utilization[7]);
+}
+
+TEST(ProfileWorkload, StatusReportsDemand)
+{
+    ClusterConfig cc;
+    ProfileWorkload wl(cc, UtilizationProfile({0.5}, 600));
+    wl.applyPlan(ComputePlan::passthrough());
+    wl.step(SimTime(0), 30.0);
+    WorkloadStatus st = wl.status();
+    // 50 % of 128 slots -> 64 slots -> 32 two-slot servers.
+    EXPECT_EQ(st.demandServers, 32);
+    EXPECT_NEAR(st.offeredUtilization, 0.5, 1e-9);
+}

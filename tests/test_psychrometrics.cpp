@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit and property tests for the psychrometric functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/psychrometrics.hpp"
+
+using namespace coolair::physics;
+
+TEST(Psychrometrics, SaturationPressureKnownPoints)
+{
+    // Magnus approximation against reference values (±2 %).
+    EXPECT_NEAR(saturationVaporPressure(0.0), 611.0, 15.0);
+    EXPECT_NEAR(saturationVaporPressure(20.0), 2339.0, 50.0);
+    EXPECT_NEAR(saturationVaporPressure(30.0), 4246.0, 90.0);
+    EXPECT_NEAR(saturationVaporPressure(40.0), 7384.0, 160.0);
+}
+
+TEST(Psychrometrics, SaturationPressureMonotone)
+{
+    double prev = saturationVaporPressure(-30.0);
+    for (double t = -29.0; t <= 60.0; t += 1.0) {
+        double p = saturationVaporPressure(t);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Psychrometrics, AbsoluteHumidityKnownPoint)
+{
+    // Air at 20 C and 100 % RH holds ~17.3 g/m^3 of water.
+    EXPECT_NEAR(absoluteHumidity(20.0, 100.0), 17.3, 0.6);
+    // Half RH, half content.
+    EXPECT_NEAR(absoluteHumidity(20.0, 50.0),
+                absoluteHumidity(20.0, 100.0) / 2.0, 1e-9);
+}
+
+TEST(Psychrometrics, RelativeAbsoluteRoundTrip)
+{
+    for (double t = -10.0; t <= 45.0; t += 5.0) {
+        for (double rh = 10.0; rh <= 100.0; rh += 15.0) {
+            double abs = absoluteHumidity(t, rh);
+            EXPECT_NEAR(relativeHumidity(t, abs), rh, 1e-9)
+                << "t=" << t << " rh=" << rh;
+        }
+    }
+}
+
+TEST(Psychrometrics, DewPointProperties)
+{
+    // At 100 % RH the dew point equals the temperature.
+    EXPECT_NEAR(dewPoint(25.0, 100.0), 25.0, 0.01);
+    // Dew point is below temperature for RH < 100 and increases with RH.
+    double prev = dewPoint(25.0, 20.0);
+    for (double rh = 30.0; rh < 100.0; rh += 10.0) {
+        double dp = dewPoint(25.0, rh);
+        EXPECT_LT(dp, 25.0);
+        EXPECT_GT(dp, prev);
+        prev = dp;
+    }
+    // Reference: 25 C at 50 % RH -> dew point ~13.9 C.
+    EXPECT_NEAR(dewPoint(25.0, 50.0), 13.9, 0.4);
+}
+
+TEST(AirState, FromRelativeRoundTrips)
+{
+    AirState s = AirState::fromRelative(22.0, 65.0);
+    EXPECT_NEAR(s.relHumidity(), 65.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.tempC, 22.0);
+}
+
+TEST(AirState, MixEndpointsAndMidpoint)
+{
+    AirState a = AirState::fromRelative(10.0, 80.0);
+    AirState b = AirState::fromRelative(30.0, 40.0);
+
+    AirState all_a = mix(a, b, 1.0);
+    EXPECT_DOUBLE_EQ(all_a.tempC, a.tempC);
+    EXPECT_DOUBLE_EQ(all_a.absHumidity, a.absHumidity);
+
+    AirState all_b = mix(a, b, 0.0);
+    EXPECT_DOUBLE_EQ(all_b.tempC, b.tempC);
+
+    AirState half = mix(a, b, 0.5);
+    EXPECT_DOUBLE_EQ(half.tempC, 20.0);
+    EXPECT_DOUBLE_EQ(half.absHumidity,
+                     0.5 * (a.absHumidity + b.absHumidity));
+}
+
+TEST(AirState, MixClampsFraction)
+{
+    AirState a = AirState::fromRelative(10.0, 50.0);
+    AirState b = AirState::fromRelative(30.0, 50.0);
+    EXPECT_DOUBLE_EQ(mix(a, b, 2.0).tempC, a.tempC);
+    EXPECT_DOUBLE_EQ(mix(a, b, -1.0).tempC, b.tempC);
+}
+
+TEST(HeatAirMass, KnownHeating)
+{
+    // 1 m^3 of air has heat capacity rho*cp = 1206 J/K; adding 1206 J
+    // raises it 1 K.
+    double t = heatAirMass(20.0, 1.0, kAirDensity * kAirSpecificHeat);
+    EXPECT_NEAR(t, 21.0, 1e-9);
+    // Cooling works symmetrically.
+    double t2 = heatAirMass(20.0, 2.0, -2.0 * kAirDensity * kAirSpecificHeat);
+    EXPECT_NEAR(t2, 19.0, 1e-9);
+}
+
+/** Property sweep: mixing preserves bounds (no over/undershoot). */
+class MixProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(MixProperty, MixWithinEndpoints)
+{
+    auto [ta, tb, frac] = GetParam();
+    AirState a = AirState::fromRelative(ta, 70.0);
+    AirState b = AirState::fromRelative(tb, 30.0);
+    AirState m = mix(a, b, frac);
+    EXPECT_GE(m.tempC, std::min(ta, tb) - 1e-12);
+    EXPECT_LE(m.tempC, std::max(ta, tb) + 1e-12);
+    EXPECT_GE(m.absHumidity, std::min(a.absHumidity, b.absHumidity) - 1e-12);
+    EXPECT_LE(m.absHumidity, std::max(a.absHumidity, b.absHumidity) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MixProperty,
+    ::testing::Combine(::testing::Values(-5.0, 10.0, 35.0),
+                       ::testing::Values(0.0, 22.0, 45.0),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.9, 1.0)));

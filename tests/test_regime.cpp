@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for cooling regimes, classification, and menus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cooling/regime.hpp"
+
+using namespace coolair::cooling;
+
+TEST(Regime, FactoriesAndNormalization)
+{
+    EXPECT_EQ(Regime::closed().mode, Mode::Closed);
+
+    Regime fc = Regime::freeCooling(0.5);
+    EXPECT_EQ(fc.mode, Mode::FreeCooling);
+    EXPECT_DOUBLE_EQ(fc.fanSpeed, 0.5);
+
+    Regime ac = Regime::acCompressor(0.75);
+    EXPECT_TRUE(ac.compressorOn);
+    EXPECT_DOUBLE_EQ(ac.compressorSpeed, 0.75);
+
+    // Normalization zeroes irrelevant fields.
+    Regime weird = Regime::closed();
+    weird.fanSpeed = 0.9;
+    weird.compressorSpeed = 0.5;
+    Regime norm = weird.normalized();
+    EXPECT_DOUBLE_EQ(norm.fanSpeed, 0.0);
+    EXPECT_DOUBLE_EQ(norm.compressorSpeed, 0.0);
+}
+
+TEST(Regime, SpeedsClamped)
+{
+    EXPECT_DOUBLE_EQ(Regime::freeCooling(1.7).fanSpeed, 1.0);
+    EXPECT_DOUBLE_EQ(Regime::freeCooling(-0.5).fanSpeed, 0.0);
+    EXPECT_DOUBLE_EQ(Regime::acCompressor(2.0).compressorSpeed, 1.0);
+}
+
+TEST(Regime, EqualityIgnoresIrrelevantFields)
+{
+    Regime a = Regime::closed();
+    Regime b = Regime::closed();
+    b.fanSpeed = 0.7;  // irrelevant for closed
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(Regime::freeCooling(0.2) == Regime::freeCooling(0.3));
+    EXPECT_FALSE(Regime::acFanOnly() == Regime::acCompressor(1.0));
+}
+
+TEST(Regime, StringForms)
+{
+    EXPECT_EQ(Regime::closed().str(), "closed");
+    EXPECT_EQ(Regime::freeCooling(0.5).str(), "fc@0.50");
+    EXPECT_EQ(Regime::acFanOnly().str(), "ac-fan");
+    EXPECT_EQ(Regime::acCompressor(1.0).str(), "ac+comp@1.00");
+}
+
+TEST(RegimeClass, BucketBoundaries)
+{
+    EXPECT_EQ(classify(Regime::closed()), RegimeClass::Closed);
+    EXPECT_EQ(classify(Regime::freeCooling(0.01)), RegimeClass::FcLow);
+    EXPECT_EQ(classify(Regime::freeCooling(0.33)), RegimeClass::FcLow);
+    EXPECT_EQ(classify(Regime::freeCooling(0.34)), RegimeClass::FcMid);
+    EXPECT_EQ(classify(Regime::freeCooling(0.66)), RegimeClass::FcMid);
+    EXPECT_EQ(classify(Regime::freeCooling(0.67)), RegimeClass::FcHigh);
+    EXPECT_EQ(classify(Regime::freeCooling(1.0)), RegimeClass::FcHigh);
+    EXPECT_EQ(classify(Regime::acFanOnly()), RegimeClass::AcFanOnly);
+    EXPECT_EQ(classify(Regime::acCompressor(0.4)),
+              RegimeClass::AcCompressor);
+}
+
+TEST(TransitionKey, IndexBijective)
+{
+    bool seen[TransitionKey::count()] = {};
+    for (int f = 0; f < kNumRegimeClasses; ++f) {
+        for (int t = 0; t < kNumRegimeClasses; ++t) {
+            TransitionKey key{RegimeClass(f), RegimeClass(t)};
+            int idx = key.index();
+            ASSERT_GE(idx, 0);
+            ASSERT_LT(idx, TransitionKey::count());
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+            EXPECT_EQ(key.isSteady(), f == t);
+        }
+    }
+}
+
+TEST(RegimeMenu, ParasolMatchesSection41)
+{
+    RegimeMenu menu = RegimeMenu::parasol();
+    // Closed + 5 fan speeds + AC fan + AC compressor = 8 candidates.
+    EXPECT_EQ(menu.candidates.size(), 8u);
+    // The Dantherm unit cannot run below 15 %.
+    for (const auto &r : menu.candidates) {
+        if (r.mode == Mode::FreeCooling) {
+            EXPECT_GE(r.fanSpeed, 0.15);
+        }
+    }
+}
+
+TEST(RegimeMenu, SmoothHasFineSpeeds)
+{
+    RegimeMenu menu = RegimeMenu::smooth();
+    bool has_tiny_fan = false, has_partial_comp = false;
+    for (const auto &r : menu.candidates) {
+        if (r.mode == Mode::FreeCooling && r.fanSpeed < 0.05)
+            has_tiny_fan = true;
+        if (r.mode == Mode::AirConditioning && r.compressorOn &&
+            r.compressorSpeed < 1.0) {
+            has_partial_comp = true;
+        }
+    }
+    EXPECT_TRUE(has_tiny_fan);
+    EXPECT_TRUE(has_partial_comp);
+}
+
+TEST(Names, Strings)
+{
+    EXPECT_STREQ(modeName(Mode::Closed), "closed");
+    EXPECT_STREQ(modeName(Mode::FreeCooling), "free-cooling");
+    EXPECT_STREQ(regimeClassName(RegimeClass::AcCompressor), "ac-comp");
+}

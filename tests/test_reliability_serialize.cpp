@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the disk-reliability impact model and learned-bundle
+ * serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/serialize.hpp"
+#include "reliability/disk_reliability.hpp"
+#include "core/coolair.hpp"
+#include "sim/experiment.hpp"
+
+using namespace coolair;
+using namespace coolair::reliability;
+
+// ---------------------------------------------------------------------------
+// Disk reliability
+// ---------------------------------------------------------------------------
+
+TEST(DiskReliability, UnityAtReferencePoint)
+{
+    DiskReliabilityModel m;
+    EXPECT_NEAR(m.temperatureFactor(35.0), 1.0, 1e-9);
+    EXPECT_NEAR(m.variationFactor(4.0), 1.0, 1e-9);
+    ReliabilityReport r = m.assess(35.0, 4.0, 0.0);
+    EXPECT_NEAR(r.afrMultiplier, 1.0, 1e-9);
+    EXPECT_TRUE(r.cyclesWithinBudget);
+}
+
+TEST(DiskReliability, ArrheniusDoublesRoughlyPerTenC)
+{
+    // With Ea = 0.46 eV near 35 C, +10 C multiplies the rate by ~1.7x.
+    DiskReliabilityModel m;
+    double f45 = m.temperatureFactor(45.0);
+    EXPECT_GT(f45, 1.5);
+    EXPECT_LT(f45, 2.2);
+    // Monotone increasing.
+    double prev = m.temperatureFactor(20.0);
+    for (double t = 25.0; t <= 55.0; t += 5.0) {
+        double f = m.temperatureFactor(t);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(DiskReliability, VariationFactorLinearAboveReference)
+{
+    DiskReliabilityModel m;
+    EXPECT_NEAR(m.variationFactor(2.0), 1.0, 1e-9);  // floored
+    EXPECT_NEAR(m.variationFactor(14.0), 1.0 + 0.08 * 10.0, 1e-9);
+}
+
+TEST(DiskReliability, BlendWeightsHypotheses)
+{
+    DiskReliabilityConfig sankar;
+    sankar.variationWeight = 0.0;   // temperature only
+    DiskReliabilityConfig elsayed;
+    elsayed.variationWeight = 1.0;  // variation only
+
+    // Hot but steady vs cool but swinging.
+    ReliabilityReport hot_steady =
+        DiskReliabilityModel(sankar).assess(45.0, 4.0);
+    ReliabilityReport hot_steady_v =
+        DiskReliabilityModel(elsayed).assess(45.0, 4.0);
+    EXPECT_GT(hot_steady.afrMultiplier, 1.4);
+    EXPECT_NEAR(hot_steady_v.afrMultiplier, 1.0, 1e-9);
+
+    ReliabilityReport cool_swingy =
+        DiskReliabilityModel(elsayed).assess(35.0, 16.0);
+    EXPECT_GT(cool_swingy.afrMultiplier, 1.5);
+}
+
+TEST(DiskReliability, PowerCycleBudget)
+{
+    DiskReliabilityModel m;
+    // §4.2: 8.5 cycles/hour exhausts the 300k budget over 4 years.
+    ReliabilityReport at_limit = m.assess(35.0, 4.0, 8.5);
+    EXPECT_NEAR(at_limit.cycleBudgetFractionPerYear * 4.0, 1.0, 0.01);
+    ReliabilityReport over = m.assess(35.0, 4.0, 10.0);
+    EXPECT_FALSE(over.cyclesWithinBudget);
+    ReliabilityReport typical = m.assess(35.0, 4.0, 2.2);
+    EXPECT_TRUE(typical.cyclesWithinBudget);
+}
+
+TEST(DiskReliability, SummaryOverloadUsesDiskOffset)
+{
+    DiskReliabilityModel m;
+    sim::Summary s;
+    s.avgMaxInletC = 24.0;           // disks at ~35 C
+    s.avgWorstDailyRangeC = 4.0;
+    ReliabilityReport r = m.assess(s);
+    EXPECT_NEAR(r.afrMultiplier, 1.0, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Bundle serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTripsSharedBundle)
+{
+    const model::LearnedBundle &original = sim::sharedBundle();
+
+    std::stringstream buffer;
+    ASSERT_TRUE(model::saveBundle(original, buffer));
+
+    model::LearnedBundle loaded = model::loadBundle(buffer);
+    EXPECT_EQ(loaded.fittedTempModels, original.fittedTempModels);
+    EXPECT_EQ(loaded.recircRankAscending, original.recircRankAscending);
+    ASSERT_EQ(loaded.recircProbeRiseC.size(),
+              original.recircProbeRiseC.size());
+
+    // Predictions must be bit-identical through the round trip.
+    model::TempInputs tin;
+    tin.insideC = 27.3;
+    tin.insidePrevC = 27.1;
+    tin.outsideC = 12.0;
+    tin.outsidePrevC = 12.2;
+    tin.fanSpeed = 0.4;
+    tin.fanSpeedPrev = 0.4;
+    tin.dcUtilization = 0.6;
+    tin.podPowerFraction = 0.7;
+    for (int pod = 0; pod < 8; ++pod) {
+        for (auto regime :
+             {cooling::Regime::closed(), cooling::Regime::freeCooling(0.4),
+              cooling::Regime::acCompressor(1.0)}) {
+            double a = original.model.predictTemp(regime, regime, pod, tin);
+            double b = loaded.model.predictTemp(regime, regime, pod, tin);
+            EXPECT_DOUBLE_EQ(a, b);
+        }
+    }
+
+    model::HumidityInputs hin;
+    hin.insideAbs = 9.0;
+    hin.outsideAbs = 6.0;
+    hin.fanSpeed = 0.4;
+    EXPECT_DOUBLE_EQ(
+        original.model.predictHumidity(cooling::Regime::freeCooling(0.4),
+                                       cooling::Regime::freeCooling(0.4),
+                                       hin),
+        loaded.model.predictHumidity(cooling::Regime::freeCooling(0.4),
+                                     cooling::Regime::freeCooling(0.4),
+                                     hin));
+
+    EXPECT_DOUBLE_EQ(
+        original.model.predictCoolingPower(cooling::Regime::acFanOnly()),
+        loaded.model.predictCoolingPower(cooling::Regime::acFanOnly()));
+}
+
+TEST(Serialize, LoadedBundleDrivesCoolAir)
+{
+    std::stringstream buffer;
+    model::saveBundle(sim::sharedBundle(), buffer);
+    model::LearnedBundle loaded = model::loadBundle(buffer);
+
+    environment::Climate climate =
+        environment::namedLocation(environment::NamedSite::Newark)
+            .makeClimate(3);
+    environment::Forecaster forecaster(climate);
+    core::CoolAirConfig cfg = core::CoolAirConfig::forVersion(
+        core::Version::AllNd, cooling::RegimeMenu::smooth());
+    core::CoolAir coolair(cfg, loaded, &forecaster);
+
+    plant::SensorReadings s;
+    s.podInletC.assign(8, 27.0);
+    s.outsideC = 15.0;
+    s.outsideAbsHumidity = 6.0;
+    workload::WorkloadStatus status;
+    status.demandServers = 20;
+    auto d = coolair.control(s, status,
+                             plant::PodLoad::uniform(8, 8, 0.5),
+                             util::SimTime::fromCalendar(120, 9));
+    EXPECT_TRUE(d.plan.manageServerStates);
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    std::istringstream bad("not a bundle\n");
+    EXPECT_DEATH(model::loadBundle(bad), "magic");
+
+    std::istringstream truncated("coolair-model v2\npods 8 step 120 "
+                                 "evap-eff 0.75\ntemp 0 0 1 2\n");
+    EXPECT_DEATH(model::loadBundle(truncated), "truncated");
+}

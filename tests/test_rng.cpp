@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for util::Rng: determinism, stream independence, and
+ * distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+using namespace coolair::util;
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NamedStreamsDecorrelate)
+{
+    Rng a(7, "weather"), b(7, "sensors");
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SameNamedStreamReproduces)
+{
+    Rng a(7, "weather"), b(7, "weather");
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(2, 9);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 9);
+        saw_lo |= v == 2;
+        saw_hi |= v == 9;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(6);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal(10.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.exponential(40.0);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 40.0, 1.5);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(10);
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i)
+        xs.push_back(rng.logNormal(std::log(6.0), 1.0));
+    std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 6.0, 0.5);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng root(11);
+    Rng child = root.fork("child");
+    // The fork advanced root; a fresh root with the same seed diverges
+    // from the child.
+    Rng fresh(11);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child.next() == fresh.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}

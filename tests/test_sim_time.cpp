@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for util::SimTime calendar arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+
+using namespace coolair::util;
+
+TEST(SimTime, DefaultIsZero)
+{
+    SimTime t;
+    EXPECT_EQ(t.seconds(), 0);
+    EXPECT_EQ(t.dayOfYear(), 0);
+    EXPECT_EQ(t.hourOfDay(), 0);
+    EXPECT_EQ(t.minuteOfHour(), 0);
+}
+
+TEST(SimTime, FromCalendarComposes)
+{
+    SimTime t = SimTime::fromCalendar(10, 13, 45, 30);
+    EXPECT_EQ(t.dayOfYear(), 10);
+    EXPECT_EQ(t.hourOfDay(), 13);
+    EXPECT_EQ(t.minuteOfHour(), 45);
+    EXPECT_EQ(t.secondOfDay(), 13 * 3600 + 45 * 60 + 30);
+}
+
+TEST(SimTime, FractionalAccessors)
+{
+    SimTime noon = SimTime::fromCalendar(2, 12);
+    EXPECT_DOUBLE_EQ(noon.fractionalHourOfDay(), 12.0);
+    EXPECT_DOUBLE_EQ(noon.days(), 2.5);
+    EXPECT_DOUBLE_EQ(noon.hours(), 60.0);
+}
+
+TEST(SimTime, ArithmeticOperators)
+{
+    SimTime t = SimTime::fromCalendar(1, 0);
+    SimTime u = t + kSecondsPerHour;
+    EXPECT_EQ(u.hourOfDay(), 1);
+    EXPECT_EQ(u - t, kSecondsPerHour);
+    EXPECT_LT(t, u);
+    u += kSecondsPerDay;
+    EXPECT_EQ(u.dayOfYear(), 2);
+}
+
+TEST(SimTime, DayWrapsAtYearEnd)
+{
+    SimTime t(kSecondsPerYear + 5 * kSecondsPerDay);
+    EXPECT_EQ(t.dayOfYear(), 5);
+}
+
+TEST(SimTime, NegativeTimesNormalize)
+{
+    SimTime t(-1);  // one second before midnight Jan 1
+    EXPECT_EQ(t.secondOfDay(), int(kSecondsPerDay) - 1);
+    EXPECT_EQ(t.hourOfDay(), 23);
+    EXPECT_EQ(t.dayOfYear(), kDaysPerYear - 1);
+}
+
+TEST(SimTime, StartOfDay)
+{
+    SimTime t = SimTime::fromCalendar(33, 17, 20);
+    EXPECT_EQ(t.startOfDay().seconds(), 33 * kSecondsPerDay);
+    EXPECT_EQ(t.startOfDay().hourOfDay(), 0);
+}
+
+TEST(SimTime, MonthBoundaries)
+{
+    EXPECT_EQ(SimTime::fromCalendar(0, 0).month(), 0);     // Jan 1
+    EXPECT_EQ(SimTime::fromCalendar(30, 0).month(), 0);    // Jan 31
+    EXPECT_EQ(SimTime::fromCalendar(31, 0).month(), 1);    // Feb 1
+    EXPECT_EQ(SimTime::fromCalendar(58, 0).month(), 1);    // Feb 28
+    EXPECT_EQ(SimTime::fromCalendar(59, 0).month(), 2);    // Mar 1
+    EXPECT_EQ(SimTime::fromCalendar(364, 0).month(), 11);  // Dec 31
+}
+
+TEST(SimTime, MonthNames)
+{
+    EXPECT_STREQ(monthName(0), "Jan");
+    EXPECT_STREQ(monthName(11), "Dec");
+}
+
+TEST(SimTime, StringFormat)
+{
+    SimTime t = SimTime::fromCalendar(7, 9, 5, 3);
+    EXPECT_EQ(t.str(), "d007 09:05:03");
+}
+
+TEST(SimTime, MonthStartDaysCoverYear)
+{
+    EXPECT_EQ(kMonthStartDay[0], 0);
+    EXPECT_EQ(kMonthStartDay[12], 365);
+    for (int m = 0; m < 12; ++m)
+        EXPECT_LT(kMonthStartDay[m], kMonthStartDay[m + 1]);
+}
+
+/** Property: derived fields recompose into the original second count. */
+class SimTimeRoundTrip : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(SimTimeRoundTrip, FieldsRecompose)
+{
+    SimTime t(GetParam());
+    int64_t recomposed =
+        int64_t(t.dayOfYear()) * kSecondsPerDay + t.secondOfDay();
+    int64_t wrapped =
+        ((t.seconds() % kSecondsPerYear) + kSecondsPerYear) % kSecondsPerYear;
+    EXPECT_EQ(recomposed, wrapped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimTimeRoundTrip,
+                         ::testing::Values(0, 1, 59, 3600, 86399, 86400,
+                                           86401, 12345678, kSecondsPerYear,
+                                           kSecondsPerYear + 42, -1, -86400,
+                                           -86401));

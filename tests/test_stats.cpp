@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace coolair::util;
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.range(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.range(), 7.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined)
+{
+    Rng rng(1);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(EmpiricalCdf, FractionsAndQuantiles)
+{
+    EmpiricalCdf cdf;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        cdf.add(x);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInsertOrder)
+{
+    EmpiricalCdf cdf;
+    for (double x : {5.0, 1.0, 3.0})
+        cdf.add(x);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1.0), 1.0 / 3.0);
+    const auto &sorted = cdf.sorted();
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(EmpiricalCdf, EmptyBehaves)
+{
+    EmpiricalCdf cdf;
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(DailyRangeTracker, SingleDaySingleSensor)
+{
+    DailyRangeTracker tracker(1);
+    tracker.record(0, 0, 20.0);
+    tracker.record(0, 0, 28.0);
+    tracker.record(0, 0, 24.0);
+    tracker.finish();
+    EXPECT_EQ(tracker.dayCount(), 1u);
+    EXPECT_DOUBLE_EQ(tracker.averageWorstDailyRange(), 8.0);
+    EXPECT_DOUBLE_EQ(tracker.maxWorstDailyRange(), 8.0);
+}
+
+TEST(DailyRangeTracker, WorstSensorWins)
+{
+    DailyRangeTracker tracker(2);
+    // Sensor 0 swings 4 degrees; sensor 1 swings 10.
+    tracker.record(0, 0, 20.0);
+    tracker.record(0, 0, 24.0);
+    tracker.record(0, 1, 18.0);
+    tracker.record(0, 1, 28.0);
+    tracker.finish();
+    EXPECT_DOUBLE_EQ(tracker.averageWorstDailyRange(), 10.0);
+}
+
+TEST(DailyRangeTracker, MultipleDays)
+{
+    DailyRangeTracker tracker(1);
+    tracker.record(0, 0, 20.0);
+    tracker.record(0, 0, 26.0);   // day 0: range 6
+    tracker.record(1, 0, 20.0);
+    tracker.record(1, 0, 32.0);   // day 1: range 12
+    tracker.record(3, 0, 20.0);
+    tracker.record(3, 0, 23.0);   // day 3 (gap allowed): range 3
+    tracker.finish();
+    EXPECT_EQ(tracker.dayCount(), 3u);
+    EXPECT_DOUBLE_EQ(tracker.averageWorstDailyRange(), 7.0);
+    EXPECT_DOUBLE_EQ(tracker.minWorstDailyRange(), 3.0);
+    EXPECT_DOUBLE_EQ(tracker.maxWorstDailyRange(), 12.0);
+}
+
+TEST(DailyRangeTracker, FinishIsIdempotentViaCopies)
+{
+    DailyRangeTracker tracker(1);
+    tracker.record(0, 0, 1.0);
+    tracker.record(0, 0, 2.0);
+    DailyRangeTracker copy = tracker;
+    copy.finish();
+    EXPECT_EQ(copy.dayCount(), 1u);
+    // The original is untouched (summary() in metrics relies on this).
+    DailyRangeTracker copy2 = tracker;
+    copy2.finish();
+    EXPECT_EQ(copy2.dayCount(), 1u);
+}
+
+TEST(HelperFunctions, LerpAndClamp)
+{
+    EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 10.0, 100.0, 5.0), 50.0);
+    EXPECT_DOUBLE_EQ(lerp(0.0, 7.0, 0.0, 9.0, 3.0), 7.0);  // degenerate
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 3.0), 2.0);
+}
+
+/** Property: variance is never negative across random streams. */
+class StatsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StatsProperty, VarianceNonNegative)
+{
+    Rng rng{uint64_t(GetParam())};
+    RunningStats s;
+    for (int i = 0; i < 257; ++i)
+        s.add(rng.uniform(-100.0, 100.0));
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_GE(s.max(), s.mean());
+    EXPECT_LE(s.min(), s.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty, ::testing::Range(0, 8));

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the TKS 3000 baseline controller (§4.1 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cooling/tks.hpp"
+#include "physics/psychrometrics.hpp"
+
+using namespace coolair::cooling;
+namespace physics = coolair::physics;
+
+namespace {
+
+ControlInputs
+inputs(double outside, double control, double inside_rh = 50.0,
+       double outside_rh = 50.0)
+{
+    ControlInputs in;
+    in.outsideTempC = outside;
+    in.controlSensorC = control;
+    in.insideRhPercent = inside_rh;
+    in.outsideRhPercent = outside_rh;
+    in.outsideAbsHumidity =
+        physics::absoluteHumidity(outside, outside_rh);
+    return in;
+}
+
+} // anonymous namespace
+
+TEST(Tks, ColdInsideClosesContainer)
+{
+    TksController tks;  // SP 25, P 5
+    Regime r = tks.control(inputs(10.0, 18.0));
+    EXPECT_EQ(r.mode, Mode::Closed);
+}
+
+TEST(Tks, ProportionalBandRunsFreeCooling)
+{
+    TksController tks;
+    Regime r = tks.control(inputs(15.0, 23.0));
+    EXPECT_EQ(r.mode, Mode::FreeCooling);
+    EXPECT_GE(r.fanSpeed, 0.15);
+}
+
+TEST(Tks, FanFasterWhenOutsideCloserToInside)
+{
+    // §4.1: "The closer the two temperatures are, the faster the fan
+    // blows."
+    TksController tks;
+    Regime far = tks.control(inputs(10.0, 23.0));
+    Regime close = tks.control(inputs(22.0, 23.0));
+    ASSERT_EQ(far.mode, Mode::FreeCooling);
+    ASSERT_EQ(close.mode, Mode::FreeCooling);
+    EXPECT_GT(close.fanSpeed, far.fanSpeed);
+}
+
+TEST(Tks, MinimumFanSpeedIsFifteenPercent)
+{
+    TksController tks;
+    Regime r = tks.control(inputs(2.0, 23.0));
+    ASSERT_EQ(r.mode, Mode::FreeCooling);
+    EXPECT_GE(r.fanSpeed, 0.15);
+}
+
+TEST(Tks, AboveSetpointStillFreeCoolsInLot)
+{
+    TksController tks;
+    Regime r = tks.control(inputs(18.0, 27.0));
+    EXPECT_EQ(r.mode, Mode::FreeCooling);
+    EXPECT_DOUBLE_EQ(r.fanSpeed, 1.0);
+}
+
+TEST(Tks, HotModeSwitchesWithHysteresis)
+{
+    TksController tks;  // SP 25, hysteresis 1
+    EXPECT_FALSE(tks.inHotMode());
+    tks.control(inputs(25.5, 24.0));   // below SP + hyst: still LOT
+    EXPECT_FALSE(tks.inHotMode());
+    tks.control(inputs(26.5, 24.0));   // above SP + hyst: HOT
+    EXPECT_TRUE(tks.inHotMode());
+    tks.control(inputs(24.5, 24.0));   // not yet below SP - hyst
+    EXPECT_TRUE(tks.inHotMode());
+    tks.control(inputs(23.5, 24.0));   // below SP - hyst: back to LOT
+    EXPECT_FALSE(tks.inHotMode());
+}
+
+TEST(Tks, CompressorCycles)
+{
+    TksController tks;  // SP 25, compressor off below 23, on above 25
+    tks.control(inputs(30.0, 24.0));
+    ASSERT_TRUE(tks.inHotMode());
+    EXPECT_FALSE(tks.compressorOn());
+
+    Regime on = tks.control(inputs(30.0, 25.5));
+    EXPECT_TRUE(tks.compressorOn());
+    EXPECT_EQ(on.mode, Mode::AirConditioning);
+    EXPECT_TRUE(on.compressorOn);
+
+    // Stays on inside the hysteresis band.
+    tks.control(inputs(30.0, 24.0));
+    EXPECT_TRUE(tks.compressorOn());
+
+    Regime off = tks.control(inputs(30.0, 22.5));
+    EXPECT_FALSE(tks.compressorOn());
+    EXPECT_EQ(off.mode, Mode::AirConditioning);
+    EXPECT_FALSE(off.compressorOn);
+}
+
+TEST(Tks, ExtendedBaselineConfig)
+{
+    TksConfig c = TksConfig::extendedBaseline();
+    EXPECT_DOUBLE_EQ(c.setpointC, 30.0);
+    EXPECT_TRUE(c.humidityControl);
+    EXPECT_DOUBLE_EQ(c.maxRelHumidityPercent, 80.0);
+}
+
+TEST(Tks, HumidityControlAvoidsHumidOutsideAir)
+{
+    TksController tks(TksConfig::extendedBaseline());
+    // Warm inside (would free cool), outside saturated and warm enough
+    // that admitting it keeps RH above the ceiling.
+    ControlInputs in = inputs(24.0, 26.0, 70.0, 100.0);
+    Regime r = tks.control(in);
+    EXPECT_NE(r.mode, Mode::FreeCooling);
+}
+
+TEST(Tks, HumidityControlFallsBackToAcWhenHot)
+{
+    TksConfig cfg = TksConfig::extendedBaseline();
+    cfg.setpointC = 25.0;  // make "too hot to recirculate" easy to hit
+    TksController tks(cfg);
+    ControlInputs in = inputs(24.0, 26.0, 85.0, 100.0);
+    Regime r = tks.control(in);
+    EXPECT_EQ(r.mode, Mode::AirConditioning);
+    EXPECT_TRUE(r.compressorOn);
+}
+
+TEST(Tks, DryOutsideAirStillUsedWithHumidityControl)
+{
+    TksController tks(TksConfig::extendedBaseline());
+    ControlInputs in = inputs(20.0, 28.0, 50.0, 30.0);
+    Regime r = tks.control(in);
+    EXPECT_EQ(r.mode, Mode::FreeCooling);
+}
+
+TEST(Tks, RuntimeSetpointChange)
+{
+    TksController tks;
+    tks.setSetpoint(30.0);
+    // 27 C outside is now below the setpoint: LOT mode, free cooling.
+    Regime r = tks.control(inputs(27.0, 28.0));
+    EXPECT_EQ(r.mode, Mode::FreeCooling);
+    EXPECT_FALSE(tks.inHotMode());
+}

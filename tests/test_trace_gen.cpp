@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the workload trace generators against the published trace
+ * shapes (§5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace coolair;
+using namespace coolair::workload;
+
+TEST(FacebookTrace, MatchesPublishedShape)
+{
+    Trace t = facebookTrace({});
+    // ~5500 jobs, ~68000 tasks.
+    EXPECT_GT(t.jobs.size(), 4500u);
+    EXPECT_LT(t.jobs.size(), 6500u);
+    EXPECT_GT(t.totalTasks(), 40000);
+    EXPECT_LT(t.totalTasks(), 110000);
+
+    for (const auto &j : t.jobs) {
+        EXPECT_GE(j.mapTasks, 2);
+        EXPECT_LE(j.mapTasks, 1190);
+        EXPECT_GE(j.reduceTasks, 1);
+        EXPECT_LE(j.reduceTasks, 63);
+        EXPECT_GE(j.submitS, 0);
+        EXPECT_LT(j.submitS, util::kSecondsPerDay);
+        EXPECT_GE(j.inputMb, 64.0);
+        EXPECT_LE(j.inputMb, 74.0 * 1024.0);
+        EXPECT_FALSE(j.deferrable());
+    }
+}
+
+TEST(FacebookTrace, OfferedUtilizationNearPaper)
+{
+    Trace t = facebookTrace({});
+    // 27 % average utilization on 128 slots (64 two-slot servers).
+    EXPECT_NEAR(t.offeredUtilization(128), 0.27, 0.04);
+}
+
+TEST(FacebookTrace, DeterministicAndSeedSensitive)
+{
+    Trace a = facebookTrace({});
+    Trace b = facebookTrace({});
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    EXPECT_EQ(a.jobs[10].submitS, b.jobs[10].submitS);
+
+    TraceGenConfig other;
+    other.seed = 777;
+    Trace c = facebookTrace(other);
+    EXPECT_NE(a.jobs.size(), c.jobs.size());
+}
+
+TEST(FacebookTrace, DiurnalArrivalPattern)
+{
+    Trace t = facebookTrace({});
+    // Evening hours should see clearly more arrivals than early morning.
+    int morning = 0, evening = 0;
+    for (const auto &j : t.jobs) {
+        int hour = int(j.submitS / util::kSecondsPerHour);
+        if (hour >= 3 && hour < 7)
+            ++morning;
+        if (hour >= 17 && hour < 21)
+            ++evening;
+    }
+    EXPECT_GT(evening, morning * 3 / 2);
+}
+
+TEST(NutchTrace, MatchesPublishedShape)
+{
+    Trace t = nutchTrace({});
+    // ~2000 jobs, Poisson with 40 s mean inter-arrival.
+    EXPECT_GT(t.jobs.size(), 1800u);
+    EXPECT_LT(t.jobs.size(), 2400u);
+    for (const auto &j : t.jobs) {
+        EXPECT_EQ(j.mapTasks, 42);
+        EXPECT_EQ(j.reduceTasks, 1);
+        EXPECT_GE(j.mapTaskDurS, 15);
+        EXPECT_LE(j.mapTaskDurS, 45);
+        EXPECT_EQ(j.reduceTaskDurS, 150);
+    }
+    // ~32 % utilization.
+    EXPECT_NEAR(t.offeredUtilization(128), 0.32, 0.06);
+}
+
+TEST(SteadyTrace, HitsRequestedUtilization)
+{
+    Trace t = steadyTrace(0.5, {});
+    EXPECT_NEAR(t.offeredUtilization(128), 0.5, 0.05);
+    Trace zero = steadyTrace(0.0, {});
+    EXPECT_TRUE(zero.jobs.empty());
+}
+
+TEST(Trace, MakeDeferrableSetsSixHourDeadlines)
+{
+    Trace t = nutchTrace({});
+    t.makeDeferrable(6.0);
+    for (const auto &j : t.jobs) {
+        EXPECT_TRUE(j.deferrable());
+        EXPECT_EQ(j.startDeadlineS - j.submitS, 6 * util::kSecondsPerHour);
+    }
+}
+
+TEST(Job, WorkAccounting)
+{
+    Job j;
+    j.mapTasks = 10;
+    j.mapTaskDurS = 30;
+    j.reduceTasks = 2;
+    j.reduceTaskDurS = 60;
+    EXPECT_EQ(j.totalWorkS(), 10 * 30 + 2 * 60);
+}

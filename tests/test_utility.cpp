@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the utility (penalty) function of §3.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/utility.hpp"
+
+using namespace coolair;
+using namespace coolair::core;
+using cooling::Regime;
+
+namespace {
+
+PredictedStep
+step(std::vector<double> temps, double rh = 50.0)
+{
+    PredictedStep s;
+    s.podTempC = std::move(temps);
+    s.rhPercent = rh;
+    s.stepHours = 2.0 / 60.0;
+    return s;
+}
+
+UtilityConfig
+onlyMaxTemp()
+{
+    UtilityConfig c;
+    c.penalizeBand = false;
+    c.penalizeRate = false;
+    c.penalizeHumidity = false;
+    c.penalizeAcFull = false;
+    c.energyAware = false;
+    return c;
+}
+
+const TemperatureBand kBand = TemperatureBand::fixed(25.0, 30.0);
+
+} // anonymous namespace
+
+TEST(Utility, MaxTempPenaltyPerHalfDegree)
+{
+    UtilityConfig cfg = onlyMaxTemp();  // max 30
+    std::vector<PredictedStep> traj{step({31.0, 29.0})};
+    std::vector<double> init{30.0, 29.0};
+    // Pod 0 is 1.0 C over: 2 units.  Pod 1 within limits: 0.
+    double p = trajectoryPenalty(traj, init, {0, 1}, kBand,
+                                 Regime::closed(), cfg);
+    EXPECT_NEAR(p, 2.0, 1e-9);
+}
+
+TEST(Utility, BandPenaltyBothSides)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeBand = true;
+    std::vector<PredictedStep> traj{step({24.0, 31.0})};
+    std::vector<double> init{25.0, 30.0};
+    // 1 C below band: 2 units; 1 C above: 2 units.
+    double p = trajectoryPenalty(traj, init, {0, 1}, kBand,
+                                 Regime::closed(), cfg);
+    EXPECT_NEAR(p, 4.0, 1e-9);
+}
+
+TEST(Utility, OnlyActivePodsCharged)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeBand = true;
+    std::vector<PredictedStep> traj{step({24.0, 31.0})};
+    std::vector<double> init{25.0, 30.0};
+    double p = trajectoryPenalty(traj, init, {0}, kBand, Regime::closed(),
+                                 cfg);
+    EXPECT_NEAR(p, 2.0, 1e-9);  // pod 1 inactive, not charged
+}
+
+TEST(Utility, RatePenaltyProRatedByDuration)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeRate = true;
+    // 2 C drop in 2 minutes = 60 C/h; excess 40 C/h over 1/30 h
+    // charges 40/30 units.
+    std::vector<PredictedStep> traj{step({26.0})};
+    std::vector<double> init{28.0};
+    double p = trajectoryPenalty(traj, init, {0}, kBand, Regime::closed(),
+                                 cfg);
+    EXPECT_NEAR(p, 40.0 / 30.0, 1e-9);
+}
+
+TEST(Utility, RateWithinLimitFree)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeRate = true;
+    // 0.5 C in 2 min = 15 C/h: within the 20 C/h limit.
+    std::vector<PredictedStep> traj{step({27.5})};
+    std::vector<double> init{28.0};
+    EXPECT_DOUBLE_EQ(trajectoryPenalty(traj, init, {0}, kBand,
+                                       Regime::closed(), cfg),
+                     0.0);
+}
+
+TEST(Utility, HumidityPenaltyPerFivePercent)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeHumidity = true;  // ceiling 80 %
+    std::vector<PredictedStep> traj{step({27.0}, 90.0)};
+    std::vector<double> init{27.0};
+    double p = trajectoryPenalty(traj, init, {0}, kBand, Regime::closed(),
+                                 cfg);
+    EXPECT_NEAR(p, 2.0, 1e-9);  // 10 % over / 5
+}
+
+TEST(Utility, AcFullPenaltyPerStep)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeAcFull = true;
+    std::vector<PredictedStep> traj{step({27.0}), step({27.0}),
+                                    step({27.0})};
+    std::vector<double> init{27.0};
+    EXPECT_NEAR(trajectoryPenalty(traj, init, {0}, kBand,
+                                  Regime::acCompressor(1.0), cfg),
+                3.0, 1e-9);
+    // Partial compressor speed is not "full blast".
+    EXPECT_DOUBLE_EQ(trajectoryPenalty(traj, init, {0}, kBand,
+                                       Regime::acCompressor(0.5), cfg),
+                     0.0);
+    EXPECT_DOUBLE_EQ(trajectoryPenalty(traj, init, {0}, kBand,
+                                       Regime::acFanOnly(), cfg),
+                     0.0);
+}
+
+TEST(Utility, ViolationsAccumulateAcrossStepsAndPods)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    std::vector<PredictedStep> traj{step({31.0, 31.0}),
+                                    step({31.0, 31.0})};
+    std::vector<double> init{31.0, 31.0};
+    // 2 pods x 2 steps x (1.0 / 0.5) = 8 units.
+    EXPECT_NEAR(trajectoryPenalty(traj, init, {0, 1}, kBand,
+                                  Regime::closed(), cfg),
+                8.0, 1e-9);
+}
+
+TEST(Utility, CenteringTermOptIn)
+{
+    UtilityConfig cfg = onlyMaxTemp();
+    cfg.penalizeMaxTemp = false;
+    cfg.penalizeBand = true;
+    cfg.centeringWeightPerC = 0.1;
+    // In-band but off-center trajectory costs the centering term only.
+    std::vector<PredictedStep> traj{step({29.0})};
+    std::vector<double> init{29.0};
+    double p = trajectoryPenalty(traj, init, {0}, kBand, Regime::closed(),
+                                 cfg);
+    EXPECT_NEAR(p, 0.1 * (29.0 - 27.5), 1e-9);
+}
