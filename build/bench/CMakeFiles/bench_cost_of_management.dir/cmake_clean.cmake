@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_of_management.dir/bench_cost_of_management.cpp.o"
+  "CMakeFiles/bench_cost_of_management.dir/bench_cost_of_management.cpp.o.d"
+  "bench_cost_of_management"
+  "bench_cost_of_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_of_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

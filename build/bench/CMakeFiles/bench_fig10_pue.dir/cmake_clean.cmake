@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pue.dir/bench_fig10_pue.cpp.o"
+  "CMakeFiles/bench_fig10_pue.dir/bench_fig10_pue.cpp.o.d"
+  "bench_fig10_pue"
+  "bench_fig10_pue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_disk_temps.dir/bench_fig1_disk_temps.cpp.o"
+  "CMakeFiles/bench_fig1_disk_temps.dir/bench_fig1_disk_temps.cpp.o.d"
+  "bench_fig1_disk_temps"
+  "bench_fig1_disk_temps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_disk_temps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

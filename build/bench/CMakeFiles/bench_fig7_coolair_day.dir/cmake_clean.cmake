@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_coolair_day.dir/bench_fig7_coolair_day.cpp.o"
+  "CMakeFiles/bench_fig7_coolair_day.dir/bench_fig7_coolair_day.cpp.o.d"
+  "bench_fig7_coolair_day"
+  "bench_fig7_coolair_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_coolair_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

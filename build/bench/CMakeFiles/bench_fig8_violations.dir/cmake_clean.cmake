@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_violations.dir/bench_fig8_violations.cpp.o"
+  "CMakeFiles/bench_fig8_violations.dir/bench_fig8_violations.cpp.o.d"
+  "bench_fig8_violations"
+  "bench_fig8_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ranges.dir/bench_fig9_ranges.cpp.o"
+  "CMakeFiles/bench_fig9_ranges.dir/bench_fig9_ranges.cpp.o.d"
+  "bench_fig9_ranges"
+  "bench_fig9_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forecast_error.dir/bench_forecast_error.cpp.o"
+  "CMakeFiles/bench_forecast_error.dir/bench_forecast_error.cpp.o.d"
+  "bench_forecast_error"
+  "bench_forecast_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forecast_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

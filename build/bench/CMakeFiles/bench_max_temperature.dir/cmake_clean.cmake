@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_max_temperature.dir/bench_max_temperature.cpp.o"
+  "CMakeFiles/bench_max_temperature.dir/bench_max_temperature.cpp.o.d"
+  "bench_max_temperature"
+  "bench_max_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_max_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multizone.dir/bench_multizone.cpp.o"
+  "CMakeFiles/bench_multizone.dir/bench_multizone.cpp.o.d"
+  "bench_multizone"
+  "bench_multizone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multizone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nutch_workload.dir/bench_nutch_workload.cpp.o"
+  "CMakeFiles/bench_nutch_workload.dir/bench_nutch_workload.cpp.o.d"
+  "bench_nutch_workload"
+  "bench_nutch_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nutch_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

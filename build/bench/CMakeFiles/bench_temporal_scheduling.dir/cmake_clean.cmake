@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporal_scheduling.dir/bench_temporal_scheduling.cpp.o"
+  "CMakeFiles/bench_temporal_scheduling.dir/bench_temporal_scheduling.cpp.o.d"
+  "bench_temporal_scheduling"
+  "bench_temporal_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporal_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

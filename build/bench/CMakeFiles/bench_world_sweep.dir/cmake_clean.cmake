@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_world_sweep.dir/bench_world_sweep.cpp.o"
+  "CMakeFiles/bench_world_sweep.dir/bench_world_sweep.cpp.o.d"
+  "bench_world_sweep"
+  "bench_world_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_world_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/experiment_cli.cpp" "examples/CMakeFiles/experiment_cli.dir/experiment_cli.cpp.o" "gcc" "examples/CMakeFiles/experiment_cli.dir/experiment_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliability/CMakeFiles/coolair_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/multizone/CMakeFiles/coolair_multizone.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coolair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/coolair_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/coolair_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/coolair_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/environment/CMakeFiles/coolair_environment.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/coolair_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/coolair_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coolair_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parasol_day.dir/parasol_day.cpp.o"
+  "CMakeFiles/parasol_day.dir/parasol_day.cpp.o.d"
+  "parasol_day"
+  "parasol_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parasol_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

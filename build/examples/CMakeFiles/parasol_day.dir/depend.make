@@ -1,0 +1,2 @@
+# Empty dependencies file for parasol_day.
+# This may be replaced when dependencies are built.

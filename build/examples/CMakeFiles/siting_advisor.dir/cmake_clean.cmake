@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siting_advisor.dir/siting_advisor.cpp.o"
+  "CMakeFiles/siting_advisor.dir/siting_advisor.cpp.o.d"
+  "siting_advisor"
+  "siting_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siting_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cooling/actuators.cpp" "src/cooling/CMakeFiles/coolair_cooling.dir/actuators.cpp.o" "gcc" "src/cooling/CMakeFiles/coolair_cooling.dir/actuators.cpp.o.d"
+  "/root/repo/src/cooling/regime.cpp" "src/cooling/CMakeFiles/coolair_cooling.dir/regime.cpp.o" "gcc" "src/cooling/CMakeFiles/coolair_cooling.dir/regime.cpp.o.d"
+  "/root/repo/src/cooling/tks.cpp" "src/cooling/CMakeFiles/coolair_cooling.dir/tks.cpp.o" "gcc" "src/cooling/CMakeFiles/coolair_cooling.dir/tks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coolair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/coolair_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

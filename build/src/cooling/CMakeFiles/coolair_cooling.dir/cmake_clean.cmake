@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_cooling.dir/actuators.cpp.o"
+  "CMakeFiles/coolair_cooling.dir/actuators.cpp.o.d"
+  "CMakeFiles/coolair_cooling.dir/regime.cpp.o"
+  "CMakeFiles/coolair_cooling.dir/regime.cpp.o.d"
+  "CMakeFiles/coolair_cooling.dir/tks.cpp.o"
+  "CMakeFiles/coolair_cooling.dir/tks.cpp.o.d"
+  "libcoolair_cooling.a"
+  "libcoolair_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/band.cpp" "src/core/CMakeFiles/coolair_core.dir/band.cpp.o" "gcc" "src/core/CMakeFiles/coolair_core.dir/band.cpp.o.d"
+  "/root/repo/src/core/compute.cpp" "src/core/CMakeFiles/coolair_core.dir/compute.cpp.o" "gcc" "src/core/CMakeFiles/coolair_core.dir/compute.cpp.o.d"
+  "/root/repo/src/core/coolair.cpp" "src/core/CMakeFiles/coolair_core.dir/coolair.cpp.o" "gcc" "src/core/CMakeFiles/coolair_core.dir/coolair.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/coolair_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/coolair_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/coolair_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/coolair_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/coolair_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/coolair_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coolair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/coolair_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/environment/CMakeFiles/coolair_environment.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/coolair_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/coolair_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/coolair_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/coolair_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

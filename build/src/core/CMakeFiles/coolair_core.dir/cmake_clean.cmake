@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_core.dir/band.cpp.o"
+  "CMakeFiles/coolair_core.dir/band.cpp.o.d"
+  "CMakeFiles/coolair_core.dir/compute.cpp.o"
+  "CMakeFiles/coolair_core.dir/compute.cpp.o.d"
+  "CMakeFiles/coolair_core.dir/coolair.cpp.o"
+  "CMakeFiles/coolair_core.dir/coolair.cpp.o.d"
+  "CMakeFiles/coolair_core.dir/optimizer.cpp.o"
+  "CMakeFiles/coolair_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/coolair_core.dir/predictor.cpp.o"
+  "CMakeFiles/coolair_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/coolair_core.dir/utility.cpp.o"
+  "CMakeFiles/coolair_core.dir/utility.cpp.o.d"
+  "libcoolair_core.a"
+  "libcoolair_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

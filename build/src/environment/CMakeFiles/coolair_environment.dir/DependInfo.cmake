@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/environment/climate.cpp" "src/environment/CMakeFiles/coolair_environment.dir/climate.cpp.o" "gcc" "src/environment/CMakeFiles/coolair_environment.dir/climate.cpp.o.d"
+  "/root/repo/src/environment/forecast.cpp" "src/environment/CMakeFiles/coolair_environment.dir/forecast.cpp.o" "gcc" "src/environment/CMakeFiles/coolair_environment.dir/forecast.cpp.o.d"
+  "/root/repo/src/environment/location.cpp" "src/environment/CMakeFiles/coolair_environment.dir/location.cpp.o" "gcc" "src/environment/CMakeFiles/coolair_environment.dir/location.cpp.o.d"
+  "/root/repo/src/environment/weather.cpp" "src/environment/CMakeFiles/coolair_environment.dir/weather.cpp.o" "gcc" "src/environment/CMakeFiles/coolair_environment.dir/weather.cpp.o.d"
+  "/root/repo/src/environment/world_grid.cpp" "src/environment/CMakeFiles/coolair_environment.dir/world_grid.cpp.o" "gcc" "src/environment/CMakeFiles/coolair_environment.dir/world_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coolair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/coolair_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

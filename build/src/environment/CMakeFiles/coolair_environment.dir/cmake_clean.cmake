@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_environment.dir/climate.cpp.o"
+  "CMakeFiles/coolair_environment.dir/climate.cpp.o.d"
+  "CMakeFiles/coolair_environment.dir/forecast.cpp.o"
+  "CMakeFiles/coolair_environment.dir/forecast.cpp.o.d"
+  "CMakeFiles/coolair_environment.dir/location.cpp.o"
+  "CMakeFiles/coolair_environment.dir/location.cpp.o.d"
+  "CMakeFiles/coolair_environment.dir/weather.cpp.o"
+  "CMakeFiles/coolair_environment.dir/weather.cpp.o.d"
+  "CMakeFiles/coolair_environment.dir/world_grid.cpp.o"
+  "CMakeFiles/coolair_environment.dir/world_grid.cpp.o.d"
+  "libcoolair_environment.a"
+  "libcoolair_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cooling_model.cpp" "src/model/CMakeFiles/coolair_model.dir/cooling_model.cpp.o" "gcc" "src/model/CMakeFiles/coolair_model.dir/cooling_model.cpp.o.d"
+  "/root/repo/src/model/learner.cpp" "src/model/CMakeFiles/coolair_model.dir/learner.cpp.o" "gcc" "src/model/CMakeFiles/coolair_model.dir/learner.cpp.o.d"
+  "/root/repo/src/model/linreg.cpp" "src/model/CMakeFiles/coolair_model.dir/linreg.cpp.o" "gcc" "src/model/CMakeFiles/coolair_model.dir/linreg.cpp.o.d"
+  "/root/repo/src/model/model_tree.cpp" "src/model/CMakeFiles/coolair_model.dir/model_tree.cpp.o" "gcc" "src/model/CMakeFiles/coolair_model.dir/model_tree.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/model/CMakeFiles/coolair_model.dir/serialize.cpp.o" "gcc" "src/model/CMakeFiles/coolair_model.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coolair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/coolair_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/coolair_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/environment/CMakeFiles/coolair_environment.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/coolair_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

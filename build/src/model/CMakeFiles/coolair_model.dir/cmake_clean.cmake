@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_model.dir/cooling_model.cpp.o"
+  "CMakeFiles/coolair_model.dir/cooling_model.cpp.o.d"
+  "CMakeFiles/coolair_model.dir/learner.cpp.o"
+  "CMakeFiles/coolair_model.dir/learner.cpp.o.d"
+  "CMakeFiles/coolair_model.dir/linreg.cpp.o"
+  "CMakeFiles/coolair_model.dir/linreg.cpp.o.d"
+  "CMakeFiles/coolair_model.dir/model_tree.cpp.o"
+  "CMakeFiles/coolair_model.dir/model_tree.cpp.o.d"
+  "CMakeFiles/coolair_model.dir/serialize.cpp.o"
+  "CMakeFiles/coolair_model.dir/serialize.cpp.o.d"
+  "libcoolair_model.a"
+  "libcoolair_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

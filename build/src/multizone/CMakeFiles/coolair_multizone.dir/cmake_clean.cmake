@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_multizone.dir/multizone.cpp.o"
+  "CMakeFiles/coolair_multizone.dir/multizone.cpp.o.d"
+  "libcoolair_multizone.a"
+  "libcoolair_multizone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_multizone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_physics.dir/psychrometrics.cpp.o"
+  "CMakeFiles/coolair_physics.dir/psychrometrics.cpp.o.d"
+  "libcoolair_physics.a"
+  "libcoolair_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_plant.dir/parasol.cpp.o"
+  "CMakeFiles/coolair_plant.dir/parasol.cpp.o.d"
+  "libcoolair_plant.a"
+  "libcoolair_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

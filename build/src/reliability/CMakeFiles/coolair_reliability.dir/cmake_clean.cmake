@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_reliability.dir/disk_reliability.cpp.o"
+  "CMakeFiles/coolair_reliability.dir/disk_reliability.cpp.o.d"
+  "libcoolair_reliability.a"
+  "libcoolair_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoolair_reliability.a"
+)

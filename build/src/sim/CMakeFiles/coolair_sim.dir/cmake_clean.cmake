@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_sim.dir/controller.cpp.o"
+  "CMakeFiles/coolair_sim.dir/controller.cpp.o.d"
+  "CMakeFiles/coolair_sim.dir/engine.cpp.o"
+  "CMakeFiles/coolair_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/coolair_sim.dir/experiment.cpp.o"
+  "CMakeFiles/coolair_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/coolair_sim.dir/metrics.cpp.o"
+  "CMakeFiles/coolair_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/coolair_sim.dir/model_plant.cpp.o"
+  "CMakeFiles/coolair_sim.dir/model_plant.cpp.o.d"
+  "libcoolair_sim.a"
+  "libcoolair_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_util.dir/logging.cpp.o"
+  "CMakeFiles/coolair_util.dir/logging.cpp.o.d"
+  "CMakeFiles/coolair_util.dir/rng.cpp.o"
+  "CMakeFiles/coolair_util.dir/rng.cpp.o.d"
+  "CMakeFiles/coolair_util.dir/sim_time.cpp.o"
+  "CMakeFiles/coolair_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/coolair_util.dir/stats.cpp.o"
+  "CMakeFiles/coolair_util.dir/stats.cpp.o.d"
+  "CMakeFiles/coolair_util.dir/table.cpp.o"
+  "CMakeFiles/coolair_util.dir/table.cpp.o.d"
+  "libcoolair_util.a"
+  "libcoolair_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

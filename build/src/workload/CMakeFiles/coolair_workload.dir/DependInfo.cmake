@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cluster.cpp" "src/workload/CMakeFiles/coolair_workload.dir/cluster.cpp.o" "gcc" "src/workload/CMakeFiles/coolair_workload.dir/cluster.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/coolair_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/coolair_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/coolair_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/coolair_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/coolair_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/coolair_workload.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coolair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/coolair_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/coolair_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/environment/CMakeFiles/coolair_environment.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/coolair_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolair_workload.dir/cluster.cpp.o"
+  "CMakeFiles/coolair_workload.dir/cluster.cpp.o.d"
+  "CMakeFiles/coolair_workload.dir/job.cpp.o"
+  "CMakeFiles/coolair_workload.dir/job.cpp.o.d"
+  "CMakeFiles/coolair_workload.dir/profile.cpp.o"
+  "CMakeFiles/coolair_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/coolair_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/coolair_workload.dir/trace_gen.cpp.o.d"
+  "libcoolair_workload.a"
+  "libcoolair_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolair_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

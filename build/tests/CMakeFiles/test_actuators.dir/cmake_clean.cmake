@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actuators.dir/test_actuators.cpp.o"
+  "CMakeFiles/test_actuators.dir/test_actuators.cpp.o.d"
+  "test_actuators"
+  "test_actuators.pdb"
+  "test_actuators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actuators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

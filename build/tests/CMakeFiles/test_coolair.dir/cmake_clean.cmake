@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coolair.dir/test_coolair.cpp.o"
+  "CMakeFiles/test_coolair.dir/test_coolair.cpp.o.d"
+  "test_coolair"
+  "test_coolair.pdb"
+  "test_coolair[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coolair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

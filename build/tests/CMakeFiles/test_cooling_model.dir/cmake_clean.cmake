@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cooling_model.dir/test_cooling_model.cpp.o"
+  "CMakeFiles/test_cooling_model.dir/test_cooling_model.cpp.o.d"
+  "test_cooling_model"
+  "test_cooling_model.pdb"
+  "test_cooling_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cooling_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_engine.dir/test_metrics_engine.cpp.o"
+  "CMakeFiles/test_metrics_engine.dir/test_metrics_engine.cpp.o.d"
+  "test_metrics_engine"
+  "test_metrics_engine.pdb"
+  "test_metrics_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

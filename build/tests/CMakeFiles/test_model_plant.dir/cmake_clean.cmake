@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_plant.dir/test_model_plant.cpp.o"
+  "CMakeFiles/test_model_plant.dir/test_model_plant.cpp.o.d"
+  "test_model_plant"
+  "test_model_plant.pdb"
+  "test_model_plant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

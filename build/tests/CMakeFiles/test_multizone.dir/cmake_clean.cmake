@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multizone.dir/test_multizone.cpp.o"
+  "CMakeFiles/test_multizone.dir/test_multizone.cpp.o.d"
+  "test_multizone"
+  "test_multizone.pdb"
+  "test_multizone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multizone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

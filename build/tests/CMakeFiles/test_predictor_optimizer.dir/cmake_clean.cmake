@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_optimizer.dir/test_predictor_optimizer.cpp.o"
+  "CMakeFiles/test_predictor_optimizer.dir/test_predictor_optimizer.cpp.o.d"
+  "test_predictor_optimizer"
+  "test_predictor_optimizer.pdb"
+  "test_predictor_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regime.dir/test_regime.cpp.o"
+  "CMakeFiles/test_regime.dir/test_regime.cpp.o.d"
+  "test_regime"
+  "test_regime.pdb"
+  "test_regime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliability_serialize.dir/test_reliability_serialize.cpp.o"
+  "CMakeFiles/test_reliability_serialize.dir/test_reliability_serialize.cpp.o.d"
+  "test_reliability_serialize"
+  "test_reliability_serialize.pdb"
+  "test_reliability_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliability_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

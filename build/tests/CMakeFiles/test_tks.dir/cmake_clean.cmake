@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tks.dir/test_tks.cpp.o"
+  "CMakeFiles/test_tks.dir/test_tks.cpp.o.d"
+  "test_tks"
+  "test_tks.pdb"
+  "test_tks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
