@@ -13,10 +13,12 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "environment/location.hpp"
 #include "sim/engine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 #include "workload/cluster.hpp"
 #include "workload/trace_gen.hpp"
@@ -67,18 +69,21 @@ int
 main()
 {
     std::printf("=== Ablations (Newark, All-ND, year protocol) ===\n\n");
-    util::TextTable table({"configuration", "avg range", "max range",
-                           "violation", "PUE", "cooling kWh"});
 
-    row(table, "default (width 5, horizon 8, switch 2)",
-        runYear(base()));
+    struct Case
+    {
+        std::string name;
+        core::CoolAirConfig config;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"default (width 5, horizon 8, switch 2)", base()});
 
     for (double width : {2.5, 10.0}) {
         core::CoolAirConfig c = base();
         c.band.widthC = width;
         char name[64];
         std::snprintf(name, sizeof(name), "band width %.1f C", width);
-        row(table, name, runYear(c));
+        cases.push_back({name, c});
     }
 
     for (int horizon : {1, 4}) {
@@ -87,27 +92,50 @@ main()
         char name[64];
         std::snprintf(name, sizeof(name), "horizon %d steps (%d min)",
                       horizon, horizon * 2);
-        row(table, name, runYear(c));
+        cases.push_back({name, c});
     }
 
     {
         core::CoolAirConfig c = base();
         c.utility.switchPenalty = 0.0;
-        row(table, "no switch damping", runYear(c));
+        cases.push_back({"no switch damping", c});
     }
 
     {
         core::CoolAirConfig c = base();
         c.compute.sleepDecayPerEpoch = 0.0;  // instant sleep
-        row(table, "instant server sleeping", runYear(c));
+        cases.push_back({"instant server sleeping", c});
     }
 
     {
         core::CoolAirConfig c = base();
         c.band.offsetC = 0.0;
-        row(table, "no outside-to-inlet offset", runYear(c));
+        cases.push_back({"no outside-to-inlet offset", c});
     }
 
+    // Every case shares the learned bundle; touch it before the pool so
+    // first use cannot serialize the workers.
+    sim::sharedBundle();
+
+    std::vector<sim::Summary> results(cases.size());
+    sim::RunnerConfig rc;
+    rc.progress = true;
+    rc.progressEvery = 1;
+    rc.progressLabel = "configurations";
+    sim::ExperimentRunner runner(rc);
+    auto failures = runner.forEach(cases.size(), [&](size_t i) {
+        results[i] = runYear(cases[i].config);
+    });
+    for (const auto &f : failures)
+        std::fprintf(stderr, "FAILED %s: %s\n", cases[f.index].name.c_str(),
+                     f.message.c_str());
+    if (!failures.empty())
+        return 1;
+
+    util::TextTable table({"configuration", "avg range", "max range",
+                           "violation", "PUE", "cooling kWh"});
+    for (size_t i = 0; i < cases.size(); ++i)
+        row(table, cases[i].name.c_str(), results[i]);
     table.print(std::cout);
 
     std::printf("\nReading the table: the 5 C width balances range vs "

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
 namespace coolair {
@@ -32,16 +32,18 @@ struct Cell
 using GridKey = std::pair<environment::NamedSite, sim::SystemId>;
 
 /**
- * Run the year protocol for every (site, system) combination.
- * @p mutate lets a bench adjust the spec (workload, forecast error,
- * max temperature) before each run.
+ * Run the year protocol for every (site, system) combination, fanned
+ * out over the parallel experiment runner (COOLAIR_THREADS to pin the
+ * pool size).  @p mutate lets a bench adjust the spec (workload,
+ * forecast error, max temperature) before each run.
  */
 inline std::map<GridKey, Cell>
 runGrid(const std::vector<environment::NamedSite> &sites,
         const std::vector<sim::SystemId> &systems, int weeks = 52,
         const std::function<void(sim::ExperimentSpec &)> &mutate = {})
 {
-    std::map<GridKey, Cell> grid;
+    std::vector<GridKey> keys;
+    std::vector<sim::ExperimentSpec> specs;
     for (auto site : sites) {
         for (auto system : systems) {
             sim::ExperimentSpec spec;
@@ -50,13 +52,25 @@ runGrid(const std::vector<environment::NamedSite> &sites,
             spec.weeks = weeks;
             if (mutate)
                 mutate(spec);
-            sim::ExperimentResult r = sim::runYearExperiment(spec);
-            grid[{site, system}] = Cell{r.system, r.outside};
-            std::fprintf(stderr, "  ran %s / %s\n",
-                         spec.location.name.c_str(),
-                         sim::systemName(system));
+            keys.push_back({site, system});
+            specs.push_back(std::move(spec));
         }
     }
+
+    sim::RunnerConfig rc;
+    rc.progress = true;
+    rc.progressEvery = 1;
+    rc.progressLabel = "site/system runs";
+    sim::SweepOutcome outcome = sim::ExperimentRunner(rc).run(specs);
+    for (const auto &f : outcome.failures)
+        std::fprintf(stderr, "  FAILED %s / %s: %s\n",
+                     f.spec.location.name.c_str(),
+                     sim::systemName(f.spec.system), f.message.c_str());
+
+    std::map<GridKey, Cell> grid;
+    for (size_t i = 0; i < keys.size(); ++i)
+        grid[keys[i]] = Cell{outcome.results[i].system,
+                             outcome.results[i].outside};
     return grid;
 }
 

@@ -17,9 +17,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "environment/world_grid.hpp"
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
 using namespace coolair;
@@ -49,10 +50,8 @@ main(int argc, char **argv)
     std::printf("Scoring %zu candidate sites (%d-week year sample)...\n\n",
                 std::size(candidates), weeks);
 
-    util::TextTable table({"site", "PUE (base)", "PUE (CoolAir)",
-                           "max range (base)", "max range (CoolAir)",
-                           "verdict"});
-
+    // Baseline + All-ND per candidate, fanned out over the runner.
+    std::vector<sim::ExperimentSpec> specs;
     for (const Candidate &c : candidates) {
         environment::Location loc;
         loc.name = c.name;
@@ -66,11 +65,32 @@ main(int argc, char **argv)
         spec.weeks = weeks;
         spec.workload = sim::WorkloadKind::FacebookProfile;
         spec.physicsStepS = 120.0;
-
         spec.system = sim::SystemId::Baseline;
-        sim::ExperimentResult base = sim::runYearExperiment(spec);
+        specs.push_back(spec);
         spec.system = sim::SystemId::AllNd;
-        sim::ExperimentResult coolair = sim::runYearExperiment(spec);
+        specs.push_back(spec);
+    }
+
+    sim::RunnerConfig rc;
+    rc.progress = true;
+    rc.progressEvery = 2;
+    rc.progressLabel = "candidate runs";
+    sim::SweepOutcome sweep = sim::ExperimentRunner(rc).run(specs);
+    for (const auto &f : sweep.failures)
+        std::fprintf(stderr, "FAILED %s / %s: %s\n",
+                     f.spec.location.name.c_str(),
+                     sim::systemName(f.spec.system), f.message.c_str());
+    if (!sweep.allOk())
+        return 1;
+
+    util::TextTable table({"site", "PUE (base)", "PUE (CoolAir)",
+                           "max range (base)", "max range (CoolAir)",
+                           "verdict"});
+
+    for (size_t i = 0; i < std::size(candidates); ++i) {
+        const Candidate &c = candidates[i];
+        const sim::ExperimentResult &base = sweep.results[2 * i];
+        const sim::ExperimentResult &coolair = sweep.results[2 * i + 1];
 
         const char *verdict;
         bool cheap = coolair.system.pue < 1.15;
@@ -92,7 +112,6 @@ main(int argc, char **argv)
                       util::TextTable::fmt(
                           coolair.system.maxWorstDailyRangeC, 1),
                       verdict});
-        std::fprintf(stderr, "  scored %s\n", c.name);
     }
     table.print(std::cout);
 

@@ -50,7 +50,7 @@ worldGrid(size_t count, uint64_t seed)
     sites.reserve(count);
     util::Rng rng(seed, "world-grid");
 
-    for (size_t i = 0; i < sites.capacity(); ++i) {
+    for (size_t i = 0; i < count; ++i) {
         // Two-thirds of land area (and datacenters) sit in the northern
         // hemisphere; weight the draw accordingly.
         bool northern = rng.bernoulli(0.68);

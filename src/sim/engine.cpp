@@ -116,13 +116,28 @@ Engine::runDay(int day_of_year)
     runRange(day_start, day_start + util::kSecondsPerDay, /*collect=*/true);
 }
 
+std::vector<int>
+yearSampleDays(int weeks)
+{
+    std::vector<int> days;
+    if (weeks <= 0)
+        return days;
+    days.reserve(size_t(weeks));
+    // Uniform stride across the whole year: for 52 weeks this is exactly
+    // the §5.1 first-day-of-each-week protocol (w * 365 / 52 == 7 * w for
+    // w < 52); for shorter runs the stride grows so the sample still
+    // covers every season instead of just January onward.
+    for (int w = 0; w < weeks; ++w)
+        days.push_back(int(int64_t(w) * util::kDaysPerYear / weeks) %
+                       util::kDaysPerYear);
+    return days;
+}
+
 void
 Engine::runYearWeekly(int weeks)
 {
-    for (int w = 0; w < weeks; ++w) {
-        int day = (w * 7) % util::kDaysPerYear;
+    for (int day : yearSampleDays(weeks))
         runDay(day);
-    }
 }
 
 } // namespace sim

@@ -10,6 +10,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "environment/climate.hpp"
 #include "plant/parasol.hpp"
@@ -56,6 +57,14 @@ struct TraceRow
 /** Callback invoked once per sample interval. */
 using TraceSink = std::function<void(const TraceRow &)>;
 
+/**
+ * The days of the year sampled by Engine::runYearWeekly(): @p weeks
+ * days spread uniformly across the whole year.  For 52 weeks this is
+ * exactly the §5.1 first-day-of-each-week protocol; for shorter runs
+ * the stride grows so the sample still spans all seasons.
+ */
+std::vector<int> yearSampleDays(int weeks);
+
 /** Drives one (plant, workload, controller) assembly. */
 class Engine
 {
@@ -83,8 +92,8 @@ class Engine
     void runDay(int day_of_year);
 
     /**
-     * §5.1 year protocol: measure the first day of each of @p weeks
-     * weeks.
+     * §5.1 year protocol: measure @p weeks days spread uniformly across
+     * the year (the first day of each week at 52; see yearSampleDays()).
      */
     void runYearWeekly(int weeks = 52);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "sim/engine.hpp"
 #include "util/logging.hpp"
@@ -114,9 +115,37 @@ sharedFacebookProfile()
     return profile;
 }
 
+void
+prewarmSharedState(const std::vector<ExperimentSpec> &specs)
+{
+    bool bundle = false, evaporative = false, profile = false;
+    for (const ExperimentSpec &spec : specs) {
+        if (spec.system != SystemId::Baseline) {
+            if (spec.variant == PlantVariant::Evaporative)
+                evaporative = true;
+            else
+                bundle = true;
+        }
+        if (spec.workload == WorkloadKind::FacebookProfile)
+            profile = true;
+    }
+    if (bundle)
+        sharedBundle();
+    if (evaporative)
+        sharedEvaporativeBundle();
+    if (profile)
+        sharedFacebookProfile();
+}
+
 ExperimentResult
 runYearExperiment(const ExperimentSpec &spec)
 {
+    if (spec.weeks <= 0)
+        throw std::invalid_argument("ExperimentSpec: weeks must be positive");
+    if (spec.physicsStepS <= 0.0)
+        throw std::invalid_argument(
+            "ExperimentSpec: physics step must be positive");
+
     // --- Plant -------------------------------------------------------------
     plant::PlantConfig pc = spec.style == cooling::ActuatorStyle::Abrupt
                                 ? plant::PlantConfig::parasol()

@@ -15,6 +15,7 @@
  */
 
 #include <cstdint>
+#include <vector>
 
 #include "cooling/actuators.hpp"
 #include "environment/forecast.hpp"
@@ -110,7 +111,21 @@ const model::LearnedBundle &sharedEvaporativeBundle();
 /** The memoized Facebook utilization profile (for the world sweep). */
 const workload::UtilizationProfile &sharedFacebookProfile();
 
-/** Run one year-long experiment. */
+/**
+ * Force initialization of the lazy shared state the given specs will
+ * touch (learned bundles, the utilization profile).  Call before
+ * fanning specs out over worker threads so first-touch learning cannot
+ * serialize the pool (magic-static initialization takes a lock).
+ */
+void prewarmSharedState(const std::vector<ExperimentSpec> &specs);
+
+/**
+ * Run one year-long experiment.
+ *
+ * @throws std::invalid_argument for an unrunnable spec (nonpositive
+ *         weeks or physics step), so sweep drivers can report the
+ *         failing spec instead of aborting the process.
+ */
 ExperimentResult runYearExperiment(const ExperimentSpec &spec);
 
 } // namespace sim

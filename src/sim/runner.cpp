@@ -1,0 +1,130 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace coolair {
+namespace sim {
+
+bool
+SweepOutcome::ok(size_t index) const
+{
+    for (const auto &failure : failures)
+        if (failure.index == index)
+            return false;
+    return true;
+}
+
+ExperimentRunner::ExperimentRunner(const RunnerConfig &config)
+    : _config(config), _threads(resolveThreads(config.threads))
+{
+}
+
+int
+ExperimentRunner::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("COOLAIR_THREADS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? int(hw) : 1;
+}
+
+uint64_t
+ExperimentRunner::deriveSeed(uint64_t root_seed, size_t index,
+                             const std::string &name)
+{
+    util::Rng stream(root_seed, name + "#" + std::to_string(index));
+    return stream.next();
+}
+
+std::vector<TaskFailure>
+ExperimentRunner::forEach(size_t count,
+                          const std::function<void(size_t)> &fn) const
+{
+    std::vector<TaskFailure> failures;
+    if (count == 0)
+        return failures;
+
+    const size_t workers = std::min(size_t(_threads), count);
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::vector<std::vector<TaskFailure>> per_worker(workers);
+
+    auto work = [&](size_t slot) {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (const std::exception &e) {
+                per_worker[slot].push_back({i, e.what()});
+            } catch (...) {
+                per_worker[slot].push_back({i, "unknown exception"});
+            }
+            size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (_config.progress &&
+                (finished % std::max<size_t>(1, _config.progressEvery) == 0 ||
+                 finished == count))
+                std::fprintf(stderr, "  %zu/%zu %s done\n", finished, count,
+                             _config.progressLabel.c_str());
+        }
+    };
+
+    if (workers <= 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (size_t t = 0; t < workers; ++t)
+            pool.emplace_back(work, t);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    for (auto &list : per_worker)
+        failures.insert(failures.end(),
+                        std::make_move_iterator(list.begin()),
+                        std::make_move_iterator(list.end()));
+    std::sort(failures.begin(), failures.end(),
+              [](const TaskFailure &a, const TaskFailure &b) {
+                  return a.index < b.index;
+              });
+    return failures;
+}
+
+SweepOutcome
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
+{
+    // First-touch of the lazy shared state must happen before the pool
+    // starts: C++ magic statics serialize initialization, which would
+    // park every worker behind one thread's learning campaign.
+    prewarmSharedState(specs);
+
+    SweepOutcome outcome;
+    outcome.results.resize(specs.size());
+    std::vector<TaskFailure> failures = forEach(specs.size(), [&](size_t i) {
+        outcome.results[i] = runYearExperiment(specs[i]);
+    });
+
+    outcome.failures.reserve(failures.size());
+    for (auto &failure : failures)
+        outcome.failures.push_back(
+            {failure.index, specs[failure.index], std::move(failure.message)});
+    return outcome;
+}
+
+} // namespace sim
+} // namespace coolair

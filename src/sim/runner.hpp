@@ -1,0 +1,140 @@
+#ifndef COOLAIR_SIM_RUNNER_HPP
+#define COOLAIR_SIM_RUNNER_HPP
+
+/**
+ * @file
+ * Parallel experiment runner for sweep-shaped workloads (the Figures
+ * 12/13 world sweep, the figure grids, the ablations): a fixed-size
+ * worker pool pulls ExperimentSpecs off a shared queue and runs them
+ * concurrently.
+ *
+ * Design rules that keep parallel runs bit-identical to serial ones:
+ *
+ *  - every experiment's randomness derives only from its spec (use
+ *    deriveSeed() to give each spec an independent stream keyed on the
+ *    spec's identity, never on scheduling order);
+ *  - results come back indexed by spec order, so callers reduce them
+ *    serially (via util::RunningStats::merge / add) in a deterministic
+ *    order no matter which worker ran which spec;
+ *  - the lazy shared state (learned bundles, the Facebook utilization
+ *    profile) is pre-warmed before the pool starts, so first-touch
+ *    learning cannot serialize the workers.
+ *
+ * A worker exception is captured with the failing spec and reported in
+ * the outcome instead of terminating the process; the remaining jobs
+ * keep running.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace coolair {
+namespace sim {
+
+/** Runner knobs. */
+struct RunnerConfig
+{
+    /**
+     * Worker-thread count; 0 means auto: the COOLAIR_THREADS environment
+     * variable if set to a positive integer, else hardware_concurrency().
+     */
+    int threads = 0;
+
+    /** Emit progress lines to stderr while jobs complete. */
+    bool progress = false;
+
+    /** Report every this-many completed jobs (and at the end). */
+    size_t progressEvery = 100;
+
+    /** Noun used in progress lines. */
+    std::string progressLabel = "experiments";
+};
+
+/** One captured worker failure from the generic forEach() API. */
+struct TaskFailure
+{
+    size_t index = 0;
+    std::string message;
+};
+
+/** A failed experiment, carrying the spec that caused it. */
+struct ExperimentFailure
+{
+    size_t index = 0;
+    ExperimentSpec spec;
+    std::string message;
+};
+
+/**
+ * Results of one sweep.  results[i] corresponds to specs[i] regardless
+ * of scheduling; entries whose spec failed are default-constructed and
+ * listed in failures (sorted by index).
+ */
+struct SweepOutcome
+{
+    std::vector<ExperimentResult> results;
+    std::vector<ExperimentFailure> failures;
+
+    /** True when every spec completed. */
+    bool allOk() const { return failures.empty(); }
+
+    /** True when spec @p index completed. */
+    bool ok(size_t index) const;
+};
+
+/** The worker pool.  Stateless between calls; cheap to construct. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const RunnerConfig &config = {});
+
+    /** The thread count run() will use (after env resolution). */
+    int threads() const { return _threads; }
+
+    /**
+     * Resolve a requested thread count: a positive @p requested wins;
+     * otherwise COOLAIR_THREADS (if a positive integer), otherwise
+     * hardware_concurrency(), never less than 1.
+     */
+    static int resolveThreads(int requested);
+
+    /**
+     * Derive an independent per-experiment seed by hash-mixing the root
+     * seed, the spec's index, and an optional name (Rng fork-style).
+     * Depends only on the arguments — never on scheduling — so parallel
+     * sweeps reproduce serial ones bit for bit.
+     */
+    static uint64_t deriveSeed(uint64_t root_seed, size_t index,
+                               const std::string &name = std::string());
+
+    /**
+     * Run every spec on the pool.  Pre-warms the shared lazy state the
+     * specs need, captures per-spec exceptions, and returns results in
+     * spec order.
+     */
+    SweepOutcome run(const std::vector<ExperimentSpec> &specs) const;
+
+    /**
+     * Generic parallel-for over [0, count): the pool invokes @p fn for
+     * each index exactly once.  Exceptions thrown by @p fn are captured
+     * per index (sorted by index on return) and do not stop the other
+     * jobs.  @p fn must synchronize any shared mutable state itself;
+     * writing to distinct elements of a pre-sized vector is safe.
+     */
+    std::vector<TaskFailure>
+    forEach(size_t count, const std::function<void(size_t)> &fn) const;
+
+  private:
+    RunnerConfig _config;
+    int _threads;
+};
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_RUNNER_HPP

@@ -87,7 +87,15 @@ Rng::uniformInt(int64_t lo, int64_t hi)
     uint64_t span = uint64_t(hi - lo) + 1;
     if (span == 0)  // full 64-bit range
         return int64_t(next());
-    return lo + int64_t(next() % span);
+    // Rejection sampling: a bare next() % span over-weights the low
+    // residues whenever span does not divide 2^64.  Discard draws from
+    // the incomplete final bucket (2^64 mod span of them) so every
+    // value in [lo, hi] is exactly equally likely.
+    uint64_t threshold = (0 - span) % span;
+    uint64_t r = next();
+    while (r < threshold)
+        r = next();
+    return lo + int64_t(r % span);
 }
 
 double

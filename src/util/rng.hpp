@@ -44,7 +44,7 @@ class Rng
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /** Uniform integer in [lo, hi] inclusive (unbiased, via rejection). */
     int64_t uniformInt(int64_t lo, int64_t hi);
 
     /** Standard normal deviate (Box–Muller, cached spare). */

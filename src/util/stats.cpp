@@ -73,6 +73,24 @@ RunningStats::range() const
     return _max - _min;
 }
 
+EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf &other)
+{
+    std::lock_guard<std::mutex> lock(other._sortMutex);
+    _samples = other._samples;
+    _sorted = other._sorted;
+}
+
+EmpiricalCdf &
+EmpiricalCdf::operator=(const EmpiricalCdf &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(_sortMutex, other._sortMutex);
+    _samples = other._samples;
+    _sorted = other._sorted;
+    return *this;
+}
+
 void
 EmpiricalCdf::add(double x)
 {
@@ -81,8 +99,27 @@ EmpiricalCdf::add(double x)
 }
 
 void
+EmpiricalCdf::merge(const EmpiricalCdf &other)
+{
+    if (this == &other) {
+        // Self-merge doubles every sample.
+        std::vector<double> copy = _samples;
+        _samples.insert(_samples.end(), copy.begin(), copy.end());
+    } else {
+        std::lock_guard<std::mutex> lock(other._sortMutex);
+        _samples.insert(_samples.end(), other._samples.begin(),
+                        other._samples.end());
+    }
+    _sorted = _samples.size() <= 1;
+}
+
+void
 EmpiricalCdf::ensureSorted() const
 {
+    // Serializes the lazy sort so concurrent const readers never race on
+    // the mutable state; once sorted, reads need no further locking
+    // (absent a concurrent add/merge, which the contract forbids).
+    std::lock_guard<std::mutex> lock(_sortMutex);
     if (!_sorted) {
         std::sort(_samples.begin(), _samples.end());
         _sorted = true;

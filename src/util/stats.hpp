@@ -9,6 +9,7 @@
  */
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace coolair {
@@ -64,12 +65,24 @@ class RunningStats
 /**
  * Empirical cumulative distribution over stored samples.  Used for the
  * Figure 5 model-error CDFs.
+ *
+ * Thread safety: concurrent const accesses are safe (the lazy sort is
+ * guarded by an internal mutex, so two readers never race).  add() and
+ * merge() mutate and must not run concurrently with other accesses,
+ * like any standard container.
  */
 class EmpiricalCdf
 {
   public:
+    EmpiricalCdf() = default;
+    EmpiricalCdf(const EmpiricalCdf &other);
+    EmpiricalCdf &operator=(const EmpiricalCdf &other);
+
     /** Add one sample. */
     void add(double x);
+
+    /** Append all of @p other's samples (cross-thread aggregation). */
+    void merge(const EmpiricalCdf &other);
 
     /** Number of samples. */
     size_t count() const { return _samples.size(); }
@@ -89,6 +102,7 @@ class EmpiricalCdf
   private:
     void ensureSorted() const;
 
+    mutable std::mutex _sortMutex;
     mutable std::vector<double> _samples;
     mutable bool _sorted = true;
 };

@@ -81,6 +81,28 @@ TEST(Rng, UniformIntInclusiveBounds)
     EXPECT_TRUE(saw_hi);
 }
 
+TEST(Rng, UniformIntDeterministicGivenSeed)
+{
+    // Rejection sampling must consume draws identically across
+    // same-seeded streams.
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.uniformInt(-5, 17), b.uniformInt(-5, 17));
+}
+
+TEST(Rng, UniformIntUnbiasedOverSmallSpan)
+{
+    // Spans that do not divide 2^64 (any span that is not a power of
+    // two) are exactly uniform under rejection sampling.
+    Rng rng(12);
+    int counts[3] = {0, 0, 0};
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(0, 2)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c) / n, 1.0 / 3.0, 0.02);
+}
+
 TEST(Rng, NormalMoments)
 {
     Rng rng(6);

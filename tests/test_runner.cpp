@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: parallel results must be
+ * bit-identical to serial ones, worker exceptions must be captured with
+ * their spec without aborting other jobs, the COOLAIR_THREADS override
+ * must be honored, and the year protocol's sampled days must span all
+ * seasons at any week count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "environment/world_grid.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+using namespace coolair;
+using namespace coolair::sim;
+
+namespace {
+
+/** A 16-site world sweep, shrunk to a 2-day year sample for speed. */
+std::vector<ExperimentSpec>
+sweepSpecs(size_t num_sites)
+{
+    auto sites = environment::worldGrid(num_sites);
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(sites.size());
+    for (size_t i = 0; i < sites.size(); ++i) {
+        ExperimentSpec spec;
+        spec.location = sites[i];
+        spec.workload = WorkloadKind::FacebookProfile;
+        spec.weeks = 2;
+        spec.physicsStepS = 120.0;
+        spec.system = i % 2 ? SystemId::AllNd : SystemId::Baseline;
+        spec.seed = ExperimentRunner::deriveSeed(7, i, sites[i].name);
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+void
+expectSummariesEqual(const Summary &a, const Summary &b, size_t index)
+{
+    EXPECT_DOUBLE_EQ(a.avgViolationC, b.avgViolationC) << "spec " << index;
+    EXPECT_DOUBLE_EQ(a.avgWorstDailyRangeC, b.avgWorstDailyRangeC)
+        << "spec " << index;
+    EXPECT_DOUBLE_EQ(a.maxWorstDailyRangeC, b.maxWorstDailyRangeC)
+        << "spec " << index;
+    EXPECT_DOUBLE_EQ(a.pue, b.pue) << "spec " << index;
+    EXPECT_DOUBLE_EQ(a.itKwh, b.itKwh) << "spec " << index;
+    EXPECT_DOUBLE_EQ(a.coolingKwh, b.coolingKwh) << "spec " << index;
+    EXPECT_EQ(a.days, b.days) << "spec " << index;
+}
+
+} // anonymous namespace
+
+TEST(ExperimentRunner, ParallelMatchesSerialBitForBit)
+{
+    std::vector<ExperimentSpec> specs = sweepSpecs(16);
+
+    RunnerConfig serial_config;
+    serial_config.threads = 1;
+    SweepOutcome serial = ExperimentRunner(serial_config).run(specs);
+    ASSERT_TRUE(serial.allOk());
+
+    RunnerConfig parallel_config;
+    parallel_config.threads = 8;
+    SweepOutcome parallel = ExperimentRunner(parallel_config).run(specs);
+    ASSERT_TRUE(parallel.allOk());
+
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        expectSummariesEqual(serial.results[i].system,
+                             parallel.results[i].system, i);
+        expectSummariesEqual(serial.results[i].outside,
+                             parallel.results[i].outside, i);
+    }
+}
+
+TEST(ExperimentRunner, FailureCarriesSpecAndSparesOtherJobs)
+{
+    std::vector<ExperimentSpec> specs = sweepSpecs(6);
+    specs[3].weeks = -1;  // unrunnable: runYearExperiment throws
+
+    RunnerConfig config;
+    config.threads = 4;
+    SweepOutcome outcome = ExperimentRunner(config).run(specs);
+
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 3u);
+    EXPECT_EQ(outcome.failures[0].spec.weeks, -1);
+    EXPECT_EQ(outcome.failures[0].spec.location.name,
+              specs[3].location.name);
+    EXPECT_FALSE(outcome.failures[0].message.empty());
+    EXPECT_FALSE(outcome.ok(3));
+
+    // Every other spec still ran to completion.
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_TRUE(outcome.ok(i));
+        EXPECT_EQ(outcome.results[i].system.days, 2u) << "spec " << i;
+    }
+}
+
+TEST(ExperimentRunner, ForEachCapturesExceptionsPerIndex)
+{
+    RunnerConfig config;
+    config.threads = 4;
+    ExperimentRunner runner(config);
+
+    std::atomic<int> ran{0};
+    auto failures = runner.forEach(64, [&](size_t i) {
+        if (i % 10 == 3)
+            throw std::runtime_error("boom " + std::to_string(i));
+        ++ran;
+    });
+
+    ASSERT_EQ(failures.size(), 7u);  // 3, 13, ..., 63
+    EXPECT_EQ(ran.load(), 64 - 7);
+    for (size_t k = 0; k < failures.size(); ++k) {
+        EXPECT_EQ(failures[k].index, 10 * k + 3);
+        EXPECT_EQ(failures[k].message,
+                  "boom " + std::to_string(10 * k + 3));
+    }
+}
+
+TEST(ExperimentRunner, EnvVarOverridesThreadCount)
+{
+    ASSERT_EQ(setenv("COOLAIR_THREADS", "3", 1), 0);
+    EXPECT_EQ(ExperimentRunner::resolveThreads(0), 3);
+    EXPECT_EQ(ExperimentRunner().threads(), 3);
+
+    // An explicit request beats the environment.
+    EXPECT_EQ(ExperimentRunner::resolveThreads(5), 5);
+
+    // Junk values fall back to hardware concurrency (>= 1).
+    ASSERT_EQ(setenv("COOLAIR_THREADS", "0", 1), 0);
+    EXPECT_GE(ExperimentRunner::resolveThreads(0), 1);
+    ASSERT_EQ(setenv("COOLAIR_THREADS", "banana", 1), 0);
+    EXPECT_GE(ExperimentRunner::resolveThreads(0), 1);
+
+    ASSERT_EQ(unsetenv("COOLAIR_THREADS"), 0);
+    EXPECT_GE(ExperimentRunner::resolveThreads(0), 1);
+}
+
+TEST(ExperimentRunner, DerivedSeedsAreStableAndDistinct)
+{
+    uint64_t a = ExperimentRunner::deriveSeed(7, 0, "site-a");
+    EXPECT_EQ(a, ExperimentRunner::deriveSeed(7, 0, "site-a"));
+    EXPECT_NE(a, ExperimentRunner::deriveSeed(7, 1, "site-a"));
+    EXPECT_NE(a, ExperimentRunner::deriveSeed(7, 0, "site-b"));
+    EXPECT_NE(a, ExperimentRunner::deriveSeed(8, 0, "site-a"));
+}
+
+TEST(ExperimentRunner, EmptySweepIsANoOp)
+{
+    SweepOutcome outcome = ExperimentRunner().run({});
+    EXPECT_TRUE(outcome.allOk());
+    EXPECT_TRUE(outcome.results.empty());
+}
+
+TEST(YearSampleDays, SpansAllSeasonsAtAnyWeekCount)
+{
+    for (int weeks : {4, 6, 9, 13, 16, 26, 52}) {
+        auto days = yearSampleDays(weeks);
+        ASSERT_EQ(days.size(), size_t(weeks)) << "weeks=" << weeks;
+        EXPECT_EQ(days.front(), 0);
+        for (size_t i = 1; i < days.size(); ++i)
+            EXPECT_GT(days[i], days[i - 1]) << "weeks=" << weeks;
+        EXPECT_LT(days.back(), util::kDaysPerYear);
+
+        // Seasonal coverage: at least one sampled day per calendar
+        // quarter (the pre-fix behavior with 26 weeks never left June).
+        int per_quarter[4] = {0, 0, 0, 0};
+        for (int d : days) {
+            int quarter = d < 90 ? 0 : d < 181 ? 1 : d < 273 ? 2 : 3;
+            ++per_quarter[quarter];
+        }
+        for (int q = 0; q < 4; ++q)
+            EXPECT_GT(per_quarter[q], 0)
+                << "weeks=" << weeks << " quarter " << q;
+    }
+}
+
+TEST(YearSampleDays, FullProtocolKeepsFirstDayOfEachWeek)
+{
+    auto days = yearSampleDays(52);
+    ASSERT_EQ(days.size(), 52u);
+    for (int w = 0; w < 52; ++w)
+        EXPECT_EQ(days[size_t(w)], 7 * w);
+}
