@@ -9,6 +9,11 @@
  *  - prediction horizon (model steps per optimizer decision);
  *  - the regime-switch damping penalty;
  *  - compute sleep decay (gradual vs instant server sleeping).
+ *
+ * Each ablation is expressed as an ExperimentSpec tuning override, so
+ * the whole study is a spec vector fed to the standard sweep runner
+ * (and any row can be replayed via experiment_cli, e.g.
+ * `experiment_cli system=allnd band_width=2.5`).
  */
 
 #include <cstdio>
@@ -17,40 +22,22 @@
 #include <vector>
 
 #include "environment/location.hpp"
-#include "sim/engine.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
-#include "workload/cluster.hpp"
-#include "workload/trace_gen.hpp"
 
 using namespace coolair;
 
 namespace {
 
-sim::Summary
-runYear(const core::CoolAirConfig &config)
-{
-    environment::Location loc =
-        environment::namedLocation(environment::NamedSite::Newark);
-    environment::Climate climate = loc.makeClimate(7);
-    environment::Forecaster forecaster(climate);
-
-    plant::Plant plant(plant::PlantConfig::smoothParasol(), 7);
-    workload::ClusterSim cluster({}, workload::facebookTrace({}));
-    sim::CoolAirController coolair(config, sim::sharedBundle(),
-                                   &forecaster);
-    sim::MetricsCollector metrics({}, 8);
-    sim::Engine engine(plant, cluster, coolair, climate);
-    engine.setMetrics(&metrics);
-    engine.runYearWeekly(52);
-    return metrics.summary();
-}
-
-core::CoolAirConfig
+sim::ExperimentSpec
 base()
 {
-    return core::CoolAirConfig::forVersion(core::Version::AllNd,
-                                           cooling::RegimeMenu::smooth());
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.system = sim::SystemId::AllNd;
+    spec.style = cooling::ActuatorStyle::Smooth;
+    return spec;
 }
 
 void
@@ -70,72 +57,68 @@ main()
 {
     std::printf("=== Ablations (Newark, All-ND, year protocol) ===\n\n");
 
-    struct Case
-    {
-        std::string name;
-        core::CoolAirConfig config;
-    };
-    std::vector<Case> cases;
-    cases.push_back({"default (width 5, horizon 8, switch 2)", base()});
+    std::vector<std::string> names;
+    std::vector<sim::ExperimentSpec> specs;
+
+    names.push_back("default (width 5, horizon 8, switch 2)");
+    specs.push_back(base());
 
     for (double width : {2.5, 10.0}) {
-        core::CoolAirConfig c = base();
-        c.band.widthC = width;
+        sim::ExperimentSpec s = base();
+        s.bandWidthC = width;
         char name[64];
         std::snprintf(name, sizeof(name), "band width %.1f C", width);
-        cases.push_back({name, c});
+        names.push_back(name);
+        specs.push_back(s);
     }
 
     for (int horizon : {1, 4}) {
-        core::CoolAirConfig c = base();
-        c.horizonSteps = horizon;
+        sim::ExperimentSpec s = base();
+        s.horizonSteps = horizon;
         char name[64];
         std::snprintf(name, sizeof(name), "horizon %d steps (%d min)",
                       horizon, horizon * 2);
-        cases.push_back({name, c});
+        names.push_back(name);
+        specs.push_back(s);
     }
 
     {
-        core::CoolAirConfig c = base();
-        c.utility.switchPenalty = 0.0;
-        cases.push_back({"no switch damping", c});
+        sim::ExperimentSpec s = base();
+        s.switchPenalty = 0.0;
+        names.push_back("no switch damping");
+        specs.push_back(s);
     }
 
     {
-        core::CoolAirConfig c = base();
-        c.compute.sleepDecayPerEpoch = 0.0;  // instant sleep
-        cases.push_back({"instant server sleeping", c});
+        sim::ExperimentSpec s = base();
+        s.sleepDecayPerEpoch = 0.0;  // instant sleep
+        names.push_back("instant server sleeping");
+        specs.push_back(s);
     }
 
     {
-        core::CoolAirConfig c = base();
-        c.band.offsetC = 0.0;
-        cases.push_back({"no outside-to-inlet offset", c});
+        sim::ExperimentSpec s = base();
+        s.bandOffsetC = 0.0;
+        names.push_back("no outside-to-inlet offset");
+        specs.push_back(s);
     }
 
-    // Every case shares the learned bundle; touch it before the pool so
-    // first use cannot serialize the workers.
-    sim::sharedBundle();
-
-    std::vector<sim::Summary> results(cases.size());
     sim::RunnerConfig rc;
     rc.progress = true;
     rc.progressEvery = 1;
     rc.progressLabel = "configurations";
     sim::ExperimentRunner runner(rc);
-    auto failures = runner.forEach(cases.size(), [&](size_t i) {
-        results[i] = runYear(cases[i].config);
-    });
-    for (const auto &f : failures)
-        std::fprintf(stderr, "FAILED %s: %s\n", cases[f.index].name.c_str(),
+    sim::SweepOutcome outcome = runner.run(specs);
+    for (const auto &f : outcome.failures)
+        std::fprintf(stderr, "FAILED %s: %s\n", names[f.index].c_str(),
                      f.message.c_str());
-    if (!failures.empty())
+    if (!outcome.failures.empty())
         return 1;
 
     util::TextTable table({"configuration", "avg range", "max range",
                            "violation", "PUE", "cooling kWh"});
-    for (size_t i = 0; i < cases.size(); ++i)
-        row(table, cases[i].name.c_str(), results[i]);
+    for (size_t i = 0; i < specs.size(); ++i)
+        row(table, names[i].c_str(), outcome.results[i].system);
     table.print(std::cout);
 
     std::printf("\nReading the table: the 5 C width balances range vs "

@@ -7,6 +7,10 @@
  * air and disk temperatures; disks run ~10 C above inlets at 50 %
  * utilization; inlets ride a couple of degrees above the outside air
  * (Offset ~2.5 C in the figure).
+ *
+ * This physics probe runs through the standard scenario layer: a
+ * two-day DayRange spec with the steady 50 % workload, and a
+ * FixedRegimeController override holding free cooling at 60 % fan.
  */
 
 #include <cmath>
@@ -14,7 +18,7 @@
 #include <iostream>
 
 #include "environment/location.hpp"
-#include "plant/parasol.hpp"
+#include "sim/scenario.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -28,17 +32,14 @@ main()
     std::printf("(two July days at Newark; disks 50%% utilized; free "
                 "cooling at 60%% fan)\n\n");
 
-    environment::Location newark =
+    sim::ExperimentSpec spec;
+    spec.location =
         environment::namedLocation(environment::NamedSite::Newark);
-    environment::Climate climate = newark.makeClimate(7);
-
-    plant::PlantConfig pc = plant::PlantConfig::parasol();
-    plant::Plant plant(pc, 7);
-    plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
-
-    const int kStartDay = 186;  // early July
-    util::SimTime start = util::SimTime::fromCalendar(kStartDay, 0);
-    plant.initializeSteadyState(climate.sample(start), 4.0);
+    spec.style = cooling::ActuatorStyle::Abrupt;
+    spec.workload = sim::WorkloadKind::SteadyHalf;
+    spec.runKind = sim::RunKind::DayRange;
+    spec.startDay = 186;  // early July
+    spec.endDay = 188;
 
     util::TextTable table({"hour", "outside [C]", "inlet lo [C]",
                            "inlet hi [C]", "disk lo [C]", "disk hi [C]"});
@@ -46,35 +47,30 @@ main()
     // For the correlation statistic.
     std::vector<double> inlets, disks, outs;
 
-    cooling::Regime fc = cooling::Regime::freeCooling(0.6);
-    for (int64_t t = 0; t < 48 * util::kSecondsPerHour; t += 30) {
-        util::SimTime now = start + t;
-        environment::WeatherSample w = climate.sample(now);
-        plant.step(30.0, w, load, fc);
-
-        if (t % (2 * util::kSecondsPerHour) == 0) {
-            double ilo = 1e9, ihi = -1e9, dlo = 1e9, dhi = -1e9;
-            for (int p = 0; p < 8; ++p) {
-                ilo = std::min(ilo, plant.truePodInletC(p));
-                ihi = std::max(ihi, plant.truePodInletC(p));
-                dlo = std::min(dlo, plant.diskTempC(p));
-                dhi = std::max(dhi, plant.diskTempC(p));
-            }
-            char hour[16];
-            std::snprintf(hour, sizeof(hour), "%lld",
-                          (long long)(t / util::kSecondsPerHour));
-            table.addRow({hour, util::TextTable::fmt(w.tempC, 1),
-                          util::TextTable::fmt(ilo, 1),
-                          util::TextTable::fmt(ihi, 1),
-                          util::TextTable::fmt(dlo, 1),
-                          util::TextTable::fmt(dhi, 1)});
-        }
-        if (t % 600 == 0) {
-            outs.push_back(w.tempC);
-            inlets.push_back(plant.truePodInletC(4));
-            disks.push_back(plant.diskTempC(4));
-        }
-    }
+    int idx = 0;
+    auto scenario =
+        sim::ScenarioBuilder(spec)
+            .withController(std::make_unique<sim::FixedRegimeController>(
+                cooling::Regime::freeCooling(0.6)))
+            .withTraceSink([&](const sim::TraceRow &r) {
+                if (idx % 120 == 0) {  // one table row every two hours
+                    char hour[16];
+                    std::snprintf(hour, sizeof(hour), "%d", idx / 60);
+                    table.addRow({hour, util::TextTable::fmt(r.outsideC, 1),
+                                  util::TextTable::fmt(r.inletMinC, 1),
+                                  util::TextTable::fmt(r.inletMaxC, 1),
+                                  util::TextTable::fmt(r.diskMinC, 1),
+                                  util::TextTable::fmt(r.diskMaxC, 1)});
+                }
+                if (idx % 10 == 0) {  // 10-min correlation samples
+                    outs.push_back(r.outsideC);
+                    inlets.push_back(r.inletMaxC);
+                    disks.push_back(r.diskMaxC);
+                }
+                ++idx;
+            })
+            .build();
+    scenario->run();
     table.print(std::cout);
 
     // Correlation between inlet and disk temperature.

@@ -21,7 +21,7 @@
 #include "core/predictor.hpp"
 #include "model/learner.hpp"
 #include "physics/psychrometrics.hpp"
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -45,12 +45,16 @@ struct ErrorCdfs
  * model, then compare against what the plant actually did.
  */
 ErrorCdfs
-evaluateHeldOut(const model::LearnedBundle &bundle,
-                const plant::PlantConfig &pc, uint64_t day_seed)
+evaluateHeldOut(const sim::ExperimentSpec &spec)
 {
     ErrorCdfs out;
 
-    plant::Plant plant(pc, day_seed);
+    const model::LearnedBundle &bundle = sim::bundleFor(spec);
+    const plant::PlantConfig pc = sim::plantConfigFor(spec);
+    const uint64_t day_seed = spec.seed;
+
+    std::unique_ptr<plant::Plant> plant_owner = sim::makePlant(spec);
+    plant::Plant &plant = *plant_owner;
     model::CampaignWeather weather(-2.0, 33.0, day_seed);
     util::Rng rng(day_seed, "heldout");
 
@@ -165,11 +169,16 @@ main()
     std::printf("(held-out days; paper: >=90%% of no-transition 2-min "
                 "errors within 1 C)\n\n");
 
-    const model::LearnedBundle &bundle = sim::sharedBundle();
-    plant::PlantConfig pc = plant::PlantConfig::parasol();
+    // Held-out days share the abrupt-plant spec; only the seed (which
+    // day it is) differs.
+    sim::ExperimentSpec spec;
+    spec.system = sim::SystemId::AllNd;
+    spec.style = cooling::ActuatorStyle::Abrupt;
 
-    ErrorCdfs a = evaluateHeldOut(bundle, pc, 501);   // 5/1/13 stand-in
-    ErrorCdfs b = evaluateHeldOut(bundle, pc, 620);   // 6/20/13 stand-in
+    spec.seed = 501;                          // 5/1/13 stand-in
+    ErrorCdfs a = evaluateHeldOut(spec);
+    spec.seed = 620;                          // 6/20/13 stand-in
+    ErrorCdfs b = evaluateHeldOut(spec);
 
     // Merge the two held-out days.
     ErrorCdfs all;

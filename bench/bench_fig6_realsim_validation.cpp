@@ -7,6 +7,9 @@
  * temperatures, temperature variations, and cooling energy are all
  * within 8 % of the real execution, and 89 % of real measurements fall
  * within 2 C of the simulation.
+ *
+ * Both stacks come from one ExperimentSpec: the physics run through
+ * ScenarioBuilder, the Real-Sim run through buildModelSimScenario.
  */
 
 #include <cmath>
@@ -15,12 +18,8 @@
 #include <vector>
 
 #include "environment/location.hpp"
-#include "sim/engine.hpp"
-#include "sim/experiment.hpp"
-#include "sim/model_plant.hpp"
+#include "sim/scenario.hpp"
 #include "util/table.hpp"
-#include "workload/cluster.hpp"
-#include "workload/trace_gen.hpp"
 
 using namespace coolair;
 
@@ -32,49 +31,53 @@ struct DayResult
     std::vector<double> maxInletByInterval;   // 10-min samples
 };
 
+sim::ExperimentSpec
+validationSpec(int day)
+{
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.system = sim::SystemId::Baseline;
+    spec.style = cooling::ActuatorStyle::Abrupt;
+    spec.runKind = sim::RunKind::SingleDay;
+    spec.day = day;
+    return spec;
+}
+
 DayResult
-runRealDay(const environment::Climate &climate, int day)
+runRealDay(const sim::ExperimentSpec &spec)
 {
     DayResult out;
-    plant::PlantConfig pc = plant::PlantConfig::parasol();
-    plant::Plant plant(pc, 7);
-    workload::ClusterSim cluster({}, workload::facebookTrace({}));
-    sim::BaselineController baseline;
-    sim::MetricsCollector metrics({}, 8);
-    sim::Engine engine(plant, cluster, baseline, climate);
-    engine.setMetrics(&metrics);
     int n = 0;
-    engine.setTraceSink([&](const sim::TraceRow &r) {
-        if (n++ % 10 == 0)
-            out.maxInletByInterval.push_back(r.inletMaxC);
-    });
-    engine.runDay(day);
-    out.summary = metrics.summary();
+    auto scenario =
+        sim::ScenarioBuilder(spec)
+            .withTraceSink([&](const sim::TraceRow &r) {
+                if (n++ % 10 == 0)
+                    out.maxInletByInterval.push_back(r.inletMaxC);
+            })
+            .build();
+    out.summary = scenario->run().system;
     return out;
 }
 
 DayResult
-runRealSimDay(const environment::Climate &climate, int day)
+runRealSimDay(const sim::ExperimentSpec &spec)
 {
     DayResult out;
-    plant::PlantConfig pc = plant::PlantConfig::parasol();
-    sim::ModelPlant model_plant(&sim::sharedBundle().model, pc);
-    workload::ClusterSim cluster({}, workload::facebookTrace({}));
-    sim::BaselineController baseline;
-    sim::MetricsCollector metrics({}, 8);
-    sim::ModelSimRunner runner(model_plant, cluster, baseline, climate);
-    runner.setMetrics(&metrics);
+    sim::ModelSimScenario ms = sim::buildModelSimScenario(spec);
     int step_idx = 0;
-    runner.setSampleHook([&](const plant::SensorReadings &s) {
+    ms.runner->setSampleHook([&](const plant::SensorReadings &s) {
         if (step_idx++ % 5 == 0)  // every 10 minutes at the 2-min step
             out.maxInletByInterval.push_back(s.maxPodInletC());
     });
 
-    plant::Plant init(pc, 7);
-    init.initializeSteadyState(
-        climate.sample(util::SimTime::fromCalendar(day, 0)), 6.0);
-    runner.runDay(day, init.readSensors());
-    out.summary = metrics.summary();
+    // Start Real-Sim from the physics plant's state at the same instant,
+    // so both simulations begin identically.
+    std::unique_ptr<plant::Plant> init = sim::makePlant(spec);
+    init->initializeSteadyState(
+        ms.climate->sample(util::SimTime::fromCalendar(spec.day, 0)), 6.0);
+    ms.runner->runDay(spec.day, init->readSensors());
+    out.summary = ms.metrics->summary();
     return out;
 }
 
@@ -93,13 +96,11 @@ main()
     std::printf("(Newark, early July; extended-TKS baseline; Facebook "
                 "workload)\n\n");
 
-    environment::Location newark =
-        environment::namedLocation(environment::NamedSite::Newark);
-    environment::Climate climate = newark.makeClimate(7);
     const int kDay = 182;  // the paper's validation day was July 2nd
+    sim::ExperimentSpec spec = validationSpec(kDay);
 
-    DayResult real = runRealDay(climate, kDay);
-    DayResult sim = runRealSimDay(climate, kDay);
+    DayResult real = runRealDay(spec);
+    DayResult sim = runRealSimDay(spec);
 
     util::TextTable table(
         {"metric", "real", "Real-Sim", "diff [%]"});

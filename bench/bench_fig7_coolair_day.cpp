@@ -14,11 +14,8 @@
 #include <iostream>
 
 #include "environment/location.hpp"
-#include "sim/engine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 #include "util/table.hpp"
-#include "workload/cluster.hpp"
-#include "workload/trace_gen.hpp"
 
 using namespace coolair;
 
@@ -31,34 +28,26 @@ struct DayStats
 };
 
 DayStats
-runCoolAirDay(const environment::Climate &climate, int day,
-              cooling::ActuatorStyle style)
+runCoolAirDay(int day, cooling::ActuatorStyle style)
 {
-    DayStats out;
-
-    plant::PlantConfig pc = style == cooling::ActuatorStyle::Abrupt
-                                ? plant::PlantConfig::parasol()
-                                : plant::PlantConfig::smoothParasol();
-    plant::Plant plant(pc, 7);
-    workload::ClusterSim cluster({}, workload::facebookTrace({}));
-    environment::Forecaster forecaster(climate);
-    cooling::RegimeMenu menu = style == cooling::ActuatorStyle::Abrupt
-                                   ? cooling::RegimeMenu::parasol()
-                                   : cooling::RegimeMenu::smooth();
-    core::CoolAirConfig config =
-        core::CoolAirConfig::forVersion(core::Version::AllNd, menu);
-    sim::CoolAirController coolair(config, sim::sharedBundle(),
-                                   &forecaster, "All-ND");
-
-    sim::MetricsCollector metrics({}, 8);
-    sim::Engine engine(plant, cluster, coolair, climate);
-    engine.setMetrics(&metrics);
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.system = sim::SystemId::AllNd;
+    spec.style = style;
+    spec.runKind = sim::RunKind::SingleDay;
+    spec.day = day;
 
     std::vector<double> trace;  // per-minute max inlet
-    engine.setTraceSink(
-        [&](const sim::TraceRow &r) { trace.push_back(r.inletMaxC); });
-    engine.runDay(day);
-    out.summary = metrics.summary();
+    auto scenario =
+        sim::ScenarioBuilder(spec)
+            .withTraceSink([&](const sim::TraceRow &r) {
+                trace.push_back(r.inletMaxC);
+            })
+            .build();
+
+    DayStats out;
+    out.summary = scenario->run().system;
 
     // Largest drop over any 12-minute window (paper: 9 C on Parasol).
     for (size_t i = 0; i + 12 < trace.size(); ++i) {
@@ -77,15 +66,10 @@ main()
                 "infrastructure ===\n");
     std::printf("(Newark, mid June; All-ND; Facebook workload)\n\n");
 
-    environment::Location newark =
-        environment::namedLocation(environment::NamedSite::Newark);
-    environment::Climate climate = newark.makeClimate(7);
     const int kDay = 166;  // mid June, like the paper's 6/15 run
 
-    DayStats abrupt =
-        runCoolAirDay(climate, kDay, cooling::ActuatorStyle::Abrupt);
-    DayStats smooth =
-        runCoolAirDay(climate, kDay, cooling::ActuatorStyle::Smooth);
+    DayStats abrupt = runCoolAirDay(kDay, cooling::ActuatorStyle::Abrupt);
+    DayStats smooth = runCoolAirDay(kDay, cooling::ActuatorStyle::Smooth);
 
     util::TextTable table({"metric", "Parasol (abrupt)", "smooth units"});
     table.addRow(

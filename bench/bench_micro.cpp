@@ -12,10 +12,10 @@
 #include "model/learner.hpp"
 #include "model/linreg.hpp"
 #include "plant/parasol.hpp"
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+#include "sim/spec_io.hpp"
 #include "util/rng.hpp"
 #include "workload/cluster.hpp"
-#include "workload/trace_gen.hpp"
 
 using namespace coolair;
 
@@ -31,17 +31,27 @@ mildWeather()
     return w;
 }
 
+/** The abrupt-Parasol spec the plant-level benches step. */
+sim::ExperimentSpec
+abruptSpec()
+{
+    sim::ExperimentSpec spec;
+    spec.style = cooling::ActuatorStyle::Abrupt;
+    spec.seed = 1;
+    return spec;
+}
+
 void
 BM_PlantStep(benchmark::State &state)
 {
-    plant::Plant plant(plant::PlantConfig::parasol(), 1);
-    plant.initializeSteadyState(mildWeather(), 6.0);
+    std::unique_ptr<plant::Plant> plant = sim::makePlant(abruptSpec());
+    plant->initializeSteadyState(mildWeather(), 6.0);
     plant::PodLoad load = plant::PodLoad::uniform(8, 8, 0.5);
     cooling::Regime fc = cooling::Regime::freeCooling(0.5);
     auto w = mildWeather();
     for (auto _ : state) {
-        plant.step(30.0, w, load, fc);
-        benchmark::DoNotOptimize(plant.truePodInletC(0));
+        plant->step(30.0, w, load, fc);
+        benchmark::DoNotOptimize(plant->truePodInletC(0));
     }
 }
 BENCHMARK(BM_PlantStep);
@@ -49,10 +59,10 @@ BENCHMARK(BM_PlantStep);
 void
 BM_SensorRead(benchmark::State &state)
 {
-    plant::Plant plant(plant::PlantConfig::parasol(), 1);
-    plant.initializeSteadyState(mildWeather(), 6.0);
+    std::unique_ptr<plant::Plant> plant = sim::makePlant(abruptSpec());
+    plant->initializeSteadyState(mildWeather(), 6.0);
     for (auto _ : state) {
-        auto sensors = plant.readSensors();
+        auto sensors = plant->readSensors();
         benchmark::DoNotOptimize(sensors.podInletC[0]);
     }
 }
@@ -119,16 +129,48 @@ BENCHMARK(BM_RidgeFit)->Arg(256)->Arg(4096);
 void
 BM_ClusterDayStep(benchmark::State &state)
 {
-    workload::ClusterSim sim({}, workload::facebookTrace({}));
-    sim.applyPlan(workload::ComputePlan::passthrough());
+    sim::ExperimentSpec spec;
+    spec.seed = 2013;
+    workload::ClusterSim cluster({}, sim::traceForSpec(spec));
+    cluster.applyPlan(workload::ComputePlan::passthrough());
     int64_t t = 0;
     for (auto _ : state) {
-        sim.step(util::SimTime(t), 30.0);
+        cluster.step(util::SimTime(t), 30.0);
         t += 30;
-        benchmark::DoNotOptimize(sim.busySlots());
+        benchmark::DoNotOptimize(cluster.busySlots());
     }
 }
 BENCHMARK(BM_ClusterDayStep);
+
+void
+BM_ScenarioBuild(benchmark::State &state)
+{
+    // Baseline assembly: plant + climate + workload + controller +
+    // engine, without the (memoized) learning campaign.
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    for (auto _ : state) {
+        auto scenario = sim::ScenarioBuilder(spec).build();
+        benchmark::DoNotOptimize(scenario->engine());
+    }
+}
+BENCHMARK(BM_ScenarioBuild);
+
+void
+BM_SpecRoundTrip(benchmark::State &state)
+{
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Santiago);
+    spec.system = sim::SystemId::AllNd;
+    spec.bandWidthC = 4.0;
+    for (auto _ : state) {
+        sim::ExperimentSpec parsed = sim::parseSpec(sim::formatSpec(spec));
+        benchmark::DoNotOptimize(parsed.seed);
+    }
+}
+BENCHMARK(BM_SpecRoundTrip);
 
 void
 BM_ClimateSample(benchmark::State &state)

@@ -17,9 +17,9 @@
 
 #include "environment/location.hpp"
 #include "multizone/multizone.hpp"
-#include "sim/experiment.hpp"
-#include "util/table.hpp"
 #include "workload/trace_gen.hpp"
+
+#include "util/table.hpp"
 
 using namespace coolair;
 using namespace coolair::multizone;
@@ -34,24 +34,20 @@ struct RunResult
 };
 
 RunResult
-runWeeks(bool use_coolair, BalancePolicy policy,
-         const environment::Climate &climate,
-         environment::Forecaster &forecaster, int weeks)
+runWeeks(sim::SystemId system, BalancePolicy policy, int weeks)
 {
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.system = system;
+    spec.seed = 9;
+
     MultiZoneConfig cfg;
     cfg.zones = 4;
     cfg.policy = policy;
 
-    auto factory = [&](int) -> std::unique_ptr<sim::Controller> {
-        if (!use_coolair)
-            return std::make_unique<sim::BaselineController>();
-        core::CoolAirConfig c = core::CoolAirConfig::forVersion(
-            core::Version::AllNd, cooling::RegimeMenu::smooth());
-        return std::make_unique<sim::CoolAirController>(
-            c, sim::sharedBundle(), &forecaster);
-    };
+    MultiZoneScenario mz = buildMultiZoneScenario(spec, cfg);
 
-    MultiZoneEngine engine(cfg, climate, factory);
     // Four containers' worth of load: merge four independently seeded
     // day traces so each zone sees the single-container utilization.
     workload::Trace trace;
@@ -64,16 +60,17 @@ runWeeks(bool use_coolair, BalancePolicy policy,
                           part.jobs.end());
     }
     for (int w = 0; w < weeks; ++w)
-        engine.runDay((w * 7) % 365, trace);
+        mz.engine->runDay((w * 7) % 365, trace);
 
     RunResult out;
-    out.aggregate = engine.aggregateSummary();
+    out.aggregate = mz.engine->aggregateSummary();
     int64_t lo = 1 << 30, hi = 0;
-    for (int z = 0; z < engine.zoneCount(); ++z) {
-        out.worstZoneRangeC = std::max(
-            out.worstZoneRangeC, engine.zoneSummary(z).maxWorstDailyRangeC);
-        lo = std::min(lo, engine.zoneJobsAssigned(z));
-        hi = std::max(hi, engine.zoneJobsAssigned(z));
+    for (int z = 0; z < mz.engine->zoneCount(); ++z) {
+        out.worstZoneRangeC =
+            std::max(out.worstZoneRangeC,
+                     mz.engine->zoneSummary(z).maxWorstDailyRangeC);
+        lo = std::min(lo, mz.engine->zoneJobsAssigned(z));
+        hi = std::max(hi, mz.engine->zoneJobsAssigned(z));
     }
     out.zoneJobSpread = lo > 0 ? double(hi) / double(lo) : 0.0;
     return out;
@@ -87,24 +84,20 @@ main()
     std::printf("=== Multi-zone datacenter: 4 zones at Newark ===\n");
     std::printf("(shared Facebook job stream; 12-week year sample)\n\n");
 
-    environment::Climate climate =
-        environment::namedLocation(environment::NamedSite::Newark)
-            .makeClimate(9);
-    environment::Forecaster forecaster(climate);
     const int kWeeks = 12;
 
     util::TextTable table({"system / balancer", "agg PUE",
                            "avg range [C]", "worst zone range [C]",
                            "job spread (max/min)"});
 
-    for (bool coolair : {false, true}) {
+    for (sim::SystemId system :
+         {sim::SystemId::Baseline, sim::SystemId::AllNd}) {
         for (BalancePolicy policy :
              {BalancePolicy::RoundRobin, BalancePolicy::LeastLoaded,
               BalancePolicy::CoolestFirst}) {
-            RunResult r =
-                runWeeks(coolair, policy, climate, forecaster, kWeeks);
-            std::string name = std::string(coolair ? "All-ND" : "Baseline") +
-                               " / " + policyName(policy);
+            RunResult r = runWeeks(system, policy, kWeeks);
+            std::string name = std::string(sim::systemName(system)) + " / " +
+                               policyName(policy);
             table.addRow(
                 {name, util::TextTable::fmt(r.aggregate.pue, 3),
                  util::TextTable::fmt(r.aggregate.avgWorstDailyRangeC, 1),

@@ -8,23 +8,20 @@
  * Usage:
  *   parasol_day [site 0-4] [day-of-year] [system] > day.csv
  *     site:   0=Newark 1=Chad 2=Santiago 3=Iceland 4=Singapore
- *     system: baseline | allnd | variation | energy
+ *     system: any spec system key (baseline | allnd | variation | ...)
  *
  * Example:  ./build/examples/parasol_day 0 166 allnd > newark_june.csv
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <memory>
+#include <stdexcept>
 
 #include "environment/location.hpp"
-#include "sim/engine.hpp"
-#include "sim/experiment.hpp"
-#include "util/table.hpp"
-#include "workload/cluster.hpp"
-#include "workload/trace_gen.hpp"
+#include "sim/scenario.hpp"
+#include "sim/spec_io.hpp"
+#include "sim/trace_csv.hpp"
 
 using namespace coolair;
 
@@ -35,66 +32,34 @@ main(int argc, char **argv)
     int day = argc > 2 ? std::atoi(argv[2]) : 166;
     const char *system = argc > 3 ? argv[3] : "allnd";
 
-    if (site_idx < 0 || site_idx > 4) {
-        std::fprintf(stderr, "site must be 0..4\n");
+    if (site_idx < 0 || site_idx >= environment::kNamedSiteCount) {
+        std::fprintf(stderr, "site must be 0..%d\n",
+                     environment::kNamedSiteCount - 1);
         return 1;
     }
-    day = ((day % 365) + 365) % 365;
 
-    environment::Location loc = environment::namedLocation(
+    sim::ExperimentSpec spec;
+    spec.location = environment::namedLocation(
         environment::allNamedSites()[size_t(site_idx)]);
-    environment::Climate climate = loc.makeClimate(7);
-    environment::Forecaster forecaster(climate);
-
-    plant::PlantConfig pc = plant::PlantConfig::smoothParasol();
-    plant::Plant plant(pc, 7);
-    workload::ClusterSim cluster({}, workload::facebookTrace({}));
-
-    std::unique_ptr<sim::Controller> controller;
-    if (std::strcmp(system, "baseline") == 0) {
-        controller = std::make_unique<sim::BaselineController>();
-    } else {
-        core::Version version = core::Version::AllNd;
-        if (std::strcmp(system, "variation") == 0)
-            version = core::Version::Variation;
-        else if (std::strcmp(system, "energy") == 0)
-            version = core::Version::Energy;
-        core::CoolAirConfig config = core::CoolAirConfig::forVersion(
-            version, cooling::RegimeMenu::smooth());
-        controller = std::make_unique<sim::CoolAirController>(
-            config, sim::sharedBundle(), &forecaster);
+    spec.runKind = sim::RunKind::SingleDay;
+    spec.day = ((day % 365) + 365) % 365;
+    try {
+        sim::applySpecAssignment(spec, std::string("system=") + system);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
     }
 
     std::fprintf(stderr, "simulating %s day %d under %s...\n",
-                 loc.name.c_str(), day, controller->name());
+                 spec.location.name.c_str(), spec.day,
+                 sim::systemName(spec.system));
 
-    util::CsvWriter csv(
-        std::cout,
-        {"minute", "outside_c", "inlet_min_c", "inlet_max_c", "mode",
-         "fc_fan", "compressor", "it_w", "cooling_w", "disk_min_c",
-         "disk_max_c", "utilization"});
+    auto scenario = sim::ScenarioBuilder(spec)
+                        .withTraceSink(sim::makeCsvTraceSink(std::cout))
+                        .build();
+    sim::writeTraceCsvHeader(std::cout);
+    sim::Summary s = scenario->run().system;
 
-    sim::MetricsCollector metrics({}, pc.numPods);
-    sim::Engine engine(plant, cluster, *controller, climate);
-    engine.setMetrics(&metrics);
-    int minute = 0;
-    engine.setTraceSink([&](const sim::TraceRow &r) {
-        csv.writeRow(std::vector<std::string>{
-            std::to_string(minute++), util::TextTable::fmt(r.outsideC, 2),
-            util::TextTable::fmt(r.inletMinC, 2),
-            util::TextTable::fmt(r.inletMaxC, 2),
-            cooling::modeName(r.mode),
-            util::TextTable::fmt(r.fcFanSpeed, 2),
-            util::TextTable::fmt(r.compressorSpeed, 2),
-            util::TextTable::fmt(r.itPowerW, 0),
-            util::TextTable::fmt(r.coolingPowerW, 0),
-            util::TextTable::fmt(r.diskMinC, 2),
-            util::TextTable::fmt(r.diskMaxC, 2),
-            util::TextTable::fmt(r.dcUtilization, 3)});
-    });
-    engine.runDay(day);
-
-    sim::Summary s = metrics.summary();
     std::fprintf(stderr,
                  "day summary: worst range %.1f C, avg violation %.2f C, "
                  "IT %.1f kWh, cooling %.1f kWh, PUE %.3f\n",

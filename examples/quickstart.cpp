@@ -3,9 +3,12 @@
  * Quickstart: the smallest end-to-end CoolAir session.
  *
  * Learns the cooling models from the Parasol plant simulator, then runs
- * one simulated summer day at Newark twice — once under the baseline
- * (extended TKS) controller and once under CoolAir All-ND — and prints
- * the temperature/variation/energy outcomes side by side.
+ * one simulated winter day and one summer day at Newark twice — once
+ * under the baseline (extended TKS) controller and once under CoolAir
+ * All-ND — and prints the temperature/variation/energy outcomes side by
+ * side.  Each run is a declarative ExperimentSpec handed to
+ * sim::runExperiment; the same spec could be saved to a file and
+ * replayed with examples/experiment_cli.
  *
  * Build & run:  ./build/examples/quickstart
  */
@@ -14,35 +17,9 @@
 #include <iostream>
 
 #include "environment/location.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiment.hpp"
-#include "workload/cluster.hpp"
-#include "workload/trace_gen.hpp"
 
 using namespace coolair;
-
-namespace {
-
-sim::Summary
-runOneDay(sim::Controller &controller, const environment::Climate &climate,
-          cooling::ActuatorStyle style, int day)
-{
-    plant::PlantConfig pc = style == cooling::ActuatorStyle::Abrupt
-                                ? plant::PlantConfig::parasol()
-                                : plant::PlantConfig::smoothParasol();
-    plant::Plant plant(pc, 7);
-
-    workload::ClusterConfig cc;
-    workload::ClusterSim cluster(cc, workload::facebookTrace({}));
-
-    sim::MetricsCollector metrics({}, pc.numPods);
-    sim::Engine engine(plant, cluster, controller, climate);
-    engine.setMetrics(&metrics);
-    engine.runDay(day);
-    return metrics.summary();
-}
-
-} // anonymous namespace
 
 int
 main()
@@ -54,9 +31,11 @@ main()
     std::printf("  fitted %zu temperature models, train RMSE %.2f C\n",
                 bundle.fittedTempModels, bundle.tempTrainRmse);
 
-    environment::Location newark =
+    sim::ExperimentSpec spec;
+    spec.location =
         environment::namedLocation(environment::NamedSite::Newark);
-    environment::Climate climate = newark.makeClimate(7);
+    spec.style = cooling::ActuatorStyle::Smooth;
+    spec.runKind = sim::RunKind::SingleDay;
 
     struct DayCase
     {
@@ -65,22 +44,15 @@ main()
     };
     for (DayCase dc : {DayCase{"winter (late Jan)", 25},
                        DayCase{"summer (early Jul)", 186}}) {
-        environment::Forecaster forecaster(climate);
+        spec.day = dc.day;
 
         // Baseline: extended TKS, 30 C setpoint, humidity control.
-        sim::BaselineController baseline;
-        sim::Summary base =
-            runOneDay(baseline, climate, cooling::ActuatorStyle::Smooth,
-                      dc.day);
+        spec.system = sim::SystemId::Baseline;
+        sim::Summary base = sim::runExperiment(spec).system;
 
         // CoolAir All-ND on the smooth cooling infrastructure.
-        core::CoolAirConfig config = core::CoolAirConfig::forVersion(
-            core::Version::AllNd, cooling::RegimeMenu::smooth());
-        sim::CoolAirController coolair(config, bundle, &forecaster,
-                                       "All-ND");
-        sim::Summary ca = runOneDay(coolair, climate,
-                                    cooling::ActuatorStyle::Smooth,
-                                    dc.day);
+        spec.system = sim::SystemId::AllNd;
+        sim::Summary ca = sim::runExperiment(spec).system;
 
         std::printf("\n--- %s ---\n", dc.name);
         std::printf("%-28s %12s %12s\n", "metric", "Baseline", "All-ND");

@@ -36,6 +36,9 @@ enum class ActuatorStyle
     Smooth   ///< Fine-grained ramps and variable compressor speed.
 };
 
+/** Number of ActuatorStyle enumerators (keep in sync with the enum). */
+inline constexpr int kActuatorStyleCount = 2;
+
 /** Power-model constants for Parasol's units. */
 struct PowerModel
 {

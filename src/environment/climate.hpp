@@ -66,6 +66,9 @@ struct ClimateParams
 
     /** Hour of day of the diurnal peak (solar-afternoon lag). */
     double diurnalPeakHour = 15.0;
+
+    friend bool operator==(const ClimateParams &,
+                           const ClimateParams &) = default;
 };
 
 /**

@@ -56,6 +56,9 @@ struct ForecastErrorModel
 
     /** Std-dev of independent per-hour gaussian noise [°C]. */
     double noiseStddevC = 0.0;
+
+    friend bool operator==(const ForecastErrorModel &,
+                           const ForecastErrorModel &) = default;
 };
 
 /**

@@ -30,6 +30,8 @@ struct Location
 
     /** Build the frozen typical year for this site. */
     Climate makeClimate(uint64_t seed = 0) const;
+
+    friend bool operator==(const Location &, const Location &) = default;
 };
 
 /** The five named sites of the paper's evaluation (§5.1). */
@@ -41,6 +43,9 @@ enum class NamedSite
     Iceland,    ///< Reykjavik: cold year-round, maritime.
     Singapore   ///< Hot and humid year-round.
 };
+
+/** Number of NamedSite enumerators (keep in sync with the enum). */
+inline constexpr int kNamedSiteCount = 5;
 
 /** All five named sites, in the paper's presentation order. */
 const std::vector<NamedSite> &allNamedSites();

@@ -1,7 +1,9 @@
 #include "multizone/multizone.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "sim/scenario.hpp"
 #include "util/logging.hpp"
 
 namespace coolair {
@@ -207,6 +209,31 @@ MultiZoneEngine::aggregateSummary() const
                     total.itKwh;
     }
     return total;
+}
+
+MultiZoneScenario
+buildMultiZoneScenario(const sim::ExperimentSpec &spec, MultiZoneConfig config)
+{
+    MultiZoneScenario mz;
+    mz.spec = spec;
+
+    config.plantConfig = sim::plantConfigFor(spec);
+    config.physicsStepS = spec.physicsStepS;
+    config.seed = spec.seed;
+    mz.config = config;
+
+    mz.climate = std::make_unique<environment::Climate>(
+        spec.location.makeClimate(spec.seed));
+    mz.forecaster = std::make_unique<environment::Forecaster>(
+        *mz.climate, spec.forecastError, spec.seed);
+
+    environment::Forecaster *forecaster = mz.forecaster.get();
+    mz.engine = std::make_unique<MultiZoneEngine>(
+        mz.config, *mz.climate,
+        [&spec, forecaster](int) {
+            return sim::makeController(spec, forecaster);
+        });
+    return mz;
 }
 
 } // namespace multizone

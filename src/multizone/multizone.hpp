@@ -26,8 +26,11 @@
 #include <memory>
 #include <vector>
 
+#include "environment/climate.hpp"
+#include "environment/forecast.hpp"
 #include "environment/weather.hpp"
 #include "sim/controller.hpp"
+#include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "workload/cluster.hpp"
 #include "workload/job.hpp"
@@ -134,6 +137,32 @@ class MultiZoneEngine
     std::vector<Zone> _zones;
     int _rrNext = 0;
 };
+
+/**
+ * A multi-zone experiment assembled from a single-zone ExperimentSpec:
+ * the spec decides site, system, plant style, seed, and physics step
+ * (via the sim/scenario.hpp factories); @p MultiZoneConfig adds the
+ * zone count and balancing policy.  Owns the shared climate and
+ * forecaster so the engine's references stay valid.
+ */
+struct MultiZoneScenario
+{
+    sim::ExperimentSpec spec;
+    MultiZoneConfig config;
+    std::unique_ptr<environment::Climate> climate;
+    std::unique_ptr<environment::Forecaster> forecaster;
+    std::unique_ptr<MultiZoneEngine> engine;
+};
+
+/**
+ * Build a multi-zone scenario: every zone gets the spec's plant and an
+ * independent controller for the spec's system (all zones share the
+ * site climate and forecaster).  config.plantConfig, physicsStepS, and
+ * seed are overwritten from the spec; zones, policy, clusterConfig, and
+ * sampleIntervalS are taken from @p config.
+ */
+MultiZoneScenario buildMultiZoneScenario(const sim::ExperimentSpec &spec,
+                                         MultiZoneConfig config);
 
 } // namespace multizone
 } // namespace coolair

@@ -41,6 +41,26 @@ CoolAirController::CoolAirController(const core::CoolAirConfig &config,
 {
 }
 
+FixedRegimeController::FixedRegimeController(const cooling::Regime &regime,
+                                             int64_t epoch_s)
+    : _regime(regime), _epochS(epoch_s)
+{
+}
+
+ControlDecision
+FixedRegimeController::control(const plant::SensorReadings &sensors,
+                               const workload::WorkloadStatus &status,
+                               const plant::PodLoad &load, util::SimTime now)
+{
+    (void)sensors;
+    (void)status;
+    (void)load;
+    (void)now;
+    ControlDecision decision;
+    decision.regime = _regime;
+    return decision;
+}
+
 ControlDecision
 CoolAirController::control(const plant::SensorReadings &sensors,
                            const workload::WorkloadStatus &status,

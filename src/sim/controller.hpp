@@ -76,6 +76,30 @@ class BaselineController : public Controller
     int64_t _epochS;
 };
 
+/**
+ * A controller that always commands one fixed regime and never touches
+ * the workload.  Physics probes (e.g. the Figure 1 bench holds free
+ * cooling at 60 % fan) run through the standard engine with this.
+ */
+class FixedRegimeController : public Controller
+{
+  public:
+    explicit FixedRegimeController(const cooling::Regime &regime,
+                                   int64_t epoch_s = 600);
+
+    ControlDecision control(const plant::SensorReadings &sensors,
+                            const workload::WorkloadStatus &status,
+                            const plant::PodLoad &load,
+                            util::SimTime now) override;
+
+    int64_t epochS() const override { return _epochS; }
+    const char *name() const override { return "Fixed-Regime"; }
+
+  private:
+    cooling::Regime _regime;
+    int64_t _epochS;
+};
+
 /** CoolAir behind the Controller interface. */
 class CoolAirController : public Controller
 {

@@ -116,6 +116,24 @@ Engine::runDay(int day_of_year)
     runRange(day_start, day_start + util::kSecondsPerDay, /*collect=*/true);
 }
 
+void
+Engine::runDayRange(int start_day, int end_day)
+{
+    if (end_day <= start_day)
+        return;
+
+    util::SimTime start =
+        util::SimTime(int64_t(start_day) * util::kSecondsPerDay);
+    util::SimTime end = util::SimTime(int64_t(end_day) * util::kSecondsPerDay);
+    util::SimTime warm_start = start - _config.warmupS;
+
+    _plant.initializeSteadyState(_climate.sample(warm_start));
+    _nextControlS = warm_start.seconds();
+
+    runRange(warm_start, start, /*collect=*/false);
+    runRange(start, end, /*collect=*/true);
+}
+
 std::vector<int>
 yearSampleDays(int weeks)
 {

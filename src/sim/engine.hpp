@@ -92,6 +92,14 @@ class Engine
     void runDay(int day_of_year);
 
     /**
+     * Measure the continuous day span [@p start_day, @p end_day) as one
+     * run: initialize near steady state, warm up before the first day,
+     * then collect across the whole range (multi-day studies like
+     * Figure 1's two-day trace).
+     */
+    void runDayRange(int start_day, int end_day);
+
+    /**
      * §5.1 year protocol: measure @p weeks days spread uniformly across
      * the year (the first day of each week at 52; see yearSampleDays()).
      */

@@ -1,16 +1,23 @@
 #include "sim/experiment.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <stdexcept>
-
-#include "sim/engine.hpp"
 #include "util/logging.hpp"
 #include "workload/cluster.hpp"
 #include "workload/trace_gen.hpp"
 
 namespace coolair {
 namespace sim {
+
+const std::array<SystemId, kSystemIdCount> &
+allSystemIds()
+{
+    static const std::array<SystemId, kSystemIdCount> ids = {
+        SystemId::Baseline,      SystemId::Temperature,
+        SystemId::Variation,     SystemId::Energy,
+        SystemId::AllNd,         SystemId::AllDef,
+        SystemId::VarLowRecirc,  SystemId::VarHighRecirc,
+        SystemId::EnergyDef};
+    return ids;
+}
 
 const char *
 systemName(SystemId id)
@@ -32,53 +39,21 @@ systemName(SystemId id)
 bool
 systemIsDeferrable(SystemId id)
 {
-    return id == SystemId::AllDef || id == SystemId::EnergyDef;
-}
-
-namespace {
-
-core::Version
-versionOf(SystemId id)
-{
     switch (id) {
-      case SystemId::Temperature:   return core::Version::Temperature;
-      case SystemId::Variation:     return core::Version::Variation;
-      case SystemId::Energy:        return core::Version::Energy;
-      case SystemId::AllNd:         return core::Version::AllNd;
-      case SystemId::AllDef:        return core::Version::AllDef;
-      case SystemId::VarLowRecirc:  return core::Version::VarLowRecirc;
-      case SystemId::VarHighRecirc: return core::Version::VarHighRecirc;
-      case SystemId::EnergyDef:     return core::Version::EnergyDef;
+      case SystemId::AllDef:
+      case SystemId::EnergyDef:
+        return true;
       case SystemId::Baseline:
-        break;
+      case SystemId::Temperature:
+      case SystemId::Variation:
+      case SystemId::Energy:
+      case SystemId::AllNd:
+      case SystemId::VarLowRecirc:
+      case SystemId::VarHighRecirc:
+        return false;
     }
-    util::panic("versionOf: baseline has no CoolAir version");
+    util::panic("systemIsDeferrable: unknown system");
 }
-
-workload::Trace
-traceFor(WorkloadKind kind, SystemId system, uint64_t seed)
-{
-    workload::TraceGenConfig tg;
-    tg.seed = seed;
-    workload::Trace trace;
-    switch (kind) {
-      case WorkloadKind::Facebook:
-      case WorkloadKind::FacebookProfile:
-        trace = workload::facebookTrace(tg);
-        break;
-      case WorkloadKind::Nutch:
-        trace = workload::nutchTrace(tg);
-        break;
-      case WorkloadKind::SteadyHalf:
-        trace = workload::steadyTrace(0.5, tg);
-        break;
-    }
-    if (systemIsDeferrable(system))
-        trace.makeDeferrable(6.0);  // §5.1: 6-hour start deadlines
-    return trace;
-}
-
-} // anonymous namespace
 
 const model::LearnedBundle &
 sharedBundle()
@@ -135,82 +110,6 @@ prewarmSharedState(const std::vector<ExperimentSpec> &specs)
         sharedEvaporativeBundle();
     if (profile)
         sharedFacebookProfile();
-}
-
-ExperimentResult
-runYearExperiment(const ExperimentSpec &spec)
-{
-    if (spec.weeks <= 0)
-        throw std::invalid_argument("ExperimentSpec: weeks must be positive");
-    if (spec.physicsStepS <= 0.0)
-        throw std::invalid_argument(
-            "ExperimentSpec: physics step must be positive");
-
-    // --- Plant -------------------------------------------------------------
-    plant::PlantConfig pc = spec.style == cooling::ActuatorStyle::Abrupt
-                                ? plant::PlantConfig::parasol()
-                                : plant::PlantConfig::smoothParasol();
-    if (spec.variant == PlantVariant::Evaporative)
-        pc = plant::PlantConfig::smoothParasolEvaporative();
-    else if (spec.variant == PlantVariant::Chiller)
-        pc = plant::PlantConfig::smoothParasolChiller();
-    plant::Plant plant(pc, spec.seed);
-
-    // --- Environment -------------------------------------------------------
-    environment::Climate climate = spec.location.makeClimate(spec.seed);
-    environment::Forecaster forecaster(climate, spec.forecastError,
-                                       spec.seed);
-
-    // --- Workload ----------------------------------------------------------
-    std::unique_ptr<workload::WorkloadModel> workload;
-    workload::ClusterConfig cc;
-    if (spec.workload == WorkloadKind::FacebookProfile) {
-        workload = std::make_unique<workload::ProfileWorkload>(
-            cc, sharedFacebookProfile());
-    } else {
-        workload = std::make_unique<workload::ClusterSim>(
-            cc, traceFor(spec.workload, spec.system, spec.seed));
-    }
-
-    // --- Controller ----------------------------------------------------------
-    std::unique_ptr<Controller> controller;
-    if (spec.system == SystemId::Baseline) {
-        cooling::TksConfig tks = cooling::TksConfig::extendedBaseline();
-        tks.setpointC = spec.maxTempC;
-        controller = std::make_unique<BaselineController>(tks);
-    } else {
-        cooling::RegimeMenu menu =
-            spec.style == cooling::ActuatorStyle::Abrupt
-                ? cooling::RegimeMenu::parasol()
-                : cooling::RegimeMenu::smooth();
-        const model::LearnedBundle *bundle = &sharedBundle();
-        if (spec.variant == PlantVariant::Evaporative) {
-            menu = cooling::RegimeMenu::smoothWithEvaporative();
-            bundle = &sharedEvaporativeBundle();
-        }
-        core::CoolAirConfig config = core::CoolAirConfig::forVersion(
-            versionOf(spec.system), menu, spec.maxTempC);
-        controller = std::make_unique<CoolAirController>(
-            config, *bundle, &forecaster,
-            systemName(spec.system));
-    }
-
-    // --- Run -----------------------------------------------------------------
-    MetricsConfig mc;
-    mc.maxTempC = spec.maxTempC;
-    MetricsCollector metrics(mc, pc.numPods);
-
-    EngineConfig ec;
-    ec.physicsStepS = spec.physicsStepS;
-    ec.sampleIntervalS = std::max<int64_t>(60, int64_t(spec.physicsStepS));
-    Engine engine(plant, *workload, *controller, climate, ec);
-    engine.setMetrics(&metrics);
-    engine.runYearWeekly(spec.weeks);
-
-    ExperimentResult result;
-    result.system = metrics.summary();
-    result.outside = metrics.outsideSummary();
-    return result;
 }
 
 } // namespace sim

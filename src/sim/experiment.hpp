@@ -14,7 +14,10 @@
  * Smooth-Sim does in §5.1).
  */
 
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "cooling/actuators.hpp"
@@ -42,6 +45,12 @@ enum class SystemId
     EnergyDef
 };
 
+/** Number of SystemId enumerators (keep in sync with the enum). */
+inline constexpr int kSystemIdCount = 9;
+
+/** All systems, in Table 1 order (for CLIs and exhaustiveness tests). */
+const std::array<SystemId, kSystemIdCount> &allSystemIds();
+
 /** Display name matching the paper's figures. */
 const char *systemName(SystemId id);
 
@@ -56,6 +65,9 @@ enum class PlantVariant
     Chiller       ///< Smooth units + chilled-water backup loop.
 };
 
+/** Number of PlantVariant enumerators (keep in sync with the enum). */
+inline constexpr int kPlantVariantCount = 3;
+
 /** Workload selection for an experiment. */
 enum class WorkloadKind
 {
@@ -65,7 +77,26 @@ enum class WorkloadKind
     SteadyHalf        ///< Constant 50 % load (tests, Figure 1).
 };
 
-/** Everything needed to run one year-long experiment. */
+/** Number of WorkloadKind enumerators (keep in sync with the enum). */
+inline constexpr int kWorkloadKindCount = 4;
+
+/** What span of simulated time an experiment covers. */
+enum class RunKind
+{
+    YearWeekly,  ///< §5.1 protocol: `weeks` sampled days across a year.
+    SingleDay,   ///< One measured calendar day (`day`).
+    DayRange     ///< Continuous days [`startDay`, `endDay`).
+};
+
+/** Number of RunKind enumerators (keep in sync with the enum). */
+inline constexpr int kRunKindCount = 3;
+
+/**
+ * Everything needed to run one experiment — the declarative description
+ * the scenario layer (sim/scenario.hpp) assembles and runs.  A spec
+ * round-trips through the text form in sim/spec_io.hpp, so any
+ * experiment can be stored, diffed, and replayed from a config string.
+ */
 struct ExperimentSpec
 {
     environment::Location location;
@@ -80,13 +111,41 @@ struct ExperimentSpec
     /** Forecast error injection (§5.2 forecast-accuracy study). */
     environment::ForecastErrorModel forecastError;
 
-    /** Weeks simulated (52 = the full §5.1 protocol). */
+    /** What span of simulated time to run. */
+    RunKind runKind = RunKind::YearWeekly;
+
+    /** Weeks simulated for YearWeekly (52 = the full §5.1 protocol). */
     int weeks = 52;
+
+    /** Day of year [0, 365) for SingleDay. */
+    int day = 186;
+
+    /** First day (inclusive) of a DayRange run. */
+    int startDay = 0;
+
+    /** One past the last day of a DayRange run. */
+    int endDay = 7;
 
     /** Physics step [s] (the world sweep uses a coarser step). */
     double physicsStepS = 30.0;
 
     uint64_t seed = 7;
+
+    /** When non-empty, the scenario dumps its trace as CSV to this path. */
+    std::string traceCsvPath;
+
+    /**
+     * Tuning overrides for CoolAir systems (the bench_ablation knobs).
+     * Unset means "use the Table 1 version preset".
+     */
+    std::optional<double> bandWidthC;
+    std::optional<double> bandOffsetC;
+    std::optional<double> switchPenalty;
+    std::optional<double> sleepDecayPerEpoch;
+    std::optional<int> horizonSteps;
+
+    friend bool operator==(const ExperimentSpec &,
+                           const ExperimentSpec &) = default;
 };
 
 /** Year-experiment outputs. */
@@ -120,11 +179,23 @@ const workload::UtilizationProfile &sharedFacebookProfile();
 void prewarmSharedState(const std::vector<ExperimentSpec> &specs);
 
 /**
- * Run one year-long experiment.
+ * Run one experiment, honoring spec.runKind (year, single day, or day
+ * range).  Assembles the stack through the scenario layer
+ * (sim/scenario.hpp).
  *
  * @throws std::invalid_argument for an unrunnable spec (nonpositive
- *         weeks or physics step), so sweep drivers can report the
- *         failing spec instead of aborting the process.
+ *         weeks or physics step, empty day range), so sweep drivers can
+ *         report the failing spec instead of aborting the process.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Run one year-long experiment (the §5.1 protocol) regardless of
+ * spec.runKind.  Equivalent to runExperiment with runKind forced to
+ * YearWeekly; kept as the historical entry point of the figure benches.
+ *
+ * @throws std::invalid_argument for an unrunnable spec (nonpositive
+ *         weeks or physics step).
  */
 ExperimentResult runYearExperiment(const ExperimentSpec &spec);
 

@@ -116,7 +116,7 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
     SweepOutcome outcome;
     outcome.results.resize(specs.size());
     std::vector<TaskFailure> failures = forEach(specs.size(), [&](size_t i) {
-        outcome.results[i] = runYearExperiment(specs[i]);
+        outcome.results[i] = runExperiment(specs[i]);
     });
 
     outcome.failures.reserve(failures.size());

@@ -1,0 +1,336 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/trace_csv.hpp"
+#include "util/logging.hpp"
+#include "workload/cluster.hpp"
+#include "workload/profile.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace coolair {
+namespace sim {
+
+// ---------------------------------------------------------------------------
+// Component factories.
+// ---------------------------------------------------------------------------
+
+plant::PlantConfig
+plantConfigFor(const ExperimentSpec &spec)
+{
+    switch (spec.variant) {
+      case PlantVariant::Standard:
+        return spec.style == cooling::ActuatorStyle::Abrupt
+                   ? plant::PlantConfig::parasol()
+                   : plant::PlantConfig::smoothParasol();
+      case PlantVariant::Evaporative:
+        return plant::PlantConfig::smoothParasolEvaporative();
+      case PlantVariant::Chiller:
+        return plant::PlantConfig::smoothParasolChiller();
+    }
+    util::panic("plantConfigFor: unknown plant variant");
+}
+
+std::unique_ptr<plant::Plant>
+makePlant(const ExperimentSpec &spec)
+{
+    return std::make_unique<plant::Plant>(plantConfigFor(spec), spec.seed);
+}
+
+cooling::RegimeMenu
+regimeMenuFor(const ExperimentSpec &spec)
+{
+    if (spec.variant == PlantVariant::Evaporative)
+        return cooling::RegimeMenu::smoothWithEvaporative();
+    return spec.style == cooling::ActuatorStyle::Abrupt
+               ? cooling::RegimeMenu::parasol()
+               : cooling::RegimeMenu::smooth();
+}
+
+const model::LearnedBundle &
+bundleFor(const ExperimentSpec &spec)
+{
+    return spec.variant == PlantVariant::Evaporative
+               ? sharedEvaporativeBundle()
+               : sharedBundle();
+}
+
+core::Version
+systemVersion(SystemId id)
+{
+    switch (id) {
+      case SystemId::Temperature:   return core::Version::Temperature;
+      case SystemId::Variation:    return core::Version::Variation;
+      case SystemId::Energy:       return core::Version::Energy;
+      case SystemId::AllNd:        return core::Version::AllNd;
+      case SystemId::AllDef:       return core::Version::AllDef;
+      case SystemId::VarLowRecirc: return core::Version::VarLowRecirc;
+      case SystemId::VarHighRecirc: return core::Version::VarHighRecirc;
+      case SystemId::EnergyDef:    return core::Version::EnergyDef;
+      case SystemId::Baseline:
+        break;
+    }
+    util::panic("systemVersion: baseline has no CoolAir version");
+}
+
+core::CoolAirConfig
+coolairConfigFor(const ExperimentSpec &spec)
+{
+    core::CoolAirConfig config = core::CoolAirConfig::forVersion(
+        systemVersion(spec.system), regimeMenuFor(spec), spec.maxTempC);
+    if (spec.bandWidthC)
+        config.band.widthC = *spec.bandWidthC;
+    if (spec.bandOffsetC)
+        config.band.offsetC = *spec.bandOffsetC;
+    if (spec.switchPenalty)
+        config.utility.switchPenalty = *spec.switchPenalty;
+    if (spec.sleepDecayPerEpoch)
+        config.compute.sleepDecayPerEpoch = *spec.sleepDecayPerEpoch;
+    if (spec.horizonSteps)
+        config.horizonSteps = *spec.horizonSteps;
+    return config;
+}
+
+workload::Trace
+traceForSpec(const ExperimentSpec &spec)
+{
+    workload::TraceGenConfig tg;
+    tg.seed = spec.seed;
+    workload::Trace trace;
+    switch (spec.workload) {
+      case WorkloadKind::Facebook:
+      case WorkloadKind::FacebookProfile:
+        trace = workload::facebookTrace(tg);
+        break;
+      case WorkloadKind::Nutch:
+        trace = workload::nutchTrace(tg);
+        break;
+      case WorkloadKind::SteadyHalf:
+        trace = workload::steadyTrace(0.5, tg);
+        break;
+    }
+    if (systemIsDeferrable(spec.system))
+        trace.makeDeferrable(6.0);  // §5.1: 6-hour start deadlines
+    return trace;
+}
+
+std::unique_ptr<workload::WorkloadModel>
+makeWorkload(const ExperimentSpec &spec)
+{
+    workload::ClusterConfig cc;
+    if (spec.workload == WorkloadKind::FacebookProfile)
+        return std::make_unique<workload::ProfileWorkload>(
+            cc, sharedFacebookProfile());
+    return std::make_unique<workload::ClusterSim>(cc, traceForSpec(spec));
+}
+
+std::unique_ptr<Controller>
+makeController(const ExperimentSpec &spec,
+               environment::Forecaster *forecaster)
+{
+    if (spec.system == SystemId::Baseline) {
+        cooling::TksConfig tks = cooling::TksConfig::extendedBaseline();
+        tks.setpointC = spec.maxTempC;
+        return std::make_unique<BaselineController>(tks);
+    }
+    return std::make_unique<CoolAirController>(
+        coolairConfigFor(spec), bundleFor(spec), forecaster,
+        systemName(spec.system));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario.
+// ---------------------------------------------------------------------------
+
+ExperimentResult
+Scenario::run()
+{
+    switch (_spec.runKind) {
+      case RunKind::YearWeekly:
+        _engine->runYearWeekly(_spec.weeks);
+        break;
+      case RunKind::SingleDay:
+        _engine->runDay(_spec.day);
+        break;
+      case RunKind::DayRange:
+        _engine->runDayRange(_spec.startDay, _spec.endDay);
+        break;
+    }
+
+    ExperimentResult result;
+    result.system = _metrics->summary();
+    result.outside = _metrics->outsideSummary();
+    return result;
+}
+
+void
+Scenario::addTraceSink(TraceSink sink)
+{
+    _sinks.push_back(std::move(sink));
+    installFanout();
+}
+
+void
+Scenario::installFanout()
+{
+    if (_sinks.empty())
+        return;
+    if (_sinks.size() == 1) {
+        _engine->setTraceSink(_sinks.front());
+        return;
+    }
+    // The engine takes one sink; fan out to all registered ones.  The
+    // lambda captures `this`, which is stable: scenarios live on the
+    // heap behind unique_ptr.
+    _engine->setTraceSink([this](const TraceRow &row) {
+        for (const TraceSink &sink : _sinks)
+            sink(row);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioBuilder.
+// ---------------------------------------------------------------------------
+
+ScenarioBuilder::ScenarioBuilder(ExperimentSpec spec)
+    : _spec(std::move(spec))
+{
+}
+
+ScenarioBuilder &
+ScenarioBuilder::withController(std::unique_ptr<Controller> controller)
+{
+    _controller = std::move(controller);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::withMetricsConfig(const MetricsConfig &config)
+{
+    _hasMetricsConfig = true;
+    _metricsConfig = config;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::withTraceSink(TraceSink sink)
+{
+    _sinks.push_back(std::move(sink));
+    return *this;
+}
+
+std::unique_ptr<Scenario>
+ScenarioBuilder::build()
+{
+    if (_spec.physicsStepS <= 0.0)
+        throw std::invalid_argument(
+            "ExperimentSpec: physics step must be positive");
+    if (_spec.runKind == RunKind::YearWeekly && _spec.weeks <= 0)
+        throw std::invalid_argument("ExperimentSpec: weeks must be positive");
+    if (_spec.runKind == RunKind::DayRange && _spec.endDay <= _spec.startDay)
+        throw std::invalid_argument(
+            "ExperimentSpec: day range must be non-empty");
+
+    auto scenario = std::unique_ptr<Scenario>(new Scenario());
+    scenario->_spec = _spec;
+
+    // Assembly order mirrors the original runYearExperiment exactly.
+    plant::PlantConfig pc = plantConfigFor(_spec);
+    scenario->_plant = std::make_unique<plant::Plant>(pc, _spec.seed);
+
+    scenario->_climate = std::make_unique<environment::Climate>(
+        _spec.location.makeClimate(_spec.seed));
+    scenario->_forecaster = std::make_unique<environment::Forecaster>(
+        *scenario->_climate, _spec.forecastError, _spec.seed);
+
+    scenario->_workload = makeWorkload(_spec);
+
+    scenario->_controller =
+        _controller ? std::move(_controller)
+                    : makeController(_spec, scenario->_forecaster.get());
+
+    MetricsConfig mc;
+    if (_hasMetricsConfig)
+        mc = _metricsConfig;
+    else
+        mc.maxTempC = _spec.maxTempC;
+    scenario->_metrics = std::make_unique<MetricsCollector>(mc, pc.numPods);
+
+    EngineConfig ec;
+    ec.physicsStepS = _spec.physicsStepS;
+    ec.sampleIntervalS = std::max<int64_t>(60, int64_t(_spec.physicsStepS));
+    scenario->_engine = std::make_unique<Engine>(
+        *scenario->_plant, *scenario->_workload, *scenario->_controller,
+        *scenario->_climate, ec);
+    scenario->_engine->setMetrics(scenario->_metrics.get());
+
+    scenario->_sinks = std::move(_sinks);
+    if (!_spec.traceCsvPath.empty()) {
+        scenario->_csv =
+            std::make_unique<std::ofstream>(_spec.traceCsvPath);
+        if (!*scenario->_csv)
+            throw std::runtime_error("Scenario: cannot open trace CSV path: " +
+                                     _spec.traceCsvPath);
+        writeTraceCsvHeader(*scenario->_csv);
+        std::ofstream *csv = scenario->_csv.get();
+        scenario->_sinks.push_back(
+            [csv](const TraceRow &row) { writeTraceCsvRow(*csv, row); });
+    }
+    scenario->installFanout();
+
+    return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment entry points.
+// ---------------------------------------------------------------------------
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec)
+{
+    return ScenarioBuilder(spec).build()->run();
+}
+
+ExperimentResult
+runYearExperiment(const ExperimentSpec &spec)
+{
+    ExperimentSpec year = spec;
+    year.runKind = RunKind::YearWeekly;
+    return runExperiment(year);
+}
+
+// ---------------------------------------------------------------------------
+// Real-Sim / Smooth-Sim.
+// ---------------------------------------------------------------------------
+
+ModelSimScenario
+buildModelSimScenario(const ExperimentSpec &spec)
+{
+    ModelSimScenario ms;
+    ms.spec = spec;
+
+    ms.climate = std::make_unique<environment::Climate>(
+        spec.location.makeClimate(spec.seed));
+    ms.forecaster = std::make_unique<environment::Forecaster>(
+        *ms.climate, spec.forecastError, spec.seed);
+
+    ms.plant = std::make_unique<ModelPlant>(&bundleFor(spec).model,
+                                            plantConfigFor(spec));
+    ms.workload = makeWorkload(spec);
+    ms.controller = makeController(spec, ms.forecaster.get());
+
+    MetricsConfig mc;
+    mc.maxTempC = spec.maxTempC;
+    ms.metrics = std::make_unique<MetricsCollector>(
+        mc, plantConfigFor(spec).numPods);
+
+    ms.runner = std::make_unique<ModelSimRunner>(*ms.plant, *ms.workload,
+                                                 *ms.controller, *ms.climate);
+    ms.runner->setMetrics(ms.metrics.get());
+    return ms;
+}
+
+} // namespace sim
+} // namespace coolair

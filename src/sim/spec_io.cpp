@@ -1,0 +1,425 @@
+#include "sim/spec_io.hpp"
+
+#include <array>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace sim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Enumerator tables (sized against the enum-count constants, so adding
+// an enumerator without a spec key fails to compile).
+// ---------------------------------------------------------------------------
+
+constexpr std::array kWorkloadTable = {
+    WorkloadKind::Facebook, WorkloadKind::Nutch,
+    WorkloadKind::FacebookProfile, WorkloadKind::SteadyHalf};
+static_assert(kWorkloadTable.size() == size_t(kWorkloadKindCount),
+              "workload table out of sync with WorkloadKind");
+
+constexpr std::array kVariantTable = {
+    PlantVariant::Standard, PlantVariant::Evaporative, PlantVariant::Chiller};
+static_assert(kVariantTable.size() == size_t(kPlantVariantCount),
+              "variant table out of sync with PlantVariant");
+
+constexpr std::array kStyleTable = {cooling::ActuatorStyle::Abrupt,
+                                    cooling::ActuatorStyle::Smooth};
+static_assert(kStyleTable.size() == size_t(cooling::kActuatorStyleCount),
+              "style table out of sync with ActuatorStyle");
+
+constexpr std::array kRunKindTable = {
+    RunKind::YearWeekly, RunKind::SingleDay, RunKind::DayRange};
+static_assert(kRunKindTable.size() == size_t(kRunKindCount),
+              "run-kind table out of sync with RunKind");
+
+constexpr std::array kSiteTable = {environment::NamedSite::Newark,
+                                   environment::NamedSite::Chad,
+                                   environment::NamedSite::Santiago,
+                                   environment::NamedSite::Iceland,
+                                   environment::NamedSite::Singapore};
+static_assert(kSiteTable.size() == size_t(environment::kNamedSiteCount),
+              "site table out of sync with NamedSite");
+
+// ---------------------------------------------------------------------------
+// Lexical helpers.
+// ---------------------------------------------------------------------------
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value)
+{
+    throw std::invalid_argument("spec: bad value for '" + key + "': '" +
+                                value + "'");
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    if (value.empty())
+        badValue(key, value);
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size())
+        badValue(key, value);
+    return v;
+}
+
+int
+parseInt(const std::string &key, const std::string &value)
+{
+    if (value.empty())
+        badValue(key, value);
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size() || v < INT_MIN || v > INT_MAX)
+        badValue(key, value);
+    return int(v);
+}
+
+uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    if (value.empty() || value[0] == '-')
+        badValue(key, value);
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size())
+        badValue(key, value);
+    return uint64_t(v);
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1")
+        return true;
+    if (value == "false" || value == "0")
+        return false;
+    badValue(key, value);
+}
+
+std::string
+fmtDouble(double v)
+{
+    // %.17g guarantees the exact value survives the text round trip.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+template <typename Enum, size_t N, typename KeyFn>
+Enum
+parseEnum(const std::array<Enum, N> &table, KeyFn key_of,
+          const std::string &key, const std::string &value)
+{
+    for (Enum e : table)
+        if (value == key_of(e))
+            return e;
+    badValue(key, value);
+}
+
+SystemId
+parseSystem(const std::string &key, const std::string &value)
+{
+    for (SystemId id : allSystemIds())
+        if (value == systemKey(id))
+            return id;
+    badValue(key, value);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// Enumerator keys (exhaustive switches; adding an enumerator without a
+// key is a compile warning here and a failed static_assert above).
+// ---------------------------------------------------------------------------
+
+const char *
+systemKey(SystemId id)
+{
+    switch (id) {
+      case SystemId::Baseline:      return "baseline";
+      case SystemId::Temperature:   return "temperature";
+      case SystemId::Variation:     return "variation";
+      case SystemId::Energy:        return "energy";
+      case SystemId::AllNd:         return "allnd";
+      case SystemId::AllDef:        return "alldef";
+      case SystemId::VarLowRecirc:  return "varlow";
+      case SystemId::VarHighRecirc: return "varhigh";
+      case SystemId::EnergyDef:     return "energydef";
+    }
+    util::panic("systemKey: unknown system");
+}
+
+const char *
+workloadKey(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Facebook:        return "facebook";
+      case WorkloadKind::Nutch:           return "nutch";
+      case WorkloadKind::FacebookProfile: return "profile";
+      case WorkloadKind::SteadyHalf:      return "steady";
+    }
+    util::panic("workloadKey: unknown workload kind");
+}
+
+const char *
+variantKey(PlantVariant variant)
+{
+    switch (variant) {
+      case PlantVariant::Standard:    return "standard";
+      case PlantVariant::Evaporative: return "evaporative";
+      case PlantVariant::Chiller:     return "chiller";
+    }
+    util::panic("variantKey: unknown plant variant");
+}
+
+const char *
+styleKey(cooling::ActuatorStyle style)
+{
+    switch (style) {
+      case cooling::ActuatorStyle::Abrupt: return "abrupt";
+      case cooling::ActuatorStyle::Smooth: return "smooth";
+    }
+    util::panic("styleKey: unknown actuator style");
+}
+
+const char *
+runKindKey(RunKind kind)
+{
+    switch (kind) {
+      case RunKind::YearWeekly: return "year";
+      case RunKind::SingleDay:  return "day";
+      case RunKind::DayRange:   return "range";
+    }
+    util::panic("runKindKey: unknown run kind");
+}
+
+const char *
+siteKey(environment::NamedSite site)
+{
+    switch (site) {
+      case environment::NamedSite::Newark:    return "newark";
+      case environment::NamedSite::Chad:      return "chad";
+      case environment::NamedSite::Santiago:  return "santiago";
+      case environment::NamedSite::Iceland:   return "iceland";
+      case environment::NamedSite::Singapore: return "singapore";
+    }
+    util::panic("siteKey: unknown site");
+}
+
+// ---------------------------------------------------------------------------
+// Formatting.
+// ---------------------------------------------------------------------------
+
+std::string
+formatSpec(const ExperimentSpec &spec)
+{
+    std::ostringstream os;
+    os << "run = " << runKindKey(spec.runKind) << "\n";
+
+    bool named = false;
+    for (environment::NamedSite site : kSiteTable) {
+        if (spec.location == environment::namedLocation(site)) {
+            os << "site = " << siteKey(site) << "\n";
+            named = true;
+            break;
+        }
+    }
+    if (!named) {
+        const environment::ClimateParams &cl = spec.location.climate;
+        os << "location.name = " << spec.location.name << "\n";
+        os << "location.latitude = " << fmtDouble(spec.location.latitude)
+           << "\n";
+        os << "location.longitude = " << fmtDouble(spec.location.longitude)
+           << "\n";
+        os << "climate.annual_mean = " << fmtDouble(cl.annualMeanC) << "\n";
+        os << "climate.seasonal_amplitude = "
+           << fmtDouble(cl.seasonalAmplitudeC) << "\n";
+        os << "climate.diurnal_amplitude = "
+           << fmtDouble(cl.diurnalAmplitudeC) << "\n";
+        os << "climate.synoptic_amplitude = "
+           << fmtDouble(cl.synopticAmplitudeC) << "\n";
+        os << "climate.dew_point_depression = "
+           << fmtDouble(cl.dewPointDepressionC) << "\n";
+        os << "climate.dew_point_variability = "
+           << fmtDouble(cl.dewPointVariabilityC) << "\n";
+        os << "climate.southern_hemisphere = "
+           << (cl.southernHemisphere ? "true" : "false") << "\n";
+        os << "climate.seasonal_peak_day = " << fmtDouble(cl.seasonalPeakDay)
+           << "\n";
+        os << "climate.diurnal_peak_hour = " << fmtDouble(cl.diurnalPeakHour)
+           << "\n";
+    }
+
+    os << "system = " << systemKey(spec.system) << "\n";
+    os << "style = " << styleKey(spec.style) << "\n";
+    os << "variant = " << variantKey(spec.variant) << "\n";
+    os << "workload = " << workloadKey(spec.workload) << "\n";
+    os << "max_temp = " << fmtDouble(spec.maxTempC) << "\n";
+    os << "forecast_bias = " << fmtDouble(spec.forecastError.biasC) << "\n";
+    os << "forecast_noise = " << fmtDouble(spec.forecastError.noiseStddevC)
+       << "\n";
+    os << "weeks = " << spec.weeks << "\n";
+    os << "day = " << spec.day << "\n";
+    os << "start_day = " << spec.startDay << "\n";
+    os << "end_day = " << spec.endDay << "\n";
+    os << "physics_step = " << fmtDouble(spec.physicsStepS) << "\n";
+    os << "seed = " << spec.seed << "\n";
+
+    if (!spec.traceCsvPath.empty())
+        os << "trace_csv = " << spec.traceCsvPath << "\n";
+    if (spec.bandWidthC)
+        os << "band_width = " << fmtDouble(*spec.bandWidthC) << "\n";
+    if (spec.bandOffsetC)
+        os << "band_offset = " << fmtDouble(*spec.bandOffsetC) << "\n";
+    if (spec.switchPenalty)
+        os << "switch_penalty = " << fmtDouble(*spec.switchPenalty) << "\n";
+    if (spec.sleepDecayPerEpoch)
+        os << "sleep_decay = " << fmtDouble(*spec.sleepDecayPerEpoch) << "\n";
+    if (spec.horizonSteps)
+        os << "horizon = " << *spec.horizonSteps << "\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+applyKeyValue(ExperimentSpec &spec, const std::string &key,
+              const std::string &value)
+{
+    environment::ClimateParams &cl = spec.location.climate;
+
+    if (key == "run")
+        spec.runKind = parseEnum(kRunKindTable, runKindKey, key, value);
+    else if (key == "site")
+        spec.location = environment::namedLocation(
+            parseEnum(kSiteTable, siteKey, key, value));
+    else if (key == "location.name")
+        spec.location.name = value;
+    else if (key == "location.latitude")
+        spec.location.latitude = parseDouble(key, value);
+    else if (key == "location.longitude")
+        spec.location.longitude = parseDouble(key, value);
+    else if (key == "climate.annual_mean")
+        cl.annualMeanC = parseDouble(key, value);
+    else if (key == "climate.seasonal_amplitude")
+        cl.seasonalAmplitudeC = parseDouble(key, value);
+    else if (key == "climate.diurnal_amplitude")
+        cl.diurnalAmplitudeC = parseDouble(key, value);
+    else if (key == "climate.synoptic_amplitude")
+        cl.synopticAmplitudeC = parseDouble(key, value);
+    else if (key == "climate.dew_point_depression")
+        cl.dewPointDepressionC = parseDouble(key, value);
+    else if (key == "climate.dew_point_variability")
+        cl.dewPointVariabilityC = parseDouble(key, value);
+    else if (key == "climate.southern_hemisphere")
+        cl.southernHemisphere = parseBool(key, value);
+    else if (key == "climate.seasonal_peak_day")
+        cl.seasonalPeakDay = parseDouble(key, value);
+    else if (key == "climate.diurnal_peak_hour")
+        cl.diurnalPeakHour = parseDouble(key, value);
+    else if (key == "system")
+        spec.system = parseSystem(key, value);
+    else if (key == "style")
+        spec.style = parseEnum(kStyleTable, styleKey, key, value);
+    else if (key == "variant")
+        spec.variant = parseEnum(kVariantTable, variantKey, key, value);
+    else if (key == "workload")
+        spec.workload = parseEnum(kWorkloadTable, workloadKey, key, value);
+    else if (key == "max_temp")
+        spec.maxTempC = parseDouble(key, value);
+    else if (key == "forecast_bias")
+        spec.forecastError.biasC = parseDouble(key, value);
+    else if (key == "forecast_noise")
+        spec.forecastError.noiseStddevC = parseDouble(key, value);
+    else if (key == "weeks")
+        spec.weeks = parseInt(key, value);
+    else if (key == "day")
+        spec.day = parseInt(key, value);
+    else if (key == "start_day")
+        spec.startDay = parseInt(key, value);
+    else if (key == "end_day")
+        spec.endDay = parseInt(key, value);
+    else if (key == "physics_step")
+        spec.physicsStepS = parseDouble(key, value);
+    else if (key == "seed")
+        spec.seed = parseU64(key, value);
+    else if (key == "trace_csv")
+        spec.traceCsvPath = value;
+    else if (key == "band_width")
+        spec.bandWidthC = parseDouble(key, value);
+    else if (key == "band_offset")
+        spec.bandOffsetC = parseDouble(key, value);
+    else if (key == "switch_penalty")
+        spec.switchPenalty = parseDouble(key, value);
+    else if (key == "sleep_decay")
+        spec.sleepDecayPerEpoch = parseDouble(key, value);
+    else if (key == "horizon")
+        spec.horizonSteps = parseInt(key, value);
+    else
+        throw std::invalid_argument("spec: unknown key '" + key + "'");
+}
+
+} // anonymous namespace
+
+void
+applySpecAssignment(ExperimentSpec &spec, const std::string &assignment)
+{
+    size_t eq = assignment.find('=');
+    if (eq == std::string::npos)
+        throw std::invalid_argument("spec: expected key=value, got '" +
+                                    assignment + "'");
+    std::string key = trim(assignment.substr(0, eq));
+    std::string value = trim(assignment.substr(eq + 1));
+    if (key.empty())
+        throw std::invalid_argument("spec: empty key in '" + assignment +
+                                    "'");
+    applyKeyValue(spec, key, value);
+}
+
+void
+applySpecText(ExperimentSpec &spec, const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+        applySpecAssignment(spec, stripped);
+    }
+}
+
+ExperimentSpec
+parseSpec(const std::string &text)
+{
+    ExperimentSpec spec;
+    spec.location = environment::namedLocation(environment::NamedSite::Newark);
+    applySpecText(spec, text);
+    return spec;
+}
+
+} // namespace sim
+} // namespace coolair

@@ -1,0 +1,40 @@
+#include "sim/trace_csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace coolair {
+namespace sim {
+
+void
+writeTraceCsvHeader(std::ostream &os)
+{
+    os << "time_s,outside_c,outside_rh,inlet_min_c,inlet_max_c,"
+          "hot_aisle_c,cold_aisle_rh,mode,fc_fan,compressor,"
+          "it_w,cooling_w,disk_min_c,disk_max_c,utilization\n";
+}
+
+void
+writeTraceCsvRow(std::ostream &os, const TraceRow &row)
+{
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%lld,%.2f,%.1f,%.2f,%.2f,%.2f,%.1f,%s,%.2f,%.2f,"
+                  "%.0f,%.0f,%.2f,%.2f,%.3f\n",
+                  (long long)row.time.seconds(), row.outsideC,
+                  row.outsideRhPercent, row.inletMinC, row.inletMaxC,
+                  row.hotAisleC, row.coldAisleRhPercent,
+                  cooling::modeName(row.mode), row.fcFanSpeed,
+                  row.compressorSpeed, row.itPowerW, row.coolingPowerW,
+                  row.diskMinC, row.diskMaxC, row.dcUtilization);
+    os << buf;
+}
+
+TraceSink
+makeCsvTraceSink(std::ostream &os)
+{
+    return [&os](const TraceRow &row) { writeTraceCsvRow(os, row); };
+}
+
+} // namespace sim
+} // namespace coolair

@@ -1,0 +1,34 @@
+#ifndef COOLAIR_SIM_TRACE_CSV_HPP
+#define COOLAIR_SIM_TRACE_CSV_HPP
+
+/**
+ * @file
+ * The canonical CSV rendering of engine trace rows, shared by every
+ * trace-dumping harness (parasol_day, the figure benches, scenarios
+ * with a traceCsvPath) so all dumps agree on columns and formats.
+ */
+
+#include <iosfwd>
+
+#include "sim/engine.hpp"
+
+namespace coolair {
+namespace sim {
+
+/** Write the canonical trace header line (with trailing newline). */
+void writeTraceCsvHeader(std::ostream &os);
+
+/** Write one trace row in the canonical format (with trailing newline). */
+void writeTraceCsvRow(std::ostream &os, const TraceRow &row);
+
+/**
+ * A trace sink streaming canonical CSV rows to @p os (header NOT
+ * included; call writeTraceCsvHeader first).  The stream must outlive
+ * the engine run.
+ */
+TraceSink makeCsvTraceSink(std::ostream &os);
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_TRACE_CSV_HPP

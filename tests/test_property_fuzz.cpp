@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <string>
 
 #include "cooling/tks.hpp"
+#include "environment/location.hpp"
 #include "physics/psychrometrics.hpp"
 #include "plant/parasol.hpp"
+#include "sim/spec_io.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "workload/cluster.hpp"
@@ -242,3 +246,102 @@ TEST_P(TksProperty, OutputsAlwaysValid)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TksProperty, ::testing::Range(0, 3));
+
+/**
+ * Property: the spec text form is lossless — parse(format(spec)) == spec
+ * for any spec, named site or custom climate, with or without the
+ * optional tuning overrides.
+ */
+class SpecRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+namespace {
+
+sim::ExperimentSpec
+randomSpec(Rng &rng)
+{
+    sim::ExperimentSpec spec;
+
+    if (rng.bernoulli(0.5)) {
+        const auto &sites = environment::allNamedSites();
+        spec.location = environment::namedLocation(
+            sites[size_t(rng.uniformInt(0, int64_t(sites.size()) - 1))]);
+    } else {
+        spec.location.name =
+            "fuzz-site-" + std::to_string(rng.uniformInt(0, 999));
+        spec.location.latitude = rng.uniform(-90.0, 90.0);
+        spec.location.longitude = rng.uniform(-180.0, 180.0);
+        environment::ClimateParams &cl = spec.location.climate;
+        cl.annualMeanC = rng.uniform(-10.0, 30.0);
+        cl.seasonalAmplitudeC = rng.uniform(0.0, 20.0);
+        cl.diurnalAmplitudeC = rng.uniform(0.0, 12.0);
+        cl.synopticAmplitudeC = rng.uniform(0.0, 6.0);
+        cl.dewPointDepressionC = rng.uniform(1.0, 20.0);
+        cl.dewPointVariabilityC = rng.uniform(0.0, 5.0);
+        cl.southernHemisphere = rng.bernoulli(0.5);
+        cl.seasonalPeakDay = rng.uniform(0.0, 365.0);
+        cl.diurnalPeakHour = rng.uniform(0.0, 24.0);
+    }
+
+    const auto &systems = sim::allSystemIds();
+    spec.system =
+        systems[size_t(rng.uniformInt(0, int64_t(systems.size()) - 1))];
+    spec.style = rng.bernoulli(0.5) ? cooling::ActuatorStyle::Abrupt
+                                    : cooling::ActuatorStyle::Smooth;
+    spec.variant = std::array{sim::PlantVariant::Standard,
+                              sim::PlantVariant::Evaporative,
+                              sim::PlantVariant::Chiller}[size_t(
+        rng.uniformInt(0, 2))];
+    spec.workload = std::array{sim::WorkloadKind::Facebook,
+                               sim::WorkloadKind::Nutch,
+                               sim::WorkloadKind::FacebookProfile,
+                               sim::WorkloadKind::SteadyHalf}[size_t(
+        rng.uniformInt(0, 3))];
+    spec.runKind = std::array{sim::RunKind::YearWeekly,
+                              sim::RunKind::SingleDay,
+                              sim::RunKind::DayRange}[size_t(
+        rng.uniformInt(0, 2))];
+
+    spec.maxTempC = rng.uniform(20.0, 35.0);
+    spec.forecastError.biasC = rng.uniform(-5.0, 5.0);
+    spec.forecastError.noiseStddevC = rng.uniform(0.0, 3.0);
+    spec.weeks = int(rng.uniformInt(1, 52));
+    spec.day = int(rng.uniformInt(0, 364));
+    spec.startDay = int(rng.uniformInt(0, 180));
+    spec.endDay = spec.startDay + int(rng.uniformInt(1, 14));
+    spec.physicsStepS = rng.uniform(5.0, 120.0);
+    spec.seed = rng.next();
+
+    if (rng.bernoulli(0.3))
+        spec.traceCsvPath = "/tmp/fuzz-trace.csv";
+    if (rng.bernoulli(0.3))
+        spec.bandWidthC = rng.uniform(1.0, 10.0);
+    if (rng.bernoulli(0.3))
+        spec.bandOffsetC = rng.uniform(0.0, 12.0);
+    if (rng.bernoulli(0.3))
+        spec.switchPenalty = rng.uniform(0.0, 5.0);
+    if (rng.bernoulli(0.3))
+        spec.sleepDecayPerEpoch = rng.uniform(0.0, 1.0);
+    if (rng.bernoulli(0.3))
+        spec.horizonSteps = int(rng.uniformInt(1, 16));
+    return spec;
+}
+
+} // anonymous namespace
+
+TEST_P(SpecRoundTrip, ParseFormatIdentity)
+{
+    Rng rng{uint64_t(GetParam()) * 7919 + 3};
+    for (int iter = 0; iter < 64; ++iter) {
+        sim::ExperimentSpec spec = randomSpec(rng);
+        std::string text = sim::formatSpec(spec);
+        sim::ExperimentSpec parsed;
+        ASSERT_NO_THROW(parsed = sim::parseSpec(text)) << text;
+        ASSERT_TRUE(parsed == spec) << text;
+        // Formatting is deterministic, so format(parse(.)) is stable too.
+        ASSERT_EQ(text, sim::formatSpec(parsed));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecRoundTrip, ::testing::Range(0, 4));

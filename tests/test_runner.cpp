@@ -85,7 +85,7 @@ TEST(ExperimentRunner, ParallelMatchesSerialBitForBit)
 TEST(ExperimentRunner, FailureCarriesSpecAndSparesOtherJobs)
 {
     std::vector<ExperimentSpec> specs = sweepSpecs(6);
-    specs[3].weeks = -1;  // unrunnable: runYearExperiment throws
+    specs[3].weeks = -1;  // unrunnable: the scenario builder throws
 
     RunnerConfig config;
     config.threads = 4;
