@@ -172,6 +172,48 @@ BM_SpecRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_SpecRoundTrip);
 
+/**
+ * End-to-end year-run throughput (the repo's headline perf number):
+ * a 52-week YearWeekly run — one sampled day plus a 2 h warm-up per
+ * week, 81,120 simulated minutes — through the scenario layer exactly
+ * as `runExperiment` executes it.  Args: {system, workload} with
+ * system 0 = Baseline / 1 = AllNd and workload 0 = task-level
+ * FacebookCluster / 1 = FacebookProfile.  The learning campaign is
+ * prewarmed outside the timed region (it is shared, memoized state).
+ * The `sim_minutes_per_s` counter is the figure recorded in
+ * BENCH_micro.json and compared by bench/compare_bench.py.
+ */
+void
+BM_YearRun(benchmark::State &state)
+{
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.weeks = 52;
+    if (state.range(0) != 0)
+        spec.system = sim::SystemId::AllNd;
+    if (state.range(1) != 0)
+        spec.workload = sim::WorkloadKind::FacebookProfile;
+    sim::prewarmSharedState({spec});
+
+    for (auto _ : state) {
+        sim::ExperimentResult r = sim::runExperiment(spec);
+        benchmark::DoNotOptimize(r.system.pue);
+    }
+
+    // 52 sampled days (24 h) plus 52 warm-up tails (2 h), in minutes.
+    const double sim_minutes = 52.0 * (24.0 + 2.0) * 60.0;
+    state.counters["sim_minutes_per_s"] = benchmark::Counter(
+        sim_minutes * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YearRun)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ClimateSample(benchmark::State &state)
 {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_micro run against the committed perf baseline.
+
+Runs the given bench_micro binary on the regression-gated benchmarks
+(BM_YearRun, BM_PlantStep), loads the committed baseline
+(bench/BENCH_micro.json by default), and flags any benchmark whose
+real_time regressed by more than the threshold (15% by default).
+
+Exit status: 0 when every gated benchmark is within the threshold,
+1 on a regression, 2 on usage / IO errors.
+
+Usage:
+    python3 bench/compare_bench.py --bench build/bench/bench_micro
+    python3 bench/compare_bench.py --bench build/bench/bench_micro \
+        --baseline bench/BENCH_micro.json --threshold 0.15
+
+Wired as the opt-in `bench`-labelled ctest entry: `ctest -C bench`.
+Regenerate the baseline after an intentional perf change with:
+    build/bench/bench_micro --benchmark_filter='BM_YearRun|BM_PlantStep' \
+        --benchmark_out=bench/BENCH_micro.json --benchmark_out_format=json
+(keep the `coolair_provenance` block — it records the pre-PR reference).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATED_FILTER = "BM_YearRun|BM_PlantStep"
+
+
+def load_benchmarks(path):
+    """name -> real_time for aggregate-free benchmark entries."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were on.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["real_time"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_micro binary")
+    ap.add_argument("--baseline",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "BENCH_micro.json"),
+                    help="committed baseline JSON (default: next to "
+                         "this script)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed real_time regression fraction "
+                         "(default 0.15 = 15%%)")
+    ap.add_argument("--filter", default=GATED_FILTER,
+                    help="benchmark_filter regex for the gated set")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: cannot load baseline: {e}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print("compare_bench: baseline has no benchmark entries",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        cmd = [args.bench,
+               f"--benchmark_filter={args.filter}",
+               f"--benchmark_out={fresh_path}",
+               "--benchmark_out_format=json"]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"compare_bench: bench run failed ({proc.returncode})",
+                  file=sys.stderr)
+            return 2
+        fresh = load_benchmarks(fresh_path)
+    finally:
+        try:
+            os.unlink(fresh_path)
+        except OSError:
+            pass
+
+    regressions = []
+    print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
+    for name, base_t in sorted(baseline.items()):
+        if name not in fresh:
+            print(f"{name:40s} {base_t:12.1f} {'MISSING':>12s}")
+            regressions.append((name, "missing from fresh run"))
+            continue
+        new_t = fresh[name]
+        delta = (new_t - base_t) / base_t
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, f"{delta:+.1%}"))
+        print(f"{name:40s} {base_t:12.1f} {new_t:12.1f} {delta:+7.1%}{flag}")
+
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:40s} {'(new, not in baseline)':>12s}")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, why in regressions:
+            print(f"  {name}: {why}", file=sys.stderr)
+        return 1
+    print(f"\ncompare_bench: all benchmarks within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,16 +8,6 @@
 namespace coolair {
 namespace core {
 
-double
-TemperatureBand::violation(double temp_c) const
-{
-    if (temp_c < lowC)
-        return lowC - temp_c;
-    if (temp_c > highC)
-        return temp_c - highC;
-    return 0.0;
-}
-
 TemperatureBand
 TemperatureBand::fixed(double low_c, double high_c)
 {

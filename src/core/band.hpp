@@ -58,7 +58,14 @@ struct TemperatureBand
     }
 
     /** Distance outside the band (0 when inside) [°C]. */
-    double violation(double temp_c) const;
+    double violation(double temp_c) const
+    {
+        if (temp_c < lowC)
+            return lowC - temp_c;
+        if (temp_c > highC)
+            return temp_c - highC;
+        return 0.0;
+    }
 
     /** A fixed band that never slides (Fig. 11's Var-*-Recirc systems). */
     static TemperatureBand fixed(double low_c, double high_c);

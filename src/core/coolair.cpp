@@ -184,23 +184,25 @@ CoolAir::control(const plant::SensorReadings &sensors,
         _havePrev = true;
     }
 
-    PredictorState state = PredictorState::fromSensors(
-        sensors, _prevTemp, _prevFan, _prevOutside, current, &load);
+    _state.fill(sensors, _prevTemp, _prevFan, _prevOutside, current,
+                &load);
+    _outlook.materialize(_state, _predictor.horizonSteps(),
+                         _bundle.model.config().evapEffectiveness);
 
-    std::vector<int> active_pods;
+    _activePods.clear();
     for (size_t p = 0; p < load.activeServers.size(); ++p) {
         if (load.activeServers[p] > 0)
-            active_pods.push_back(int(p));
+            _activePods.push_back(int(p));
     }
-    if (active_pods.empty()) {
+    if (_activePods.empty()) {
         // Nothing awake (shouldn't happen with a covering subset); fall
         // back to charging every sensor.
         for (size_t p = 0; p < sensors.podInletC.size(); ++p)
-            active_pods.push_back(int(p));
+            _activePods.push_back(int(p));
     }
 
-    OptimizerDecision opt =
-        _optimizer.choose(_predictor, state, active_pods, _band);
+    OptimizerDecision opt = _optimizer.choose(
+        _predictor, _state, _outlook, _activePods, _band, _trajScratch);
 
     Decision decision;
     decision.regime = opt.regime;

@@ -145,6 +145,15 @@ class CoolAir
     double _prevFan = 0.0;
     double _prevOutside = 15.0;
     bool _havePrev = false;
+
+    // Per-epoch buffers, reused so steady-state control allocates
+    // nothing: predictor inputs, the shared weather outlook every
+    // candidate rollout reads, the rollout scratch trajectory, and the
+    // charged-pod list.
+    PredictorState _state;
+    EpochOutlook _outlook;
+    Trajectory _trajScratch;
+    std::vector<int> _activePods;
 };
 
 } // namespace core

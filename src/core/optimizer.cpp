@@ -1,5 +1,7 @@
 #include "core/optimizer.hpp"
 
+#include <limits>
+
 #include "util/logging.hpp"
 
 namespace coolair {
@@ -19,21 +21,52 @@ CoolingOptimizer::choose(const CoolingPredictor &predictor,
                          const std::vector<int> &activePods,
                          const TemperatureBand &band) const
 {
+    EpochOutlook outlook;
+    outlook.materialize(state, predictor.horizonSteps(),
+                        predictor.model().config().evapEffectiveness);
+    Trajectory traj;
+    return choose(predictor, state, outlook, activePods, band, traj);
+}
+
+OptimizerDecision
+CoolingOptimizer::choose(const CoolingPredictor &predictor,
+                         const PredictorState &state,
+                         const EpochOutlook &outlook,
+                         const std::vector<int> &activePods,
+                         const TemperatureBand &band,
+                         Trajectory &traj_scratch) const
+{
     OptimizerDecision best;
     bool have_best = false;
 
+    const cooling::RegimeClass current_cls =
+        cooling::classify(state.currentRegime);
+
+    ScoreContext sc;
+    sc.activePods = &activePods;
+    sc.band = &band;
+    sc.utility = &_utility;
+
+    Trajectory &traj = traj_scratch;
     for (const auto &candidate : _menu.candidates) {
-        Trajectory traj = predictor.predict(state, candidate);
-        double penalty =
-            trajectoryPenalty(traj.steps, state.podTempC, activePods, band,
-                              candidate, _utility);
+        sc.switchTerm = cooling::classify(candidate) != current_cls
+                            ? _utility.switchPenalty
+                            : 0.0;
+        // A candidate only beats (or ties) the incumbent when its score
+        // is below best.score + 1e-9, so rollouts whose score lower
+        // bound reaches that can be abandoned without changing the
+        // decision (see predictScoredInto).
+        sc.abandonAtScore =
+            have_best ? best.score + 1e-9
+                      : std::numeric_limits<double>::infinity();
+        double penalty = 0.0;
+        if (!predictor.predictScoredInto(state, candidate, outlook, sc,
+                                         traj, penalty))
+            continue;
         double score = penalty;
         if (_utility.energyAware)
             score += _utility.energyWeightPerKwh * traj.coolingEnergyKwh;
-        if (cooling::classify(candidate) !=
-            cooling::classify(state.currentRegime)) {
-            score += _utility.switchPenalty;
-        }
+        score += sc.switchTerm;
 
         bool better;
         if (!have_best) {

@@ -48,6 +48,19 @@ class CoolingOptimizer
                              const std::vector<int> &activePods,
                              const TemperatureBand &band) const;
 
+    /**
+     * choose() with caller-provided buffers: @p outlook is the epoch's
+     * shared weather context (materialize once, every candidate reads
+     * it) and @p traj_scratch holds each rollout without reallocating.
+     * Bit-identical to the plain overload.
+     */
+    OptimizerDecision choose(const CoolingPredictor &predictor,
+                             const PredictorState &state,
+                             const EpochOutlook &outlook,
+                             const std::vector<int> &activePods,
+                             const TemperatureBand &band,
+                             Trajectory &traj_scratch) const;
+
     /** The candidate menu. */
     const cooling::RegimeMenu &menu() const { return _menu; }
 

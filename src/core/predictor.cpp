@@ -1,6 +1,10 @@
 #include "core/predictor.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hpp"
+#include "util/stats.hpp"
 
 namespace coolair {
 namespace core {
@@ -13,24 +17,51 @@ PredictorState::fromSensors(const plant::SensorReadings &sensors,
                             const plant::PodLoad *load)
 {
     PredictorState st;
+    st.fill(sensors, prev_temp, prev_fan, prev_outside, current, load);
+    return st;
+}
+
+void
+PredictorState::fill(const plant::SensorReadings &sensors,
+                     const std::vector<double> &prev_temp, double prev_fan,
+                     double prev_outside, const cooling::Regime &current,
+                     const plant::PodLoad *load)
+{
     if (load && !load->activeServers.empty()) {
         int pods = int(load->activeServers.size());
-        st.podPowerFraction.resize(size_t(pods));
+        podPowerFraction.resize(size_t(pods));
         for (int p = 0; p < pods; ++p)
-            st.podPowerFraction[size_t(p)] = load->podPowerFraction(p);
+            podPowerFraction[size_t(p)] = load->podPowerFraction(p);
+    } else {
+        podPowerFraction.clear();
     }
-    st.podTempC = sensors.podInletC;
-    st.podTempPrevC =
-        prev_temp.size() == sensors.podInletC.size() ? prev_temp
-                                                     : sensors.podInletC;
-    st.coldAbsHumidity = sensors.coldAisleAbsHumidity;
-    st.outsideC = sensors.outsideC;
-    st.outsidePrevC = prev_outside;
-    st.outsideAbsHumidity = sensors.outsideAbsHumidity;
-    st.fanSpeedPrev = prev_fan;
-    st.dcUtilization = sensors.dcUtilization;
-    st.currentRegime = current;
-    return st;
+    podTempC.assign(sensors.podInletC.begin(), sensors.podInletC.end());
+    if (prev_temp.size() == sensors.podInletC.size())
+        podTempPrevC.assign(prev_temp.begin(), prev_temp.end());
+    else
+        podTempPrevC.assign(sensors.podInletC.begin(),
+                            sensors.podInletC.end());
+    coldAbsHumidity = sensors.coldAisleAbsHumidity;
+    outsideC = sensors.outsideC;
+    outsidePrevC = prev_outside;
+    outsideAbsHumidity = sensors.outsideAbsHumidity;
+    fanSpeedPrev = prev_fan;
+    dcUtilization = sensors.dcUtilization;
+    currentRegime = current;
+}
+
+void
+EpochOutlook::materialize(const PredictorState &state, int steps,
+                          double evap_effectiveness)
+{
+    // Outside conditions held at the current observation across the
+    // short horizon — they change far slower than that (§3.2).
+    outsideC.assign(size_t(std::max(steps, 0)), state.outsideC);
+    outsidePrevC = state.outsidePrevC;
+    outsideRhPercent = physics::relativeHumidity(state.outsideC,
+                                                 state.outsideAbsHumidity);
+    evapOutletC = physics::evaporativeOutletTemp(
+        state.outsideC, outsideRhPercent, evap_effectiveness);
 }
 
 CoolingPredictor::CoolingPredictor(const model::CoolingModel *model,
@@ -43,69 +74,190 @@ CoolingPredictor::CoolingPredictor(const model::CoolingModel *model,
         util::fatal("CoolingPredictor: horizon must be positive");
 }
 
+const CoolingPredictor::ResolvedModels &
+CoolingPredictor::resolved(const cooling::TransitionKey &key) const
+{
+    if (!_resolveCacheReady || _model->revision() != _resolveRevision) {
+        _resolveCache.assign(size_t(cooling::TransitionKey::count()),
+                             ResolvedModels{});
+        _resolveRevision = _model->revision();
+        _resolveCacheReady = true;
+    }
+    ResolvedModels &entry = _resolveCache[size_t(key.index())];
+    if (!entry.valid) {
+        _model->resolveTempModels(key, entry.temp);
+        entry.humidity = _model->resolveHumidityModel(key);
+        entry.valid = true;
+    }
+    return entry;
+}
+
 Trajectory
 CoolingPredictor::predict(const PredictorState &state,
                           const cooling::Regime &candidate) const
 {
+    EpochOutlook outlook;
+    outlook.materialize(state, _horizonSteps,
+                        _model->config().evapEffectiveness);
     Trajectory traj;
-    traj.steps.reserve(size_t(_horizonSteps));
+    predictInto(state, candidate, outlook, traj);
+    return traj;
+}
+
+void
+CoolingPredictor::predictInto(const PredictorState &state,
+                              const cooling::Regime &candidate,
+                              const EpochOutlook &outlook,
+                              Trajectory &traj) const
+{
+    ScoreContext none;  // utility == nullptr: roll out without scoring
+    double penalty = 0.0;
+    (void)predictScoredInto(state, candidate, outlook, none, traj, penalty);
+}
+
+bool
+CoolingPredictor::predictScoredInto(const PredictorState &state,
+                                    const cooling::Regime &candidate,
+                                    const EpochOutlook &outlook,
+                                    const ScoreContext &score,
+                                    Trajectory &traj, double &penalty) const
+{
+    using cooling::RegimeClass;
+    using cooling::TransitionKey;
 
     const int pods = int(state.podTempC.size());
-    const double step_s = _model->config().stepS;
-    const double step_h = step_s / 3600.0;
+    if (pods > _model->config().numPods)
+        util::panic("CoolingPredictor: pod out of range");
+    if (int(outlook.outsideC.size()) < _horizonSteps)
+        util::panic("CoolingPredictor: outlook shorter than the horizon");
 
-    std::vector<double> temp = state.podTempC;
-    std::vector<double> temp_prev = state.podTempPrevC;
+    const double step_h = _model->config().stepS / 3600.0;
+
+    traj.coolingEnergyKwh = 0.0;
+    traj.steps.resize(size_t(_horizonSteps));
+
+    _temp.assign(state.podTempC.begin(), state.podTempC.end());
+    _tempPrev.assign(state.podTempPrevC.begin(), state.podTempPrevC.end());
     double abs_h = state.coldAbsHumidity;
     double fan_prev = state.fanSpeedPrev;
-    cooling::Regime prev = state.currentRegime;
 
-    double candidate_fan = candidate.mode == cooling::Mode::FreeCooling
-                               ? candidate.fanSpeed
-                               : 0.0;
-
+    const double candidate_fan =
+        candidate.mode == cooling::Mode::FreeCooling ? candidate.fanSpeed
+                                                     : 0.0;
     // Evaporative candidates are driven by the pre-cooled intake.
-    double outside_c = state.outsideC;
-    double outside_prev_c = state.outsidePrevC;
-    if (candidate.mode == cooling::Mode::FreeCooling &&
-        candidate.evaporative) {
-        double rh = physics::relativeHumidity(state.outsideC,
-                                              state.outsideAbsHumidity);
-        outside_c = physics::evaporativeOutletTemp(
-            state.outsideC, rh, _model->config().evapEffectiveness);
-        outside_prev_c = outside_c;
+    const bool evap = candidate.mode == cooling::Mode::FreeCooling &&
+                      candidate.evaporative;
+
+    // Only two transition keys appear in a rollout — (current ->
+    // candidate) at step 0 and (candidate -> candidate) after — so the
+    // per-pod model lookup + fallback chain runs twice per rollout
+    // instead of per pod per step.  Variable-speed AC candidates
+    // interpolate compressor-on and -off models, needing both sets.
+    const RegimeClass cur_cls = cooling::classify(state.currentRegime);
+    const RegimeClass cand_cls = cooling::classify(candidate);
+    const bool ac_interp =
+        candidate.mode == cooling::Mode::AirConditioning &&
+        candidate.compressorOn && candidate.compressorSpeed < 1.0 - 1e-9;
+    const double interp_s =
+        util::clamp(candidate.compressorSpeed, 0.0, 1.0);
+
+    const ResolvedModels *res_first = nullptr;
+    const ResolvedModels *res_rest = nullptr;
+    const ResolvedModels *res_first_off = nullptr;
+    const ResolvedModels *res_rest_off = nullptr;
+    if (ac_interp) {
+        res_first = &resolved({cur_cls, RegimeClass::AcCompressor});
+        res_rest = &resolved({cand_cls, RegimeClass::AcCompressor});
+        res_first_off = &resolved({cur_cls, RegimeClass::AcFanOnly});
+        res_rest_off = &resolved({cand_cls, RegimeClass::AcFanOnly});
+    } else {
+        res_first = &resolved({cur_cls, cand_cls});
+        res_rest = &resolved({cand_cls, cand_cls});
+    }
+
+    // Cooling power depends only on the candidate, not the step.
+    const double power_w = _model->predictCoolingPower(candidate);
+
+    // Everything about the §3.2 penalty that doesn't vary per step.
+    penalty = 0.0;
+    const bool scoring = score.utility != nullptr;
+    bool ac_full = false;
+    bool can_prune = false;
+    if (scoring) {
+        const UtilityConfig &cfg = *score.utility;
+        for (int pod : *score.activePods)
+            if (pod < 0 || pod >= pods)
+                util::panic("trajectoryPenalty: pod index out of range");
+        ac_full = cfg.penalizeAcFull &&
+                  candidate.mode == cooling::Mode::AirConditioning &&
+                  candidate.compressorOn &&
+                  candidate.compressorSpeed >= 1.0 - 1e-9;
+        // A negative energy weight would make the partial energy term an
+        // upper bound on the final one, breaking the lower-bound
+        // argument — never abandon in that configuration.
+        can_prune = !cfg.energyAware || cfg.energyWeightPerKwh >= 0.0;
     }
 
     for (int step = 0; step < _horizonSteps; ++step) {
-        PredictedStep out;
+        const bool first = step == 0;
+        PredictedStep &out = traj.steps[size_t(step)];
         out.stepHours = step_h;
         out.podTempC.resize(size_t(pods));
 
         model::TempInputs tin;
-        // Outside conditions held at the current observation across the
-        // short horizon — they change far slower than that.
-        tin.outsideC = outside_c;
-        tin.outsidePrevC = step == 0 ? outside_prev_c : outside_c;
-        tin.fanSpeed = candidate_fan;
+        tin.outsideC = evap ? outlook.evapOutletC
+                            : outlook.outsideC[size_t(step)];
+        tin.outsidePrevC =
+            evap ? outlook.evapOutletC
+                 : (first ? outlook.outsidePrevC
+                          : outlook.outsideC[size_t(step - 1)]);
+        // Interpolated-AC rollouts query with fan speed forced to zero,
+        // matching CoolingModel::predictTemp's in_ac construction (the
+        // candidate fan is already zero for AC modes).
+        tin.fanSpeed = ac_interp ? 0.0 : candidate_fan;
         tin.fanSpeedPrev = fan_prev;
         tin.dcUtilization = state.dcUtilization;
 
+        const auto &m_on = (first ? res_first : res_rest)->temp;
+        const auto &m_off =
+            ac_interp ? (first ? res_first_off : res_rest_off)->temp
+                      : (first ? res_first : res_rest)->temp;
         for (int p = 0; p < pods; ++p) {
-            tin.insideC = temp[size_t(p)];
-            tin.insidePrevC = temp_prev[size_t(p)];
+            tin.insideC = _temp[size_t(p)];
+            tin.insidePrevC = _tempPrev[size_t(p)];
             tin.podPowerFraction =
                 p < int(state.podPowerFraction.size())
                     ? state.podPowerFraction[size_t(p)]
                     : 0.5;
-            out.podTempC[size_t(p)] =
-                _model->predictTemp(prev, candidate, p, tin);
+            double predicted;
+            if (ac_interp) {
+                double t_on = model::CoolingModel::predictTempWith(
+                    m_on[size_t(p)], tin);
+                double t_off = model::CoolingModel::predictTempWith(
+                    m_off[size_t(p)], tin);
+                predicted = t_off + (t_on - t_off) * interp_s;
+            } else {
+                predicted = model::CoolingModel::predictTempWith(
+                    m_on[size_t(p)], tin);
+            }
+            out.podTempC[size_t(p)] = predicted;
         }
 
         model::HumidityInputs hin;
         hin.insideAbs = abs_h;
         hin.outsideAbs = state.outsideAbsHumidity;
-        hin.fanSpeed = candidate_fan;
-        double next_abs = _model->predictHumidity(prev, candidate, hin);
+        hin.fanSpeed = ac_interp ? 0.0 : candidate_fan;
+        double next_abs;
+        if (ac_interp) {
+            double h_on = model::CoolingModel::predictHumidityWith(
+                (first ? res_first : res_rest)->humidity, hin);
+            double h_off = model::CoolingModel::predictHumidityWith(
+                (first ? res_first_off : res_rest_off)->humidity, hin);
+            next_abs = h_off + (h_on - h_off) * interp_s;
+        } else {
+            next_abs = model::CoolingModel::predictHumidityWith(
+                (first ? res_first : res_rest)->humidity, hin);
+        }
 
         // Relative humidity at the (predicted) cold-aisle temperature.
         double avg_t = 0.0;
@@ -114,18 +266,82 @@ CoolingPredictor::predict(const PredictorState &state,
         avg_t = pods > 0 ? avg_t / pods : 20.0;
         out.rhPercent = physics::relativeHumidity(avg_t, next_abs);
 
-        traj.coolingEnergyKwh +=
-            _model->predictCoolingPower(candidate) * step_h / 1000.0;
+        traj.coolingEnergyKwh += power_w * step_h / 1000.0;
 
-        temp_prev = temp;
-        temp = out.podTempC;
+        if (scoring) {
+            // Accumulate this step's penalty terms in exactly
+            // trajectoryPenalty()'s order so surviving candidates score
+            // bit-identically to the unfused path.
+            const UtilityConfig &cfg = *score.utility;
+            const std::vector<double> &prevT =
+                first ? state.podTempC
+                      : traj.steps[size_t(step - 1)].podTempC;
+            for (int pod : *score.activePods) {
+                double t = out.podTempC[size_t(pod)];
+
+                if (cfg.penalizeMaxTemp && t > cfg.maxTempC)
+                    penalty += (t - cfg.maxTempC) / 0.5;
+
+                if (cfg.penalizeBand)
+                    penalty += score.band->violation(t) / 0.5;
+
+                if (cfg.penalizeRate && pod < int(prevT.size())) {
+                    double rate = std::fabs(t - prevT[size_t(pod)]) /
+                                  std::max(out.stepHours, 1e-9);
+                    if (rate > cfg.maxRateCPerHour) {
+                        penalty += (rate - cfg.maxRateCPerHour) *
+                                   out.stepHours;
+                    }
+                }
+            }
+            if (cfg.penalizeHumidity) {
+                if (out.rhPercent > cfg.humidityMaxPercent) {
+                    penalty +=
+                        (out.rhPercent - cfg.humidityMaxPercent) / 5.0;
+                } else if (out.rhPercent < cfg.humidityMinPercent) {
+                    penalty +=
+                        (cfg.humidityMinPercent - out.rhPercent) / 5.0;
+                }
+            }
+            if (ac_full)
+                penalty += 1.0;
+
+            if (can_prune) {
+                // Lower bound on the final score, built in the
+                // optimizer's exact operation order.  All remaining
+                // increments are non-negative and FP accumulation of
+                // non-negative terms is monotone, so reaching the
+                // abandonment threshold here proves the full score
+                // would too.
+                double bound = penalty;
+                if (cfg.energyAware)
+                    bound +=
+                        cfg.energyWeightPerKwh * traj.coolingEnergyKwh;
+                bound += score.switchTerm;
+                if (bound >= score.abandonAtScore)
+                    return false;
+            }
+        }
+
+        std::swap(_temp, _tempPrev);
+        _temp.assign(out.podTempC.begin(), out.podTempC.end());
         abs_h = next_abs;
         fan_prev = candidate_fan;
-        prev = candidate;
-
-        traj.steps.push_back(std::move(out));
     }
-    return traj;
+
+    if (scoring) {
+        const UtilityConfig &cfg = *score.utility;
+        if (cfg.penalizeBand && cfg.centeringWeightPerC > 0.0 &&
+            !traj.steps.empty()) {
+            const PredictedStep &last = traj.steps.back();
+            double center = score.band->center();
+            for (int pod : *score.activePods) {
+                penalty += cfg.centeringWeightPerC *
+                           std::fabs(last.podTempC[size_t(pod)] - center);
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace core

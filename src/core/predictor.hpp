@@ -9,6 +9,8 @@
  * the Optimizer's 10-minute decision horizon.
  */
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cooling/regime.hpp"
@@ -52,6 +54,64 @@ struct PredictorState
                                       double prev_outside,
                                       const cooling::Regime &current,
                                       const plant::PodLoad *load = nullptr);
+
+    /**
+     * fromSensors() into this object, reusing its vector storage.  Every
+     * field is (re)assigned, so a stale state may be refilled freely.
+     */
+    void fill(const plant::SensorReadings &sensors,
+              const std::vector<double> &prev_temp, double prev_fan,
+              double prev_outside, const cooling::Regime &current,
+              const plant::PodLoad *load = nullptr);
+};
+
+/**
+ * The weather context shared by every candidate rollout of one control
+ * epoch (paper §3.2 holds outside conditions at the current observation
+ * over the 10-minute horizon).  Materialized once per epoch so the
+ * psychrometric conversions — relative humidity of the observation and
+ * the evaporative-cooler outlet temperature — are computed once instead
+ * of once per evaporative candidate.
+ */
+struct EpochOutlook
+{
+    /** Outside dry-bulb per horizon step [°C]. */
+    std::vector<double> outsideC;
+
+    /** Dry-bulb one model step before the horizon starts [°C]. */
+    double outsidePrevC = 15.0;
+
+    /** Relative humidity of the current observation [%]. */
+    double outsideRhPercent = 50.0;
+
+    /** Evaporative-cooler outlet temp for the observation [°C]. */
+    double evapOutletC = 15.0;
+
+    /**
+     * Fill the horizon from @p state: @p steps copies of the current
+     * observation (the §3.2 hold), plus the derived psychrometrics.
+     */
+    void materialize(const PredictorState &state, int steps,
+                     double evap_effectiveness);
+};
+
+/**
+ * Scoring context for CoolingPredictor::predictScoredInto(): everything
+ * needed to accumulate the §3.2 utility penalty while the rollout runs.
+ */
+struct ScoreContext
+{
+    const std::vector<int> *activePods = nullptr;
+    const TemperatureBand *band = nullptr;
+    const UtilityConfig *utility = nullptr;
+
+    /** Exact switch-penalty term for this candidate (0 when its regime
+        class matches the incumbent's). */
+    double switchTerm = 0.0;
+
+    /** Abandon the rollout once the candidate's score lower bound
+        reaches this value (+inf disables abandonment). */
+    double abandonAtScore = std::numeric_limits<double>::infinity();
 };
 
 /** Chains the Cooling Model over the optimizer horizon. */
@@ -68,6 +128,38 @@ class CoolingPredictor
     Trajectory predict(const PredictorState &state,
                        const cooling::Regime &candidate) const;
 
+    /**
+     * Roll out @p candidate from @p state into @p traj, reusing the
+     * trajectory's storage and the shared per-epoch @p outlook.  The
+     * hot path: model lookups are resolved once per rollout (only two
+     * transition keys ever occur — current->candidate at step 0,
+     * candidate->candidate after) and no heap allocation happens once
+     * the scratch buffers reach capacity.  Produces bit-identical
+     * results to predict().
+     */
+    void predictInto(const PredictorState &state,
+                     const cooling::Regime &candidate,
+                     const EpochOutlook &outlook, Trajectory &traj) const;
+
+    /**
+     * predictInto() fused with the §3.2 utility: the trajectory penalty
+     * is accumulated term-for-term in trajectoryPenalty()'s order while
+     * the rollout advances, and the rollout is abandoned as soon as a
+     * lower bound on the candidate's final score reaches
+     * @p score.abandonAtScore.  Every penalty and energy increment is
+     * non-negative, and floating-point accumulation of non-negative
+     * terms is monotone, so the bound is safe: an abandoned candidate's
+     * fully-evaluated score could never have beaten the incumbent, and
+     * candidates that complete produce in @p penalty exactly what
+     * trajectoryPenalty() returns for the finished @p traj.  Returns
+     * false when abandoned (then @p traj's contents are unspecified).
+     */
+    bool predictScoredInto(const PredictorState &state,
+                           const cooling::Regime &candidate,
+                           const EpochOutlook &outlook,
+                           const ScoreContext &score, Trajectory &traj,
+                           double &penalty) const;
+
     /** Number of steps per rollout. */
     int horizonSteps() const { return _horizonSteps; }
 
@@ -77,6 +169,33 @@ class CoolingPredictor
   private:
     const model::CoolingModel *_model;
     int _horizonSteps;
+
+    /** Resolved per-pod temperature models + humidity model for one
+        transition key, with the fallback chain already applied. */
+    struct ResolvedModels
+    {
+        bool valid = false;
+        std::vector<const model::LinearModel *> temp;
+        const model::LinearModel *humidity = nullptr;
+    };
+
+    /**
+     * The resolved models for @p key, from a cache invalidated whenever
+     * CoolingModel::revision() changes.  Resolution is a pure lookup, so
+     * a cache hit returns exactly the pointers a fresh resolve would —
+     * this just stops every candidate rollout from re-walking the
+     * fallback chain for keys the epoch (or the whole run, absent
+     * recalibration) has already seen.
+     */
+    const ResolvedModels &resolved(const cooling::TransitionKey &key) const;
+
+    // Rollout scratch (predictInto is logically const; one predictor per
+    // controller, controllers are never shared across threads).
+    mutable std::vector<double> _temp;
+    mutable std::vector<double> _tempPrev;
+    mutable std::vector<ResolvedModels> _resolveCache;
+    mutable uint64_t _resolveRevision = 0;
+    mutable bool _resolveCacheReady = false;
 };
 
 } // namespace core

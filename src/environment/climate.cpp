@@ -129,8 +129,11 @@ WeatherSample
 Climate::sample(util::SimTime t) const
 {
     WeatherSample out;
+    // temperature(t) is pure, so evaluate the sinusoid banks once and
+    // derive the dew point from the same value instead of paying a
+    // second smoothTemperature + synoptic pass through dewPointAt().
     out.tempC = temperature(t);
-    double dew = dewPointAt(t);
+    double dew = out.tempC - depressionAt(t);
     // RH from dew point: ratio of saturation pressures.
     double rh = 100.0 * physics::saturationVaporPressure(dew) /
                 physics::saturationVaporPressure(out.tempC);

@@ -1,0 +1,97 @@
+#include "environment/weather_cache.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace coolair {
+namespace environment {
+
+namespace {
+
+/** Floor division for possibly negative times (warm-ups start at -2 h). */
+int64_t
+floorDiv(int64_t a, int64_t b)
+{
+    int64_t q = a / b;
+    if (a % b != 0 && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+} // anonymous namespace
+
+int64_t
+weatherCacheGridStepS(double physics_step_s)
+{
+    if (physics_step_s <= 0.0)
+        return 0;
+    double rounded = std::floor(physics_step_s);
+    if (rounded != physics_step_s)
+        return 0;  // off-grid steps would never hit the table
+    // The Forecaster walks hourly means at a 300 s stride; caching on
+    // gcd(step, 300) lets engine and forecaster queries share entries.
+    // 300 divides the day length, so blocks stay day-aligned.
+    return std::gcd(int64_t(rounded), int64_t(300));
+}
+
+CachedWeatherProvider::CachedWeatherProvider(const WeatherProvider &inner,
+                                             int64_t grid_step_s)
+    : _inner(inner), _gridStepS(grid_step_s > 0 ? grid_step_s : 0)
+{
+    if (_gridStepS > 0 && util::kSecondsPerDay % _gridStepS != 0)
+        util::fatal("CachedWeatherProvider: grid step must divide the day "
+                    "length");
+    _entriesPerBlock =
+        _gridStepS > 0 ? size_t(util::kSecondsPerDay / _gridStepS) : 0;
+}
+
+CachedWeatherProvider::Block &
+CachedWeatherProvider::blockFor(int64_t block_start) const
+{
+    for (Block &b : _blocks) {
+        if (b.active && b.startS == block_start) {
+            _mru = int(&b - _blocks);
+            return b;
+        }
+    }
+    // Evict the least-recently-used block, reusing its storage.
+    Block &victim = _blocks[1 - _mru];
+    victim.startS = block_start;
+    victim.active = true;
+    victim.samples.resize(_entriesPerBlock);
+    victim.filled.assign(_entriesPerBlock, 0);
+    _mru = int(&victim - _blocks);
+    return victim;
+}
+
+WeatherSample
+CachedWeatherProvider::sample(util::SimTime t) const
+{
+    const int64_t s = t.seconds();
+    if (_gridStepS <= 0) {
+        ++_underlyingEvals;
+        return _inner.sample(t);
+    }
+
+    const int64_t block_start =
+        floorDiv(s, util::kSecondsPerDay) * util::kSecondsPerDay;
+    const int64_t offset = s - block_start;
+    if (offset % _gridStepS != 0) {
+        ++_underlyingEvals;
+        return _inner.sample(t);
+    }
+
+    Block &block = blockFor(block_start);
+    const size_t idx = size_t(offset / _gridStepS);
+    if (!block.filled[idx]) {
+        block.samples[idx] = _inner.sample(t);
+        block.filled[idx] = 1;
+        ++_underlyingEvals;
+    }
+    return block.samples[idx];
+}
+
+} // namespace environment
+} // namespace coolair

@@ -30,12 +30,14 @@ CoolingModel::setTempModel(const TransitionKey &key, int pod,
     if (pod < 0 || pod >= _config.numPods)
         util::panic("CoolingModel::setTempModel: pod out of range");
     _tempModels[size_t(key.index())][size_t(pod)] = std::move(model);
+    ++_revision;
 }
 
 void
 CoolingModel::setHumidityModel(const TransitionKey &key, LinearModel model)
 {
     _humidityModels[size_t(key.index())] = std::move(model);
+    ++_revision;
 }
 
 void
@@ -43,6 +45,7 @@ CoolingModel::setAcPower(double fan_only_w, double full_w)
 {
     _acFanOnlyW = fan_only_w;
     _acFullW = full_w;
+    ++_revision;
 }
 
 bool
@@ -85,11 +88,16 @@ double
 CoolingModel::predictTempKeyed(const TransitionKey &key, int pod,
                                const TempInputs &in) const
 {
-    const LinearModel *m = tempModelFor(key, pod);
-    if (!m)
-        return in.insideC;  // persistence fallback
-    auto features = TempFeatures::build(in);
-    return m->predict(features);
+    return predictTempWith(tempModelFor(key, pod), in);
+}
+
+void
+CoolingModel::resolveTempModels(const TransitionKey &key,
+                                std::vector<const LinearModel *> &out) const
+{
+    out.resize(size_t(_config.numPods));
+    for (int p = 0; p < _config.numPods; ++p)
+        out[size_t(p)] = tempModelFor(key, p);
 }
 
 double
@@ -122,11 +130,7 @@ double
 CoolingModel::predictHumidityKeyed(const TransitionKey &key,
                                    const HumidityInputs &in) const
 {
-    const LinearModel *m = humidityModelFor(key);
-    if (!m)
-        return in.insideAbs;
-    auto features = HumidityFeatures::build(in);
-    return m->predict(features);
+    return predictHumidityWith(humidityModelFor(key), in);
 }
 
 double

@@ -15,6 +15,7 @@
  * compressor-off models by compressor speed.
  */
 
+#include <cstdint>
 #include <vector>
 
 #include "cooling/regime.hpp"
@@ -64,7 +65,11 @@ class CoolingModel
                           LinearModel model);
 
     /** Install the free-cooling power model (features [1, speed]). */
-    void setFcPowerModel(ModelTree tree) { _fcPower = std::move(tree); }
+    void setFcPowerModel(ModelTree tree)
+    {
+        _fcPower = std::move(tree);
+        ++_revision;
+    }
 
     /** Install AC power constants. */
     void setAcPower(double fan_only_w, double full_w);
@@ -89,6 +94,42 @@ class CoolingModel
     /** Predicted cooling power [W] for running @p regime steadily. */
     double predictCoolingPower(const cooling::Regime &regime) const;
 
+    /**
+     * Resolve the temperature model every pod would use for @p key,
+     * fallback chain applied (nullptr entries mean persistence).  The
+     * predictor resolves each rollout's two transition keys once and
+     * then applies the models directly, instead of re-running the
+     * lookup per pod per horizon step.
+     */
+    void resolveTempModels(const cooling::TransitionKey &key,
+                           std::vector<const LinearModel *> &out) const;
+
+    /** The humidity model for @p key with fallbacks, or nullptr. */
+    const LinearModel *resolveHumidityModel(
+        const cooling::TransitionKey &key) const
+    {
+        return humidityModelFor(key);
+    }
+
+    /** Apply a resolved temperature model (nullptr = persistence). */
+    static double predictTempWith(const LinearModel *m, const TempInputs &in)
+    {
+        if (!m)
+            return in.insideC;
+        auto features = TempFeatures::build(in);
+        return m->predict(features);
+    }
+
+    /** Apply a resolved humidity model (nullptr = persistence). */
+    static double predictHumidityWith(const LinearModel *m,
+                                      const HumidityInputs &in)
+    {
+        if (!m)
+            return in.insideAbs;
+        auto features = HumidityFeatures::build(in);
+        return m->predict(features);
+    }
+
     /** Count of fitted temperature models (for diagnostics). */
     size_t fittedTempModels() const;
 
@@ -105,6 +146,14 @@ class CoolingModel
 
     /** AC full-blast power constant [W]. */
     double acFullPowerW() const { return _acFullW; }
+
+    /**
+     * Monotone counter bumped by every model mutation (setTempModel,
+     * setHumidityModel, setFcPowerModel, setAcPower).  Lets consumers
+     * cache resolved model pointers and invalidate exactly when a refit
+     * could have changed them.
+     */
+    uint64_t revision() const { return _revision; }
 
   private:
     const LinearModel *tempModelFor(const cooling::TransitionKey &key,
@@ -124,6 +173,7 @@ class CoolingModel
     ModelTree _fcPower;
     double _acFanOnlyW = 135.0;
     double _acFullW = 2200.0;
+    uint64_t _revision = 0;
 };
 
 } // namespace model

@@ -13,15 +13,10 @@ LinearModel::LinearModel(std::vector<double> weights)
 {
 }
 
-double
-LinearModel::predict(std::span<const double> features) const
+void
+LinearModel::arityMismatch() const
 {
-    if (features.size() != _weights.size())
-        util::panic("LinearModel::predict: feature arity mismatch");
-    double sum = 0.0;
-    for (size_t i = 0; i < _weights.size(); ++i)
-        sum += _weights[i] * features[i];
-    return sum;
+    util::panic("LinearModel::predict: feature arity mismatch");
 }
 
 void

@@ -30,7 +30,15 @@ class LinearModel
     explicit LinearModel(std::vector<double> weights);
 
     /** Predict for a feature vector (must match weight arity). */
-    double predict(std::span<const double> features) const;
+    double predict(std::span<const double> features) const
+    {
+        if (features.size() != _weights.size())
+            arityMismatch();
+        double sum = 0.0;
+        for (size_t i = 0; i < _weights.size(); ++i)
+            sum += _weights[i] * features[i];
+        return sum;
+    }
 
     /** The weight vector. */
     const std::vector<double> &weights() const { return _weights; }
@@ -39,6 +47,8 @@ class LinearModel
     bool valid() const { return !_weights.empty(); }
 
   private:
+    [[noreturn]] void arityMismatch() const;
+
     std::vector<double> _weights;
 };
 

@@ -34,15 +34,6 @@ uaToFlow(double w_per_k)
  * acting on an effective volume @p volume [m^3] over @p dt_s seconds.
  * Exact for the frozen-coefficient linear node, stable for any step.
  */
-double
-relax(double value, double target, double g, double volume, double dt_s)
-{
-    if (g <= 0.0 || volume <= 0.0)
-        return value;
-    double alpha = std::exp(-g * dt_s / volume);
-    return target + (value - target) * alpha;
-}
-
 } // anonymous namespace
 
 PodLoad
@@ -131,10 +122,13 @@ Plant::Plant(const PlantConfig &config, uint64_t seed)
       _actuators(config.actuators),
       _sensorRng(seed, "plant.sensors"),
       _podTempC(config.numPods, 22.0),
+      _podTempScratchC(config.numPods, 0.0),
       _diskTempC(config.numPods, 30.0),
       _hotAisleC(30.0),
       _massTempC(23.0),
-      _coldAbsHumidity(8.0)
+      _coldAbsHumidity(8.0),
+      _podRelaxExp(size_t(std::max(config.numPods, 0))),
+      _acCoilAbsHumidity(physics::absoluteHumidity(config.acCoilC, 100.0))
 {
     if (config.numPods <= 0 || config.serversPerPod <= 0)
         util::fatal("PlantConfig: pods and servers must be positive");
@@ -167,8 +161,10 @@ Plant::updateItPower(const PodLoad &load)
         int(load.utilization.size()) != _config.numPods) {
         util::panic("Plant::step: PodLoad arity != numPods");
     }
-    _podPowerW.assign(size_t(_config.numPods), 0.0);
-    _podAwake.assign(size_t(_config.numPods), 0);
+    // resize, not assign: every element is overwritten below, so the
+    // zero-fill was pure waste once the buffers reached size.
+    _podPowerW.resize(size_t(_config.numPods));
+    _podAwake.resize(size_t(_config.numPods));
     double power = 0.0;
     int awake = 0;
     for (int i = 0; i < _config.numPods; ++i) {
@@ -231,7 +227,7 @@ Plant::stepThermal(double dt_s, const environment::WeatherSample &outside,
     // Recirculation collapses under the wind-tunnel effect of forced
     // airflow and is strongest when the container is sealed.
     double forced = (q_fc + q_ac) / std::max(_config.maxFcAirflow, 1e-9);
-    double suppress = std::exp(-6.0 * forced);
+    double suppress = _suppressExp(-6.0 * forced);
     double recirc_total =
         _config.recircFlowOpen +
         (_config.recircFlowClosed - _config.recircFlowOpen) * suppress;
@@ -259,7 +255,7 @@ Plant::stepThermal(double dt_s, const environment::WeatherSample &outside,
 
     // --- Pod inlet nodes -------------------------------------------------
     double pod_temp_sum = 0.0;
-    std::vector<double> new_pod(pods);
+    std::vector<double> &new_pod = _podTempScratchC;  // reused, no alloc
     for (int i = 0; i < pods; ++i) {
         double q_fc_i = q_fc / pods;
         double q_ac_i = q_ac / pods;
@@ -293,7 +289,8 @@ Plant::stepThermal(double dt_s, const environment::WeatherSample &outside,
             std::max(g, 1e-12);
 
         new_pod[i] = relax(_podTempC[i], target, g,
-                           _config.podEffectiveVolume, dt_s);
+                           _config.podEffectiveVolume, dt_s,
+                           _podRelaxExp[size_t(i)]);
         pod_temp_sum += _podTempC[i];
     }
     double cold_avg = pod_temp_sum / pods;
@@ -322,16 +319,16 @@ Plant::stepThermal(double dt_s, const environment::WeatherSample &outside,
                             g_hot +
                         heat_rise;
     _hotAisleC = relax(_hotAisleC, hot_target, g_hot,
-                       _config.hotAisleEffectiveVolume, dt_s);
+                       _config.hotAisleEffectiveVolume, dt_s,
+                       _hotRelaxExp);
 
     // --- Structural mass ----------------------------------------------------
     double air_avg = 0.5 * (cold_avg + _hotAisleC);
     double mass_g_wk = _config.massCouplingWPerK;
-    double alpha =
-        std::exp(-mass_g_wk * dt_s / _config.structuralMassJPerK);
+    double alpha = _massExp(-mass_g_wk * dt_s / _config.structuralMassJPerK);
     _massTempC = air_avg + (_massTempC - air_avg) * alpha;
 
-    _podTempC = std::move(new_pod);
+    std::swap(_podTempC, _podTempScratchC);
 }
 
 void
@@ -361,9 +358,9 @@ Plant::stepHumidity(double dt_s, const environment::WeatherSample &outside)
     }
 
     // AC dehumidifies when the coil runs below the air dew point: supply
-    // air leaves saturated at the coil temperature.
-    double coil_abs =
-        physics::absoluteHumidity(_config.acCoilC, 100.0);
+    // air leaves saturated at the coil temperature (fixed by config, so
+    // precomputed at construction).
+    double coil_abs = _acCoilAbsHumidity;
     bool dehumidify = unit.compressorSpeed > 0.0 &&
                       _coldAbsHumidity > coil_abs;
 
@@ -377,13 +374,16 @@ Plant::stepHumidity(double dt_s, const environment::WeatherSample &outside)
     } else {
         target = _coldAbsHumidity;
     }
-    _coldAbsHumidity =
-        relax(_coldAbsHumidity, target, g, _config.humidityVolume, dt_s);
+    _coldAbsHumidity = relax(_coldAbsHumidity, target, g,
+                             _config.humidityVolume, dt_s,
+                             _humidityRelaxExp);
 }
 
 void
 Plant::stepDisks(double dt_s, const PodLoad &load)
 {
+    // The decay factor is pod-independent, so one memo covers the loop.
+    double alpha = _diskExp(-dt_s / _config.diskTauS);
     for (int i = 0; i < _config.numPods; ++i) {
         double util_i = util::clamp(load.utilization[i], 0.0, 1.0);
         bool any_awake = load.activeServers[i] > 0;
@@ -392,7 +392,6 @@ Plant::stepDisks(double dt_s, const PodLoad &load)
         if (!any_awake)
             offset = 1.0;  // spun-down disks idle just above air temp
         double target = _podTempC[i] + offset;
-        double alpha = std::exp(-dt_s / _config.diskTauS);
         _diskTempC[i] = target + (_diskTempC[i] - target) * alpha;
     }
 }
@@ -401,6 +400,13 @@ SensorReadings
 Plant::readSensors()
 {
     SensorReadings out;
+    readSensors(out);
+    return out;
+}
+
+void
+Plant::readSensors(SensorReadings &out)
+{
     out.time = _now;
     out.podInletC.resize(_config.numPods);
     for (int i = 0; i < _config.numPods; ++i) {
@@ -443,7 +449,10 @@ Plant::readSensors()
     out.coolingPowerW = coolingPowerW();
     out.itPowerW = _itPowerW;
     out.dcUtilization = _dcUtilization;
-    return out;
+
+    // Disk temperatures are digital readings: copied verbatim, no noise
+    // draws, so the observable noise stream is unchanged by this field.
+    out.podDiskC.assign(_diskTempC.begin(), _diskTempC.end());
 }
 
 double

@@ -28,7 +28,9 @@
  * system and unconditionally stable at any step size.
  */
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cooling/actuators.hpp"
@@ -82,6 +84,13 @@ struct SensorReadings
 
     /** Inlet air temperature per pod [°C] (one sensor per pod, §4.2). */
     std::vector<double> podInletC;
+
+    /**
+     * Disk temperature per pod [°C].  Noise-free (disk SMART readings
+     * are digital), so including them here consumes no sensor-noise
+     * draws and lets the trace path batch-read all pods at once.
+     */
+    std::vector<double> podDiskC;
 
     /** Cold-aisle relative humidity [%]. */
     double coldAisleRhPercent = 50.0;
@@ -277,6 +286,14 @@ class Plant
     /** Noisy sensor observations of the current state. */
     SensorReadings readSensors();
 
+    /**
+     * Read sensors into a caller-owned buffer (the engine reuses one
+     * across the whole run, so steady-state sampling allocates nothing).
+     * Identical observations and noise-stream consumption to
+     * readSensors().
+     */
+    void readSensors(SensorReadings &out);
+
     /** Noise-free pod inlet temperature (for validation metrics). */
     double truePodInletC(int pod) const;
 
@@ -285,6 +302,9 @@ class Plant
 
     /** Noise-free disk temperature for a pod. */
     double diskTempC(int pod) const;
+
+    /** Noise-free disk temperatures for all pods at once. */
+    const std::vector<double> &diskTemps() const { return _diskTempC; }
 
     /**
      * Fault injection: freeze pod @p pod's temperature sensor at
@@ -319,6 +339,48 @@ class Plant
                                double inside_offset_c = 6.0);
 
   private:
+    /**
+     * One-entry exp() memo.  Each thermal node's decay exponent is
+     * piecewise-constant in time (it moves only when fan speeds or
+     * awake-server counts change), so remembering the last argument
+     * skips the libm call on almost every steady-state step.  The same
+     * argument yields the exact same std::exp result, so cached and
+     * uncached stepping are bit-identical.
+     */
+    class ExpMemo
+    {
+      public:
+        double operator()(double x)
+        {
+            if (x != _arg) {
+                _arg = x;
+                _val = std::exp(x);
+            }
+            return _val;
+        }
+
+      private:
+        // NaN compares unequal to everything, so the first call always
+        // computes.
+        double _arg = std::numeric_limits<double>::quiet_NaN();
+        double _val = 1.0;
+    };
+
+    /**
+     * Relax @p value toward @p target with total conductance @p g
+     * [m^3/s] acting on an effective volume @p volume [m^3] over
+     * @p dt_s seconds.  Exact for the frozen-coefficient linear node,
+     * stable for any step.  @p memo caches the node's decay factor.
+     */
+    static double relax(double value, double target, double g,
+                        double volume, double dt_s, ExpMemo &memo)
+    {
+        if (g <= 0.0 || volume <= 0.0)
+            return value;
+        double alpha = memo(-g * dt_s / volume);
+        return target + (value - target) * alpha;
+    }
+
     double podFlowShare() const;
     void stepThermal(double dt_s, const environment::WeatherSample &outside,
                      const PodLoad &load);
@@ -333,6 +395,7 @@ class Plant
 
     util::SimTime _now;
     std::vector<double> _podTempC;
+    std::vector<double> _podTempScratchC;  ///< stepThermal double buffer.
     std::vector<double> _podPowerW;   ///< IT power dissipated per pod.
     std::vector<int> _podAwake;       ///< Awake servers per pod.
     std::vector<double> _diskTempC;
@@ -342,6 +405,20 @@ class Plant
     double _itPowerW = 0.0;
     double _dcUtilization = 1.0;
     environment::WeatherSample _lastOutside;
+
+    // Decay-factor memos, one per exp() call site in the step path (the
+    // pod relaxations each get their own since their conductances
+    // differ).  See ExpMemo.
+    std::vector<ExpMemo> _podRelaxExp;
+    ExpMemo _suppressExp;
+    ExpMemo _hotRelaxExp;
+    ExpMemo _massExp;
+    ExpMemo _humidityRelaxExp;
+    ExpMemo _diskExp;
+
+    /** absoluteHumidity(acCoilC, 100 %): fixed by config, hot in
+        stepHumidity. */
+    double _acCoilAbsHumidity = 0.0;
 
     int _stuckSensorPod = -1;
     double _stuckSensorValueC = 0.0;

@@ -20,17 +20,18 @@ Engine::Engine(plant::Plant &plant, workload::WorkloadModel &workload,
 }
 
 void
-Engine::sample(util::SimTime now, bool collect)
+Engine::sample(util::SimTime now, bool collect,
+               const environment::WeatherSample &outside)
 {
-    plant::SensorReadings sensors = _plant.readSensors();
-    sensors.time = now;
+    _plant.readSensors(_sensors);
+    _sensors.time = now;
 
     // Controller epoch?
     if (now.seconds() >= _nextControlS) {
         workload::WorkloadStatus status = _workload.status();
-        plant::PodLoad load = _workload.podLoad();
+        _workload.podLoadInto(_load);
         ControlDecision decision =
-            _controller.control(sensors, status, load, now);
+            _controller.control(_sensors, status, _load, now);
         _command = decision.regime;
         if (decision.hasPlan)
             _workload.applyPlan(decision.plan);
@@ -41,39 +42,37 @@ Engine::sample(util::SimTime now, bool collect)
         return;
 
     if (_metrics) {
-        _metrics->record(now, sensors, double(_config.sampleIntervalS));
-        _metrics->recordOutside(now, _climate.temperature(now));
+        _metrics->record(now, _sensors, double(_config.sampleIntervalS));
+        _metrics->recordOutside(now, outside.tempC);
     }
 
     if (_sink) {
         TraceRow row;
         row.time = now;
-        environment::WeatherSample outside = _climate.sample(now);
         row.outsideC = outside.tempC;
         row.outsideRhPercent = outside.rhPercent;
         double lo = 1e9, hi = -1e9;
-        for (double t : sensors.podInletC) {
+        for (double t : _sensors.podInletC) {
             lo = std::min(lo, t);
             hi = std::max(hi, t);
         }
         row.inletMinC = lo;
         row.inletMaxC = hi;
-        row.hotAisleC = sensors.hotAisleC;
-        row.coldAisleRhPercent = sensors.coldAisleRhPercent;
-        row.mode = sensors.cooling.mode;
-        row.fcFanSpeed = sensors.cooling.fcFanSpeed;
-        row.compressorSpeed = sensors.cooling.compressorSpeed;
-        row.itPowerW = sensors.itPowerW;
-        row.coolingPowerW = sensors.coolingPowerW;
+        row.hotAisleC = _sensors.hotAisleC;
+        row.coldAisleRhPercent = _sensors.coldAisleRhPercent;
+        row.mode = _sensors.cooling.mode;
+        row.fcFanSpeed = _sensors.cooling.fcFanSpeed;
+        row.compressorSpeed = _sensors.cooling.compressorSpeed;
+        row.itPowerW = _sensors.itPowerW;
+        row.coolingPowerW = _sensors.coolingPowerW;
         double dlo = 1e9, dhi = -1e9;
-        for (int p = 0; p < _plant.config().numPods; ++p) {
-            double d = _plant.diskTempC(p);
+        for (double d : _sensors.podDiskC) {
             dlo = std::min(dlo, d);
             dhi = std::max(dhi, d);
         }
         row.diskMinC = dlo;
         row.diskMaxC = dhi;
-        row.dcUtilization = sensors.dcUtilization;
+        row.dcUtilization = _sensors.dcUtilization;
         _sink(row);
     }
 }
@@ -92,13 +91,16 @@ Engine::runRange(util::SimTime start, util::SimTime end, bool collect)
 
     for (int64_t t = start.seconds(); t < end.seconds(); t += step) {
         util::SimTime now(t);
-        if ((t - start.seconds()) % interval == 0)
-            sample(now, collect);
-
+        // One weather evaluation serves the metrics/trace sample and the
+        // physics step at this instant (sample() used to re-evaluate the
+        // climate model twice on top of this one).
         environment::WeatherSample outside = _climate.sample(now);
+        if ((t - start.seconds()) % interval == 0)
+            sample(now, collect, outside);
+
         _workload.step(now, double(step));
-        plant::PodLoad load = _workload.podLoad();
-        _plant.step(double(step), outside, load, _command);
+        _workload.podLoadInto(_load);
+        _plant.step(double(step), outside, _load, _command);
     }
 }
 

@@ -106,7 +106,8 @@ class Engine
     void runYearWeekly(int weeks = 52);
 
   private:
-    void sample(util::SimTime now, bool collect);
+    void sample(util::SimTime now, bool collect,
+                const environment::WeatherSample &outside);
 
     plant::Plant &_plant;
     workload::WorkloadModel &_workload;
@@ -119,6 +120,11 @@ class Engine
 
     cooling::Regime _command;
     int64_t _nextControlS = 0;
+
+    // Reused across every step/sample so steady-state stepping performs
+    // no heap allocation (buffers reach capacity within one sample).
+    plant::SensorReadings _sensors;
+    plant::PodLoad _load;
 };
 
 } // namespace sim

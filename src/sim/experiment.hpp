@@ -131,6 +131,14 @@ struct ExperimentSpec
 
     uint64_t seed = 7;
 
+    /**
+     * Memoize weather evaluation on the day-grid shared by the engine
+     * and the forecaster (environment/weather_cache.hpp).  Exact — the
+     * cached provider returns bit-identical samples — so this is on by
+     * default; turn it off to A/B against direct climate evaluation.
+     */
+    bool weatherCache = true;
+
     /** When non-empty, the scenario dumps its trace as CSV to this path. */
     std::string traceCsvPath;
 

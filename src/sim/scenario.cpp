@@ -242,8 +242,18 @@ ScenarioBuilder::build()
 
     scenario->_climate = std::make_unique<environment::Climate>(
         _spec.location.makeClimate(_spec.seed));
+
+    // The cache memoizes exact samples on the day-grid shared by the
+    // engine loop and the forecaster's hourly queries; a physics step
+    // with no integral grid falls back to the raw climate.
+    int64_t grid = environment::weatherCacheGridStepS(_spec.physicsStepS);
+    if (_spec.weatherCache && grid > 0)
+        scenario->_weather =
+            std::make_unique<environment::CachedWeatherProvider>(
+                *scenario->_climate, grid);
+
     scenario->_forecaster = std::make_unique<environment::Forecaster>(
-        *scenario->_climate, _spec.forecastError, _spec.seed);
+        scenario->weather(), _spec.forecastError, _spec.seed);
 
     scenario->_workload = makeWorkload(_spec);
 
@@ -263,7 +273,7 @@ ScenarioBuilder::build()
     ec.sampleIntervalS = std::max<int64_t>(60, int64_t(_spec.physicsStepS));
     scenario->_engine = std::make_unique<Engine>(
         *scenario->_plant, *scenario->_workload, *scenario->_controller,
-        *scenario->_climate, ec);
+        scenario->weather(), ec);
     scenario->_engine->setMetrics(scenario->_metrics.get());
 
     scenario->_sinks = std::move(_sinks);

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "environment/weather_cache.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/model_plant.hpp"
@@ -102,6 +103,19 @@ class Scenario
 
     const ExperimentSpec &spec() const { return _spec; }
     const environment::Climate &climate() const { return *_climate; }
+
+    /**
+     * The weather provider the engine and forecaster actually consume:
+     * the grid cache when spec().weatherCache is on (and the physics
+     * step admits a grid), the raw climate otherwise.
+     */
+    const environment::WeatherProvider &weather() const
+    {
+        return _weather ? static_cast<const environment::WeatherProvider &>(
+                              *_weather)
+                        : *_climate;
+    }
+
     environment::Forecaster &forecaster() { return *_forecaster; }
     plant::Plant &plant() { return *_plant; }
     workload::WorkloadModel &workload() { return *_workload; }
@@ -117,6 +131,7 @@ class Scenario
 
     ExperimentSpec _spec;
     std::unique_ptr<environment::Climate> _climate;
+    std::unique_ptr<environment::CachedWeatherProvider> _weather;
     std::unique_ptr<environment::Forecaster> _forecaster;
     std::unique_ptr<plant::Plant> _plant;
     std::unique_ptr<workload::WorkloadModel> _workload;

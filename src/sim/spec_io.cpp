@@ -283,6 +283,8 @@ formatSpec(const ExperimentSpec &spec)
     os << "end_day = " << spec.endDay << "\n";
     os << "physics_step = " << fmtDouble(spec.physicsStepS) << "\n";
     os << "seed = " << spec.seed << "\n";
+    os << "weather_cache = " << (spec.weatherCache ? "true" : "false")
+       << "\n";
 
     if (!spec.traceCsvPath.empty())
         os << "trace_csv = " << spec.traceCsvPath << "\n";
@@ -366,6 +368,8 @@ applyKeyValue(ExperimentSpec &spec, const std::string &key,
         spec.physicsStepS = parseDouble(key, value);
     else if (key == "seed")
         spec.seed = parseU64(key, value);
+    else if (key == "weather_cache")
+        spec.weatherCache = parseBool(key, value);
     else if (key == "trace_csv")
         spec.traceCsvPath = value;
     else if (key == "band_width")

@@ -227,20 +227,5 @@ DailyRangeTracker::maxWorstDailyRange() const
     return *std::max_element(_worstRanges.begin(), _worstRanges.end());
 }
 
-double
-lerp(double x0, double y0, double x1, double y1, double x)
-{
-    if (x1 == x0)
-        return y0;
-    double t = (x - x0) / (x1 - x0);
-    return y0 + t * (y1 - y0);
-}
-
-double
-clamp(double x, double lo, double hi)
-{
-    return std::max(lo, std::min(hi, x));
-}
-
 } // namespace util
 } // namespace coolair

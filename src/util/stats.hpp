@@ -8,6 +8,7 @@
  * trackers (the paper's central temperature-variation metric).
  */
 
+#include <algorithm>
 #include <cstddef>
 #include <mutex>
 #include <vector>
@@ -154,10 +155,21 @@ class DailyRangeTracker
 };
 
 /** Linear interpolation between (x0, y0) and (x1, y1) at x. */
-double lerp(double x0, double y0, double x1, double y1, double x);
+inline double
+lerp(double x0, double y0, double x1, double y1, double x)
+{
+    if (x1 == x0)
+        return y0;
+    double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
 
 /** Clamp @p x to [lo, hi]. */
-double clamp(double x, double lo, double hi);
+inline double
+clamp(double x, double lo, double hi)
+{
+    return std::max(lo, std::min(hi, x));
+}
 
 } // namespace util
 } // namespace coolair

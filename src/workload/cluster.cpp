@@ -20,12 +20,18 @@ ClusterSim::ClusterSim(const ClusterConfig &config, Trace trace)
 
     std::sort(_trace.jobs.begin(), _trace.jobs.end(),
               [](const Job &a, const Job &b) { return a.submitS < b.submitS; });
+    _traceHasDeferrable =
+        std::any_of(_trace.jobs.begin(), _trace.jobs.end(),
+                    [](const Job &j) { return j.deferrable(); });
 
     _servers.resize(config.totalServers());
     for (int s = 0; s < config.totalServers(); ++s) {
         _servers[s].pod = s / config.serversPerPod;
         _servers[s].state = ServerState::Active;
     }
+    _freeActiveSlots = config.totalSlots();
+    _podAwakeServers.assign(size_t(config.numPods), config.serversPerPod);
+    _podBusySlots.assign(size_t(config.numPods), 0);
     // Covering subset: spread across pods round-robin so every pod keeps
     // at least one awake server (and its sensor context) at all times.
     for (int k = 0; k < config.coveringSubsetSize; ++k) {
@@ -43,6 +49,9 @@ ClusterSim::setTrace(Trace trace)
               [](const Job &a, const Job &b) { return a.submitS < b.submitS; });
     _pendingTrace = std::move(trace);
     _hasPendingTrace = true;
+    _pendingHasDeferrable =
+        std::any_of(_pendingTrace.jobs.begin(), _pendingTrace.jobs.end(),
+                    [](const Job &j) { return j.deferrable(); });
 }
 
 void
@@ -50,6 +59,10 @@ ClusterSim::applyPlan(const ComputePlan &plan)
 {
     _plan = plan;
     _preferenceDirty = true;
+    _planManages = _plan.manageServerStates ||
+                   !std::all_of(_plan.hourAllowed.begin(),
+                                _plan.hourAllowed.end(),
+                                [](bool b) { return b; });
 }
 
 const std::vector<int> &
@@ -91,6 +104,7 @@ ClusterSim::rolloverDay(int day_index)
     if (_hasPendingTrace) {
         _trace = std::move(_pendingTrace);
         _hasPendingTrace = false;
+        _traceHasDeferrable = _pendingHasDeferrable;
     }
 }
 
@@ -113,6 +127,7 @@ ClusterSim::activateJob(const Job &job, int64_t released,
     run.releasedAtS = released;
     run.mapsQueued = job.mapTasks;
     _runnableJobs.push_back(slot);
+    _queuedTasks += job.mapTasks;
 }
 
 void
@@ -125,10 +140,7 @@ void
 ClusterSim::releaseJobs(util::SimTime now)
 {
     int64_t day_start = now.startOfDay().seconds();
-    bool manage = _plan.manageServerStates ||
-                  !std::all_of(_plan.hourAllowed.begin(),
-                               _plan.hourAllowed.end(),
-                               [](bool b) { return b; });
+    bool manage = _planManages;
     int hour = now.hourOfDay();
 
     auto activate = [&](const Job &job, int64_t released,
@@ -177,8 +189,17 @@ ClusterSim::releaseJobs(util::SimTime now)
 void
 ClusterSim::completeTasks(util::SimTime now)
 {
+    // Nothing can have expired before the earliest finish time, and a
+    // scan without expirations mutates no state — skip it outright.
+    // Most physics steps (30 s) complete no tasks (durations are
+    // minutes), so this removes the O(running) walk from the hot loop.
+    if (_nextFinishS > now.seconds())
+        return;
+
+    int64_t next_finish = INT64_MAX;
     for (size_t i = 0; i < _running.size();) {
         if (_running[i].finishS > now.seconds()) {
+            next_finish = std::min(next_finish, _running[i].finishS);
             ++i;
             continue;
         }
@@ -188,6 +209,9 @@ ClusterSim::completeTasks(util::SimTime now)
 
         Server &server = _servers[size_t(task.server)];
         server.busySlots--;
+        _podBusySlots[size_t(server.pod)]--;
+        if (server.state == ServerState::Active)
+            _freeActiveSlots++;
         _busySlots--;
         _tasksCompleted++;
 
@@ -198,6 +222,7 @@ ClusterSim::completeTasks(util::SimTime now)
             if (run.mapsFinished() && run.job.reduceTasks > 0) {
                 run.reducesQueued = run.job.reduceTasks;
                 _runnableJobs.push_back(task.jobSlot);
+                _queuedTasks += run.job.reduceTasks;
             }
         } else {
             run.reducesRunning--;
@@ -213,16 +238,39 @@ ClusterSim::completeTasks(util::SimTime now)
             _freeJobSlots.push_back(task.jobSlot);
         }
     }
+    _nextFinishS = next_finish;
+}
+
+void
+ClusterSim::wakeServer(Server &server)
+{
+    // Any state -> Active, with the counter bookkeeping.  Sleeping
+    // servers are idle by invariant (tasks only land on Active servers
+    // and must drain before sleep).
+    if (server.state == ServerState::Sleeping) {
+        _sleepingServers--;
+        _podAwakeServers[size_t(server.pod)]++;
+        _freeActiveSlots += _config.slotsPerServer;
+    } else if (server.state == ServerState::Decommissioned) {
+        _decommissionedServers--;
+        _freeActiveSlots += _config.slotsPerServer - server.busySlots;
+    }
+    server.state = ServerState::Active;
 }
 
 void
 ClusterSim::applyPowerStates()
 {
     if (!_plan.manageServerStates) {
+        // With every server already Active this loop is a no-op; the
+        // counters let the baseline (which never manages states) skip
+        // it outright.
+        if (_sleepingServers == 0 && _decommissionedServers == 0)
+            return;
         for (auto &server : _servers) {
             if (server.state == ServerState::Sleeping)
                 server.powerCycles++;  // waking completes a cycle
-            server.state = ServerState::Active;
+            wakeServer(server);
         }
         return;
     }
@@ -235,10 +283,7 @@ ClusterSim::applyPowerStates()
 
     const auto &pref = serverPreference();
 
-    int awake = 0;
-    for (const auto &server : _servers)
-        if (server.state != ServerState::Sleeping)
-            ++awake;
+    int awake = _config.totalServers() - _sleepingServers;
 
     if (awake < target) {
         // Wake in preference order until we reach the target.
@@ -247,17 +292,22 @@ ClusterSim::applyPowerStates()
                 break;
             Server &server = _servers[size_t(idx)];
             if (server.state == ServerState::Sleeping) {
-                server.state = ServerState::Active;
+                wakeServer(server);
                 server.powerCycles++;
                 ++awake;
             }
         }
         // Surviving decommissioned servers are needed again.
-        for (auto &server : _servers)
-            if (server.state == ServerState::Decommissioned)
-                server.state = ServerState::Active;
+        if (_decommissionedServers > 0) {
+            for (auto &server : _servers)
+                if (server.state == ServerState::Decommissioned)
+                    wakeServer(server);
+        }
         return;
     }
+
+    if (awake == target && _decommissionedServers == 0)
+        return;  // nothing to shrink, nothing descending
 
     // Shrink: walk preference in reverse, spare the covering subset.
     int surplus = awake - target;
@@ -266,18 +316,34 @@ ClusterSim::applyPowerStates()
         if (server.covering || server.state == ServerState::Sleeping)
             continue;
         if (server.busySlots == 0) {
+            if (server.state == ServerState::Active)
+                _freeActiveSlots -= _config.slotsPerServer;
+            else
+                _decommissionedServers--;
             server.state = ServerState::Sleeping;
+            _sleepingServers++;
+            _podAwakeServers[size_t(server.pod)]--;
             --surplus;
         } else {
+            if (server.state == ServerState::Active) {
+                _freeActiveSlots -=
+                    _config.slotsPerServer - server.busySlots;
+                _decommissionedServers++;
+            }
             server.state = ServerState::Decommissioned;
             --surplus;
         }
     }
     // Idle decommissioned servers may now complete their descent.
-    for (auto &server : _servers) {
-        if (server.state == ServerState::Decommissioned &&
-            server.busySlots == 0) {
-            server.state = ServerState::Sleeping;
+    if (_decommissionedServers > 0) {
+        for (auto &server : _servers) {
+            if (server.state == ServerState::Decommissioned &&
+                server.busySlots == 0) {
+                server.state = ServerState::Sleeping;
+                _decommissionedServers--;
+                _sleepingServers++;
+                _podAwakeServers[size_t(server.pod)]--;
+            }
         }
     }
 }
@@ -295,6 +361,10 @@ ClusterSim::scheduleTasks(util::SimTime now)
 {
     if (_runnableJobs.empty())
         return;
+    // A fully-busy (or fully-asleep) cluster can launch nothing, and a
+    // placement walk that launches nothing mutates nothing — skip it.
+    if (_freeActiveSlots <= 0)
+        return;
     const auto &pref = serverPreference();
 
     for (int idx : pref) {
@@ -308,14 +378,16 @@ ClusterSim::scheduleTasks(util::SimTime now)
             if (run.mapsQueued > 0) {
                 run.mapsQueued--;
                 run.mapsRunning++;
-                _running.push_back({now.seconds() + run.job.mapTaskDurS,
-                                    idx, slot, true});
+                int64_t finish = now.seconds() + run.job.mapTaskDurS;
+                _running.push_back({finish, idx, slot, true});
+                _nextFinishS = std::min(_nextFinishS, finish);
                 launched = true;
             } else if (run.reducesQueued > 0) {
                 run.reducesQueued--;
                 run.reducesRunning++;
-                _running.push_back({now.seconds() + run.job.reduceTaskDurS,
-                                    idx, slot, false});
+                int64_t finish = now.seconds() + run.job.reduceTaskDurS;
+                _running.push_back({finish, idx, slot, false});
+                _nextFinishS = std::min(_nextFinishS, finish);
                 launched = true;
             }
 
@@ -323,7 +395,10 @@ ClusterSim::scheduleTasks(util::SimTime now)
                 if (run.startedAtS < 0)
                     run.startedAtS = now.seconds();
                 server.busySlots++;
+                _podBusySlots[size_t(server.pod)]++;
                 _busySlots++;
+                _queuedTasks--;
+                _freeActiveSlots--;
                 free--;
             }
 
@@ -334,7 +409,7 @@ ClusterSim::scheduleTasks(util::SimTime now)
                     continue;
             }
         }
-        if (_runnableJobs.empty())
+        if (_runnableJobs.empty() || _freeActiveSlots <= 0)
             break;
     }
 }
@@ -357,40 +432,41 @@ plant::PodLoad
 ClusterSim::podLoad() const
 {
     plant::PodLoad load;
-    load.serversPerPod = _config.serversPerPod;
-    load.activeServers.assign(size_t(_config.numPods), 0);
-    load.utilization.assign(size_t(_config.numPods), 0.0);
-
-    std::vector<int> busy(size_t(_config.numPods), 0);
-    for (const auto &server : _servers) {
-        if (server.state != ServerState::Sleeping) {
-            load.activeServers[size_t(server.pod)]++;
-            busy[size_t(server.pod)] += server.busySlots;
-        }
-    }
-    for (int p = 0; p < _config.numPods; ++p) {
-        int awake = load.activeServers[size_t(p)];
-        if (awake > 0) {
-            load.utilization[size_t(p)] =
-                double(busy[size_t(p)]) /
-                double(awake * _config.slotsPerServer);
-        }
-    }
+    podLoadInto(load);
     return load;
+}
+
+void
+ClusterSim::podLoadInto(plant::PodLoad &load) const
+{
+    load.serversPerPod = _config.serversPerPod;
+    load.activeServers.resize(size_t(_config.numPods));
+    load.utilization.resize(size_t(_config.numPods));
+
+    // Read the per-pod counters instead of walking every server.  The
+    // counters are exact integer mirrors of the old scan (busy slots
+    // only exist on awake servers, so a per-pod busy total needs no
+    // state filter), and integer sums are exact in a double, so the
+    // reported utilization is bit-identical to the scan's.
+    for (int p = 0; p < _config.numPods; ++p) {
+        int awake = _podAwakeServers[size_t(p)];
+        load.activeServers[size_t(p)] = awake;
+        load.utilization[size_t(p)] =
+            awake > 0 ? double(_podBusySlots[size_t(p)]) /
+                            double(awake * _config.slotsPerServer)
+                      : 0.0;
+    }
 }
 
 WorkloadStatus
 ClusterSim::status() const
 {
     WorkloadStatus st;
-    int64_t queued = 0;
-    for (size_t slot : _runnableJobs) {
-        const JobRun &run = _activeJobs[slot];
-        queued += run.mapsQueued + run.reducesQueued;
-    }
-    st.queuedTasks = int(std::min<int64_t>(queued, 1 << 30));
+    // _queuedTasks mirrors the sum over _runnableJobs exactly; this call
+    // runs once per control epoch and was the hottest walk in year runs.
+    st.queuedTasks = int(std::min<int64_t>(_queuedTasks, 1 << 30));
 
-    int64_t wanted_slots = queued + int64_t(_running.size());
+    int64_t wanted_slots = _queuedTasks + int64_t(_running.size());
     st.demandServers = int(std::min<int64_t>(
         (wanted_slots + _config.slotsPerServer - 1) / _config.slotsPerServer,
         _config.totalServers()));
@@ -398,9 +474,10 @@ ClusterSim::status() const
     st.awakeServers = awakeServers();
     st.offeredUtilization =
         double(_busySlots) / double(_config.totalSlots());
-    st.hasDeferrableJobs =
-        std::any_of(_trace.jobs.begin(), _trace.jobs.end(),
-                    [](const Job &j) { return j.deferrable(); });
+    // Cached at trace install: the trace is immutable between swaps, so
+    // re-scanning every job per control epoch only burned time (it was
+    // the single hottest call in baseline year runs).
+    st.hasDeferrableJobs = _traceHasDeferrable;
     return st;
 }
 
@@ -432,11 +509,7 @@ ClusterSim::serverState(int server) const
 int
 ClusterSim::awakeServers() const
 {
-    int awake = 0;
-    for (const auto &server : _servers)
-        if (server.state != ServerState::Sleeping)
-            ++awake;
-    return awake;
+    return _config.totalServers() - _sleepingServers;
 }
 
 } // namespace workload

@@ -89,6 +89,7 @@ class ClusterSim : public WorkloadModel
     void applyPlan(const ComputePlan &plan) override;
     void step(util::SimTime now, double dt_s) override;
     plant::PodLoad podLoad() const override;
+    void podLoadInto(plant::PodLoad &out) const override;
     WorkloadStatus status() const override;
 
     /** Aggregate accounting for metrics. */
@@ -147,6 +148,7 @@ class ClusterSim : public WorkloadModel
     void activateJob(const Job &job, int64_t released, int64_t abs_submit);
     void releaseJobs(util::SimTime now);
     void completeTasks(util::SimTime now);
+    void wakeServer(Server &server);
     void applyPowerStates();
     void scheduleTasks(util::SimTime now);
     int freeSlotsOn(const Server &server) const;
@@ -156,6 +158,8 @@ class ClusterSim : public WorkloadModel
     Trace _trace;
     Trace _pendingTrace;
     bool _hasPendingTrace = false;
+    bool _traceHasDeferrable = false;    ///< any_of(_trace), cached.
+    bool _pendingHasDeferrable = false;  ///< same for _pendingTrace.
     ComputePlan _plan = ComputePlan::passthrough();
 
     std::vector<Server> _servers;
@@ -164,9 +168,26 @@ class ClusterSim : public WorkloadModel
     std::deque<size_t> _runnableJobs;   ///< Jobs with queued tasks, FIFO.
     std::vector<Job> _deferredAbs;      ///< Held jobs, times absolute.
     std::vector<RunningTask> _running;
+    /** Earliest finishS in _running (INT64_MAX when empty-ish); lets
+        completeTasks() skip its scan on steps where nothing expires. */
+    int64_t _nextFinishS = INT64_MAX;
     size_t _nextJobIdx = 0;
     int _currentDay = -1;
     int _busySlots = 0;
+
+    // Incremental mirrors of quantities the hot loop used to recount by
+    // scanning (step() runs every 30 simulated seconds, so each O(N)
+    // rescan was a measurable slice of year runs).  Every state flip
+    // updates them in place; they must always equal the scan result.
+    int _sleepingServers = 0;       ///< Servers in ServerState::Sleeping.
+    int _decommissionedServers = 0; ///< Servers in Decommissioned.
+    int _freeActiveSlots = 0;       ///< Σ free slots over Active servers.
+    int64_t _queuedTasks = 0;       ///< Σ queued tasks over _runnableJobs.
+    std::vector<int> _podAwakeServers;  ///< Non-sleeping servers per pod.
+    std::vector<int> _podBusySlots;     ///< Busy slots per pod.
+    /** _plan.manageServerStates || any hour disallowed; recomputed only
+        when the plan changes instead of per step in releaseJobs(). */
+    bool _planManages = false;
 
     std::vector<int> _serverPreference;
     bool _preferenceDirty = true;

@@ -52,6 +52,13 @@ class WorkloadModel
     /** Current per-pod load for the plant. */
     virtual plant::PodLoad podLoad() const = 0;
 
+    /**
+     * Fill @p out with the current per-pod load.  The engine calls this
+     * every physics step with one reused buffer; implementations should
+     * override it allocation-free.  Must produce exactly podLoad().
+     */
+    virtual void podLoadInto(plant::PodLoad &out) const { out = podLoad(); }
+
     /** Current status for the Compute Manager. */
     virtual WorkloadStatus status() const = 0;
 };

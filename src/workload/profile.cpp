@@ -73,19 +73,45 @@ void
 ProfileWorkload::applyPlan(const ComputePlan &plan)
 {
     _plan = plan;
+    _loadDirty = true;
 }
 
 void
 ProfileWorkload::step(util::SimTime now, double dt_s)
 {
     (void)dt_s;
-    _demand = _profile.demandFraction(now);
+    double demand = _profile.demandFraction(now);
+    if (demand != _demand) {
+        _demand = demand;
+        _loadDirty = true;
+    }
 }
 
 plant::PodLoad
 ProfileWorkload::podLoad() const
 {
     plant::PodLoad load;
+    podLoadInto(load);
+    return load;
+}
+
+void
+ProfileWorkload::podLoadInto(plant::PodLoad &load) const
+{
+    if (_loadDirty) {
+        computeLoad(_cachedLoad);
+        _loadDirty = false;
+    }
+    load.serversPerPod = _cachedLoad.serversPerPod;
+    load.activeServers.assign(_cachedLoad.activeServers.begin(),
+                              _cachedLoad.activeServers.end());
+    load.utilization.assign(_cachedLoad.utilization.begin(),
+                            _cachedLoad.utilization.end());
+}
+
+void
+ProfileWorkload::computeLoad(plant::PodLoad &load) const
+{
     load.serversPerPod = _config.serversPerPod;
     load.activeServers.assign(size_t(_config.numPods), 0);
     load.utilization.assign(size_t(_config.numPods), 0.0);
@@ -101,13 +127,19 @@ ProfileWorkload::podLoad() const
     }
 
     // Pod preference order (covering subset keeps one server per pod).
-    std::vector<int> order;
-    if (!_plan.podOrder.empty()) {
-        order = _plan.podOrder;
-    } else {
-        for (int p = 0; p < _config.numPods; ++p)
-            order.push_back(p);
-    }
+    // Iterate the plan's order directly instead of materializing a
+    // default 0..N-1 vector per call.
+    auto forEachPod = [&](auto &&body) {
+        if (!_plan.podOrder.empty()) {
+            for (int pod : _plan.podOrder)
+                if (!body(pod))
+                    break;
+        } else {
+            for (int p = 0; p < _config.numPods; ++p)
+                if (!body(p))
+                    break;
+        }
+    };
 
     // One covering server per pod stays awake.
     int remaining = awake;
@@ -116,27 +148,28 @@ ProfileWorkload::podLoad() const
         remaining -= 1;
     }
     remaining = std::max(remaining, 0);
-    for (int pod : order) {
+    forEachPod([&](int pod) {
         if (remaining <= 0)
-            break;
+            return false;
         int room = _config.serversPerPod - load.activeServers[size_t(pod)];
         int grant = std::min(room, remaining);
         load.activeServers[size_t(pod)] += grant;
         remaining -= grant;
-    }
+        return true;
+    });
 
     // Busy slots fill awake servers, preferred pods first.
     double busy_slots = _demand * double(_config.totalSlots());
-    for (int pod : order) {
+    forEachPod([&](int pod) {
         double pod_slots = double(load.activeServers[size_t(pod)] *
                                   _config.slotsPerServer);
-        if (pod_slots <= 0.0)
-            continue;
-        double take = std::min(busy_slots, pod_slots);
-        load.utilization[size_t(pod)] = take / pod_slots;
-        busy_slots -= take;
-    }
-    return load;
+        if (pod_slots > 0.0) {
+            double take = std::min(busy_slots, pod_slots);
+            load.utilization[size_t(pod)] = take / pod_slots;
+            busy_slots -= take;
+        }
+        return true;
+    });
 }
 
 WorkloadStatus

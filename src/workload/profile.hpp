@@ -64,13 +64,24 @@ class ProfileWorkload : public WorkloadModel
     void applyPlan(const ComputePlan &plan) override;
     void step(util::SimTime now, double dt_s) override;
     plant::PodLoad podLoad() const override;
+    void podLoadInto(plant::PodLoad &out) const override;
     WorkloadStatus status() const override;
 
   private:
+    void computeLoad(plant::PodLoad &load) const;
+
     ClusterConfig _config;
     UtilizationProfile _profile;
     ComputePlan _plan = ComputePlan::passthrough();
     double _demand = 0.0;   ///< Current busy-slot fraction.
+
+    // The pod load is a pure function of (_demand, _plan), and both are
+    // piecewise-constant — demand changes once per profile interval,
+    // the plan once per control epoch — while podLoadInto() is queried
+    // every physics step.  Memoize the computed load and serve copies
+    // (values identical to a fresh computation by purity).
+    mutable plant::PodLoad _cachedLoad;
+    mutable bool _loadDirty = true;
 };
 
 } // namespace workload

@@ -312,6 +312,7 @@ randomSpec(Rng &rng)
     spec.endDay = spec.startDay + int(rng.uniformInt(1, 14));
     spec.physicsStepS = rng.uniform(5.0, 120.0);
     spec.seed = rng.next();
+    spec.weatherCache = rng.bernoulli(0.5);
 
     if (rng.bernoulli(0.3))
         spec.traceCsvPath = "/tmp/fuzz-trace.csv";

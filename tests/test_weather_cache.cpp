@@ -1,0 +1,152 @@
+/**
+ * @file
+ * CachedWeatherProvider equivalence: the cache is an exact memo, so
+ * every sample — on-grid (served from the table) or off-grid (passed
+ * through) — must equal the direct Climate evaluation bit for bit, and
+ * whole year runs must produce identical metrics with the cache on or
+ * off across actuator styles and systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "environment/location.hpp"
+#include "environment/weather_cache.hpp"
+#include "sim/scenario.hpp"
+#include "util/sim_time.hpp"
+
+using namespace coolair;
+
+namespace {
+
+void
+expectSampleEq(const environment::WeatherSample &a,
+               const environment::WeatherSample &b)
+{
+    EXPECT_EQ(a.tempC, b.tempC);
+    EXPECT_EQ(a.rhPercent, b.rhPercent);
+    EXPECT_EQ(a.absHumidity, b.absHumidity);
+}
+
+TEST(WeatherCacheGrid, StepSelection)
+{
+    // gcd with the forecaster's 300 s stride, day-aligned.
+    EXPECT_EQ(30, environment::weatherCacheGridStepS(30.0));
+    EXPECT_EQ(60, environment::weatherCacheGridStepS(60.0));
+    EXPECT_EQ(300, environment::weatherCacheGridStepS(300.0));
+    EXPECT_EQ(100, environment::weatherCacheGridStepS(700.0));
+    // Non-integral or nonpositive steps disable caching.
+    EXPECT_EQ(0, environment::weatherCacheGridStepS(30.5));
+    EXPECT_EQ(0, environment::weatherCacheGridStepS(0.0));
+    EXPECT_EQ(0, environment::weatherCacheGridStepS(-30.0));
+}
+
+TEST(WeatherCache, GridSamplesBitIdentical)
+{
+    environment::Climate climate =
+        environment::namedLocation(environment::NamedSite::Newark)
+            .makeClimate(7);
+    environment::CachedWeatherProvider cached(climate, 30);
+
+    // Two days of grid queries, each asked twice (fill + hit), against
+    // the direct evaluation — including the negative warm-up stretch a
+    // YearWeekly run starts from.
+    for (int64_t t = -2 * 3600; t < 2 * util::kSecondsPerDay; t += 30) {
+        util::SimTime now(t);
+        expectSampleEq(climate.sample(now), cached.sample(now));
+        expectSampleEq(climate.sample(now), cached.sample(now));
+    }
+    // Each grid instant was evaluated through the inner provider once.
+    int64_t instants = (2 * util::kSecondsPerDay + 2 * 3600) / 30;
+    EXPECT_EQ(instants, cached.underlyingEvals());
+}
+
+TEST(WeatherCache, BlockEvictionRefillsExactly)
+{
+    environment::Climate climate =
+        environment::namedLocation(environment::NamedSite::Santiago)
+            .makeClimate(11);
+    environment::CachedWeatherProvider cached(climate, 60);
+
+    util::SimTime day0(int64_t(0));
+    util::SimTime day5(5 * util::kSecondsPerDay);
+    util::SimTime day9(9 * util::kSecondsPerDay);
+
+    // Visit three distinct day blocks (only two are resident), then
+    // return to the first: its block was evicted and must refill with
+    // exactly the same values.
+    environment::WeatherSample first = cached.sample(day0);
+    cached.sample(day5);
+    cached.sample(day9);
+    environment::WeatherSample again = cached.sample(day0);
+    expectSampleEq(first, again);
+    expectSampleEq(climate.sample(day0), again);
+}
+
+TEST(WeatherCache, OffGridFallsThrough)
+{
+    environment::Climate climate =
+        environment::namedLocation(environment::NamedSite::Newark)
+            .makeClimate(3);
+    environment::CachedWeatherProvider cached(climate, 60);
+
+    util::SimTime off(int64_t(61));  // not on the 60 s grid
+    expectSampleEq(climate.sample(off), cached.sample(off));
+    int64_t evals = cached.underlyingEvals();
+    cached.sample(off);  // never memoized: evaluates again
+    EXPECT_EQ(evals + 1, cached.underlyingEvals());
+}
+
+/**
+ * The run-level lock: with the cache on (the default) a year run's
+ * metrics are bit-identical to the uncached direct-Climate path, across
+ * {Abrupt, Smooth} x {Baseline, AllNd}.
+ */
+class WeatherCacheYearEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<cooling::ActuatorStyle, sim::SystemId>>
+{
+};
+
+TEST_P(WeatherCacheYearEquivalence, MetricsIdentical)
+{
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.style = std::get<0>(GetParam());
+    spec.system = std::get<1>(GetParam());
+    spec.weeks = 2;
+
+    sim::ExperimentSpec direct = spec;
+    direct.weatherCache = false;
+
+    sim::ExperimentResult cached = sim::runExperiment(spec);
+    sim::ExperimentResult uncached = sim::runExperiment(direct);
+
+    EXPECT_EQ(cached.system.avgViolationC, uncached.system.avgViolationC);
+    EXPECT_EQ(cached.system.avgWorstDailyRangeC,
+              uncached.system.avgWorstDailyRangeC);
+    EXPECT_EQ(cached.system.minWorstDailyRangeC,
+              uncached.system.minWorstDailyRangeC);
+    EXPECT_EQ(cached.system.maxWorstDailyRangeC,
+              uncached.system.maxWorstDailyRangeC);
+    EXPECT_EQ(cached.system.pue, uncached.system.pue);
+    EXPECT_EQ(cached.system.itKwh, uncached.system.itKwh);
+    EXPECT_EQ(cached.system.coolingKwh, uncached.system.coolingKwh);
+    EXPECT_EQ(cached.system.humidityViolationFrac,
+              uncached.system.humidityViolationFrac);
+    EXPECT_EQ(cached.system.rateViolationFrac,
+              uncached.system.rateViolationFrac);
+    EXPECT_EQ(cached.system.avgMaxInletC, uncached.system.avgMaxInletC);
+    EXPECT_EQ(cached.system.days, uncached.system.days);
+    EXPECT_EQ(cached.outside.avgMaxInletC, uncached.outside.avgMaxInletC);
+    EXPECT_EQ(cached.outside.pue, uncached.outside.pue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StylesAndSystems, WeatherCacheYearEquivalence,
+    ::testing::Combine(::testing::Values(cooling::ActuatorStyle::Abrupt,
+                                         cooling::ActuatorStyle::Smooth),
+                       ::testing::Values(sim::SystemId::Baseline,
+                                         sim::SystemId::AllNd)));
+
+} // anonymous namespace
