@@ -23,6 +23,7 @@
 
 #include "environment/location.hpp"
 #include "sim/runner.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 using namespace coolair;
@@ -107,6 +108,8 @@ main()
     rc.progress = true;
     rc.progressEvery = 1;
     rc.progressLabel = "configurations";
+    // Progress goes through the logger at Info; keep it visible here.
+    util::Logger::instance().setLevel(util::LogLevel::Info);
     sim::ExperimentRunner runner(rc);
     sim::SweepOutcome outcome = runner.run(specs);
     for (const auto &f : outcome.failures)

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/runner.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace coolair {
@@ -61,6 +62,8 @@ runGrid(const std::vector<environment::NamedSite> &sites,
     rc.progress = true;
     rc.progressEvery = 1;
     rc.progressLabel = "site/system runs";
+    // Progress goes through the logger at Info; keep it visible here.
+    util::Logger::instance().setLevel(util::LogLevel::Info);
     sim::SweepOutcome outcome = sim::ExperimentRunner(rc).run(specs);
     for (const auto &f : outcome.failures)
         std::fprintf(stderr, "  FAILED %s / %s: %s\n",

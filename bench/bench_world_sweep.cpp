@@ -26,6 +26,7 @@
 
 #include "environment/world_grid.hpp"
 #include "sim/runner.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -78,6 +79,8 @@ main()
     sim::RunnerConfig rc;
     rc.progress = true;
     rc.progressEvery = 100;
+    // Progress goes through the logger at Info; keep it visible here.
+    util::Logger::instance().setLevel(util::LogLevel::Info);
     sim::ExperimentRunner runner(rc);
     std::fprintf(stderr, "running %zu experiments on %d threads\n",
                  specs.size(), runner.threads());

@@ -89,23 +89,41 @@ def main():
         except OSError:
             pass
 
+    # Markdown summary table: every benchmark either run appeared in,
+    # with a status column.  Benchmarks only in the fresh run are "new"
+    # (informational), only in the baseline are regressions (a gated
+    # benchmark vanished).
     regressions = []
-    print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
-    for name, base_t in sorted(baseline.items()):
-        if name not in fresh:
-            print(f"{name:40s} {base_t:12.1f} {'MISSING':>12s}")
+    rows = []
+    for name in sorted(set(baseline) | set(fresh)):
+        base_t = baseline.get(name)
+        new_t = fresh.get(name)
+        if base_t is None:
+            rows.append((name, "-", f"{new_t:.1f}", "-", "new"))
+            continue
+        if new_t is None:
+            rows.append((name, f"{base_t:.1f}", "-", "-", "MISSING"))
             regressions.append((name, "missing from fresh run"))
             continue
-        new_t = fresh[name]
         delta = (new_t - base_t) / base_t
-        flag = ""
+        status = "ok"
         if delta > args.threshold:
-            flag = "  << REGRESSION"
+            status = "**REGRESSION**"
             regressions.append((name, f"{delta:+.1%}"))
-        print(f"{name:40s} {base_t:12.1f} {new_t:12.1f} {delta:+7.1%}{flag}")
+        rows.append((name, f"{base_t:.1f}", f"{new_t:.1f}",
+                     f"{delta:+.1%}", status))
 
-    for name in sorted(set(fresh) - set(baseline)):
-        print(f"{name:40s} {'(new, not in baseline)':>12s}")
+    headers = ("benchmark", "baseline [ns]", "current [ns]", "delta",
+               "status")
+    widths = [max(len(headers[c]), max((len(r[c]) for r in rows),
+                                       default=0))
+              for c in range(len(headers))]
+    print("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) +
+          " |")
+    print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for r in rows:
+        print("| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) +
+              " |")
 
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} regression(s) beyond "

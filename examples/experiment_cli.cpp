@@ -21,6 +21,9 @@
  *     --weeks <n>       = weeks=<n>
  *     --max-temp <C>    = max_temp=<C>
  *     --forecast-bias <C> = forecast_bias=<C>
+ *     --report <path>   = report_json=<path>   (RunReport JSON manifest)
+ *     --trace-out <path> = trace_json=<path>   (Chrome trace-event JSON,
+ *                                               loadable in Perfetto)
  *
  * Examples:
  *   experiment_cli --spec examples/specs/fig8_newark_allnd.spec
@@ -128,6 +131,10 @@ main(int argc, char **argv)
                 sim::applySpecAssignment(spec, "max_temp=" + next());
             } else if (arg == "--forecast-bias") {
                 sim::applySpecAssignment(spec, "forecast_bias=" + next());
+            } else if (arg == "--report") {
+                sim::applySpecAssignment(spec, "report_json=" + next());
+            } else if (arg == "--trace-out") {
+                sim::applySpecAssignment(spec, "trace_json=" + next());
             } else if (arg == "--model-cache") {
                 model_cache = next();
             } else if (arg == "--reliability") {

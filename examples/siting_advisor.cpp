@@ -21,6 +21,7 @@
 
 #include "environment/world_grid.hpp"
 #include "sim/runner.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 using namespace coolair;
@@ -75,6 +76,8 @@ main(int argc, char **argv)
     rc.progress = true;
     rc.progressEvery = 2;
     rc.progressLabel = "candidate runs";
+    // Progress goes through the logger at Info; keep it visible here.
+    util::Logger::instance().setLevel(util::LogLevel::Info);
     sim::SweepOutcome sweep = sim::ExperimentRunner(rc).run(specs);
     for (const auto &f : sweep.failures)
         std::fprintf(stderr, "FAILED %s / %s: %s\n",

@@ -124,6 +124,12 @@ class CoolAir
     /** The learned bundle (model + ranking). */
     const model::LearnedBundle &bundle() const { return _bundle; }
 
+    /** The rollout engine (for stats harvesting / inspection). */
+    const CoolingPredictor &predictor() const { return _predictor; }
+
+    /** The regime selector (for stats harvesting / inspection). */
+    const CoolingOptimizer &optimizer() const { return _optimizer; }
+
   private:
     void refreshDay(util::SimTime now);
     cooling::Regime regimeFromStatus(const plant::CoolingStatus &cs) const;

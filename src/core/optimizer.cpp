@@ -36,6 +36,9 @@ CoolingOptimizer::choose(const CoolingPredictor &predictor,
                          const TemperatureBand &band,
                          Trajectory &traj_scratch) const
 {
+    ++_stats.epochs;
+    _stats.candidates += int64_t(_menu.candidates.size());
+
     OptimizerDecision best;
     bool have_best = false;
 

@@ -67,9 +67,20 @@ class CoolingOptimizer
     /** The utility configuration. */
     const UtilityConfig &utility() const { return _utility; }
 
+    /** Lifetime decision counters (plain increments on the
+        thread-private optimizer; harvested once per run). */
+    struct OptimizerStats
+    {
+        int64_t epochs = 0;      ///< choose() decisions made
+        int64_t candidates = 0;  ///< candidate regimes considered
+    };
+
+    OptimizerStats stats() const { return _stats; }
+
   private:
     cooling::RegimeMenu _menu;
     UtilityConfig _utility;
+    mutable OptimizerStats _stats;
 };
 
 } // namespace core

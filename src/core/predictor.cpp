@@ -88,6 +88,9 @@ CoolingPredictor::resolved(const cooling::TransitionKey &key) const
         _model->resolveTempModels(key, entry.temp);
         entry.humidity = _model->resolveHumidityModel(key);
         entry.valid = true;
+        ++_stats.resolveMisses;
+    } else {
+        ++_stats.resolveHits;
     }
     return entry;
 }
@@ -124,6 +127,8 @@ CoolingPredictor::predictScoredInto(const PredictorState &state,
 {
     using cooling::RegimeClass;
     using cooling::TransitionKey;
+
+    ++_stats.rollouts;
 
     const int pods = int(state.podTempC.size());
     if (pods > _model->config().numPods)
@@ -318,8 +323,10 @@ CoolingPredictor::predictScoredInto(const PredictorState &state,
                     bound +=
                         cfg.energyWeightPerKwh * traj.coolingEnergyKwh;
                 bound += score.switchTerm;
-                if (bound >= score.abandonAtScore)
+                if (bound >= score.abandonAtScore) {
+                    ++_stats.rolloutsAbandoned;
                     return false;
+                }
             }
         }
 

@@ -166,6 +166,18 @@ class CoolingPredictor
     /** The model driving predictions. */
     const model::CoolingModel &model() const { return *_model; }
 
+    /** Lifetime rollout / resolved-cache counters (plain increments on
+        the thread-private predictor; harvested once per run). */
+    struct PredictorStats
+    {
+        int64_t rollouts = 0;           ///< predictScoredInto calls
+        int64_t rolloutsAbandoned = 0;  ///< early-abandoned (bound hit)
+        int64_t resolveHits = 0;        ///< resolved() served from cache
+        int64_t resolveMisses = 0;      ///< resolved() filled an entry
+    };
+
+    PredictorStats stats() const { return _stats; }
+
   private:
     const model::CoolingModel *_model;
     int _horizonSteps;
@@ -196,6 +208,7 @@ class CoolingPredictor
     mutable std::vector<ResolvedModels> _resolveCache;
     mutable uint64_t _resolveRevision = 0;
     mutable bool _resolveCacheReady = false;
+    mutable PredictorStats _stats;
 };
 
 } // namespace core

@@ -58,6 +58,8 @@ CachedWeatherProvider::blockFor(int64_t block_start) const
     }
     // Evict the least-recently-used block, reusing its storage.
     Block &victim = _blocks[1 - _mru];
+    if (victim.active)
+        ++_stats.evictions;
     victim.startS = block_start;
     victim.active = true;
     victim.samples.resize(_entriesPerBlock);
@@ -72,6 +74,7 @@ CachedWeatherProvider::sample(util::SimTime t) const
     const int64_t s = t.seconds();
     if (_gridStepS <= 0) {
         ++_underlyingEvals;
+        ++_stats.passthrough;
         return _inner.sample(t);
     }
 
@@ -80,6 +83,7 @@ CachedWeatherProvider::sample(util::SimTime t) const
     const int64_t offset = s - block_start;
     if (offset % _gridStepS != 0) {
         ++_underlyingEvals;
+        ++_stats.passthrough;
         return _inner.sample(t);
     }
 
@@ -89,6 +93,9 @@ CachedWeatherProvider::sample(util::SimTime t) const
         block.samples[idx] = _inner.sample(t);
         block.filled[idx] = 1;
         ++_underlyingEvals;
+        ++_stats.misses;
+    } else {
+        ++_stats.hits;
     }
     return block.samples[idx];
 }

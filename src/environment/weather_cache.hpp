@@ -76,6 +76,17 @@ class CachedWeatherProvider : public WeatherProvider
     /** Underlying sample() evaluations so far (for tests/diagnostics). */
     int64_t underlyingEvals() const { return _underlyingEvals; }
 
+    /** Query-outcome counters, harvested once per run by the scenario. */
+    struct CacheStats
+    {
+        int64_t hits = 0;         ///< served from a memo table entry
+        int64_t misses = 0;       ///< grid query that filled an entry
+        int64_t evictions = 0;    ///< day blocks recycled (LRU)
+        int64_t passthrough = 0;  ///< off-grid / cache-disabled queries
+    };
+
+    CacheStats cacheStats() const { return _stats; }
+
   private:
     /** One day-aligned window of memoized grid samples. */
     struct Block
@@ -95,6 +106,7 @@ class CachedWeatherProvider : public WeatherProvider
     mutable Block _blocks[2];
     mutable int _mru = 0;
     mutable int64_t _underlyingEvals = 0;
+    mutable CacheStats _stats;
 };
 
 } // namespace environment

@@ -1,0 +1,32 @@
+#include "obs/report.hpp"
+
+namespace coolair {
+namespace obs {
+
+void
+writeRunReport(std::ostream &os, const RunReport &report,
+               const StatsRegistry &stats, const DumpOptions &options)
+{
+    os << "{\n";
+    os << "  \"spec\": " << jsonQuote(report.specText) << ",\n";
+    os << "  \"seed\": " << report.seed << ",\n";
+    os << "  \"wall_seconds\": " << formatDouble(report.wallSeconds) << ",\n";
+    os << "  \"sim_seconds\": " << formatDouble(report.simSeconds) << ",\n";
+    os << "  \"metrics\": {";
+    bool first = true;
+    for (const auto &[name, value] : report.metrics) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    " << jsonQuote(name) << ": " << formatDouble(value);
+    }
+    if (!first)
+        os << "\n  ";
+    os << "},\n";
+    os << "  \"stats\": ";
+    stats.dumpJson(os, options, 2);
+    os << "\n}\n";
+}
+
+} // namespace obs
+} // namespace coolair

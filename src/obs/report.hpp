@@ -1,0 +1,49 @@
+#ifndef COOLAIR_OBS_REPORT_HPP
+#define COOLAIR_OBS_REPORT_HPP
+
+/**
+ * @file
+ * Per-experiment run report: a JSON manifest capturing what was run
+ * (the spec, canonically formatted), how (seed, threads), how long
+ * (wall and simulated seconds), what came out (headline metrics), and
+ * every stat the run touched.  One report per experiment, written by
+ * the scenario layer when ExperimentSpec::reportJsonPath is set.
+ */
+
+#include "obs/stats.hpp"
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coolair {
+namespace obs {
+
+/** Everything a run report records besides the stats registry. */
+struct RunReport
+{
+    /** Canonical spec text (spec_io::formatSpec) — parseSpec round-trips. */
+    std::string specText;
+    uint64_t seed = 0;
+    double wallSeconds = 0.0;
+    double simSeconds = 0.0;
+    /** Headline metrics in insertion order (name, value). */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/**
+ * Write @p report plus @p stats as one JSON object.  Wall-clock fields
+ * (wall_seconds and kWallClock-flagged stats) are naturally
+ * nondeterministic; everything else is byte-reproducible, and passing
+ * options.skipWallClock + zeroing wallSeconds yields a fully
+ * deterministic document (what the byte-parity tests compare).
+ */
+void writeRunReport(std::ostream &os, const RunReport &report,
+                    const StatsRegistry &stats,
+                    const DumpOptions &options = {});
+
+} // namespace obs
+} // namespace coolair
+
+#endif // COOLAIR_OBS_REPORT_HPP

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace coolair {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_nextAutoTrack{1000};
+
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// -1 = unassigned; lazily replaced with a process-unique id on first
+// read so untracked threads still get distinct tracks.
+thread_local int t_track = -1;
+
+} // anonymous namespace
+
+void
+setThreadTrack(int tid)
+{
+    t_track = tid;
+}
+
+int
+threadTrack()
+{
+    if (t_track < 0)
+        t_track = g_nextAutoTrack.fetch_add(1, std::memory_order_relaxed);
+    return t_track;
+}
+
+Tracer::Tracer() : _epochNs(steadyNowNs())
+{
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+int64_t
+Tracer::nowUs() const
+{
+    return (steadyNowNs() - _epochNs) / 1000;
+}
+
+void
+Tracer::recordComplete(const std::string &name, const std::string &cat,
+                       int64_t tsUs, int64_t durUs, int tid)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    _events.push_back(TraceEvent{name, cat, tsUs, durUs, tid});
+}
+
+void
+Tracer::nameTrack(int tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto &entry : _trackNames) {
+        if (entry.first == tid) {
+            entry.second = name;
+            return;
+        }
+    }
+    _trackNames.emplace_back(tid, name);
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events.size();
+}
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    std::vector<TraceEvent> events;
+    std::vector<std::pair<int, std::string>> tracks;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        events = _events;
+        tracks = _trackNames;
+    }
+    // Stable order: by start time, then track; makes the export
+    // reproducible for a given set of events.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.tsUs != b.tsUs)
+                             return a.tsUs < b.tsUs;
+                         return a.tid < b.tid;
+                     });
+    std::sort(tracks.begin(), tracks.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
+    os << "{\n  \"traceEvents\": [";
+    bool first = true;
+    for (const auto &[tid, name] : tracks) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1"
+           << ", \"tid\": " << tid
+           << ", \"args\": {\"name\": " << jsonQuote(name) << "}}";
+    }
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    {\"name\": " << jsonQuote(e.name)
+           << ", \"cat\": " << jsonQuote(e.cat)
+           << ", \"ph\": \"X\", \"pid\": 1"
+           << ", \"tid\": " << e.tid
+           << ", \"ts\": " << e.tsUs
+           << ", \"dur\": " << e.durUs << "}";
+    }
+    if (!first)
+        os << "\n  ";
+    os << "],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _events.clear();
+    _trackNames.clear();
+}
+
+} // namespace obs
+} // namespace coolair

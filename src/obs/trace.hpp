@@ -1,0 +1,143 @@
+#ifndef COOLAIR_OBS_TRACE_HPP
+#define COOLAIR_OBS_TRACE_HPP
+
+/**
+ * @file
+ * Scoped-span tracing with Chrome trace-event JSON export.
+ *
+ * Spans are RAII: constructing an obs::Span records the start time,
+ * destruction records a complete ("ph":"X") event into the process-wide
+ * Tracer.  When tracing is disabled (the default) a Span costs one
+ * relaxed atomic load and nothing else.
+ *
+ * Tracks: each event carries a tid.  By default that is a process-unique
+ * id assigned per OS thread on first use; the runner instead calls
+ * setThreadTrack(worker) on each worker so the exported trace shows one
+ * named track per worker ("worker 0", "worker 1", ...), matching how the
+ * sweep actually parallelises.  The resulting file loads directly in
+ * Perfetto / chrome://tracing.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coolair {
+namespace obs {
+
+/** One complete trace event (Chrome trace-event "ph":"X"). */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    int64_t tsUs = 0;   ///< start, microseconds since tracer epoch
+    int64_t durUs = 0;  ///< duration, microseconds
+    int tid = 0;        ///< track id (see setThreadTrack)
+};
+
+/**
+ * The process-wide trace-event buffer.  Thread-safe; disabled by
+ * default.  Events accumulate in memory until writeJson()/clear().
+ */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    bool enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool on)
+    {
+        _enabled.store(on, std::memory_order_relaxed);
+    }
+
+    /** Microseconds since the tracer's epoch (first use), steady clock. */
+    int64_t nowUs() const;
+
+    /** Append one complete event (no-op unless enabled). */
+    void recordComplete(const std::string &name, const std::string &cat,
+                        int64_t tsUs, int64_t durUs, int tid);
+
+    /** Label a track in the exported trace ("worker 0", "main", ...). */
+    void nameTrack(int tid, const std::string &name);
+
+    size_t eventCount() const;
+
+    /**
+     * Write the buffered events as a Chrome trace-event JSON object
+     * (`{"traceEvents": [...]}`), including thread_name metadata events
+     * for named tracks.  Loadable in Perfetto / chrome://tracing.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Drop all buffered events and track names. */
+    void clear();
+
+  private:
+    Tracer();
+
+    std::atomic<bool> _enabled{false};
+    int64_t _epochNs = 0;
+    mutable std::mutex _mutex;
+    std::vector<TraceEvent> _events;
+    std::vector<std::pair<int, std::string>> _trackNames;
+};
+
+/**
+ * Bind the calling thread to trace track @p tid.  The runner calls this
+ * with the worker index so every event a worker emits lands on its own
+ * track.  Threads that never call it get a process-unique track id.
+ */
+void setThreadTrack(int tid);
+
+/** The calling thread's current trace track id. */
+int threadTrack();
+
+/**
+ * RAII scoped span: records a complete event covering the scope's
+ * lifetime.  Near-free when tracing is disabled.
+ */
+class Span
+{
+  public:
+    Span(const char *name, const char *cat = "sim")
+    {
+        Tracer &t = Tracer::instance();
+        if (t.enabled()) {
+            _name = name;
+            _cat = cat;
+            _startUs = t.nowUs();
+            _active = true;
+        }
+    }
+
+    ~Span()
+    {
+        if (_active) {
+            Tracer &t = Tracer::instance();
+            int64_t end = t.nowUs();
+            t.recordComplete(_name, _cat, _startUs, end - _startUs,
+                             threadTrack());
+        }
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *_name = nullptr;
+    const char *_cat = nullptr;
+    int64_t _startUs = 0;
+    bool _active = false;
+};
+
+} // namespace obs
+} // namespace coolair
+
+#endif // COOLAIR_OBS_TRACE_HPP

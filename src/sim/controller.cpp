@@ -80,5 +80,29 @@ CoolAirController::epochS() const
     return _coolair.config().controlEpochS;
 }
 
+void
+CoolAirController::addStats(obs::StatsRegistry &reg) const
+{
+    const core::CoolingPredictor::PredictorStats p =
+        _coolair.predictor().stats();
+    reg.counter("predictor.rollouts", "candidate rollouts started")
+        .add(p.rollouts);
+    reg.counter("predictor.rollouts_abandoned",
+                "rollouts cut short by the score lower bound")
+        .add(p.rolloutsAbandoned);
+    reg.counter("predictor.resolve_hits",
+                "model resolutions served from the revision cache")
+        .add(p.resolveHits);
+    reg.counter("predictor.resolve_misses",
+                "model resolutions that walked the fallback chain")
+        .add(p.resolveMisses);
+
+    const core::CoolingOptimizer::OptimizerStats o =
+        _coolair.optimizer().stats();
+    reg.counter("optimizer.epochs", "control decisions made").add(o.epochs);
+    reg.counter("optimizer.candidates", "candidate regimes considered")
+        .add(o.candidates);
+}
+
 } // namespace sim
 } // namespace coolair

@@ -13,6 +13,7 @@
 #include "cooling/regime.hpp"
 #include "cooling/tks.hpp"
 #include "core/coolair.hpp"
+#include "obs/stats.hpp"
 #include "plant/parasol.hpp"
 #include "workload/compute_plan.hpp"
 #include "workload/model.hpp"
@@ -45,6 +46,12 @@ class Controller
 
     /** Display name for reports. */
     virtual const char *name() const = 0;
+
+    /**
+     * Publish controller-internal counters into @p reg (scenario-run
+     * harvest; called at most once per run).  Default: nothing.
+     */
+    virtual void addStats(obs::StatsRegistry &reg) const { (void)reg; }
 };
 
 /**
@@ -116,6 +123,8 @@ class CoolAirController : public Controller
 
     int64_t epochS() const override;
     const char *name() const override { return _name; }
+
+    void addStats(obs::StatsRegistry &reg) const override;
 
     /** The wrapped manager (for inspection). */
     const core::CoolAir &coolair() const { return _coolair; }

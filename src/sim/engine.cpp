@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace coolair {
@@ -32,6 +33,9 @@ Engine::sample(util::SimTime now, bool collect,
         _workload.podLoadInto(_load);
         ControlDecision decision =
             _controller.control(_sensors, status, _load, now);
+        ++_stats.controlEpochs;
+        if (!(decision.regime == _command))
+            ++_stats.regimeTransitions;
         _command = decision.regime;
         if (decision.hasPlan)
             _workload.applyPlan(decision.plan);
@@ -40,6 +44,10 @@ Engine::sample(util::SimTime now, bool collect,
 
     if (!collect)
         return;
+
+    ++_stats.samples;
+    if (_sensors.cooling.mode == cooling::Mode::AirConditioning)
+        ++_acSamples;
 
     if (_metrics) {
         _metrics->record(now, _sensors, double(_config.sampleIntervalS));
@@ -90,6 +98,7 @@ Engine::runRange(util::SimTime start, util::SimTime end, bool collect)
                     "physics step");
 
     for (int64_t t = start.seconds(); t < end.seconds(); t += step) {
+        ++_stats.steps;
         util::SimTime now(t);
         // One weather evaluation serves the metrics/trace sample and the
         // physics step at this instant (sample() used to re-evaluate the
@@ -107,6 +116,7 @@ Engine::runRange(util::SimTime start, util::SimTime end, bool collect)
 void
 Engine::runDay(int day_of_year)
 {
+    obs::Span span("engine.runDay");
     util::SimTime day_start =
         util::SimTime(int64_t(day_of_year) * util::kSecondsPerDay);
     util::SimTime warm_start = day_start - _config.warmupS;
@@ -123,6 +133,7 @@ Engine::runDayRange(int start_day, int end_day)
 {
     if (end_day <= start_day)
         return;
+    obs::Span span("engine.runDayRange");
 
     util::SimTime start =
         util::SimTime(int64_t(start_day) * util::kSecondsPerDay);

@@ -105,6 +105,26 @@ class Engine
      */
     void runYearWeekly(int weeks = 52);
 
+    /** Lifetime stepping counters (plain increments; harvested once per
+        run by the scenario). */
+    struct EngineStats
+    {
+        int64_t steps = 0;              ///< physics steps taken
+        int64_t samples = 0;            ///< collected metric samples
+        int64_t controlEpochs = 0;      ///< controller invocations
+        int64_t regimeTransitions = 0;  ///< commanded regime changes
+        int64_t acMinutes = 0;          ///< collected minutes in AC mode
+    };
+
+    EngineStats stats() const
+    {
+        EngineStats s = _stats;
+        // _stats tallies AC *samples*; scale by the sample interval so
+        // the harvested figure is wall-of-simulation minutes.
+        s.acMinutes = _acSamples * _config.sampleIntervalS / 60;
+        return s;
+    }
+
   private:
     void sample(util::SimTime now, bool collect,
                 const environment::WeatherSample &outside);
@@ -120,6 +140,9 @@ class Engine
 
     cooling::Regime _command;
     int64_t _nextControlS = 0;
+
+    EngineStats _stats;
+    int64_t _acSamples = 0;
 
     // Reused across every step/sample so steady-state stepping performs
     // no heap allocation (buffers reach capacity within one sample).

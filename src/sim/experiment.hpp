@@ -142,6 +142,14 @@ struct ExperimentSpec
     /** When non-empty, the scenario dumps its trace as CSV to this path. */
     std::string traceCsvPath;
 
+    /** When non-empty, write a RunReport JSON manifest here (spec echo,
+        seed, wall/sim time, all stats the run touched). */
+    std::string reportJsonPath;
+
+    /** When non-empty, export the Chrome trace-event JSON here (and
+        enable the tracer for this run). */
+    std::string traceJsonPath;
+
     /**
      * Tuning overrides for CoolAir systems (the bench_ablation knobs).
      * Unset means "use the Table 1 version preset".

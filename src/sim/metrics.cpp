@@ -28,6 +28,8 @@ MetricsCollector::record(util::SimTime now,
     int day = int(now.seconds() / util::kSecondsPerDay);
     double max_inlet = sensors.maxPodInletC();
     _maxInlet.add(max_inlet);
+    if (max_inlet > _config.maxTempC)
+        ++_violationSamples;
 
     for (int p = 0; p < _numPods; ++p) {
         double t = sensors.podInletC[size_t(p)];

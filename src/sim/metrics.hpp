@@ -86,6 +86,10 @@ class MetricsCollector
     /** The configuration in effect. */
     const MetricsConfig &config() const { return _config; }
 
+    /** Samples whose max pod inlet exceeded the desired maximum (the
+        numerator of the paper's violation-minutes figure). */
+    int64_t violationSamples() const { return _violationSamples; }
+
   private:
     MetricsConfig _config;
     int _numPods;
@@ -99,6 +103,7 @@ class MetricsCollector
     size_t _humidityViolations = 0;
     size_t _rateViolations = 0;
     size_t _samples = 0;
+    int64_t _violationSamples = 0;
 
     /** Ring of (time, per-pod temps) for windowed rate measurement. */
     struct RateSample

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <thread>
 
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace coolair {
@@ -61,25 +65,88 @@ ExperimentRunner::forEach(size_t count,
     std::atomic<size_t> done{0};
     std::vector<std::vector<TaskFailure>> per_worker(workers);
 
+    const auto sweep_start = std::chrono::steady_clock::now();
+
     auto work = [&](size_t slot) {
+        // One trace track per worker, so the exported trace shows the
+        // sweep's real parallel structure.
+        obs::setThreadTrack(int(slot));
+        obs::Tracer &tracer = obs::Tracer::instance();
+        if (tracer.enabled())
+            tracer.nameTrack(int(slot), "worker " + std::to_string(slot));
+
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 return;
+
+            const bool timing = obs::enabled() || tracer.enabled();
+            std::chrono::steady_clock::time_point job_start;
+            int64_t ts_us = 0;
+            if (timing) {
+                job_start = std::chrono::steady_clock::now();
+                ts_us = tracer.nowUs();
+            }
+
+            bool failed = false;
             try {
                 fn(i);
             } catch (const std::exception &e) {
+                failed = true;
                 per_worker[slot].push_back({i, e.what()});
             } catch (...) {
+                failed = true;
                 per_worker[slot].push_back({i, "unknown exception"});
             }
+
+            if (timing) {
+                const auto job_end = std::chrono::steady_clock::now();
+                if (tracer.enabled())
+                    tracer.recordComplete(
+                        _config.progressLabel + " #" + std::to_string(i),
+                        "runner", ts_us, tracer.nowUs() - ts_us, int(slot));
+                if (obs::enabled()) {
+                    obs::StatsRegistry &reg = obs::registry();
+                    reg.counter("runner.jobs", "jobs completed").inc();
+                    if (failed)
+                        reg.counter("runner.job_failures",
+                                    "jobs that threw")
+                            .inc();
+                    reg.histogram("runner.job_seconds",
+                                  "per-job wall time [s]", obs::kWallClock)
+                        .record(std::chrono::duration<double>(job_end -
+                                                              job_start)
+                                    .count());
+                    reg.histogram(
+                           "runner.queue_wait_seconds",
+                           "delay from sweep start to job start [s]",
+                           obs::kWallClock)
+                        .record(std::chrono::duration<double>(job_start -
+                                                              sweep_start)
+                                    .count());
+                }
+            }
+
             size_t finished =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (_config.progress &&
                 (finished % std::max<size_t>(1, _config.progressEvery) == 0 ||
-                 finished == count))
-                std::fprintf(stderr, "  %zu/%zu %s done\n", finished, count,
-                             _config.progressLabel.c_str());
+                 finished == count)) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - sweep_start)
+                        .count();
+                const double rate =
+                    elapsed > 0.0 ? double(finished) / elapsed : 0.0;
+                const double eta =
+                    rate > 0.0 ? double(count - finished) / rate : 0.0;
+                char line[192];
+                std::snprintf(line, sizeof(line),
+                              "%zu/%zu %s done (%.1f jobs/s, ETA %.0f s)",
+                              finished, count, _config.progressLabel.c_str(),
+                              rate, eta);
+                util::inform(line);
+            }
         }
     };
 

@@ -45,7 +45,12 @@ struct RunnerConfig
      */
     int threads = 0;
 
-    /** Emit progress lines to stderr while jobs complete. */
+    /**
+     * Emit progress lines (completed count, jobs/s throughput, ETA)
+     * while jobs complete.  Lines go through util::Logger at Info
+     * level, so the process must run with the level at Info or lower
+     * (setLevel or COOLAIR_LOG_LEVEL=info) to see them.
+     */
     bool progress = false;
 
     /** Report every this-many completed jobs (and at the end). */

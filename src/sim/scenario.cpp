@@ -1,9 +1,12 @@
 #include "sim/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "sim/spec_io.hpp"
 #include "sim/trace_csv.hpp"
 #include "util/logging.hpp"
 #include "workload/cluster.hpp"
@@ -147,22 +150,131 @@ makeController(const ExperimentSpec &spec,
 ExperimentResult
 Scenario::run()
 {
-    switch (_spec.runKind) {
-      case RunKind::YearWeekly:
-        _engine->runYearWeekly(_spec.weeks);
-        break;
-      case RunKind::SingleDay:
-        _engine->runDay(_spec.day);
-        break;
-      case RunKind::DayRange:
-        _engine->runDayRange(_spec.startDay, _spec.endDay);
-        break;
+    const bool want_report = !_spec.reportJsonPath.empty();
+    std::chrono::steady_clock::time_point t0;
+    if (want_report)
+        t0 = std::chrono::steady_clock::now();
+
+    {
+        obs::Span span("scenario.run");
+        switch (_spec.runKind) {
+          case RunKind::YearWeekly:
+            _engine->runYearWeekly(_spec.weeks);
+            break;
+          case RunKind::SingleDay:
+            _engine->runDay(_spec.day);
+            break;
+          case RunKind::DayRange:
+            _engine->runDayRange(_spec.startDay, _spec.endDay);
+            break;
+        }
     }
 
     ExperimentResult result;
     result.system = _metrics->summary();
     result.outside = _metrics->outsideSummary();
+
+    // Everything below runs after the simulation finished, so it can't
+    // perturb sim results; with obs off and no report requested it is
+    // skipped entirely.
+    if (obs::enabled() || want_report) {
+        obs::StatsRegistry local;
+        collectStats(local);
+        if (obs::enabled())
+            obs::registry().merge(local);
+        if (want_report) {
+            double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            writeReport(result, local, wall);
+        }
+    }
+
+    if (!_spec.traceJsonPath.empty()) {
+        std::ofstream os(_spec.traceJsonPath);
+        if (!os)
+            throw std::runtime_error(
+                "Scenario: cannot open trace JSON path: " +
+                _spec.traceJsonPath);
+        obs::Tracer::instance().writeJson(os);
+    }
     return result;
+}
+
+void
+Scenario::collectStats(obs::StatsRegistry &reg) const
+{
+    if (_weather) {
+        environment::CachedWeatherProvider::CacheStats cs =
+            _weather->cacheStats();
+        reg.counter("weather.cache.hits", "grid queries served from memo")
+            .add(cs.hits);
+        reg.counter("weather.cache.misses", "grid queries that evaluated")
+            .add(cs.misses);
+        reg.counter("weather.cache.evictions", "day blocks recycled (LRU)")
+            .add(cs.evictions);
+        reg.counter("weather.cache.passthrough",
+                    "off-grid or cache-disabled queries")
+            .add(cs.passthrough);
+        reg.counter("weather.underlying_evals",
+                    "climate-model evaluations actually performed")
+            .add(_weather->underlyingEvals());
+    }
+
+    _controller->addStats(reg);
+
+    Engine::EngineStats es = _engine->stats();
+    reg.counter("engine.steps", "physics steps taken").add(es.steps);
+    reg.counter("engine.samples", "collected metric samples")
+        .add(es.samples);
+    reg.counter("engine.control_epochs", "controller invocations")
+        .add(es.controlEpochs);
+    reg.counter("engine.regime_transitions", "commanded regime changes")
+        .add(es.regimeTransitions);
+    reg.counter("engine.ac_minutes",
+                "collected simulated minutes in AC mode")
+        .add(es.acMinutes);
+
+    const int64_t sample_s =
+        std::max<int64_t>(60, int64_t(_spec.physicsStepS));
+    reg.counter("metrics.violation_minutes",
+                "simulated minutes with max inlet above the desired max")
+        .add(_metrics->violationSamples() * sample_s / 60);
+}
+
+void
+Scenario::writeReport(const ExperimentResult &result,
+                      const obs::StatsRegistry &stats,
+                      double wall_seconds) const
+{
+    obs::RunReport report;
+    report.specText = formatSpec(_spec);
+    report.seed = _spec.seed;
+    report.wallSeconds = wall_seconds;
+    // Exact simulated span, warm-ups included: every physics step
+    // advances the clock by one step.
+    report.simSeconds = double(_engine->stats().steps) * _spec.physicsStepS;
+
+    const Summary &s = result.system;
+    report.metrics = {
+        {"avg_violation_c", s.avgViolationC},
+        {"avg_worst_daily_range_c", s.avgWorstDailyRangeC},
+        {"min_worst_daily_range_c", s.minWorstDailyRangeC},
+        {"max_worst_daily_range_c", s.maxWorstDailyRangeC},
+        {"pue", s.pue},
+        {"it_kwh", s.itKwh},
+        {"cooling_kwh", s.coolingKwh},
+        {"humidity_violation_frac", s.humidityViolationFrac},
+        {"rate_violation_frac", s.rateViolationFrac},
+        {"avg_max_inlet_c", s.avgMaxInletC},
+        {"days", double(s.days)},
+    };
+
+    std::ofstream os(_spec.reportJsonPath);
+    if (!os)
+        throw std::runtime_error("Scenario: cannot open report JSON path: " +
+                                 _spec.reportJsonPath);
+    obs::writeRunReport(os, report, stats);
 }
 
 void
@@ -235,6 +347,11 @@ ScenarioBuilder::build()
 
     auto scenario = std::unique_ptr<Scenario>(new Scenario());
     scenario->_spec = _spec;
+
+    // A trace export request turns the process-wide tracer on for the
+    // whole run (spans recorded by any component from here on).
+    if (!_spec.traceJsonPath.empty())
+        obs::Tracer::instance().setEnabled(true);
 
     // Assembly order mirrors the original runYearExperiment exactly.
     plant::PlantConfig pc = plantConfigFor(_spec);

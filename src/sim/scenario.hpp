@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "environment/weather_cache.hpp"
+#include "obs/report.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/model_plant.hpp"
@@ -95,8 +96,24 @@ makeController(const ExperimentSpec &spec,
 class Scenario
 {
   public:
-    /** Run per spec().runKind and return the summary metrics. */
+    /**
+     * Run per spec().runKind and return the summary metrics.
+     *
+     * Observability hooks fire after the simulation finishes, so they
+     * cannot perturb it: component counters are harvested into a local
+     * registry (merged into obs::registry() when obs::enabled()), a
+     * RunReport is written when spec().reportJsonPath is set, and the
+     * buffered trace is exported when spec().traceJsonPath is set.
+     */
     ExperimentResult run();
+
+    /**
+     * Harvest every component counter (weather cache, controller,
+     * engine, metrics) into @p reg.  All values are simulation-
+     * deterministic; call at most once per run (counters are lifetime
+     * totals, re-harvesting double-counts on merge).
+     */
+    void collectStats(obs::StatsRegistry &reg) const;
 
     /** Add a trace sink (fan-out; the CSV sink coexists with these). */
     void addTraceSink(TraceSink sink);
@@ -128,6 +145,9 @@ class Scenario
     Scenario() = default;
 
     void installFanout();
+    void writeReport(const ExperimentResult &result,
+                     const obs::StatsRegistry &stats,
+                     double wall_seconds) const;
 
     ExperimentSpec _spec;
     std::unique_ptr<environment::Climate> _climate;

@@ -288,6 +288,10 @@ formatSpec(const ExperimentSpec &spec)
 
     if (!spec.traceCsvPath.empty())
         os << "trace_csv = " << spec.traceCsvPath << "\n";
+    if (!spec.reportJsonPath.empty())
+        os << "report_json = " << spec.reportJsonPath << "\n";
+    if (!spec.traceJsonPath.empty())
+        os << "trace_json = " << spec.traceJsonPath << "\n";
     if (spec.bandWidthC)
         os << "band_width = " << fmtDouble(*spec.bandWidthC) << "\n";
     if (spec.bandOffsetC)
@@ -372,6 +376,10 @@ applyKeyValue(ExperimentSpec &spec, const std::string &key,
         spec.weatherCache = parseBool(key, value);
     else if (key == "trace_csv")
         spec.traceCsvPath = value;
+    else if (key == "report_json")
+        spec.reportJsonPath = value;
+    else if (key == "trace_json")
+        spec.traceJsonPath = value;
     else if (key == "band_width")
         spec.bandWidthC = parseDouble(key, value);
     else if (key == "band_offset")

@@ -1,19 +1,54 @@
 #include "util/logging.hpp"
 
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
 namespace coolair {
 namespace util {
+
+namespace {
+
+/** Serializes stderr emission so worker threads never interleave
+    partial lines. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** COOLAIR_LOG_LEVEL=debug|info|warn|error (unset/invalid: Warn). */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("COOLAIR_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::Error;
+    return LogLevel::Warn;
+}
+
+} // anonymous namespace
 
 Logger &
 Logger::instance()
 {
-    static Logger logger;
+    static Logger logger(levelFromEnv());
     return logger;
 }
 
 void
 Logger::log(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(_level))
+    if (static_cast<int>(level) < static_cast<int>(this->level()))
         return;
 
     const char *tag = "";
@@ -23,7 +58,17 @@ Logger::log(LogLevel level, const std::string &msg)
       case LogLevel::Warn:  tag = "warn";  break;
       case LogLevel::Error: tag = "error"; break;
     }
-    std::cerr << "[coolair:" << tag << "] " << msg << "\n";
+
+    // Format the whole line locally, then emit it in one shot under the
+    // mutex: concurrent workers get whole lines, never interleaved
+    // fragments.
+    std::ostringstream line;
+    line << "[coolair:" << tag << "] " << msg << "\n";
+    const std::string text = line.str();
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << text;
+    }
 }
 
 void
@@ -47,14 +92,20 @@ debug(const std::string &msg)
 void
 panic(const std::string &msg)
 {
-    std::cerr << "[coolair:panic] " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "[coolair:panic] " << msg << std::endl;
+    }
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::cerr << "[coolair:fatal] " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "[coolair:fatal] " << msg << std::endl;
+    }
     std::exit(1);
 }
 

@@ -10,6 +10,7 @@
  * inform() for status reporting.
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -29,7 +30,12 @@ enum class LogLevel
 
 /**
  * Global log configuration.  The level defaults to Warn so that library
- * consumers are not spammed; tests and benches raise it as needed.
+ * consumers are not spammed; tests and benches raise it as needed, and
+ * the COOLAIR_LOG_LEVEL environment variable (debug/info/warn/error)
+ * overrides the default at first use.
+ *
+ * Thread-safe: messages are formatted locally and emitted whole under a
+ * mutex, so concurrent workers never interleave partial lines.
  */
 class Logger
 {
@@ -38,18 +44,21 @@ class Logger
     static Logger &instance();
 
     /** Set the minimum level that gets emitted. */
-    void setLevel(LogLevel level) { _level = level; }
+    void setLevel(LogLevel level)
+    {
+        _level.store(level, std::memory_order_relaxed);
+    }
 
     /** Current minimum level. */
-    LogLevel level() const { return _level; }
+    LogLevel level() const { return _level.load(std::memory_order_relaxed); }
 
     /** Emit a message if @p level is at or above the configured level. */
     void log(LogLevel level, const std::string &msg);
 
   private:
-    Logger() = default;
+    explicit Logger(LogLevel level) : _level(level) {}
 
-    LogLevel _level = LogLevel::Warn;
+    std::atomic<LogLevel> _level;
 };
 
 /** Emit an informational message (normal operation). */

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Observability-layer tests: registry naming and dump determinism,
+ * histogram edge cases, merge semantics, concurrent accumulation (the
+ * TSan target), trace-event JSON well-formedness, RunReport round-trip,
+ * and the locked acceptance property — stats and report output are
+ * byte-identical across worker-pool thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "environment/world_grid.hpp"
+#include "obs/report.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "sim/spec_io.hpp"
+
+using namespace coolair;
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON well-formedness checker for the subset
+ * the obs writers emit (objects, arrays, strings, numbers, bools).
+ * Throws std::runtime_error on malformed input.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : _s(text) {}
+
+    void check()
+    {
+        skipWs();
+        value();
+        skipWs();
+        if (_i != _s.size())
+            fail("trailing characters");
+    }
+
+  private:
+    void value()
+    {
+        if (_i >= _s.size())
+            fail("unexpected end");
+        char c = _s[_i];
+        if (c == '{')
+            object();
+        else if (c == '[')
+            array();
+        else if (c == '"')
+            string();
+        else if (c == '-' || std::isdigit(uint8_t(c)))
+            number();
+        else if (_s.compare(_i, 4, "true") == 0)
+            _i += 4;
+        else if (_s.compare(_i, 5, "false") == 0)
+            _i += 5;
+        else
+            fail("unexpected token");
+    }
+
+    void object()
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++_i;
+            return;
+        }
+        while (true) {
+            skipWs();
+            string();
+            skipWs();
+            expect(':');
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') {
+                ++_i;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void array()
+    {
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++_i;
+            return;
+        }
+        while (true) {
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') {
+                ++_i;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    void string()
+    {
+        expect('"');
+        while (true) {
+            if (_i >= _s.size())
+                fail("unterminated string");
+            char c = _s[_i++];
+            if (c == '"')
+                return;
+            if (c == '\\') {
+                if (_i >= _s.size())
+                    fail("bad escape");
+                char e = _s[_i++];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k, ++_i)
+                        if (_i >= _s.size() ||
+                            !std::isxdigit(uint8_t(_s[_i])))
+                            fail("bad \\u escape");
+                } else if (!strchr("\"\\/bfnrt", e)) {
+                    fail("bad escape char");
+                }
+            }
+        }
+    }
+
+    void number()
+    {
+        size_t start = _i;
+        if (peek() == '-')
+            ++_i;
+        while (_i < _s.size() &&
+               (std::isdigit(uint8_t(_s[_i])) || _s[_i] == '.' ||
+                _s[_i] == 'e' || _s[_i] == 'E' || _s[_i] == '+' ||
+                _s[_i] == '-'))
+            ++_i;
+        if (_i == start)
+            fail("bad number");
+    }
+
+    char peek() const { return _i < _s.size() ? _s[_i] : '\0'; }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_i;
+    }
+
+    void skipWs()
+    {
+        while (_i < _s.size() && std::isspace(uint8_t(_s[_i])))
+            ++_i;
+    }
+
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(_i) + ": " + why);
+    }
+
+    const std::string &_s;
+    size_t _i = 0;
+};
+
+void
+expectValidJson(const std::string &text)
+{
+    try {
+        JsonChecker(text).check();
+    } catch (const std::runtime_error &e) {
+        FAIL() << e.what() << "\nin:\n" << text;
+    }
+}
+
+/** Decode one JSON string literal's escapes (the subset jsonQuote emits). */
+std::string
+unescapeJsonString(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        char e = s[++i];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            out += char(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+            i += 4;
+            break;
+          default: out += e; break;
+        }
+    }
+    return out;
+}
+
+/** Extract the raw (escaped) value of a top-level "key": "..." field. */
+std::string
+extractStringField(const std::string &json, const std::string &key)
+{
+    std::string marker = "\"" + key + "\": \"";
+    size_t start = json.find(marker);
+    EXPECT_NE(std::string::npos, start) << "no field " << key;
+    start += marker.size();
+    size_t end = start;
+    while (end < json.size() && json[end] != '"') {
+        if (json[end] == '\\')
+            ++end;
+        ++end;
+    }
+    return json.substr(start, end - start);
+}
+
+/** Global obs state is process-wide; reset it around every test. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setEnabled(false);
+        obs::registry().clear();
+        obs::Tracer::instance().setEnabled(false);
+        obs::Tracer::instance().clear();
+    }
+
+    void TearDown() override
+    {
+        obs::setEnabled(false);
+        obs::registry().clear();
+        obs::Tracer::instance().setEnabled(false);
+        obs::Tracer::instance().clear();
+    }
+};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// Registry: names, kinds, dumps.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RegistrationReturnsStableRefsAndChecksKinds)
+{
+    obs::StatsRegistry reg;
+    obs::Counter &a = reg.counter("engine.steps", "physics steps");
+    obs::Counter &b = reg.counter("engine.steps");
+    EXPECT_EQ(&a, &b);
+
+    a.add(3);
+    b.inc();
+    EXPECT_EQ(4, a.value());
+
+    EXPECT_THROW(reg.gauge("engine.steps"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("engine.steps"), std::invalid_argument);
+}
+
+TEST_F(ObsTest, DumpTextIsSortedAndSkipsWallClock)
+{
+    obs::StatsRegistry reg;
+    reg.counter("z.last").add(1);
+    reg.counter("a.first", "the first").add(2);
+    reg.histogram("m.wall", "job timing", obs::kWallClock).record(1.5);
+
+    std::ostringstream os;
+    reg.dumpText(os);
+    std::string text = os.str();
+    EXPECT_NE(std::string::npos, text.find("Begin Simulation Statistics"));
+    EXPECT_NE(std::string::npos, text.find("End Simulation Statistics"));
+    EXPECT_LT(text.find("a.first"), text.find("z.last"));
+    EXPECT_NE(std::string::npos, text.find("# the first"));
+    EXPECT_NE(std::string::npos, text.find("m.wall::count"));
+
+    std::ostringstream det;
+    obs::DumpOptions opts;
+    opts.skipWallClock = true;
+    reg.dumpText(det, opts);
+    EXPECT_EQ(std::string::npos, det.str().find("m.wall"));
+    EXPECT_NE(std::string::npos, det.str().find("a.first"));
+}
+
+TEST_F(ObsTest, DumpJsonIsValidJson)
+{
+    obs::StatsRegistry reg;
+    reg.counter("a.count").add(7);
+    reg.gauge("b.rate", "quoted \"desc\"\n").set(0.125);
+    obs::Histogram &h = reg.histogram("c.hist");
+    h.record(2.0, 3.0);
+    h.record(4.0);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    expectValidJson(os.str());
+    EXPECT_NE(std::string::npos, os.str().find("\"a.count\""));
+}
+
+TEST_F(ObsTest, FormatDoubleIsValuePreserving)
+{
+    EXPECT_EQ("42", obs::formatDouble(42.0));
+    EXPECT_EQ("-3", obs::formatDouble(-3.0));
+    for (double v : {0.1, 1.0 / 3.0, 1.08e-9, 12345.6789}) {
+        double back = std::stod(obs::formatDouble(v));
+        EXPECT_EQ(v, back);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram edge cases.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, EmptyHistogramReportsZeros)
+{
+    obs::Histogram h;
+    obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(0, s.count);
+    EXPECT_EQ(0.0, s.mean());
+    EXPECT_EQ(0.0, s.min);
+    EXPECT_EQ(0.0, s.max);
+}
+
+TEST_F(ObsTest, SingleSampleHistogram)
+{
+    obs::Histogram h;
+    h.record(-2.5);
+    obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(1, s.count);
+    EXPECT_EQ(-2.5, s.mean());
+    EXPECT_EQ(-2.5, s.min);
+    EXPECT_EQ(-2.5, s.max);
+}
+
+TEST_F(ObsTest, WeightedHistogramMeanIsTimeWeighted)
+{
+    obs::Histogram h;
+    h.record(10.0, 1.0);
+    h.record(20.0, 3.0);
+    obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(2, s.count);
+    EXPECT_EQ(17.5, s.mean());  // (10*1 + 20*3) / 4
+    EXPECT_EQ(10.0, s.min);
+    EXPECT_EQ(20.0, s.max);
+}
+
+TEST_F(ObsTest, CombineMatchesDirectRecording)
+{
+    obs::Histogram a, b, all;
+    a.record(1.0, 2.0);
+    b.record(5.0);
+    all.record(1.0, 2.0);
+    all.record(5.0);
+
+    obs::Histogram merged;
+    merged.combine(a.snapshot());
+    merged.combine(b.snapshot());
+    merged.combine(obs::Histogram().snapshot());  // empty is a no-op
+
+    obs::Histogram::Snapshot m = merged.snapshot();
+    obs::Histogram::Snapshot d = all.snapshot();
+    EXPECT_EQ(d.count, m.count);
+    EXPECT_EQ(d.weightSum, m.weightSum);
+    EXPECT_EQ(d.weightedSum, m.weightedSum);
+    EXPECT_EQ(d.min, m.min);
+    EXPECT_EQ(d.max, m.max);
+}
+
+// ---------------------------------------------------------------------------
+// Merge semantics and determinism.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, MergeAddsCountersAndCombinesHistograms)
+{
+    obs::StatsRegistry a, b;
+    a.counter("jobs").add(2);
+    b.counter("jobs").add(3);
+    b.counter("only_b").add(1);
+    a.gauge("rate").set(1.0);
+    b.gauge("rate").set(2.0);
+    a.histogram("h").record(1.0);
+    b.histogram("h").record(3.0);
+
+    a.merge(b);
+    std::vector<obs::StatsRegistry::Entry> entries = a.snapshot();
+    ASSERT_EQ(4u, entries.size());
+    EXPECT_EQ("h", entries[0].name);
+    EXPECT_EQ(2, entries[0].histogram.count);
+    EXPECT_EQ(2.0, entries[0].histogram.mean());
+    EXPECT_EQ("jobs", entries[1].name);
+    EXPECT_EQ(5, entries[1].counterValue);
+    EXPECT_EQ("only_b", entries[2].name);
+    EXPECT_EQ(1, entries[2].counterValue);
+    EXPECT_EQ("rate", entries[3].name);
+    EXPECT_EQ(2.0, entries[3].gaugeValue);
+}
+
+TEST_F(ObsTest, DumpIsIndependentOfRegistrationOrder)
+{
+    obs::StatsRegistry fwd, rev;
+    const char *names[] = {"a", "b.c", "b", "z"};
+    for (const char *n : names)
+        fwd.counter(n).add(1);
+    for (int i = 3; i >= 0; --i)
+        rev.counter(names[i]).add(1);
+
+    std::ostringstream f, r;
+    fwd.dumpText(f);
+    rev.dumpText(r);
+    EXPECT_EQ(f.str(), r.str());
+}
+
+TEST_F(ObsTest, ConcurrentAccumulationIsExactAndRaceFree)
+{
+    // The TSan preset runs this binary: concurrent registration and
+    // accumulation on the shared registry must be clean and lose no
+    // increments.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    obs::StatsRegistry reg;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&reg] {
+            obs::Counter &c = reg.counter("shared.count");
+            obs::Histogram &h = reg.histogram("shared.hist");
+            for (int i = 0; i < kIters; ++i) {
+                c.inc();
+                if (i % 100 == 0)
+                    h.record(double(i % 7), 1.0);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(int64_t(kThreads) * kIters,
+              reg.counter("shared.count").value());
+    EXPECT_EQ(int64_t(kThreads) * (kIters / 100),
+              reg.histogram("shared.hist").snapshot().count);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansAreFreeWhenDisabled)
+{
+    {
+        obs::Span span("never.recorded");
+    }
+    EXPECT_EQ(0u, obs::Tracer::instance().eventCount());
+}
+
+TEST_F(ObsTest, TraceJsonIsWellFormed)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.setEnabled(true);
+    tracer.nameTrack(0, "worker \"0\"");
+    {
+        obs::Span outer("outer");
+        obs::Span inner("inner", "engine");
+    }
+    tracer.recordComplete("job #1", "runner", 5, 10, 0);
+    ASSERT_EQ(3u, tracer.eventCount());
+
+    std::ostringstream os;
+    tracer.writeJson(os);
+    std::string json = os.str();
+    expectValidJson(json);
+    EXPECT_NE(std::string::npos, json.find("\"traceEvents\""));
+    EXPECT_NE(std::string::npos, json.find("\"ph\": \"X\""));
+    EXPECT_NE(std::string::npos, json.find("\"ph\": \"M\""));
+    EXPECT_NE(std::string::npos, json.find("\"thread_name\""));
+    EXPECT_NE(std::string::npos, json.find("\"displayTimeUnit\": \"ms\""));
+
+    tracer.clear();
+    std::ostringstream empty;
+    tracer.writeJson(empty);
+    expectValidJson(empty.str());
+}
+
+TEST_F(ObsTest, ThreadTracksAreDistinctUntilBound)
+{
+    int other = -1;
+    std::thread t([&other] { other = obs::threadTrack(); });
+    t.join();
+    EXPECT_NE(obs::threadTrack(), other);
+    EXPECT_GE(other, 1000);  // auto-assigned ids start at 1000
+}
+
+// ---------------------------------------------------------------------------
+// RunReport.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RunReportIsValidJsonAndSpecRoundTrips)
+{
+    sim::ExperimentSpec spec;
+    spec.location =
+        environment::namedLocation(environment::NamedSite::Newark);
+    spec.weeks = 3;
+    spec.seed = 99;
+
+    obs::RunReport report;
+    report.specText = sim::formatSpec(spec);
+    report.seed = spec.seed;
+    report.wallSeconds = 1.25;
+    report.simSeconds = 1814400.0;
+    report.metrics.push_back({"pue", 1.0625});
+    report.metrics.push_back({"days", 21.0});
+
+    obs::StatsRegistry reg;
+    reg.counter("engine.steps").add(12345);
+    reg.histogram("runner.job_seconds", "", obs::kWallClock).record(0.5);
+
+    std::ostringstream os;
+    obs::writeRunReport(os, report, reg);
+    std::string json = os.str();
+    expectValidJson(json);
+
+    // The spec echo parses back to the exact spec that ran.
+    std::string echoed =
+        unescapeJsonString(extractStringField(json, "spec"));
+    EXPECT_EQ(spec, sim::parseSpec(echoed));
+    EXPECT_NE(std::string::npos, json.find("\"seed\": 99"));
+    EXPECT_NE(std::string::npos, json.find("\"sim_seconds\": 1814400"));
+    EXPECT_NE(std::string::npos, json.find("\"pue\": 1.0625"));
+    EXPECT_NE(std::string::npos, json.find("\"engine.steps\": 12345"));
+
+    // Deterministic form: wall-clock stats skipped.
+    std::ostringstream det;
+    obs::DumpOptions opts;
+    opts.skipWallClock = true;
+    obs::writeRunReport(det, report, reg, opts);
+    expectValidJson(det.str());
+    EXPECT_EQ(std::string::npos, det.str().find("runner.job_seconds"));
+}
+
+// ---------------------------------------------------------------------------
+// The locked acceptance property: a parallel sweep's deterministic stats
+// and per-run reports are byte-identical across thread counts.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** A tiny world sweep (the Figures 12/13 shape, shrunk for a test). */
+std::vector<sim::ExperimentSpec>
+miniWorldSweep(const std::string &report_dir)
+{
+    auto sites = environment::worldGrid(2);
+    std::vector<sim::ExperimentSpec> specs;
+    for (size_t i = 0; i < sites.size(); ++i) {
+        sim::ExperimentSpec spec;
+        spec.location = sites[i];
+        spec.workload = sim::WorkloadKind::FacebookProfile;
+        spec.weeks = 2;
+        spec.physicsStepS = 120.0;
+        spec.seed = sim::ExperimentRunner::deriveSeed(7, i, sites[i].name);
+        spec.system = sim::SystemId::Baseline;
+        spec.reportJsonPath =
+            report_dir + "report_" + std::to_string(2 * i) + ".json";
+        specs.push_back(spec);
+        spec.system = sim::SystemId::AllNd;
+        spec.reportJsonPath =
+            report_dir + "report_" + std::to_string(2 * i + 1) + ".json";
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::string
+readFileStrippingWallClock(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line))
+        if (line.find("wall_seconds") == std::string::npos)
+            out << line << "\n";
+    return out.str();
+}
+
+} // anonymous namespace
+
+TEST_F(ObsTest, SweepStatsAndReportsAreByteIdenticalAcrossThreadCounts)
+{
+    std::string dumps[2];
+    std::vector<std::string> reports[2];
+    const int thread_counts[2] = {1, 8};
+
+    for (int run = 0; run < 2; ++run) {
+        // Same report paths both times (they are echoed inside the
+        // reports); run 0 reads and removes them before run 1 starts.
+        std::vector<sim::ExperimentSpec> specs =
+            miniWorldSweep(::testing::TempDir() + "obs_sweep_");
+
+        obs::registry().clear();
+        obs::setEnabled(true);
+        sim::RunnerConfig rc;
+        rc.threads = thread_counts[run];
+        sim::SweepOutcome outcome = sim::ExperimentRunner(rc).run(specs);
+        obs::setEnabled(false);
+        ASSERT_TRUE(outcome.allOk());
+
+        obs::DumpOptions opts;
+        opts.skipWallClock = true;
+        std::ostringstream os;
+        obs::registry().dumpText(os, opts);
+        dumps[run] = os.str();
+
+        for (const sim::ExperimentSpec &spec : specs) {
+            reports[run].push_back(
+                readFileStrippingWallClock(spec.reportJsonPath));
+            std::remove(spec.reportJsonPath.c_str());
+        }
+    }
+
+    EXPECT_EQ(dumps[0], dumps[1]);
+    EXPECT_FALSE(dumps[0].empty());
+    EXPECT_NE(std::string::npos, dumps[0].find("engine.steps"));
+    EXPECT_NE(std::string::npos, dumps[0].find("runner.jobs"));
+    ASSERT_EQ(reports[0].size(), reports[1].size());
+    for (size_t i = 0; i < reports[0].size(); ++i)
+        EXPECT_EQ(reports[0][i], reports[1][i]) << "report " << i;
+}

@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "environment/location.hpp"
+#include "obs/stats.hpp"
 #include "sim/engine.hpp"
 #include "sim/scenario.hpp"
 #include "sim/spec_io.hpp"
@@ -181,6 +182,29 @@ INSTANTIATE_TEST_SUITE_P(
         ParityCase{cooling::ActuatorStyle::Smooth, sim::SystemId::Baseline},
         ParityCase{cooling::ActuatorStyle::Abrupt, sim::SystemId::AllNd},
         ParityCase{cooling::ActuatorStyle::Smooth, sim::SystemId::AllNd}));
+
+// Observability must never perturb the simulation: the same spec run
+// with global stats collection enabled produces bit-identical metrics,
+// and the harvested registry sees the run.
+TEST_P(ScenarioParity, ObsEnabledDoesNotChangeMetrics)
+{
+    sim::ExperimentSpec spec = newarkSpec();
+    spec.style = GetParam().style;
+    spec.system = GetParam().system;
+    spec.weeks = 2;
+
+    sim::ExperimentResult off = sim::runYearExperiment(spec);
+
+    obs::registry().clear();
+    obs::setEnabled(true);
+    sim::ExperimentResult on = sim::runYearExperiment(spec);
+    obs::setEnabled(false);
+
+    expectSummaryEq(off.system, on.system);
+    expectSummaryEq(off.outside, on.outside);
+    EXPECT_GT(obs::registry().counter("engine.steps").value(), 0);
+    obs::registry().clear();
+}
 
 // ---------------------------------------------------------------------------
 // Run kinds and entry points.
