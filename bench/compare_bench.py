@@ -31,10 +31,14 @@ import tempfile
 GATED_FILTER = "BM_YearRun|BM_PlantStep"
 
 
-def load_benchmarks(path):
-    """name -> real_time for aggregate-free benchmark entries."""
+def load_doc(path):
+    """The full benchmark JSON document (benchmarks + context)."""
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def benchmarks_of(doc):
+    """name -> real_time for aggregate-free benchmark entries."""
     out = {}
     for b in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were on.
@@ -42,6 +46,35 @@ def load_benchmarks(path):
             continue
         out[b["name"]] = float(b["real_time"])
     return out
+
+
+def warn_on_context_mismatch(baseline_doc, fresh_doc):
+    """Loudly flag baseline/candidate runs that are not comparable.
+
+    A debug-build baseline compared against a release-build candidate
+    (or vice versa) makes every delta meaningless; same for a different
+    CPU count.  These are warnings, not failures: the numbers still
+    print, but nobody should trust a "regression" across a mismatch.
+    """
+    base_ctx = baseline_doc.get("context", {})
+    fresh_ctx = fresh_doc.get("context", {})
+    mismatches = []
+    for key in ("library_build_type", "build_type", "num_cpus"):
+        b, f = base_ctx.get(key), fresh_ctx.get(key)
+        if b is not None and f is not None and b != f:
+            mismatches.append((key, b, f))
+    if not mismatches:
+        return
+    banner = "!" * 70
+    print(banner, file=sys.stderr)
+    print("compare_bench: WARNING: baseline and candidate runs are NOT "
+          "comparable:", file=sys.stderr)
+    for key, b, f in mismatches:
+        print(f"  {key}: baseline={b!r} vs candidate={f!r}",
+              file=sys.stderr)
+    print("  (regenerate the baseline from the same build configuration "
+          "before trusting any delta below)", file=sys.stderr)
+    print(banner, file=sys.stderr)
 
 
 def main():
@@ -61,10 +94,11 @@ def main():
     args = ap.parse_args()
 
     try:
-        baseline = load_benchmarks(args.baseline)
+        baseline_doc = load_doc(args.baseline)
     except (OSError, ValueError) as e:
         print(f"compare_bench: cannot load baseline: {e}", file=sys.stderr)
         return 2
+    baseline = benchmarks_of(baseline_doc)
     if not baseline:
         print("compare_bench: baseline has no benchmark entries",
               file=sys.stderr)
@@ -82,12 +116,15 @@ def main():
             print(f"compare_bench: bench run failed ({proc.returncode})",
                   file=sys.stderr)
             return 2
-        fresh = load_benchmarks(fresh_path)
+        fresh_doc = load_doc(fresh_path)
+        fresh = benchmarks_of(fresh_doc)
     finally:
         try:
             os.unlink(fresh_path)
         except OSError:
             pass
+
+    warn_on_context_mismatch(baseline_doc, fresh_doc)
 
     # Markdown summary table: every benchmark either run appeared in,
     # with a status column.  Benchmarks only in the fresh run are "new"

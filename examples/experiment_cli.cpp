@@ -13,6 +13,15 @@
  *     --list-locations        print the named-site keys and exit
  *     --model-cache <path>    save/load the learned bundle
  *     --reliability           also print the AFR multipliers
+ *     --cache-dir <dir>       = cache_dir=<dir>: persistent result
+ *                             store; a repeat invocation with the same
+ *                             spec serves the result from disk
+ *     --cache-stats           print the result store's counters and
+ *                             on-disk footprint after the run
+ *     --cache-verify          on a cache hit, re-run the experiment
+ *                             uncached and assert the result is
+ *                             bit-identical to the cached one (exit 1
+ *                             and count a verify failure if not)
  *
  *   Legacy convenience flags (equivalent to the assignments shown):
  *     --site <s>        = site=<s>
@@ -35,15 +44,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "environment/location.hpp"
 #include "model/serialize.hpp"
+#include "obs/stats.hpp"
 #include "reliability/disk_reliability.hpp"
 #include "sim/experiment.hpp"
+#include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
+#include "store/result_store.hpp"
 
 using namespace coolair;
 
@@ -101,6 +114,8 @@ main(int argc, char **argv)
         environment::NamedSite::Newark);
     spec.system = sim::SystemId::AllNd;
     bool want_reliability = false;
+    bool cache_stats = false;
+    bool cache_verify = false;
     std::string model_cache;
 
     try {
@@ -137,6 +152,12 @@ main(int argc, char **argv)
                 sim::applySpecAssignment(spec, "trace_json=" + next());
             } else if (arg == "--model-cache") {
                 model_cache = next();
+            } else if (arg == "--cache-dir") {
+                sim::applySpecAssignment(spec, "cache_dir=" + next());
+            } else if (arg == "--cache-stats") {
+                cache_stats = true;
+            } else if (arg == "--cache-verify") {
+                cache_verify = true;
             } else if (arg == "--reliability") {
                 want_reliability = true;
             } else if (arg.find('=') != std::string::npos &&
@@ -167,12 +188,48 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "running this spec:\n%s",
                  sim::formatSpec(spec).c_str());
+    // The CLI owns its result store (instead of letting runExperiment
+    // open one internally) so it can report hit/miss, verify hits, and
+    // print the counters the run accumulated.
+    std::optional<store::ResultStore> st;
+    bool from_cache = false;
     sim::ExperimentResult r;
     try {
-        r = sim::runExperiment(spec);
+        if (sim::resultCacheUsable(spec)) {
+            st.emplace(spec.cacheDirPath, sim::kResultCacheSalt,
+                       sim::kResultFormatVersion);
+            r = sim::runExperimentCached(spec, *st, &from_cache);
+        } else {
+            r = sim::runExperiment(spec);
+        }
     } catch (const std::exception &e) {
         usage(e.what());
     }
+    if (st && from_cache)
+        std::fprintf(stderr, "result served from cache: %s\n",
+                     st->entryPath(sim::resultCacheId(spec)).c_str());
+
+    if (cache_verify && st && from_cache) {
+        // Re-run the sampled hit with the cache off and demand the
+        // result reproduce the cached one bit for bit.
+        sim::ExperimentSpec fresh = spec;
+        fresh.cacheDirPath.clear();
+        fresh.reportJsonPath.clear();
+        sim::ExperimentResult rerun = sim::runExperiment(fresh);
+        if (sim::formatResult(rerun) != sim::formatResult(r)) {
+            st->noteVerifyFailure();
+            std::fprintf(stderr,
+                         "cache-verify FAILED: re-run did not reproduce "
+                         "the cached result (stale salt? bump "
+                         "kResultCacheSalt)\n");
+            return 1;
+        }
+        std::fprintf(stderr, "cache-verify ok: re-run reproduced the "
+                             "cached result bit for bit\n");
+    }
+
+    if (st && obs::enabled())
+        st->addStats(obs::registry());
 
     if (!model_cache.empty())
         model::saveBundleToFile(sim::sharedBundle(), model_cache);
@@ -200,6 +257,35 @@ main(int argc, char **argv)
                     "variation %.2fx)\n",
                     rep.afrMultiplier, rep.temperatureFactor,
                     rep.variationFactor);
+    }
+
+    if (cache_stats) {
+        if (!st) {
+            std::printf("cache                    disabled "
+                        "(no cache_dir, or trace outputs requested)\n");
+        } else {
+            const store::StoreStats s = st->stats();
+            const store::ResultStore::DiskUsage du = st->diskUsage();
+            std::printf("cache dir                %s\n", st->dir().c_str());
+            std::printf("cache lookups            %lld (%lld hits, "
+                        "%lld misses)\n",
+                        (long long)s.lookups, (long long)s.hits,
+                        (long long)s.misses);
+            std::printf("cache stores             %lld (%lld failed)\n",
+                        (long long)s.stores, (long long)s.storeFailures);
+            std::printf("cache dropped entries    %lld stale, "
+                        "%lld corrupt, %lld collided\n",
+                        (long long)s.staleEntries, (long long)s.corruptEntries,
+                        (long long)s.collisions);
+            std::printf("cache verify failures    %lld\n",
+                        (long long)s.verifyFailures);
+            std::printf("cache bytes read/written %lld / %lld\n",
+                        (long long)s.bytesRead, (long long)s.bytesWritten);
+            std::printf("cache on disk            %llu entries, "
+                        "%llu bytes\n",
+                        (unsigned long long)du.entries,
+                        (unsigned long long)du.bytes);
+        }
     }
     return 0;
 }

@@ -12,6 +12,8 @@ writeRunReport(std::ostream &os, const RunReport &report,
     os << "  \"seed\": " << report.seed << ",\n";
     os << "  \"wall_seconds\": " << formatDouble(report.wallSeconds) << ",\n";
     os << "  \"sim_seconds\": " << formatDouble(report.simSeconds) << ",\n";
+    for (const auto &[name, value] : report.annotations)
+        os << "  " << jsonQuote(name) << ": " << jsonQuote(value) << ",\n";
     os << "  \"metrics\": {";
     bool first = true;
     for (const auto &[name, value] : report.metrics) {

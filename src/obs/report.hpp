@@ -30,6 +30,14 @@ struct RunReport
     double simSeconds = 0.0;
     /** Headline metrics in insertion order (name, value). */
     std::vector<std::pair<std::string, double>> metrics;
+
+    /**
+     * Extra string fields written verbatim at the JSON top level, in
+     * insertion order (e.g. result_source = cache for a report served
+     * by the persistent result store).  Empty by default, so documents
+     * without annotations are byte-identical to pre-annotation ones.
+     */
+    std::vector<std::pair<std::string, std::string>> annotations;
 };
 
 /**

@@ -139,6 +139,21 @@ struct ExperimentSpec
      */
     bool weatherCache = true;
 
+    /**
+     * Consult (and fill) the persistent result store under cacheDirPath
+     * before running.  Only effective when cacheDirPath is set; turn
+     * off to force a fresh run into an existing cache directory.
+     */
+    bool resultCache = true;
+
+    /**
+     * When non-empty, the directory of the persistent content-addressed
+     * result store (src/store/): identical specs are served from disk
+     * instead of re-simulated.  Excluded from the cache identity, as
+     * are the output paths below (see sim/result_cache.hpp).
+     */
+    std::string cacheDirPath;
+
     /** When non-empty, the scenario dumps its trace as CSV to this path. */
     std::string traceCsvPath;
 
@@ -169,6 +184,9 @@ struct ExperimentResult
 {
     Summary system;    ///< Inlet-temperature metrics of the run.
     Summary outside;   ///< Outside-temperature ranges for comparison.
+
+    friend bool operator==(const ExperimentResult &,
+                           const ExperimentResult &) = default;
 };
 
 /**

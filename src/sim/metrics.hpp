@@ -56,6 +56,8 @@ struct Summary
     double rateViolationFrac = 0.0;
     double avgMaxInletC = 0.0;         ///< Mean of per-reading max inlet.
     size_t days = 0;
+
+    friend bool operator==(const Summary &, const Summary &) = default;
 };
 
 /** Streaming collector fed by the engine. */

@@ -6,10 +6,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <map>
+#include <memory>
 #include <thread>
 
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "sim/result_cache.hpp"
+#include "sim/spec_io.hpp"
+#include "store/result_store.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +28,15 @@ SweepOutcome::ok(size_t index) const
         if (failure.index == index)
             return false;
     return true;
+}
+
+size_t
+SweepOutcome::cacheHits() const
+{
+    size_t hits = 0;
+    for (uint8_t served : fromCache)
+        hits += served;
+    return hits;
 }
 
 ExperimentRunner::ExperimentRunner(const RunnerConfig &config)
@@ -175,21 +189,109 @@ ExperimentRunner::forEach(size_t count,
 SweepOutcome
 ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
 {
-    // First-touch of the lazy shared state must happen before the pool
-    // starts: C++ magic statics serialize initialization, which would
-    // park every worker behind one thread's learning campaign.
-    prewarmSharedState(specs);
-
     SweepOutcome outcome;
     outcome.results.resize(specs.size());
-    std::vector<TaskFailure> failures = forEach(specs.size(), [&](size_t i) {
-        outcome.results[i] = runExperiment(specs[i]);
-    });
+    outcome.fromCache.assign(specs.size(), 0);
 
-    outcome.failures.reserve(failures.size());
-    for (auto &failure : failures)
-        outcome.failures.push_back(
-            {failure.index, specs[failure.index], std::move(failure.message)});
+    // One open store per distinct cache directory; a std::map keeps the
+    // sweep-end stats publication deterministic.  The stores outlive
+    // both forEach phases, so workers share them concurrently (they are
+    // internally thread-safe: atomic counters, atomic-rename writes).
+    std::map<std::string, std::unique_ptr<store::ResultStore>> stores;
+    std::vector<store::ResultStore *> spec_store(specs.size(), nullptr);
+    std::vector<std::string> ids(specs.size());
+    std::vector<size_t> cacheable;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (!resultCacheUsable(specs[i]))
+            continue;
+        auto [it, inserted] = stores.try_emplace(specs[i].cacheDirPath);
+        if (inserted)
+            it->second = std::make_unique<store::ResultStore>(
+                specs[i].cacheDirPath, kResultCacheSalt,
+                kResultFormatVersion);
+        spec_store[i] = it->second.get();
+        ids[i] = resultCacheId(specs[i]);
+        cacheable.push_back(i);
+    }
+
+    // Phase 1: look every cacheable spec up before dispatch, on the
+    // pool (lookups are IO-bound and independent).  A hit fills the
+    // spec's result slot — and still writes its RunReport — so phase 2
+    // only runs the misses.
+    std::vector<TaskFailure> lookup_failures;
+    if (!cacheable.empty()) {
+        const auto lookup_start = std::chrono::steady_clock::now();
+        lookup_failures = forEach(cacheable.size(), [&](size_t k) {
+            const size_t i = cacheable[k];
+            ExperimentResult result;
+            if (!cacheLookup(*spec_store[i], ids[i], result))
+                return;
+            outcome.results[i] = result;
+            outcome.fromCache[i] = 1;
+            if (!specs[i].reportJsonPath.empty()) {
+                const double wall =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - lookup_start)
+                        .count();
+                writeCacheHitReport(specs[i], result, *spec_store[i], wall);
+            }
+        });
+    }
+    for (auto &failure : lookup_failures) {
+        const size_t i = cacheable[failure.index];
+        // A served result whose report could not be written is still a
+        // failed spec; clear the provenance tag so callers do not treat
+        // it as a good hit.
+        outcome.fromCache[i] = 0;
+        outcome.failures.push_back({i, specs[i], std::move(failure.message)});
+    }
+
+    // Phase 2: run the pending specs (cache misses plus everything not
+    // cacheable).  First-touch of the lazy shared state must happen
+    // before the pool starts: C++ magic statics serialize
+    // initialization, which would park every worker behind one thread's
+    // learning campaign.  Only the pending specs are prewarmed — a
+    // fully warm sweep loads nothing.
+    std::vector<size_t> pending;
+    pending.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (!outcome.fromCache[i] && outcome.ok(i))
+            pending.push_back(i);
+
+    if (!pending.empty()) {
+        std::vector<ExperimentSpec> pending_specs;
+        pending_specs.reserve(pending.size());
+        for (size_t i : pending)
+            pending_specs.push_back(specs[i]);
+        prewarmSharedState(pending_specs);
+
+        std::vector<TaskFailure> run_failures =
+            forEach(pending.size(), [&](size_t k) {
+                const size_t i = pending[k];
+                if (spec_store[i])
+                    outcome.results[i] =
+                        runAndStore(specs[i], *spec_store[i], ids[i]);
+                else
+                    outcome.results[i] = runExperiment(specs[i]);
+            });
+        for (auto &failure : run_failures)
+            outcome.failures.push_back({pending[failure.index],
+                                        specs[pending[failure.index]],
+                                        std::move(failure.message)});
+    }
+
+    std::sort(outcome.failures.begin(), outcome.failures.end(),
+              [](const ExperimentFailure &a, const ExperimentFailure &b) {
+                  return a.index < b.index;
+              });
+
+    // Publish each store's counters globally exactly once, at sweep
+    // end (per-run reports got them via report-stats sources, which
+    // never touch the global registry).
+    if (obs::enabled())
+        for (auto &[dir, st] : stores)
+            st->addStats(obs::registry());
+
     return outcome;
 }
 

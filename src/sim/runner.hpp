@@ -23,6 +23,14 @@
  * A worker exception is captured with the failing spec and reported in
  * the outcome instead of terminating the process; the remaining jobs
  * keep running.
+ *
+ * Sweeps are incremental when specs carry a cache_dir: the runner looks
+ * every cache-enabled spec up in the persistent result store *before*
+ * dispatch (concurrently, on the pool), only runs the misses, and
+ * stores each fresh result as its job completes.  Jobs are tagged
+ * hit/miss in the outcome (SweepOutcome::fromCache), results are
+ * byte-identical warm vs. cold (spec_io's exact result round trip), and
+ * a failing job is reported without writing anything to the store.
  */
 
 #include <cstddef>
@@ -85,11 +93,21 @@ struct SweepOutcome
     std::vector<ExperimentResult> results;
     std::vector<ExperimentFailure> failures;
 
+    /**
+     * Per-spec provenance: 1 when results[i] was served from the
+     * persistent result store, 0 when the experiment ran (or failed).
+     * Sized like results.
+     */
+    std::vector<uint8_t> fromCache;
+
     /** True when every spec completed. */
     bool allOk() const { return failures.empty(); }
 
     /** True when spec @p index completed. */
     bool ok(size_t index) const;
+
+    /** Number of specs served from the result store. */
+    size_t cacheHits() const;
 };
 
 /** The worker pool.  Stateless between calls; cheap to construct. */

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
 #include "sim/trace_csv.hpp"
 #include "util/logging.hpp"
@@ -183,6 +184,11 @@ Scenario::run()
         if (obs::enabled())
             obs::registry().merge(local);
         if (want_report) {
+            // Report-only extras (the result store's counters) fold in
+            // after the global merge, so their owner can publish them
+            // to obs::registry() itself without double counting.
+            for (const auto &source : _reportStatsSources)
+                source(local);
             double wall = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
@@ -242,18 +248,15 @@ Scenario::collectStats(obs::StatsRegistry &reg) const
         .add(_metrics->violationSamples() * sample_s / 60);
 }
 
-void
-Scenario::writeReport(const ExperimentResult &result,
-                      const obs::StatsRegistry &stats,
-                      double wall_seconds) const
+obs::RunReport
+makeRunReport(const ExperimentSpec &spec, const ExperimentResult &result,
+              double wall_seconds, double sim_seconds)
 {
     obs::RunReport report;
-    report.specText = formatSpec(_spec);
-    report.seed = _spec.seed;
+    report.specText = formatSpec(spec);
+    report.seed = spec.seed;
     report.wallSeconds = wall_seconds;
-    // Exact simulated span, warm-ups included: every physics step
-    // advances the clock by one step.
-    report.simSeconds = double(_engine->stats().steps) * _spec.physicsStepS;
+    report.simSeconds = sim_seconds;
 
     const Summary &s = result.system;
     report.metrics = {
@@ -269,6 +272,19 @@ Scenario::writeReport(const ExperimentResult &result,
         {"avg_max_inlet_c", s.avgMaxInletC},
         {"days", double(s.days)},
     };
+    return report;
+}
+
+void
+Scenario::writeReport(const ExperimentResult &result,
+                      const obs::StatsRegistry &stats,
+                      double wall_seconds) const
+{
+    // Exact simulated span, warm-ups included: every physics step
+    // advances the clock by one step.
+    obs::RunReport report = makeRunReport(
+        _spec, result, wall_seconds,
+        double(_engine->stats().steps) * _spec.physicsStepS);
 
     std::ofstream os(_spec.reportJsonPath);
     if (!os)
@@ -333,6 +349,14 @@ ScenarioBuilder::withTraceSink(TraceSink sink)
     return *this;
 }
 
+ScenarioBuilder &
+ScenarioBuilder::withReportStatsSource(
+    std::function<void(obs::StatsRegistry &)> source)
+{
+    _reportStatsSources.push_back(std::move(source));
+    return *this;
+}
+
 std::unique_ptr<Scenario>
 ScenarioBuilder::build()
 {
@@ -347,6 +371,7 @@ ScenarioBuilder::build()
 
     auto scenario = std::unique_ptr<Scenario>(new Scenario());
     scenario->_spec = _spec;
+    scenario->_reportStatsSources = std::move(_reportStatsSources);
 
     // A trace export request turns the process-wide tracer on for the
     // whole run (spans recorded by any component from here on).
@@ -417,6 +442,18 @@ ScenarioBuilder::build()
 ExperimentResult
 runExperiment(const ExperimentSpec &spec)
 {
+    // A cache-enabled spec consults the persistent result store first.
+    // This standalone path owns its store for the call, so it publishes
+    // the store's counters globally itself; sweeps go through
+    // ExperimentRunner, which shares stores across jobs and publishes
+    // once at the end.
+    if (resultCacheUsable(spec)) {
+        store::ResultStore st = openResultStore(spec.cacheDirPath);
+        ExperimentResult result = runExperimentCached(spec, st);
+        if (obs::enabled())
+            st.addStats(obs::registry());
+        return result;
+    }
     return ScenarioBuilder(spec).build()->run();
 }
 

@@ -17,6 +17,7 @@
  */
 
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -150,6 +151,8 @@ class Scenario
                      double wall_seconds) const;
 
     ExperimentSpec _spec;
+    std::vector<std::function<void(obs::StatsRegistry &)>>
+        _reportStatsSources;
     std::unique_ptr<environment::Climate> _climate;
     std::unique_ptr<environment::CachedWeatherProvider> _weather;
     std::unique_ptr<environment::Forecaster> _forecaster;
@@ -188,6 +191,17 @@ class ScenarioBuilder
     ScenarioBuilder &withTraceSink(TraceSink sink);
 
     /**
+     * Add a stats source consulted only when the run writes a RunReport
+     * (spec.reportJsonPath): @p source folds extra stats — e.g. the
+     * result store's counters — into the report's registry.  Sources do
+     * NOT feed obs::registry(); whoever owns the underlying counters
+     * publishes them globally exactly once (the runner after a sweep,
+     * runExperiment after a standalone run).
+     */
+    ScenarioBuilder &
+    withReportStatsSource(std::function<void(obs::StatsRegistry &)> source);
+
+    /**
      * Assemble the stack.
      * @throws std::invalid_argument for an unrunnable spec (nonpositive
      *         physics step, nonpositive weeks on a year run, empty day
@@ -202,7 +216,19 @@ class ScenarioBuilder
     bool _hasMetricsConfig = false;
     MetricsConfig _metricsConfig;
     std::vector<TraceSink> _sinks;
+    std::vector<std::function<void(obs::StatsRegistry &)>>
+        _reportStatsSources;
 };
+
+/**
+ * The RunReport skeleton every report writer shares: canonical spec
+ * text, seed, timings, and the headline metric block in its canonical
+ * order.  The scenario layer uses it for end-of-run reports; the result
+ * cache uses it for cache-hit reports.
+ */
+obs::RunReport makeRunReport(const ExperimentSpec &spec,
+                             const ExperimentResult &result,
+                             double wall_seconds, double sim_seconds);
 
 // ---------------------------------------------------------------------------
 // Real-Sim / Smooth-Sim assembly (the Figure 6/7 validation stack).

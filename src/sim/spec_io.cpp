@@ -286,6 +286,14 @@ formatSpec(const ExperimentSpec &spec)
     os << "weather_cache = " << (spec.weatherCache ? "true" : "false")
        << "\n";
 
+    // Cache and output keys are optional (defaults are omitted), so
+    // spec texts from before the result store parse unchanged and the
+    // normalized cache identity (sim/result_cache.hpp) stays free of
+    // them.
+    if (!spec.resultCache)
+        os << "result_cache = false\n";
+    if (!spec.cacheDirPath.empty())
+        os << "cache_dir = " << spec.cacheDirPath << "\n";
     if (!spec.traceCsvPath.empty())
         os << "trace_csv = " << spec.traceCsvPath << "\n";
     if (!spec.reportJsonPath.empty())
@@ -374,6 +382,10 @@ applyKeyValue(ExperimentSpec &spec, const std::string &key,
         spec.seed = parseU64(key, value);
     else if (key == "weather_cache")
         spec.weatherCache = parseBool(key, value);
+    else if (key == "result_cache")
+        spec.resultCache = parseBool(key, value);
+    else if (key == "cache_dir")
+        spec.cacheDirPath = value;
     else if (key == "trace_csv")
         spec.traceCsvPath = value;
     else if (key == "report_json")
@@ -416,11 +428,24 @@ applySpecText(ExperimentSpec &spec, const std::string &text)
 {
     std::istringstream is(text);
     std::string line;
+    int lineno = 0;
     while (std::getline(is, line)) {
+        ++lineno;
         std::string stripped = trim(line);
         if (stripped.empty() || stripped[0] == '#')
             continue;
-        applySpecAssignment(spec, stripped);
+        try {
+            applySpecAssignment(spec, stripped);
+        } catch (const std::invalid_argument &e) {
+            // Re-throw with the 1-based line number so a long spec file
+            // points at the offending line, not just the offending key.
+            std::string what = e.what();
+            const char kPrefix[] = "spec: ";
+            if (what.rfind(kPrefix, 0) == 0)
+                what = what.substr(sizeof(kPrefix) - 1);
+            throw std::invalid_argument(
+                "spec line " + std::to_string(lineno) + ": " + what);
+        }
     }
 }
 
@@ -431,6 +456,140 @@ parseSpec(const std::string &text)
     spec.location = environment::namedLocation(environment::NamedSite::Newark);
     applySpecText(spec, text);
     return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Result serialization (the persistent result store's payload form).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** The double-valued Summary fields, in serialization order. */
+struct SummaryField
+{
+    const char *key;
+    double Summary::*field;
+};
+
+constexpr SummaryField kSummaryFields[] = {
+    {"avg_violation", &Summary::avgViolationC},
+    {"avg_worst_daily_range", &Summary::avgWorstDailyRangeC},
+    {"min_worst_daily_range", &Summary::minWorstDailyRangeC},
+    {"max_worst_daily_range", &Summary::maxWorstDailyRangeC},
+    {"pue", &Summary::pue},
+    {"it_kwh", &Summary::itKwh},
+    {"cooling_kwh", &Summary::coolingKwh},
+    {"humidity_violation_frac", &Summary::humidityViolationFrac},
+    {"rate_violation_frac", &Summary::rateViolationFrac},
+    {"avg_max_inlet", &Summary::avgMaxInletC},
+};
+constexpr size_t kSummaryFieldCount =
+    sizeof(kSummaryFields) / sizeof(kSummaryFields[0]);
+
+// If this fires, Summary grew or shrank: extend kSummaryFields (or the
+// `days` handling), and bump kResultFormatVersion so stored entries go
+// stale instead of silently missing the new field.
+static_assert(sizeof(Summary) ==
+                  kSummaryFieldCount * sizeof(double) + sizeof(size_t),
+              "Summary changed: update kSummaryFields and bump "
+              "kResultFormatVersion");
+
+void
+formatSummary(std::ostringstream &os, const char *prefix, const Summary &s)
+{
+    for (const SummaryField &f : kSummaryFields)
+        os << prefix << "." << f.key << " = " << fmtDouble(s.*(f.field))
+           << "\n";
+    os << prefix << ".days = " << s.days << "\n";
+}
+
+/** Apply one `prefix.key` assignment; returns false for unknown keys. */
+bool
+applySummaryKey(Summary &s, const std::string &key, const std::string &field,
+                const std::string &value, bool *seen, size_t &days_seen)
+{
+    for (size_t i = 0; i < kSummaryFieldCount; ++i) {
+        if (field == kSummaryFields[i].key) {
+            s.*(kSummaryFields[i].field) = parseDouble(key, value);
+            seen[i] = true;
+            return true;
+        }
+    }
+    if (field == "days") {
+        s.days = size_t(parseU64(key, value));
+        ++days_seen;
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+std::string
+formatResult(const ExperimentResult &result)
+{
+    std::ostringstream os;
+    os << "result = " << kResultFormatVersion << "\n";
+    formatSummary(os, "system", result.system);
+    formatSummary(os, "outside", result.outside);
+    return os.str();
+}
+
+ExperimentResult
+parseResult(const std::string &text)
+{
+    ExperimentResult result;
+    bool seen_system[kSummaryFieldCount] = {};
+    bool seen_outside[kSummaryFieldCount] = {};
+    size_t days_system = 0, days_outside = 0;
+    bool seen_version = false;
+
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+        size_t eq = stripped.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "result: expected key = value, got '" + stripped + "'");
+        std::string key = trim(stripped.substr(0, eq));
+        std::string value = trim(stripped.substr(eq + 1));
+
+        if (key == "result") {
+            if (parseInt(key, value) != kResultFormatVersion)
+                throw std::invalid_argument(
+                    "result: unsupported version '" + value + "'");
+            seen_version = true;
+            continue;
+        }
+        size_t dot = key.find('.');
+        std::string prefix =
+            dot == std::string::npos ? std::string() : key.substr(0, dot);
+        std::string field =
+            dot == std::string::npos ? std::string() : key.substr(dot + 1);
+        bool ok = false;
+        if (prefix == "system")
+            ok = applySummaryKey(result.system, key, field, value,
+                                 seen_system, days_system);
+        else if (prefix == "outside")
+            ok = applySummaryKey(result.outside, key, field, value,
+                                 seen_outside, days_outside);
+        if (!ok)
+            throw std::invalid_argument("result: unknown key '" + key + "'");
+    }
+
+    if (!seen_version)
+        throw std::invalid_argument("result: missing version header");
+    for (size_t i = 0; i < kSummaryFieldCount; ++i)
+        if (!seen_system[i] || !seen_outside[i])
+            throw std::invalid_argument(
+                std::string("result: missing field '") +
+                kSummaryFields[i].key + "'");
+    if (days_system != 1 || days_outside != 1)
+        throw std::invalid_argument("result: missing field 'days'");
+    return result;
 }
 
 } // namespace sim

@@ -10,9 +10,15 @@
  *
  * so any experiment can be stored in a file, diffed, and replayed from
  * examples/experiment_cli.  Parsing is strict: unknown keys and
- * malformed values throw std::invalid_argument naming the offender,
- * so a typo'd spec file fails loudly instead of silently running the
+ * malformed values throw std::invalid_argument naming the offending
+ * key (and, when parsing multi-line text, the 1-based line number), so
+ * a typo'd spec file fails loudly instead of silently running the
  * default experiment.
+ *
+ * The same module serializes ExperimentResult (formatResult /
+ * parseResult) with the identical exactness guarantee; the persistent
+ * result store (src/store/, sim/result_cache.hpp) persists results in
+ * this form, so cached sweeps are byte-identical to fresh ones.
  *
  * Lines are `key = value` (spaces optional); blank lines and full-line
  * `#` comments are ignored.  Locations serialize as the `site` shortcut
@@ -47,6 +53,28 @@ void applySpecText(ExperimentSpec &spec, const std::string &text);
  * @throws std::invalid_argument on unknown keys or malformed values.
  */
 void applySpecAssignment(ExperimentSpec &spec, const std::string &assignment);
+
+/**
+ * Version of the result text form below.  Bump whenever formatResult's
+ * shape changes (a field added, removed, or renamed): the result store
+ * keys entries on this version, so old entries turn stale instead of
+ * failing to parse.
+ */
+inline constexpr int kResultFormatVersion = 1;
+
+/**
+ * Render an ExperimentResult as `key = value` text (ends with a
+ * newline).  Values use %.17g, so parseResult(formatResult(r)) == r
+ * bit for bit — the round-trip guarantee the result store relies on.
+ */
+std::string formatResult(const ExperimentResult &result);
+
+/**
+ * Parse formatResult() text.  Strict: the version header and every
+ * field must be present, unknown keys throw.
+ * @throws std::invalid_argument on any malformed or incomplete text.
+ */
+ExperimentResult parseResult(const std::string &text);
 
 // Spec-file key for each enumerator (the inverse of parsing; exhaustive).
 const char *systemKey(SystemId id);

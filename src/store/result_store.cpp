@@ -1,0 +1,366 @@
+#include "store/result_store.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/stats.hpp"
+
+namespace coolair {
+namespace store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char kMagic[] = "coolair-store 1";
+constexpr const char kEntrySuffix[] = ".res";
+
+/** SplitMix64 finalizer: avalanches a 64-bit state. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a 64 from a caller-chosen basis (two bases -> a 128-bit key). */
+uint64_t
+fnv1a64(const std::string &s, uint64_t basis)
+{
+    uint64_t h = basis;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+    return buf;
+}
+
+/** crc32 lookup table, built once. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/**
+ * One parsed entry header line: "name value\n" where value runs to the
+ * end of the line (salts may contain spaces).  Returns false when the
+ * line is missing or does not start with @p name.
+ */
+bool
+headerLine(std::istringstream &is, const std::string &name,
+           std::string &value)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        return false;
+    if (line.rfind(name + " ", 0) != 0)
+        return false;
+    value = line.substr(name.size() + 1);
+    return true;
+}
+
+bool
+parseSize(const std::string &s, size_t &out)
+{
+    if (s.empty())
+        return false;
+    size_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + size_t(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32(const std::string &data)
+{
+    const auto &table = crcTable();
+    uint32_t c = 0xFFFFFFFFu;
+    for (unsigned char b : data)
+        c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+ResultStore::ResultStore(std::string dir, std::string salt,
+                         int schema_version)
+    : _dir(std::move(dir)), _salt(std::move(salt)),
+      _schemaVersion(schema_version)
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    if (ec || !fs::is_directory(_dir))
+        throw std::runtime_error("ResultStore: cannot create directory: " +
+                                 _dir + ": " + ec.message());
+}
+
+std::string
+ResultStore::keyFor(const std::string &id) const
+{
+    // Salt and schema participate in the key so a salt bump leaves old
+    // entries unreachable (they also fail the embedded-header check if
+    // a collision lands on one).
+    std::string seed =
+        _salt + '\n' + std::to_string(_schemaVersion) + '\n' + id;
+    uint64_t h1 = mix64(fnv1a64(seed, 0xCBF29CE484222325ULL));
+    uint64_t h2 = mix64(fnv1a64(seed, 0x84222325CBF29CE4ULL));
+    return hex64(h1) + hex64(h2);
+}
+
+std::string
+ResultStore::entryPath(const std::string &id) const
+{
+    return _dir + "/" + keyFor(id) + kEntrySuffix;
+}
+
+bool
+ResultStore::lookup(const std::string &id, std::string &payload)
+{
+    _lookups.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = entryPath(id);
+
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            _misses.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        blob = buf.str();
+    }
+
+    // Parse the header; classify failures so the caller's stats say
+    // *why* entries were re-run.
+    enum class Bad
+    {
+        Corrupt,
+        Stale,
+        Collision
+    };
+    auto reject = [&](Bad why) {
+        switch (why) {
+          case Bad::Corrupt:
+            _corruptEntries.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Bad::Stale:
+            _staleEntries.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Bad::Collision:
+            _collisions.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        // Corrupt and stale entries can never become valid again;
+        // remove them so the slot heals on the next store.  A collided
+        // entry is someone else's valid data: leave it.
+        if (why != Bad::Collision) {
+            std::error_code ec;
+            fs::remove(path, ec);
+        }
+        _misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
+
+    std::istringstream is(blob);
+    std::string magic, salt, schema, id_bytes_s, payload_bytes_s, crc_s;
+    if (!std::getline(is, magic) || magic != kMagic)
+        return reject(Bad::Corrupt);
+    if (!headerLine(is, "salt", salt) || !headerLine(is, "schema", schema) ||
+        !headerLine(is, "id_bytes", id_bytes_s) ||
+        !headerLine(is, "payload_bytes", payload_bytes_s) ||
+        !headerLine(is, "crc32", crc_s))
+        return reject(Bad::Corrupt);
+
+    size_t id_bytes = 0, payload_bytes = 0;
+    if (!parseSize(id_bytes_s, id_bytes) ||
+        !parseSize(payload_bytes_s, payload_bytes))
+        return reject(Bad::Corrupt);
+
+    const size_t body_off = size_t(is.tellg());
+    if (blob.size() != body_off + id_bytes + payload_bytes)
+        return reject(Bad::Corrupt);  // truncated (or padded) body
+
+    const std::string body = blob.substr(body_off);
+    char crc_buf[16];
+    std::snprintf(crc_buf, sizeof(crc_buf), "%08x", crc32(body));
+    if (crc_s != crc_buf)
+        return reject(Bad::Corrupt);
+
+    // The entry is internally consistent; now check it is *ours*.
+    if (salt != _salt || schema != std::to_string(_schemaVersion))
+        return reject(Bad::Stale);
+    if (body.compare(0, id_bytes, id) != 0)
+        return reject(Bad::Collision);
+
+    payload = body.substr(id_bytes);
+    _hits.fetch_add(1, std::memory_order_relaxed);
+    _bytesRead.fetch_add(int64_t(blob.size()), std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ResultStore::store(const std::string &id, const std::string &payload)
+{
+    const std::string body = id + payload;
+    char crc_buf[16];
+    std::snprintf(crc_buf, sizeof(crc_buf), "%08x", crc32(body));
+
+    std::ostringstream os;
+    os << kMagic << "\n";
+    os << "salt " << _salt << "\n";
+    os << "schema " << _schemaVersion << "\n";
+    os << "id_bytes " << id.size() << "\n";
+    os << "payload_bytes " << payload.size() << "\n";
+    os << "crc32 " << crc_buf << "\n";
+    os << body;
+    const std::string blob = os.str();
+
+    // Unique temp name per write (pid + a process-wide counter), then
+    // an atomic rename: concurrent writers race benignly — last rename
+    // wins and readers never see a torn entry.
+    const std::string path = entryPath(id);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(uint64_t(::getpid())) + "." +
+        std::to_string(_tempCounter.fetch_add(1, std::memory_order_relaxed));
+
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out || !(out << blob) || !out.flush()) {
+            _storeFailures.fetch_add(1, std::memory_order_relaxed);
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        _storeFailures.fetch_add(1, std::memory_order_relaxed);
+        fs::remove(tmp, ec);
+        return false;
+    }
+    _stores.fetch_add(1, std::memory_order_relaxed);
+    _bytesWritten.fetch_add(int64_t(blob.size()), std::memory_order_relaxed);
+    return true;
+}
+
+void
+ResultStore::discard(const std::string &id)
+{
+    std::error_code ec;
+    fs::remove(entryPath(id), ec);
+}
+
+void
+ResultStore::noteInvalidPayload()
+{
+    // The lookup counted a hit before the payload failed to parse;
+    // reclassify it so hits only ever count served results.
+    _hits.fetch_sub(1, std::memory_order_relaxed);
+    _misses.fetch_add(1, std::memory_order_relaxed);
+    _corruptEntries.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ResultStore::noteVerifyFailure()
+{
+    _verifyFailures.fetch_add(1, std::memory_order_relaxed);
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    StoreStats s;
+    s.lookups = _lookups.load(std::memory_order_relaxed);
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    s.stores = _stores.load(std::memory_order_relaxed);
+    s.storeFailures = _storeFailures.load(std::memory_order_relaxed);
+    s.staleEntries = _staleEntries.load(std::memory_order_relaxed);
+    s.corruptEntries = _corruptEntries.load(std::memory_order_relaxed);
+    s.collisions = _collisions.load(std::memory_order_relaxed);
+    s.verifyFailures = _verifyFailures.load(std::memory_order_relaxed);
+    s.bytesRead = _bytesRead.load(std::memory_order_relaxed);
+    s.bytesWritten = _bytesWritten.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ResultStore::addStats(obs::StatsRegistry &reg) const
+{
+    StoreStats s = stats();
+    reg.counter("store.lookups", "result-store lookups").add(s.lookups);
+    reg.counter("store.hits", "lookups served from the result store")
+        .add(s.hits);
+    reg.counter("store.misses", "lookups that had to run").add(s.misses);
+    reg.counter("store.stores", "results written to the store")
+        .add(s.stores);
+    reg.counter("store.store_failures", "result writes that failed (IO)")
+        .add(s.storeFailures);
+    reg.counter("store.stale_entries",
+                "entries dropped on salt/schema mismatch")
+        .add(s.staleEntries);
+    reg.counter("store.corrupt_entries",
+                "entries dropped on CRC/format failure")
+        .add(s.corruptEntries);
+    reg.counter("store.collisions", "entries whose id text did not match")
+        .add(s.collisions);
+    reg.counter("store.verify_failures",
+                "verified hits that did not reproduce")
+        .add(s.verifyFailures);
+    reg.counter("store.bytes_read", "entry bytes read on hits")
+        .add(s.bytesRead);
+    reg.counter("store.bytes_written", "entry bytes written")
+        .add(s.bytesWritten);
+}
+
+ResultStore::DiskUsage
+ResultStore::diskUsage() const
+{
+    DiskUsage usage;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(_dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        if (entry.path().extension() != kEntrySuffix)
+            continue;
+        ++usage.entries;
+        usage.bytes += uint64_t(entry.file_size(ec));
+    }
+    return usage;
+}
+
+} // namespace store
+} // namespace coolair

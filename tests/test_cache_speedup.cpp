@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The incremental-sweep performance gate: a fully warm 200-site world
+ * sweep served from the persistent result store must be at least 20x
+ * faster than the cold run that populated it, while producing
+ * byte-identical output.  Slow-labelled (a real 400-experiment sweep);
+ * the functional cache tests live in tests/test_result_cache.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "environment/world_grid.hpp"
+#include "sim/result_cache.hpp"
+#include "sim/runner.hpp"
+#include "sim/spec_io.hpp"
+
+using namespace coolair;
+using namespace coolair::sim;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<ExperimentSpec>
+cachedSweepSpecs(size_t num_sites, const std::string &cache_dir)
+{
+    auto sites = environment::worldGrid(num_sites);
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(sites.size() * 2);
+    for (size_t i = 0; i < sites.size(); ++i) {
+        ExperimentSpec spec;
+        spec.location = sites[i];
+        spec.workload = WorkloadKind::FacebookProfile;
+        spec.weeks = 1;
+        spec.physicsStepS = 120.0;
+        spec.seed = ExperimentRunner::deriveSeed(7, i, sites[i].name);
+        spec.cacheDirPath = cache_dir;
+        spec.system = SystemId::Baseline;
+        specs.push_back(spec);
+        spec.system = SystemId::AllNd;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::string
+sweepBytes(const SweepOutcome &sweep)
+{
+    std::string bytes;
+    for (const auto &r : sweep.results)
+        bytes += formatResult(r);
+    return bytes;
+}
+
+} // anonymous namespace
+
+TEST(CacheSpeedup, WarmSweepIsAtLeastTwentyTimesFaster)
+{
+    const std::string dir =
+        (fs::temp_directory_path() / "coolair-cache-speedup").string();
+    fs::remove_all(dir);
+
+    // The issue's contract: a warm 200-site world sweep >= 20x faster
+    // than cold.  Generous margin: warm is pure file IO (measured
+    // ~1000x on the reference machine), cold is hundreds of
+    // simulations.
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(200, dir);
+
+    // Warm the process-wide lazy state (learned bundles, the profile)
+    // on a disjoint cache dir first, so the timed cold sweep measures
+    // simulation work, not one-time learning campaigns.
+    {
+        std::vector<ExperimentSpec> warmup = cachedSweepSpecs(1, dir + "-w");
+        ASSERT_TRUE(ExperimentRunner(RunnerConfig{1}).run(warmup).allOk());
+        fs::remove_all(dir + "-w");
+    }
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    SweepOutcome cold = ExperimentRunner(RunnerConfig{1}).run(specs);
+    const auto t1 = clock::now();
+    ASSERT_TRUE(cold.allOk());
+    ASSERT_EQ(0u, cold.cacheHits());
+
+    SweepOutcome warm = ExperimentRunner(RunnerConfig{1}).run(specs);
+    const auto t2 = clock::now();
+    ASSERT_TRUE(warm.allOk());
+    ASSERT_EQ(specs.size(), warm.cacheHits());
+    EXPECT_EQ(sweepBytes(cold), sweepBytes(warm));
+
+    const double cold_s = std::chrono::duration<double>(t1 - t0).count();
+    const double warm_s = std::chrono::duration<double>(t2 - t1).count();
+    EXPECT_GE(cold_s, 20.0 * warm_s)
+        << "cold " << cold_s << " s vs warm " << warm_s << " s";
+
+    fs::remove_all(dir);
+}

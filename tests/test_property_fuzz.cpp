@@ -316,6 +316,10 @@ randomSpec(Rng &rng)
 
     if (rng.bernoulli(0.3))
         spec.traceCsvPath = "/tmp/fuzz-trace.csv";
+    spec.resultCache = rng.bernoulli(0.8);
+    if (rng.bernoulli(0.3))
+        spec.cacheDirPath =
+            "/tmp/fuzz-cache-" + std::to_string(rng.uniformInt(0, 9));
     if (rng.bernoulli(0.3))
         spec.bandWidthC = rng.uniform(1.0, 10.0);
     if (rng.bernoulli(0.3))

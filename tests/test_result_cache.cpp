@@ -1,0 +1,245 @@
+/**
+ * @file
+ * End-to-end tests for the persistent experiment result cache: warm
+ * sweeps must be byte-identical to cold ones at any thread count,
+ * corrupt or stale entries must transparently re-run, failing specs
+ * must never poison the store, and cache activity must show up in
+ * RunReport JSON.  The warm-vs-cold speedup gate lives in
+ * tests/test_cache_speedup.cpp (slow-labelled).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "environment/world_grid.hpp"
+#include "sim/result_cache.hpp"
+#include "sim/runner.hpp"
+#include "sim/spec_io.hpp"
+#include "store/result_store.hpp"
+
+using namespace coolair;
+using namespace coolair::sim;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A world sweep shrunk to a 1-week year sample, cache enabled. */
+std::vector<ExperimentSpec>
+cachedSweepSpecs(size_t num_sites, const std::string &cache_dir)
+{
+    auto sites = environment::worldGrid(num_sites);
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(sites.size() * 2);
+    for (size_t i = 0; i < sites.size(); ++i) {
+        ExperimentSpec spec;
+        spec.location = sites[i];
+        spec.workload = WorkloadKind::FacebookProfile;
+        spec.weeks = 1;
+        spec.physicsStepS = 120.0;
+        spec.seed = ExperimentRunner::deriveSeed(7, i, sites[i].name);
+        spec.cacheDirPath = cache_dir;
+        spec.system = SystemId::Baseline;
+        specs.push_back(spec);
+        spec.system = SystemId::AllNd;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** The exact serialized bytes of every result, concatenated in order. */
+std::string
+sweepBytes(const SweepOutcome &sweep)
+{
+    std::string bytes;
+    for (const auto &r : sweep.results)
+        bytes += formatResult(r);
+    return bytes;
+}
+
+} // anonymous namespace
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir = (fs::temp_directory_path() /
+               (std::string("coolair-cache-") + info->name()))
+                  .string();
+        fs::remove_all(dir);
+    }
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string dir;
+};
+
+TEST_F(ResultCacheTest, WarmSweepIsByteIdenticalAtAnyThreadCount)
+{
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(8, dir);
+
+    RunnerConfig cold_config;
+    cold_config.threads = 2;
+    SweepOutcome cold = ExperimentRunner(cold_config).run(specs);
+    ASSERT_TRUE(cold.allOk());
+    EXPECT_EQ(0u, cold.cacheHits());
+    const std::string cold_bytes = sweepBytes(cold);
+
+    for (int threads : {1, 3, 8}) {
+        RunnerConfig config;
+        config.threads = threads;
+        SweepOutcome warm = ExperimentRunner(config).run(specs);
+        ASSERT_TRUE(warm.allOk());
+        EXPECT_EQ(specs.size(), warm.cacheHits()) << threads << " threads";
+        // The merged output must match the cold run byte for byte.
+        EXPECT_EQ(cold_bytes, sweepBytes(warm)) << threads << " threads";
+    }
+}
+
+TEST_F(ResultCacheTest, CorruptAndStaleEntriesReRunTransparently)
+{
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(4, dir);
+    SweepOutcome cold = ExperimentRunner(RunnerConfig{1}).run(specs);
+    ASSERT_TRUE(cold.allOk());
+    const std::string cold_bytes = sweepBytes(cold);
+
+    // Corrupt one entry (bit flip) and truncate another.
+    store::ResultStore st = openResultStore(dir);
+    const std::string path2 = st.entryPath(resultCacheId(specs[2]));
+    std::string bytes = readFile(path2);
+    bytes[bytes.size() - 2] ^= 0x10;
+    {
+        std::ofstream out(path2, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    const std::string path5 = st.entryPath(resultCacheId(specs[5]));
+    bytes = readFile(path5);
+    {
+        std::ofstream out(path5, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() / 2);
+    }
+
+    SweepOutcome warm = ExperimentRunner(RunnerConfig{1}).run(specs);
+    ASSERT_TRUE(warm.allOk());
+    // Exactly the two damaged specs re-ran; everything else hit.
+    EXPECT_EQ(specs.size() - 2, warm.cacheHits());
+    EXPECT_EQ(0, warm.fromCache[2]);
+    EXPECT_EQ(0, warm.fromCache[5]);
+    // Damaged entries were re-run and re-stored, so the merged output
+    // is still byte-identical and the next sweep hits everywhere.
+    EXPECT_EQ(cold_bytes, sweepBytes(warm));
+    SweepOutcome again = ExperimentRunner(RunnerConfig{1}).run(specs);
+    EXPECT_EQ(specs.size(), again.cacheHits());
+}
+
+TEST_F(ResultCacheTest, SaltBumpInvalidatesEverything)
+{
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(2, dir);
+    SweepOutcome cold = ExperimentRunner(RunnerConfig{1}).run(specs);
+    ASSERT_TRUE(cold.allOk());
+
+    // A store opened under a different salt (simulating a sim-semantics
+    // bump) sees none of the old entries.
+    store::ResultStore bumped(dir, "coolair-sim-NEXT", kResultFormatVersion);
+    for (const auto &spec : specs) {
+        std::string payload;
+        EXPECT_FALSE(bumped.lookup(resultCacheId(spec), payload));
+    }
+}
+
+TEST_F(ResultCacheTest, FailingSpecIsReportedAndNeverStored)
+{
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(3, dir);
+    specs[3].weeks = -1;  // unrunnable: the scenario builder throws
+
+    SweepOutcome cold = ExperimentRunner(RunnerConfig{2}).run(specs);
+    ASSERT_EQ(1u, cold.failures.size());
+    EXPECT_EQ(3u, cold.failures[0].index);
+    EXPECT_EQ(-1, cold.failures[0].spec.weeks);
+    EXPECT_FALSE(cold.failures[0].message.empty());
+    EXPECT_FALSE(cold.ok(3));
+    EXPECT_EQ(0, cold.fromCache[3]);
+
+    // The failing spec wrote nothing: only the good specs are on disk,
+    // and its entry path does not exist.
+    store::ResultStore st = openResultStore(dir);
+    EXPECT_EQ(specs.size() - 1, size_t(st.diskUsage().entries));
+    EXPECT_FALSE(fs::exists(st.entryPath(resultCacheId(specs[3]))));
+
+    // A warm re-run serves every good spec and reports the bad one
+    // again (it re-runs every time; failures are never cached).
+    SweepOutcome warm = ExperimentRunner(RunnerConfig{2}).run(specs);
+    ASSERT_EQ(1u, warm.failures.size());
+    EXPECT_EQ(3u, warm.failures[0].index);
+    EXPECT_EQ(specs.size() - 1, warm.cacheHits());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (i != 3 && cold.ok(i)) {
+            EXPECT_EQ(formatResult(cold.results[i]),
+                      formatResult(warm.results[i]));
+        }
+    }
+}
+
+TEST_F(ResultCacheTest, TraceSpecsAreNeverCached)
+{
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(1, dir);
+    specs[0].traceCsvPath = dir + "-trace.csv";
+    ASSERT_FALSE(resultCacheUsable(specs[0]));
+    ASSERT_TRUE(resultCacheUsable(specs[1]));
+
+    for (int round = 0; round < 2; ++round) {
+        SweepOutcome sweep = ExperimentRunner(RunnerConfig{1}).run(specs);
+        ASSERT_TRUE(sweep.allOk());
+        EXPECT_EQ(0, sweep.fromCache[0]) << "round " << round;
+        // The trace side output is produced on every run, not only the
+        // first: remove it and check the next round recreates it.
+        EXPECT_TRUE(fs::exists(specs[0].traceCsvPath)) << "round " << round;
+        fs::remove(specs[0].traceCsvPath);
+    }
+    store::ResultStore st = openResultStore(dir);
+    EXPECT_EQ(1u, st.diskUsage().entries);
+}
+
+TEST_F(ResultCacheTest, RunReportsCarryStoreStatsAndProvenance)
+{
+    std::vector<ExperimentSpec> specs = cachedSweepSpecs(1, dir);
+    const std::string report_path = dir + "-report.json";
+    specs[1].reportJsonPath = report_path;
+
+    SweepOutcome cold = ExperimentRunner(RunnerConfig{1}).run(specs);
+    ASSERT_TRUE(cold.allOk());
+    std::string report = readFile(report_path);
+    // A cold run's report shows the store's activity (the miss and the
+    // store) but no cache provenance: the metrics came from the engine.
+    EXPECT_NE(std::string::npos, report.find("\"store.misses\"")) << report;
+    EXPECT_NE(std::string::npos, report.find("\"store.stores\"")) << report;
+    EXPECT_EQ(std::string::npos, report.find("result_source")) << report;
+
+    fs::remove(report_path);
+    SweepOutcome warm = ExperimentRunner(RunnerConfig{1}).run(specs);
+    ASSERT_TRUE(warm.allOk());
+    EXPECT_EQ(specs.size(), warm.cacheHits());
+    report = readFile(report_path);
+    // A warm hit still writes the report, now annotated as served from
+    // the cache and carrying the hit in its stats block.
+    EXPECT_NE(std::string::npos,
+              report.find("\"result_source\": \"cache\""))
+        << report;
+    EXPECT_NE(std::string::npos, report.find("\"store.hits\"")) << report;
+}
+

@@ -479,6 +479,116 @@ TEST(SpecIo, StrictParseErrors)
     EXPECT_EQ(7, spec.weeks);
 }
 
+TEST(SpecIo, ParseErrorsNameKeyAndLine)
+{
+    sim::ExperimentSpec spec;
+    try {
+        sim::applySpecText(spec, "# header\nweeks = 3\nbogus = 1\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_STREQ("spec line 3: unknown key 'bogus'", e.what());
+    }
+
+    // Comments and blank lines still count toward the line number, and
+    // the message names the offending key even for bad values.
+    try {
+        sim::applySpecText(spec, "weeks = 3\n\n# note\n  max_temp = warm\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string what = e.what();
+        EXPECT_NE(std::string::npos, what.find("spec line 4")) << what;
+        EXPECT_NE(std::string::npos, what.find("max_temp")) << what;
+        EXPECT_NE(std::string::npos, what.find("warm")) << what;
+    }
+
+    try {
+        sim::applySpecText(spec, "weeks = 3\njust a sentence\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string::npos,
+                  std::string(e.what()).find("spec line 2"))
+            << e.what();
+    }
+}
+
+TEST(SpecIo, CacheKeysRoundTrip)
+{
+    sim::ExperimentSpec spec = newarkSpec();
+    spec.resultCache = false;
+    spec.cacheDirPath = "/tmp/coolair-results";
+    std::string text = sim::formatSpec(spec);
+    EXPECT_NE(std::string::npos, text.find("result_cache = false"));
+    EXPECT_NE(std::string::npos,
+              text.find("cache_dir = /tmp/coolair-results"));
+    EXPECT_EQ(spec, sim::parseSpec(text));
+
+    // The defaults (cache on, no directory) are not emitted, so specs
+    // written before the cache existed keep their canonical text.
+    text = sim::formatSpec(newarkSpec());
+    EXPECT_EQ(std::string::npos, text.find("result_cache"));
+    EXPECT_EQ(std::string::npos, text.find("cache_dir"));
+}
+
+// ---------------------------------------------------------------------------
+// Result serialization (the persistent result store's payload form).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::ExperimentResult
+awkwardResult()
+{
+    // Values chosen to break lossy round trips: repeating binary
+    // fractions, tiny magnitudes, and sums that differ from their
+    // decimal spelling in the last ulp.
+    sim::ExperimentResult r;
+    r.system.avgViolationC = 1.0 / 3.0;
+    r.system.avgWorstDailyRangeC = 0.1 + 0.2;
+    r.system.minWorstDailyRangeC = -0.0;
+    r.system.maxWorstDailyRangeC = 18.600000000000001;
+    r.system.pue = 1.08;
+    r.system.itKwh = 43.4999999999999964;
+    r.system.coolingKwh = 1e-17;
+    r.system.humidityViolationFrac = 2.0 / 7.0;
+    r.system.rateViolationFrac = 1e300;
+    r.system.avgMaxInletC = 30.000000000000004;
+    r.system.days = 365;
+    r.outside = r.system;
+    r.outside.pue = 0.0;
+    r.outside.days = 364;
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(SpecIo, ResultRoundTripIsExact)
+{
+    sim::ExperimentResult r = awkwardResult();
+    std::string text = sim::formatResult(r);
+    sim::ExperimentResult parsed = sim::parseResult(text);
+    EXPECT_EQ(r, parsed);
+    // Formatting is deterministic, so format(parse(.)) is stable too.
+    EXPECT_EQ(text, sim::formatResult(parsed));
+}
+
+TEST(SpecIo, ParseResultIsStrict)
+{
+    const std::string text = sim::formatResult(awkwardResult());
+    EXPECT_NO_THROW(sim::parseResult(text));
+
+    EXPECT_THROW(sim::parseResult(""), std::invalid_argument);
+    EXPECT_THROW(sim::parseResult("result = 999\n"), std::invalid_argument);
+    // A truncated payload is missing fields, not silently zero.
+    EXPECT_THROW(sim::parseResult(text.substr(0, text.size() / 2)),
+                 std::invalid_argument);
+    // Unknown keys are rejected (a format drift must bump the version).
+    EXPECT_THROW(sim::parseResult(text + "system.bogus = 1\n"),
+                 std::invalid_argument);
+    // A payload without the version header is rejected even if complete.
+    std::string headerless = text.substr(text.find('\n') + 1);
+    EXPECT_THROW(sim::parseResult(headerless), std::invalid_argument);
+}
+
 TEST(SpecIo, NamedSiteShortcutIsUsedWhenExact)
 {
     sim::ExperimentSpec spec = newarkSpec();
