@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Mixed hot/cold load driver for the coolair_serve daemon: starts an
+ * in-process LineServer on a Unix socket, fans client threads out
+ * against it, and reports sustained specs/s — the ROADMAP item 1
+ * measure for the serving layer.
+ *
+ * Phases:
+ *   1. cold warm-up: every spec in the hot set runs once (populates
+ *      the result store and the learned-model shared state);
+ *   2. mixed load: each client thread issues a deterministic
+ *      hot/cold request mix — hot requests repeat the hot set (served
+ *      from the store), cold requests are fresh single-day specs
+ *      (each simulates once; concurrent duplicates dedup in flight).
+ *
+ * Environment knobs (strict util::envInt parsing):
+ *   COOLAIR_SERVE_CLIENTS   client threads        (default 8)
+ *   COOLAIR_SERVE_REQUESTS  requests per client   (default 32)
+ *   COOLAIR_SERVE_HOT_PCT   hot share in percent  (default 75)
+ *   COOLAIR_THREADS         daemon worker threads (default all cores)
+ *
+ * The driver asserts the serving contract as it measures: every hot
+ * response must be byte-identical to the response the same spec line
+ * got in the warm-up phase.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+using namespace coolair;
+
+namespace {
+
+/** The hot set: single-day profile-workload specs across the five
+    named sites (cheap to simulate, realistic to serve). */
+std::vector<std::string>
+hotSpecLines()
+{
+    const char *sites[] = {"newark", "chad", "santiago", "iceland",
+                           "singapore"};
+    std::vector<std::string> lines;
+    for (const char *site : sites)
+        for (int day : {60, 240})
+            lines.push_back("run=day; day=" + std::to_string(day) +
+                            "; site=" + std::string(site) +
+                            "; system=allnd; workload=profile; "
+                            "physics_step=120");
+    return lines;
+}
+
+/** A cold spec line nobody has run before (unique day/seed mix). */
+std::string
+coldSpecLine(size_t client, size_t request)
+{
+    const size_t n = client * 1000 + request;
+    return "run=day; day=" + std::to_string(n % 365) +
+           "; site=santiago; system=baseline; workload=profile; "
+           "physics_step=120; seed=" +
+           std::to_string(100000 + n);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const int clients = util::envInt("COOLAIR_SERVE_CLIENTS", 8, 1, 256);
+    const int requests = util::envInt("COOLAIR_SERVE_REQUESTS", 32, 1,
+                                      100000);
+    const int hot_pct = util::envInt("COOLAIR_SERVE_HOT_PCT", 75, 0, 100);
+
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("bench_serve." + std::to_string(uint64_t(::getpid())));
+    fs::create_directories(dir);
+    const std::string socket_path = (dir / "serve.sock").string();
+
+    serve::ServiceConfig service_config;
+    service_config.cacheDir = (dir / "store").string();
+    serve::ExperimentService service(service_config);
+
+    serve::ServerConfig server_config;
+    server_config.unixPath = socket_path;
+    serve::LineServer server(service, server_config);
+    server.start();
+
+    std::printf("=== bench_serve: %d clients x %d requests, %d%% hot, "
+                "%d workers ===\n",
+                clients, requests, hot_pct, service.threads());
+
+    // Phase 1: run the hot set cold, remember the exact bytes served.
+    const std::vector<std::string> hot = hotSpecLines();
+    std::map<std::string, std::string> hot_bytes;
+    {
+        serve::Client warmup = serve::Client::connectUnix(socket_path);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const std::string &line : hot) {
+            serve::Client::Response r = warmup.request("RUN " + line);
+            if (!r.ok) {
+                std::fprintf(stderr, "warm-up failed: %s\n",
+                             r.error.c_str());
+                return 1;
+            }
+            hot_bytes[line] = r.payload;
+        }
+        const double cold_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        std::printf("cold warm-up: %zu specs in %.2f s (%.1f specs/s)\n",
+                    hot.size(), cold_s, double(hot.size()) / cold_s);
+    }
+
+    // Phase 2: the mixed load.
+    std::vector<std::thread> pool;
+    std::vector<int> failures(size_t(clients), 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            serve::Client client = serve::Client::connectUnix(socket_path);
+            util::Rng rng(42, "bench_serve#" + std::to_string(c));
+            for (int i = 0; i < requests; ++i) {
+                const bool is_hot =
+                    int(rng.uniformInt(0, 99)) < hot_pct;
+                const std::string line =
+                    is_hot ? hot[size_t(rng.uniformInt(
+                                 0, int64_t(hot.size()) - 1))]
+                           : coldSpecLine(size_t(c), size_t(i));
+                serve::Client::Response r = client.request("RUN " + line);
+                if (!r.ok ||
+                    (is_hot && r.payload != hot_bytes.at(line)))
+                    ++failures[size_t(c)];
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    int failed = 0;
+    for (int f : failures)
+        failed += f;
+    const size_t total = size_t(clients) * size_t(requests);
+    std::printf("mixed load: %zu requests in %.2f s -> %.1f specs/s "
+                "sustained (%d failures)\n",
+                total, wall, double(total) / wall, failed);
+
+    {
+        serve::Client admin = serve::Client::connectUnix(socket_path);
+        serve::Client::Response stats = admin.request("STATS");
+        if (stats.ok)
+            std::fputs(stats.payload.c_str(), stdout);
+        admin.request("SHUTDOWN");
+    }
+    server.stop();
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+
+    if (failed != 0) {
+        std::fprintf(stderr, "FAILED: %d responses wrong or missing\n",
+                     failed);
+        return 1;
+    }
+    return 0;
+}

@@ -32,6 +32,7 @@
 #include "environment/world_grid.hpp"
 #include "sim/runner.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -53,9 +54,11 @@ struct SiteOutcome
 int
 main()
 {
-    size_t count = 1520;
-    if (const char *env = std::getenv("COOLAIR_WORLD_SITES"))
-        count = size_t(std::atoi(env));
+    // Strict env parsing: a malformed or negative COOLAIR_WORLD_SITES
+    // warns and runs the full sweep instead of wrapping to a huge
+    // size_t site count.
+    const size_t count =
+        size_t(util::envInt("COOLAIR_WORLD_SITES", 1520, 1, 1000000));
 
     std::printf("=== Figures 12/13: world-wide sweep (%zu sites) ===\n",
                 count);

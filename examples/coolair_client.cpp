@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Command-line client for the coolair_serve daemon.
+ *
+ * Usage:
+ *   coolair_client (--socket <path> | --port <port>) <command...>
+ *     --spec <file>        read a spec file and send it as one RUN
+ *                          (newlines become ';', comments dropped)
+ *
+ * The remaining arguments form one protocol request line, e.g.:
+ *   coolair_client --socket /tmp/coolair.sock PING
+ *   coolair_client --socket /tmp/coolair.sock RUN "site=newark; weeks=1"
+ *   coolair_client --port 7411 STATS
+ *   coolair_client --port 7411 SHUTDOWN
+ *   coolair_client --socket /tmp/coolair.sock --spec fig8.spec
+ *
+ * Prints the response status line to stderr and any RESULT/STATS
+ * payload to stdout; exits non-zero on ERR or transport failure.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "util/parse.hpp"
+
+using namespace coolair;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "error: %s\n(see the header comment in "
+                         "examples/coolair_client.cpp for usage)\n",
+                 msg);
+    std::exit(2);
+}
+
+/** A spec file as one protocol spec line: newlines -> ';', blank and
+    full-line-comment lines dropped. */
+std::string
+specLineFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        usage(("cannot open spec file: " + path).c_str());
+    std::string line, out;
+    while (std::getline(in, line)) {
+        const size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos || line[b] == '#')
+            continue;
+        if (!out.empty())
+            out += "; ";
+        out += line;
+    }
+    if (out.empty())
+        usage(("spec file has no assignments: " + path).c_str());
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    int port = -1;
+    std::string command;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg == "--port") {
+            long long p = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, p) || p < 1 || p > 65535)
+                usage(("bad port: '" + text + "'").c_str());
+            port = int(p);
+        } else if (arg == "--spec") {
+            command = "RUN " + specLineFromFile(next());
+        } else {
+            if (!command.empty())
+                command += " ";
+            command += arg;
+        }
+    }
+    if (socket_path.empty() && port < 0)
+        usage("need --socket <path> or --port <port>");
+    if (command.empty())
+        usage("need a command (PING, RUN <spec>, STATS, ...)");
+
+    try {
+        serve::Client client = socket_path.empty()
+                                   ? serve::Client::connectTcp(port)
+                                   : serve::Client::connectUnix(socket_path);
+        serve::Client::Response r = client.request(command);
+        if (!r.ok) {
+            std::fprintf(stderr, "ERR %s\n", r.error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "%s\n", r.status.c_str());
+        if (!r.payload.empty())
+            std::fputs(r.payload.c_str(), stdout);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "coolair_client: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

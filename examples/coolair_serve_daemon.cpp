@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The CoolAir experiment-serving daemon: a persistent process that
+ * accepts ExperimentSpecs over a simple line protocol, answers warm
+ * requests straight from the persistent result store, and schedules
+ * misses onto a shared worker pool with dedup-in-flight (two clients
+ * submitting the same canonical spec share one simulation).
+ *
+ * Usage:
+ *   coolair_serve [options]
+ *     --socket <path>      listen on a Unix-domain socket
+ *     --port <port>        listen on 127.0.0.1:<port> (0 = ephemeral,
+ *                          printed on startup)
+ *     --cache-dir <dir>    persistent result store (shared with
+ *                          experiment_cli --cache-dir and cached
+ *                          sweeps); omit to serve without a store
+ *     --threads <n>        worker threads (default: COOLAIR_THREADS
+ *                          or all cores)
+ *
+ * At least one of --socket/--port is required.  The daemon runs until
+ * a client sends SHUTDOWN (or the process receives SIGINT/SIGTERM via
+ * the shell).
+ *
+ * Protocol (see src/serve/protocol.hpp, drivable from netcat):
+ *   PING                          -> PONG
+ *   SUBMIT site=newark; weeks=1   -> OK <ticket>
+ *   WAIT <ticket>                 -> RESULT <n> + formatResult text
+ *   RUN site=newark; weeks=1      -> RESULT <n> + formatResult text
+ *   STATS                         -> STATS <n> + counter dump
+ *   SHUTDOWN                      -> BYE (daemon exits)
+ *
+ * Results are byte-identical to experiment_cli for the same spec —
+ * the daemon adds caching and sharing, never a different answer.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+
+using namespace coolair;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "error: %s\n(see the header comment in "
+                         "examples/coolair_serve_daemon.cpp for usage)\n",
+                 msg);
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServiceConfig service_config;
+    serve::ServerConfig server_config;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            server_config.unixPath = next();
+        } else if (arg == "--port") {
+            long long port = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, port) || port < 0 || port > 65535)
+                usage(("bad port: '" + text + "'").c_str());
+            server_config.tcpPort = int(port);
+        } else if (arg == "--cache-dir") {
+            service_config.cacheDir = next();
+        } else if (arg == "--threads") {
+            long long n = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, n) || n < 1 || n > 4096)
+                usage(("bad thread count: '" + text + "'").c_str());
+            service_config.threads = int(n);
+        } else {
+            usage(("unknown option: " + arg).c_str());
+        }
+    }
+    if (server_config.unixPath.empty() && server_config.tcpPort < 0)
+        usage("need --socket <path> and/or --port <port>");
+
+    try {
+        serve::ExperimentService service(service_config);
+        serve::LineServer server(service, server_config);
+        server.start();
+
+        std::fprintf(stderr, "coolair_serve: %d workers, store %s\n",
+                     service.threads(),
+                     service_config.cacheDir.empty()
+                         ? "(none)"
+                         : service_config.cacheDir.c_str());
+        if (!server.unixPath().empty())
+            std::fprintf(stderr, "listening on unix socket %s\n",
+                         server.unixPath().c_str());
+        if (server.tcpPort() >= 0)
+            std::fprintf(stderr, "listening on 127.0.0.1:%d\n",
+                         server.tcpPort());
+
+        server.waitForShutdown();
+        server.stop();
+        std::fprintf(stderr, "coolair_serve: shutdown requested, "
+                             "draining...\n%s",
+                     service.statsText().c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "coolair_serve: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -13,6 +13,7 @@
  * Example:  ./build/examples/parasol_day 0 166 allnd > newark_june.csv
  */
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -22,14 +23,31 @@
 #include "sim/scenario.hpp"
 #include "sim/spec_io.hpp"
 #include "sim/trace_csv.hpp"
+#include "util/parse.hpp"
 
 using namespace coolair;
+
+namespace {
+
+/** Strict argv integer: "8x" is an error, not 8. */
+int
+argInt(const char *arg, const char *what)
+{
+    long long v = 0;
+    if (!util::parseInt(arg, v) || v < INT_MIN || v > INT_MAX) {
+        std::fprintf(stderr, "parasol_day: bad %s: '%s'\n", what, arg);
+        std::exit(1);
+    }
+    return int(v);
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    int site_idx = argc > 1 ? std::atoi(argv[1]) : 0;
-    int day = argc > 2 ? std::atoi(argv[2]) : 166;
+    int site_idx = argc > 1 ? argInt(argv[1], "site index") : 0;
+    int day = argc > 2 ? argInt(argv[2], "day of year") : 166;
     const char *system = argc > 3 ? argv[3] : "allnd";
 
     if (site_idx < 0 || site_idx >= environment::kNamedSiteCount) {

@@ -22,6 +22,7 @@
 #include "environment/world_grid.hpp"
 #include "sim/runner.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace coolair;
@@ -29,7 +30,20 @@ using namespace coolair;
 int
 main(int argc, char **argv)
 {
-    int weeks = argc > 1 ? std::atoi(argv[1]) : 26;
+    int weeks = 26;
+    if (argc > 1) {
+        long long v = 0;
+        // Strict: a typo'd week count fails loudly instead of running
+        // a silently-wrong year sample.
+        if (!util::parseInt(argv[1], v) || v < 1 || v > 52) {
+            std::fprintf(stderr,
+                         "siting_advisor: weeks must be an integer in "
+                         "[1, 52], got '%s'\n",
+                         argv[1]);
+            return 1;
+        }
+        weeks = int(v);
+    }
 
     // Candidate sites: a spread of climates an enterprise might weigh.
     struct Candidate

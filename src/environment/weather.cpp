@@ -3,9 +3,11 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "physics/psychrometrics.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/stats.hpp"
 
 namespace coolair {
@@ -32,38 +34,90 @@ CsvWeatherSeries::CsvWeatherSeries(std::vector<double> hourly_temp_c,
         util::fatal("CsvWeatherSeries: need matching, non-empty series");
 }
 
+namespace {
+
+/** Trim ASCII whitespace (CSV exports often pad cells and end lines
+    with \r). */
+std::string
+trimCell(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void
+badRow(size_t row, const std::string &what)
+{
+    throw std::invalid_argument("weather row " + std::to_string(row) +
+                                ": " + what);
+}
+
+} // anonymous namespace
+
 CsvWeatherSeries
 CsvWeatherSeries::fromCsv(std::istream &in)
 {
     std::vector<double> temps, rhs;
     std::string line;
     bool first = true;
+    size_t row = 0;        // 1-based data-row number (header excluded)
+    long long last_hour = -1;
     while (std::getline(in, line)) {
         if (first) {  // header
             first = false;
             continue;
         }
-        if (line.empty())
+        if (trimCell(line).empty())
             continue;
-        std::istringstream row(line);
+        ++row;
+
+        std::istringstream cells_in(line);
         std::string cell;
+        std::vector<std::string> cells;
+        while (std::getline(cells_in, cell, ','))
+            cells.push_back(trimCell(cell));
+        if (cells.size() < 2 || cells.size() > 3)
+            badRow(row, "expected hour,temp_c[,rh_percent], got '" +
+                            line + "'");
+
+        // Cells parse strictly (strtod-to-end, the spec_io style): a
+        // garbage cell is an error, never a silent 0.0.
+        static const char *const kColNames[3] = {"hour", "temp_c",
+                                                 "rh_percent"};
         double vals[3] = {0.0, 0.0, 50.0};
-        int col = 0;
-        while (std::getline(row, cell, ',') && col < 3)
-            vals[col++] = std::atof(cell.c_str());
-        if (col < 2)
-            util::fatal("CsvWeatherSeries: malformed row: " + line);
-        size_t hour = size_t(vals[0]);
-        if (temps.size() <= hour) {
-            temps.resize(hour + 1,
+        for (size_t c = 0; c < cells.size(); ++c)
+            if (!util::parseDouble(cells[c], vals[c]))
+                badRow(row, std::string("malformed ") + kColNames[c] +
+                                " cell '" + cells[c] + "'");
+
+        // The hour index addresses the series; a bogus one would index
+        // row 0 (negative cast) or resize to an absurd length.
+        if (vals[0] != std::floor(vals[0]))
+            badRow(row, "hour index '" + cells[0] + "' is not an integer");
+        if (vals[0] < 0.0 || vals[0] >= double(kMaxCsvHours))
+            badRow(row, "hour index '" + cells[0] + "' out of [0, " +
+                            std::to_string(kMaxCsvHours) + ")");
+        const long long hour = (long long)(vals[0]);
+        if (hour <= last_hour)
+            badRow(row, "hour index " + std::to_string(hour) +
+                            " does not increase (previous row was hour " +
+                            std::to_string(last_hour) + ")");
+        last_hour = hour;
+
+        // Missing hours repeat the last recorded value.
+        if (temps.size() <= size_t(hour)) {
+            temps.resize(size_t(hour) + 1,
                          temps.empty() ? vals[1] : temps.back());
-            rhs.resize(hour + 1, rhs.empty() ? vals[2] : rhs.back());
+            rhs.resize(size_t(hour) + 1, rhs.empty() ? vals[2] : rhs.back());
         }
-        temps[hour] = vals[1];
-        rhs[hour] = vals[2];
+        temps[size_t(hour)] = vals[1];
+        rhs[size_t(hour)] = vals[2];
     }
     if (temps.empty())
-        util::fatal("CsvWeatherSeries: no data rows");
+        throw std::invalid_argument("weather: no data rows");
     return CsvWeatherSeries(std::move(temps), std::move(rhs));
 }
 

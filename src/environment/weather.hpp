@@ -54,12 +54,22 @@ class WeatherProvider
 };
 
 /**
+ * Upper bound on CSV hour indices (a leap year of hours): anything at
+ * or above this is a malformed row, not a request for a multi-year
+ * series.
+ */
+inline constexpr long long kMaxCsvHours = 24 * 366;
+
+/**
  * A recorded hourly weather series (e.g. exported from TMY data as CSV)
  * with linear interpolation between hours and yearly wrap-around.
  *
  * CSV format: one header line, then rows `hour_of_year,temp_c,rh_percent`
- * with hour_of_year in [0, 8760).  Missing trailing hours repeat the
- * last value.
+ * with strictly increasing hour_of_year in [0, kMaxCsvHours).  Missing
+ * hours repeat the last recorded value.  Parsing is strict: every cell
+ * must be a complete number (no atof-style silent zeros), and a bad row
+ * raises std::invalid_argument naming its 1-based data-row number
+ * ("weather row N: ...").
  */
 class CsvWeatherSeries : public WeatherProvider
 {
@@ -68,7 +78,11 @@ class CsvWeatherSeries : public WeatherProvider
     CsvWeatherSeries(std::vector<double> hourly_temp_c,
                      std::vector<double> hourly_rh_percent);
 
-    /** Parse the CSV format described above from a stream. */
+    /**
+     * Parse the CSV format described above from a stream.
+     * @throws std::invalid_argument on any malformed row or when the
+     *         stream holds no data rows.
+     */
     static CsvWeatherSeries fromCsv(std::istream &in);
 
     /** Parse from a file path (fatal on open failure). */

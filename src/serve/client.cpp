@@ -1,0 +1,207 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+#include "util/parse.hpp"
+
+namespace coolair {
+namespace serve {
+
+namespace {
+
+[[noreturn]] void
+connectError(const std::string &what)
+{
+    throw std::runtime_error("serve::Client: " + what + ": " +
+                             std::strerror(errno));
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("serve::Client: socket path too long: " +
+                                 path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        connectError("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        connectError("connect(" + path + ")");
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(int port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(uint16_t(port));
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        connectError("socket(AF_INET)");
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        connectError("connect(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    return Client(fd);
+}
+
+Client::~Client()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+Client::Client(Client &&other) noexcept
+    : _fd(other._fd), _buf(std::move(other._buf))
+{
+    other._fd = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        if (_fd >= 0)
+            ::close(_fd);
+        _fd = other._fd;
+        _buf = std::move(other._buf);
+        other._fd = -1;
+    }
+    return *this;
+}
+
+bool
+Client::readLine(std::string &line)
+{
+    for (;;) {
+        size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            line = _buf.substr(0, nl);
+            _buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        _buf.append(chunk, size_t(n));
+    }
+}
+
+bool
+Client::readExactly(size_t n, std::string &out)
+{
+    while (_buf.size() < n) {
+        char chunk[4096];
+        ssize_t got = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return false;
+        _buf.append(chunk, size_t(got));
+    }
+    out = _buf.substr(0, n);
+    _buf.erase(0, n);
+    return true;
+}
+
+Client::Response
+Client::request(const std::string &line)
+{
+    Response r;
+    if (_fd < 0) {
+        r.error = "not connected";
+        return r;
+    }
+    if (!sendAll(_fd, line + "\n")) {
+        r.error = "send failed";
+        return r;
+    }
+    if (!readLine(r.status)) {
+        r.error = "connection closed before a response arrived";
+        return r;
+    }
+
+    if (r.status.rfind("ERR ", 0) == 0) {
+        r.error = r.status.substr(4);
+        return r;
+    }
+    if (r.status.rfind("RESULT ", 0) == 0 ||
+        r.status.rfind("STATS ", 0) == 0) {
+        std::string tag, err;
+        uint64_t bytes = 0;
+        if (!parsePayloadHeader(r.status, tag, bytes, err)) {
+            r.error = err;
+            return r;
+        }
+        if (!readExactly(size_t(bytes), r.payload)) {
+            r.error = "connection closed mid-payload";
+            return r;
+        }
+    }
+    r.ok = true;
+    return r;
+}
+
+Client::Response
+Client::submit(const std::string &spec_line, uint64_t &ticket)
+{
+    Response r = request("SUBMIT " + spec_line);
+    if (!r.ok)
+        return r;
+    uint64_t t = 0;
+    if (r.status.rfind("OK ", 0) != 0 ||
+        !util::parseSize(r.status.substr(3), t)) {
+        r.ok = false;
+        r.error = "unexpected SUBMIT reply '" + r.status + "'";
+        return r;
+    }
+    ticket = t;
+    return r;
+}
+
+} // namespace serve
+} // namespace coolair

@@ -1,0 +1,66 @@
+#ifndef COOLAIR_SERVE_CLIENT_HPP
+#define COOLAIR_SERVE_CLIENT_HPP
+
+/**
+ * @file
+ * Blocking client for the coolair_serve line protocol
+ * (serve/protocol.hpp), shared by the coolair_client example, the
+ * bench_serve load driver, and the serve tests.
+ *
+ * One Client is one connection; request() sends one line and reads one
+ * framed response (including a RESULT/STATS payload body, strictly
+ * framed and size-capped).  A Client is not thread-safe — give each
+ * client thread its own connection, as a real client process would.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace coolair {
+namespace serve {
+
+/** One connected protocol client. */
+class Client
+{
+  public:
+    /** Connect to a Unix-domain socket.  @throws std::runtime_error */
+    static Client connectUnix(const std::string &path);
+
+    /** Connect to a TCP port on 127.0.0.1.  @throws std::runtime_error */
+    static Client connectTcp(int port);
+
+    ~Client();
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** One parsed response. */
+    struct Response
+    {
+        bool ok = false;      ///< false for ERR replies and IO failures.
+        std::string status;   ///< the full first line ("OK 3", "PONG"...).
+        std::string payload;  ///< RESULT/STATS body, empty otherwise.
+        std::string error;    ///< ERR text or transport failure.
+    };
+
+    /** Send @p line (newline appended) and read one response. */
+    Response request(const std::string &line);
+
+    /** SUBMIT convenience: returns the ticket via @p ticket. */
+    Response submit(const std::string &spec_line, uint64_t &ticket);
+
+  private:
+    explicit Client(int fd) : _fd(fd) {}
+
+    bool readLine(std::string &line);
+    bool readExactly(size_t n, std::string &out);
+
+    int _fd = -1;
+    std::string _buf;
+};
+
+} // namespace serve
+} // namespace coolair
+
+#endif // COOLAIR_SERVE_CLIENT_HPP

@@ -1,0 +1,135 @@
+#include "serve/protocol.hpp"
+
+#include "util/parse.hpp"
+
+namespace coolair {
+namespace serve {
+
+namespace {
+
+std::string
+stripCr(const std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        return line.substr(0, line.size() - 1);
+    return line;
+}
+
+std::string
+flattenNewlines(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\n' || c == '\r')
+            out += "; ";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+bool
+parseRequest(const std::string &raw, Request &out, std::string &error)
+{
+    const std::string line = stripCr(raw);
+    if (line.empty()) {
+        error = "empty request";
+        return false;
+    }
+
+    const size_t space = line.find(' ');
+    const std::string verb = line.substr(0, space);
+    std::string arg =
+        space == std::string::npos ? std::string() : line.substr(space + 1);
+    // Trim the argument; spec text and tickets never need edge spaces.
+    const size_t b = arg.find_first_not_of(" \t");
+    const size_t e = arg.find_last_not_of(" \t");
+    arg = b == std::string::npos ? std::string()
+                                 : arg.substr(b, e - b + 1);
+
+    auto noArg = [&](Verb v) {
+        if (!arg.empty()) {
+            error = verb + " takes no argument";
+            return false;
+        }
+        out = {v, ""};
+        return true;
+    };
+    auto withArg = [&](Verb v, const char *what) {
+        if (arg.empty()) {
+            error = verb + " needs " + std::string(what);
+            return false;
+        }
+        out = {v, arg};
+        return true;
+    };
+
+    if (verb == "PING")
+        return noArg(Verb::Ping);
+    if (verb == "STATS")
+        return noArg(Verb::Stats);
+    if (verb == "SHUTDOWN")
+        return noArg(Verb::Shutdown);
+    if (verb == "SUBMIT")
+        return withArg(Verb::Submit, "a spec line");
+    if (verb == "RUN")
+        return withArg(Verb::Run, "a spec line");
+    if (verb == "WAIT")
+        return withArg(Verb::Wait, "a ticket");
+
+    error = "unknown verb '" + verb + "'";
+    return false;
+}
+
+std::string
+specTextFromArg(const std::string &arg)
+{
+    std::string text;
+    text.reserve(arg.size() + 1);
+    for (char c : arg)
+        text += c == ';' ? '\n' : c;
+    text += '\n';
+    return text;
+}
+
+std::string
+frameOk(uint64_t ticket)
+{
+    return "OK " + std::to_string(ticket) + "\n";
+}
+
+std::string
+frameErr(const std::string &message)
+{
+    return "ERR " + flattenNewlines(message) + "\n";
+}
+
+std::string
+framePayload(const std::string &tag, const std::string &payload)
+{
+    return tag + " " + std::to_string(payload.size()) + "\n" + payload;
+}
+
+bool
+parsePayloadHeader(const std::string &raw, std::string &tag,
+                   uint64_t &bytes, std::string &error)
+{
+    const std::string line = stripCr(raw);
+    const size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) {
+        error = "malformed frame header '" + line + "'";
+        return false;
+    }
+    tag = line.substr(0, space);
+    if (!util::parseSize(line.substr(space + 1), bytes, kMaxFrameBytes)) {
+        error = "bad frame size in '" + line + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace coolair

@@ -1,0 +1,97 @@
+#ifndef COOLAIR_SERVE_PROTOCOL_HPP
+#define COOLAIR_SERVE_PROTOCOL_HPP
+
+/**
+ * @file
+ * The coolair_serve wire protocol: a line-oriented request/response
+ * exchange simple enough to drive from netcat, strict enough to face
+ * untrusted bytes (every number parses via util/parse — no silent
+ * atoi acceptance, no size-header overflow).
+ *
+ * Requests are single lines (LF-terminated, a trailing CR is
+ * tolerated):
+ *
+ *     PING                    liveness probe
+ *     SUBMIT <spec-line>      enqueue an experiment; replies `OK <ticket>`
+ *     WAIT <ticket>           block until done; replies a RESULT frame
+ *     RUN <spec-line>         SUBMIT + WAIT in one round trip
+ *     STATS                   server counters; replies a STATS frame
+ *     SHUTDOWN                stop the daemon; replies `BYE`
+ *
+ * `<spec-line>` is ordinary sim/spec_io spec text with semicolons in
+ * place of newlines (`site=newark; system=allnd; weeks=1`), so a whole
+ * experiment fits in one request line.
+ *
+ * Responses are either one line —
+ *
+ *     PONG | OK <ticket> | ERR <message> | BYE
+ *
+ * — or a sized frame: a header line `RESULT <nbytes>` / `STATS
+ * <nbytes>` followed by exactly nbytes of payload.  A RESULT payload
+ * is the spec_io::formatResult text of the experiment, byte-identical
+ * to what the same spec produces through experiment_cli or a sweep
+ * (the determinism contract the serve layer inherits).  Frame sizes
+ * are capped at kMaxFrameBytes: a corrupt or hostile header claiming
+ * more is a protocol error, never a huge allocation.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace coolair {
+namespace serve {
+
+/** Hard cap on one response frame's payload (16 MiB). */
+inline constexpr uint64_t kMaxFrameBytes = uint64_t(16) << 20;
+
+/** Request kinds. */
+enum class Verb
+{
+    Ping,
+    Submit,
+    Wait,
+    Run,
+    Stats,
+    Shutdown
+};
+
+/** One parsed request line. */
+struct Request
+{
+    Verb verb = Verb::Ping;
+    std::string arg;  ///< spec line (Submit/Run) or ticket text (Wait).
+};
+
+/**
+ * Parse one request line.  Returns false (with @p error set) for an
+ * unknown verb, a missing/forbidden argument, or an empty line.
+ */
+bool parseRequest(const std::string &line, Request &out,
+                  std::string &error);
+
+/** Spec text from a request's `;`-separated spec line. */
+std::string specTextFromArg(const std::string &arg);
+
+/** `OK <ticket>` line. */
+std::string frameOk(uint64_t ticket);
+
+/** `ERR <message>` line (newlines in @p message flattened). */
+std::string frameErr(const std::string &message);
+
+/** Sized frame: `<tag> <nbytes>` header line plus the payload bytes. */
+std::string framePayload(const std::string &tag,
+                         const std::string &payload);
+
+/**
+ * Parse a sized-frame header line (`RESULT 123`, `STATS 456`).
+ * Strict: the byte count must be pure digits, fit in 64 bits, and not
+ * exceed kMaxFrameBytes — a wrapped or absurd count is a framing
+ * error, not a mis-sized read.
+ */
+bool parsePayloadHeader(const std::string &line, std::string &tag,
+                        uint64_t &bytes, std::string &error);
+
+} // namespace serve
+} // namespace coolair
+
+#endif // COOLAIR_SERVE_PROTOCOL_HPP

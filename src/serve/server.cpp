@@ -1,0 +1,303 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+
+namespace coolair {
+namespace serve {
+
+namespace {
+
+/** Cap on one buffered request line; a client that streams more
+    without a newline is hostile or broken, not patient. */
+constexpr size_t kMaxLineBytes = size_t(1) << 20;
+
+/** write() the whole buffer; MSG_NOSIGNAL so a vanished client is an
+    error return, not a SIGPIPE. */
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+LineServer::LineServer(ExperimentService &service, ServerConfig config)
+    : _service(service), _config(std::move(config)),
+      _connections(_service.stats().counter("serve.connections",
+                                            "client connections accepted")),
+      _protocolErrors(_service.stats().counter(
+          "serve.protocol_errors", "malformed request lines"))
+{
+}
+
+LineServer::~LineServer()
+{
+    stop();
+}
+
+void
+LineServer::start()
+{
+    if (_config.unixPath.empty() && _config.tcpPort < 0)
+        throw std::runtime_error(
+            "LineServer: configure a Unix socket path or a TCP port");
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_started)
+        throw std::runtime_error("LineServer: already started");
+
+    if (!_config.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (_config.unixPath.size() >= sizeof(addr.sun_path))
+            throw std::runtime_error("LineServer: Unix socket path too "
+                                     "long: " +
+                                     _config.unixPath);
+        std::memcpy(addr.sun_path, _config.unixPath.c_str(),
+                    _config.unixPath.size() + 1);
+
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw std::runtime_error("LineServer: socket(AF_UNIX): " +
+                                     std::string(std::strerror(errno)));
+        ::unlink(_config.unixPath.c_str());  // replace a stale socket
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 64) != 0) {
+            const std::string err = std::strerror(errno);
+            ::close(fd);
+            throw std::runtime_error("LineServer: cannot listen on " +
+                                     _config.unixPath + ": " + err);
+        }
+        _listenFds.push_back(fd);
+    }
+
+    if (_config.tcpPort >= 0) {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(uint16_t(_config.tcpPort));
+
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw std::runtime_error("LineServer: socket(AF_INET): " +
+                                     std::string(std::strerror(errno)));
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 64) != 0) {
+            const std::string err = std::strerror(errno);
+            ::close(fd);
+            throw std::runtime_error(
+                "LineServer: cannot listen on 127.0.0.1:" +
+                std::to_string(_config.tcpPort) + ": " + err);
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            _tcpPort = int(ntohs(bound.sin_port));
+        _listenFds.push_back(fd);
+    }
+
+    _started = true;
+    _shutdown = false;
+    for (int fd : _listenFds)
+        _threads.emplace_back(&LineServer::acceptLoop, this, fd);
+}
+
+void
+LineServer::stop()
+{
+    std::vector<int> listeners;
+    std::vector<int> conns;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_started)
+            return;
+        _shutdown = true;
+        listeners = _listenFds;
+        conns.assign(_connFds.begin(), _connFds.end());
+    }
+    _shutdownCv.notify_all();
+
+    // Wake blocked accept()s and recv()s; each thread closes its own
+    // connection fd on the way out.  A thread blocked in a service
+    // wait finishes when its job drains (the service outlives us).
+    for (int fd : listeners)
+        ::shutdown(fd, SHUT_RDWR);
+    for (int fd : conns)
+        ::shutdown(fd, SHUT_RDWR);
+
+    for (;;) {
+        std::vector<std::thread> batch;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            batch.swap(_threads);
+        }
+        if (batch.empty())
+            break;
+        for (auto &t : batch)
+            t.join();
+    }
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (int fd : _listenFds)
+        ::close(fd);
+    _listenFds.clear();
+    if (!_config.unixPath.empty())
+        ::unlink(_config.unixPath.c_str());
+    _started = false;
+}
+
+void
+LineServer::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _shutdownCv.wait(lock, [this] { return _shutdown; });
+}
+
+void
+LineServer::acceptLoop(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // listener shut down
+        }
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_shutdown) {
+            ::close(fd);
+            return;
+        }
+        _connections.inc();
+        _connFds.insert(fd);
+        _threads.emplace_back(&LineServer::handleConnection, this, fd);
+    }
+}
+
+void
+LineServer::closeFd(int fd)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _connFds.erase(fd);
+    }
+    ::close(fd);
+}
+
+void
+LineServer::handleConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        // Drain complete lines before reading more.
+        size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+
+            Request req;
+            std::string err;
+            if (!parseRequest(line, req, err)) {
+                _protocolErrors.inc();
+                if (!sendAll(fd, frameErr(err)))
+                    return closeFd(fd);
+                continue;
+            }
+
+            std::string response;
+            bool shutdown_requested = false;
+            switch (req.verb) {
+              case Verb::Ping:
+                response = "PONG\n";
+                break;
+              case Verb::Submit: {
+                auto sub = _service.submit(specTextFromArg(req.arg));
+                response =
+                    sub.ok ? frameOk(sub.ticket) : frameErr(sub.error);
+                break;
+              }
+              case Verb::Wait: {
+                uint64_t ticket = 0;
+                if (!util::parseSize(req.arg, ticket)) {
+                    _protocolErrors.inc();
+                    response = frameErr("bad ticket '" + req.arg + "'");
+                    break;
+                }
+                auto reply = _service.wait(ticket);
+                response = reply.ok ? framePayload("RESULT", reply.payload)
+                                    : frameErr(reply.error);
+                break;
+              }
+              case Verb::Run: {
+                auto reply = _service.run(specTextFromArg(req.arg));
+                response = reply.ok ? framePayload("RESULT", reply.payload)
+                                    : frameErr(reply.error);
+                break;
+              }
+              case Verb::Stats:
+                response = framePayload("STATS", _service.statsText());
+                break;
+              case Verb::Shutdown:
+                response = "BYE\n";
+                shutdown_requested = true;
+                break;
+            }
+
+            if (!sendAll(fd, response))
+                return closeFd(fd);
+            if (shutdown_requested) {
+                {
+                    std::lock_guard<std::mutex> lock(_mutex);
+                    _shutdown = true;
+                }
+                _shutdownCv.notify_all();
+                return closeFd(fd);
+            }
+        }
+
+        if (buf.size() > kMaxLineBytes) {
+            _protocolErrors.inc();
+            sendAll(fd, frameErr("request line too long"));
+            return closeFd(fd);
+        }
+
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return closeFd(fd);  // client hung up (or stop() woke us)
+        buf.append(chunk, size_t(n));
+    }
+}
+
+} // namespace serve
+} // namespace coolair

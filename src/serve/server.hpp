@@ -1,0 +1,104 @@
+#ifndef COOLAIR_SERVE_SERVER_HPP
+#define COOLAIR_SERVE_SERVER_HPP
+
+/**
+ * @file
+ * The socket transport of coolair_serve: a line-protocol listener
+ * (serve/protocol.hpp) on a Unix-domain socket, a localhost TCP port,
+ * or both, dispatching into an ExperimentService.
+ *
+ * Threading model: one accept thread per listener, one thread per
+ * connection (connections are long-lived and mostly blocked in
+ * service waits; a datacenter-sweep client population is tens of
+ * connections, not tens of thousands).  WAIT blocks only its own
+ * connection's thread — other clients keep submitting and draining
+ * while one waits.
+ *
+ * Shutdown: a SHUTDOWN request (or stop()) closes the listeners,
+ * shuts down every open connection socket to unblock reads, and joins
+ * all threads.  waitForShutdown() lets a daemon main() park until a
+ * client asks the process to exit.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace coolair {
+namespace serve {
+
+/** Listener configuration; enable at least one of the two sockets. */
+struct ServerConfig
+{
+    /** When non-empty, listen on this Unix-domain socket path (an
+        existing stale socket file is replaced). */
+    std::string unixPath;
+
+    /** When >= 0, listen on 127.0.0.1:tcpPort (0 = pick an ephemeral
+        port, readable from tcpPort() after start()). */
+    int tcpPort = -1;
+};
+
+/** The line-protocol socket front end of one ExperimentService. */
+class LineServer
+{
+  public:
+    /** @p service must outlive the server. */
+    LineServer(ExperimentService &service, ServerConfig config);
+
+    /** Calls stop(). */
+    ~LineServer();
+
+    LineServer(const LineServer &) = delete;
+    LineServer &operator=(const LineServer &) = delete;
+
+    /**
+     * Bind the configured sockets and start accepting.
+     * @throws std::runtime_error when no listener is configured or a
+     *         bind fails.
+     */
+    void start();
+
+    /** Close listeners and connections, join every thread.  Idempotent. */
+    void stop();
+
+    /** Resolved TCP port (after start(); -1 when TCP is off). */
+    int tcpPort() const { return _tcpPort; }
+
+    /** The Unix socket path ("" when off). */
+    const std::string &unixPath() const { return _config.unixPath; }
+
+    /** Block until a client sends SHUTDOWN (or stop() is called). */
+    void waitForShutdown();
+
+  private:
+    void acceptLoop(int listen_fd);
+    void handleConnection(int fd);
+    void closeFd(int fd);
+
+    ExperimentService &_service;
+    ServerConfig _config;
+    int _tcpPort = -1;
+
+    obs::Counter &_connections;
+    obs::Counter &_protocolErrors;
+
+    std::mutex _mutex;
+    std::condition_variable _shutdownCv;
+    bool _shutdown = false;
+    bool _started = false;
+    std::vector<int> _listenFds;
+    std::set<int> _connFds;
+    std::vector<std::thread> _threads;
+};
+
+} // namespace serve
+} // namespace coolair
+
+#endif // COOLAIR_SERVE_SERVER_HPP

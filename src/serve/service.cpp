@@ -1,0 +1,184 @@
+#include "serve/service.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/result_cache.hpp"
+#include "sim/spec_io.hpp"
+
+namespace coolair {
+namespace serve {
+
+ExperimentService::ExperimentService(ServiceConfig config)
+    : _config(std::move(config)),
+      _store(_config.cacheDir.empty()
+                 ? nullptr
+                 : std::make_unique<store::ResultStore>(
+                       _config.cacheDir, sim::kResultCacheSalt,
+                       sim::kResultFormatVersion)),
+      _requests(_stats.counter("serve.requests", "specs submitted")),
+      _parseErrors(_stats.counter("serve.parse_errors",
+                                  "submissions rejected as malformed")),
+      _storeHits(_stats.counter("serve.store_hits",
+                                "submissions served from the result store")),
+      _dedupHits(_stats.counter(
+          "serve.dedup_hits",
+          "submissions that joined an in-flight identical run")),
+      _runs(_stats.counter("serve.runs", "simulations actually run")),
+      _runFailures(
+          _stats.counter("serve.run_failures", "simulations that threw")),
+      _latency(_stats.histogram("serve.latency_seconds",
+                                "submit-to-done wall latency [s]",
+                                obs::kWallClock)),
+      _pool(_config.threads)
+{
+}
+
+ExperimentService::~ExperimentService() = default;
+
+ExperimentService::Submitted
+ExperimentService::submit(const std::string &spec_text)
+{
+    _requests.inc();
+
+    sim::ExperimentSpec spec;
+    try {
+        spec = sim::parseSpec(spec_text);
+    } catch (const std::exception &e) {
+        _parseErrors.inc();
+        return {false, 0, e.what()};
+    }
+
+    // Serving is metrics-only: side outputs would be written on the
+    // server, and cache placement is the server's choice — strip both
+    // so the spec the job runs *is* its canonical identity.
+    spec.traceCsvPath.clear();
+    spec.reportJsonPath.clear();
+    spec.traceJsonPath.clear();
+    spec.cacheDirPath.clear();
+    spec.resultCache = true;
+    const std::string id = sim::resultCacheId(spec);
+
+    JobPtr job;
+    uint64_t ticket = 0;
+    bool fresh = false;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _inflight.find(id);
+        if (it != _inflight.end()) {
+            job = it->second;
+            _dedupHits.inc();
+        } else {
+            job = std::make_shared<Job>();
+            job->id = id;
+            job->submitted = std::chrono::steady_clock::now();
+            _inflight.emplace(id, job);
+            fresh = true;
+        }
+        ticket = _nextTicket++;
+        _tickets.emplace(ticket, job);
+    }
+
+    if (fresh) {
+        // Warm path: the store answers without a simulation.  Lookup
+        // runs outside the table lock (it is file IO); a concurrent
+        // identical submit meanwhile joins the in-flight entry and
+        // shares whatever this resolves to.
+        sim::ExperimentResult cached;
+        if (_store && sim::cacheLookup(*_store, id, cached)) {
+            _storeHits.inc();
+            complete(job, true, sim::formatResult(cached));
+        } else {
+            _pool.submit([this, spec, job] { runJob(spec, job); });
+        }
+    }
+
+    return {true, ticket, ""};
+}
+
+ExperimentService::Reply
+ExperimentService::wait(uint64_t ticket)
+{
+    JobPtr job;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        auto it = _tickets.find(ticket);
+        if (it == _tickets.end())
+            return {false, "",
+                    "unknown ticket " + std::to_string(ticket) +
+                        " (tickets are consumed by WAIT)"};
+        job = it->second;
+        _tickets.erase(it);
+        _done.wait(lock, [&] { return job->done; });
+    }
+    if (job->ok)
+        return {true, job->payload, ""};
+    return {false, "", job->error};
+}
+
+ExperimentService::Reply
+ExperimentService::run(const std::string &spec_text)
+{
+    Submitted sub = submit(spec_text);
+    if (!sub.ok)
+        return {false, "", sub.error};
+    return wait(sub.ticket);
+}
+
+void
+ExperimentService::complete(const JobPtr &job, bool ok, std::string text)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        job->done = true;
+        job->ok = ok;
+        if (ok)
+            job->payload = std::move(text);
+        else
+            job->error = std::move(text);
+        // The dedup window spans the whole run: only now do identical
+        // submissions stop attaching to this job.
+        auto it = _inflight.find(job->id);
+        if (it != _inflight.end() && it->second == job)
+            _inflight.erase(it);
+    }
+    _latency.record(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - job->submitted)
+                        .count());
+    _done.notify_all();
+}
+
+void
+ExperimentService::runJob(const sim::ExperimentSpec &spec, const JobPtr &job)
+{
+    if (_config.onJobStart)
+        _config.onJobStart();
+    _runs.inc();
+    try {
+        sim::ExperimentResult result =
+            _store ? sim::runAndStore(spec, *_store, job->id)
+                   : sim::runExperiment(spec);
+        complete(job, true, sim::formatResult(result));
+    } catch (const std::exception &e) {
+        _runFailures.inc();
+        complete(job, false, e.what());
+    } catch (...) {
+        _runFailures.inc();
+        complete(job, false, "unknown exception");
+    }
+}
+
+std::string
+ExperimentService::statsText() const
+{
+    obs::StatsRegistry merged;
+    merged.merge(_stats);
+    if (_store)
+        _store->addStats(merged);
+    std::ostringstream os;
+    merged.dumpText(os);
+    return os.str();
+}
+
+} // namespace serve
+} // namespace coolair

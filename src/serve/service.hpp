@@ -1,0 +1,178 @@
+#ifndef COOLAIR_SERVE_SERVICE_HPP
+#define COOLAIR_SERVE_SERVICE_HPP
+
+/**
+ * @file
+ * The experiment-serving core: a long-lived, socket-free service that
+ * accepts spec text, answers warm requests straight from the
+ * persistent ResultStore, and schedules misses onto a persistent
+ * sim::JobPool with *dedup-in-flight* — concurrent submissions of the
+ * same canonical spec (sim::resultCacheId identity) share one
+ * simulation run.
+ *
+ * Determinism contract: a served RESULT payload is the
+ * spec_io::formatResult text of the experiment, so it is byte-identical
+ * to what the same spec produces through experiment_cli or an
+ * ExperimentRunner sweep — warm (store hit), deduped, or fresh.  The
+ * service adds caching and sharing, never a different answer.
+ *
+ * Request lifecycle:
+ *
+ *   submit(spec text)
+ *     -> parse (strict spec_io; errors return to the caller, the
+ *        daemon never dies on bad input)
+ *     -> normalize away output paths and cache keys (serving is
+ *        metrics-only), derive the canonical id
+ *     -> in-flight table hit?   share that job   (serve.dedup_hits)
+ *     -> store hit?             complete at once (serve.store_hits)
+ *     -> else                   schedule a run   (serve.runs)
+ *   wait(ticket) blocks until the shared job completes and consumes
+ *   the ticket (each submission gets its own ticket; the job is
+ *   shared, the ticket is not).
+ *
+ * Observability: the service owns an obs::StatsRegistry (always on —
+ * no global enable needed) holding serve.requests, serve.parse_errors,
+ * serve.store_hits, serve.dedup_hits, serve.runs, serve.run_failures
+ * and a serve.latency_seconds histogram; statsText() merges in the
+ * store's counters for the STATS endpoint.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/stats.hpp"
+#include "sim/runner.hpp"
+#include "store/result_store.hpp"
+
+namespace coolair {
+namespace serve {
+
+/** Service knobs. */
+struct ServiceConfig
+{
+    /**
+     * Directory of the persistent result store; empty disables the
+     * store (every distinct spec simulates, dedup-in-flight still
+     * applies).  The same directory an experiment_cli --cache-dir or a
+     * cached sweep uses — the daemon serves their entries and vice
+     * versa.
+     */
+    std::string cacheDir;
+
+    /** Worker threads (0 = COOLAIR_THREADS / hardware auto). */
+    int threads = 0;
+
+    /**
+     * Test hook: when set, every scheduled run calls this on its
+     * worker thread before simulating.  Lets tests hold jobs open to
+     * pin down dedup-in-flight windows deterministically.
+     */
+    std::function<void()> onJobStart;
+};
+
+/** The serving core (transport-agnostic; see serve/server.hpp). */
+class ExperimentService
+{
+  public:
+    explicit ExperimentService(ServiceConfig config = {});
+
+    /** Drains in-flight jobs (JobPool destructor) before returning. */
+    ~ExperimentService();
+
+    ExperimentService(const ExperimentService &) = delete;
+    ExperimentService &operator=(const ExperimentService &) = delete;
+
+    /** Outcome of a submit: a ticket to wait on, or a parse error. */
+    struct Submitted
+    {
+        bool ok = false;
+        uint64_t ticket = 0;
+        std::string error;
+    };
+
+    /** A completed (or failed) experiment. */
+    struct Reply
+    {
+        bool ok = false;
+        std::string payload;  ///< formatResult text when ok.
+        std::string error;    ///< failure message when !ok.
+    };
+
+    /**
+     * Parse @p spec_text (full sim/spec_io semantics) and enqueue it.
+     * Never throws on bad input: malformed specs come back as an error
+     * Submitted.  Thread-safe.
+     */
+    Submitted submit(const std::string &spec_text);
+
+    /**
+     * Block until @p ticket's job completes and return its payload or
+     * failure.  Consumes the ticket: a second wait on the same ticket
+     * reports it unknown.  Thread-safe.
+     */
+    Reply wait(uint64_t ticket);
+
+    /** submit() + wait() in one call. */
+    Reply run(const std::string &spec_text);
+
+    /** Deterministically-ordered text dump of serve.* and store.*. */
+    std::string statsText() const;
+
+    /** The service's live registry (server transports add their own
+        serve.connections-style counters here). */
+    obs::StatsRegistry &stats() { return _stats; }
+
+    /** The persistent store, or nullptr when cacheDir was empty. */
+    store::ResultStore *store() { return _store.get(); }
+
+    /** Worker-pool width (for banners and load drivers). */
+    int threads() const { return _pool.threads(); }
+
+  private:
+    /** One in-flight (or just-completed) canonical spec. */
+    struct Job
+    {
+        std::string id;  ///< canonical spec text (resultCacheId).
+        std::chrono::steady_clock::time_point submitted;
+        bool done = false;
+        bool ok = false;
+        std::string payload;
+        std::string error;
+    };
+    using JobPtr = std::shared_ptr<Job>;
+
+    void complete(const JobPtr &job, bool ok, std::string text);
+    void runJob(const sim::ExperimentSpec &spec, const JobPtr &job);
+
+    ServiceConfig _config;
+    std::unique_ptr<store::ResultStore> _store;
+
+    obs::StatsRegistry _stats;
+    obs::Counter &_requests;
+    obs::Counter &_parseErrors;
+    obs::Counter &_storeHits;
+    obs::Counter &_dedupHits;
+    obs::Counter &_runs;
+    obs::Counter &_runFailures;
+    obs::Histogram &_latency;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _done;
+    std::map<std::string, JobPtr> _inflight;  ///< canonical id -> job
+    std::map<uint64_t, JobPtr> _tickets;
+    uint64_t _nextTicket = 1;
+
+    /** Last member: destroyed (and drained) before the state above. */
+    sim::JobPool _pool;
+};
+
+} // namespace serve
+} // namespace coolair
+
+#endif // COOLAIR_SERVE_SERVICE_HPP

@@ -16,6 +16,7 @@
 #include "sim/spec_io.hpp"
 #include "store/result_store.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 
 namespace coolair {
@@ -49,11 +50,11 @@ ExperimentRunner::resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("COOLAIR_THREADS")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
+    // Strict: COOLAIR_THREADS=8x must not silently run 8 threads; a
+    // malformed or negative value warns and falls back to auto (0).
+    int n = util::envInt("COOLAIR_THREADS", 0, 0, 4096);
+    if (n > 0)
+        return n;
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? int(hw) : 1;
 }
@@ -293,6 +294,78 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
             st->addStats(obs::registry());
 
     return outcome;
+}
+
+JobPool::JobPool(int threads)
+{
+    const int n = ExperimentRunner::resolveThreads(threads);
+    _workers.reserve(size_t(n));
+    for (int t = 0; t < n; ++t)
+        _workers.emplace_back(&JobPool::workerLoop, this);
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(job));
+    }
+    _wake.notify_one();
+}
+
+void
+JobPool::drain()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _queue.empty() && _running == 0; });
+}
+
+void
+JobPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [this] { return _stopping || !_queue.empty(); });
+            if (_queue.empty()) {
+                if (_stopping)
+                    return;
+                continue;
+            }
+            job = std::move(_queue.front());
+            _queue.pop_front();
+            ++_running;
+        }
+
+        try {
+            job();
+        } catch (const std::exception &e) {
+            util::warn(std::string("JobPool: job threw: ") + e.what());
+        } catch (...) {
+            util::warn("JobPool: job threw an unknown exception");
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            --_running;
+            if (_queue.empty() && _running == 0)
+                _idle.notify_all();
+        }
+    }
 }
 
 } // namespace sim

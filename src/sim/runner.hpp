@@ -33,10 +33,14 @@
  * a failing job is reported without writing anything to the store.
  */
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hpp"
@@ -155,6 +159,64 @@ class ExperimentRunner
   private:
     RunnerConfig _config;
     int _threads;
+};
+
+/**
+ * A persistent fixed-size worker pool for *asynchronous* single-job
+ * submission — the long-lived counterpart of ExperimentRunner::run()'s
+ * batch fan-out, built for daemon-shaped callers (the serve layer)
+ * that receive work one spec at a time and must not pay thread
+ * creation per request.
+ *
+ * Jobs are plain closures; the pool runs each exactly once, in
+ * submission order per worker pickup (FIFO queue).  A job's exception
+ * is swallowed after being reported through util::warn — a daemon's
+ * pool must survive any single bad job; callers that care capture
+ * errors inside the closure (the serve layer records them in its
+ * in-flight table).
+ *
+ * Determinism note: the pool adds no randomness of its own.  Jobs that
+ * follow the spec-derived-seed rule (ExperimentRunner::deriveSeed)
+ * produce results independent of which worker ran them or in what
+ * order — the property the serve layer's byte-identity contract
+ * relies on.
+ */
+class JobPool
+{
+  public:
+    /** Start @p threads workers (0 = ExperimentRunner::resolveThreads
+        auto semantics: COOLAIR_THREADS, else hardware concurrency). */
+    explicit JobPool(int threads = 0);
+
+    /** Drains the queue (runs every submitted job), then joins. */
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    /** Number of worker threads. */
+    int threads() const { return int(_workers.size()); }
+
+    /**
+     * Enqueue @p job.  Thread-safe.  Must not be called after the
+     * destructor has begun (the serve layer guarantees this by owning
+     * the pool as its last member, destroyed first).
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has finished running. */
+    void drain();
+
+  private:
+    void workerLoop();
+
+    std::mutex _mutex;
+    std::condition_variable _wake;   ///< workers wait for jobs/stop
+    std::condition_variable _idle;   ///< drain() waits for quiescence
+    std::deque<std::function<void()>> _queue;
+    size_t _running = 0;             ///< jobs currently executing
+    bool _stopping = false;
+    std::vector<std::thread> _workers;
 };
 
 } // namespace sim

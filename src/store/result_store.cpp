@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "obs/stats.hpp"
+#include "util/parse.hpp"
 
 namespace coolair {
 namespace store {
@@ -20,6 +21,15 @@ namespace fs = std::filesystem;
 
 constexpr const char kMagic[] = "coolair-store 1";
 constexpr const char kEntrySuffix[] = ".res";
+
+/**
+ * Sanity cap on one entry's id/payload size headers (1 GiB).  Real
+ * entries are a few hundred bytes; a corrupt header claiming more than
+ * this — or one whose digits would overflow the accumulator and wrap
+ * to a small value, mis-framing the payload read — marks the entry
+ * corrupt so it is dropped and re-run.
+ */
+constexpr uint64_t kMaxEntryBytes = uint64_t(1) << 30;
 
 /** SplitMix64 finalizer: avalanches a 64-bit state. */
 uint64_t
@@ -89,15 +99,10 @@ headerLine(std::istringstream &is, const std::string &name,
 bool
 parseSize(const std::string &s, size_t &out)
 {
-    if (s.empty())
+    uint64_t v = 0;
+    if (!util::parseSize(s, v, kMaxEntryBytes))
         return false;
-    size_t v = 0;
-    for (char c : s) {
-        if (c < '0' || c > '9')
-            return false;
-        v = v * 10 + size_t(c - '0');
-    }
-    out = v;
+    out = size_t(v);
     return true;
 }
 

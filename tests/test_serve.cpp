@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the experiment-serving layer (src/serve): wire-protocol
+ * parsing and framing, the determinism contract (a served RESULT is
+ * byte-identical to running the same spec directly), warm answers from
+ * the persistent store, dedup-in-flight (two concurrent identical
+ * submissions share exactly one simulation), error paths that must
+ * never kill the daemon, and a full socket round trip.
+ */
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sim/experiment.hpp"
+#include "sim/spec_io.hpp"
+
+using namespace coolair;
+using namespace coolair::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A spec cheap enough to simulate in tens of milliseconds. */
+const char kSpecLine[] =
+    "run=day; day=10; site=newark; system=baseline; workload=profile; "
+    "physics_step=120";
+
+/** What the daemon must serve for kSpecLine, computed directly. */
+std::string
+directResultText()
+{
+    sim::ExperimentSpec spec =
+        sim::parseSpec(specTextFromArg(kSpecLine));
+    spec.resultCache = true;  // the service's normalization
+    return sim::formatResult(sim::runExperiment(spec));
+}
+
+struct TempDir
+{
+    fs::path path;
+    explicit TempDir(const std::string &tag)
+    {
+        path = fs::temp_directory_path() /
+               ("coolair_serve_test." + tag + "." +
+                std::to_string(uint64_t(::getpid())));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+} // anonymous namespace
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesEveryVerb)
+{
+    Request req;
+    std::string err;
+    ASSERT_TRUE(parseRequest("PING", req, err));
+    EXPECT_EQ(req.verb, Verb::Ping);
+    ASSERT_TRUE(parseRequest("SUBMIT site=newark; weeks=1", req, err));
+    EXPECT_EQ(req.verb, Verb::Submit);
+    EXPECT_EQ(req.arg, "site=newark; weeks=1");
+    ASSERT_TRUE(parseRequest("WAIT 17", req, err));
+    EXPECT_EQ(req.verb, Verb::Wait);
+    EXPECT_EQ(req.arg, "17");
+    ASSERT_TRUE(parseRequest("RUN site=newark", req, err));
+    EXPECT_EQ(req.verb, Verb::Run);
+    ASSERT_TRUE(parseRequest("STATS", req, err));
+    EXPECT_EQ(req.verb, Verb::Stats);
+    ASSERT_TRUE(parseRequest("SHUTDOWN\r", req, err));  // CR tolerated
+    EXPECT_EQ(req.verb, Verb::Shutdown);
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    Request req;
+    std::string err;
+    EXPECT_FALSE(parseRequest("", req, err));
+    EXPECT_FALSE(parseRequest("FROB", req, err));         // unknown verb
+    EXPECT_FALSE(parseRequest("SUBMIT", req, err));       // missing arg
+    EXPECT_FALSE(parseRequest("WAIT", req, err));
+    EXPECT_FALSE(parseRequest("PING extra", req, err));   // forbidden arg
+    EXPECT_FALSE(parseRequest("STATS extra", req, err));
+    EXPECT_FALSE(parseRequest("ping", req, err));         // case-sensitive
+}
+
+TEST(Protocol, SpecTextTurnsSemicolonsIntoLines)
+{
+    EXPECT_EQ(specTextFromArg("site=newark; weeks=1"),
+              "site=newark\n weeks=1\n");
+}
+
+TEST(Protocol, FramesRoundTrip)
+{
+    const std::string frame = framePayload("RESULT", "hello\nworld\n");
+    const size_t eol = frame.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+
+    std::string tag, err;
+    uint64_t bytes = 0;
+    ASSERT_TRUE(
+        parsePayloadHeader(frame.substr(0, eol), tag, bytes, err));
+    EXPECT_EQ(tag, "RESULT");
+    EXPECT_EQ(bytes, 12u);
+    EXPECT_EQ(frame.substr(eol + 1), "hello\nworld\n");
+}
+
+TEST(Protocol, HeaderParsingIsStrict)
+{
+    std::string tag, err;
+    uint64_t bytes = 0;
+    EXPECT_FALSE(parsePayloadHeader("RESULT", tag, bytes, err));
+    EXPECT_FALSE(parsePayloadHeader("RESULT 12x", tag, bytes, err));
+    EXPECT_FALSE(parsePayloadHeader("RESULT -1", tag, bytes, err));
+    // Wraps 64 bits: must be a framing error, not a small read.
+    EXPECT_FALSE(parsePayloadHeader("RESULT 18446744073709551629", tag,
+                                    bytes, err));
+    // In-range for 64 bits but over the frame cap: refused before any
+    // allocation.
+    EXPECT_FALSE(parsePayloadHeader("RESULT 17179869184", tag, bytes, err));
+}
+
+TEST(Protocol, ErrFramesAreOneLine)
+{
+    EXPECT_EQ(frameErr("multi\nline\nmessage"),
+              "ERR multi; line; message\n");
+}
+
+// -------------------------------------------------------------- service
+
+TEST(Service, ServedResultMatchesDirectRunByteForByte)
+{
+    ExperimentService service;  // no store
+    ExperimentService::Reply reply =
+        service.run(specTextFromArg(kSpecLine));
+    ASSERT_TRUE(reply.ok) << reply.error;
+    EXPECT_EQ(reply.payload, directResultText());
+}
+
+TEST(Service, WarmRequestsComeFromTheStoreUnchanged)
+{
+    TempDir dir("warm");
+    const std::string text = specTextFromArg(kSpecLine);
+
+    std::string cold_payload;
+    {
+        ServiceConfig config;
+        config.cacheDir = dir.path.string();
+        ExperimentService cold(config);
+        ExperimentService::Reply reply = cold.run(text);
+        ASSERT_TRUE(reply.ok) << reply.error;
+        cold_payload = reply.payload;
+        EXPECT_EQ(cold.stats().counter("serve.runs", "").value(), 1);
+    }
+
+    // A fresh service over the same directory: the store answers, no
+    // simulation runs, and the bytes are identical.
+    ServiceConfig config;
+    config.cacheDir = dir.path.string();
+    ExperimentService warm(config);
+    ExperimentService::Reply reply = warm.run(text);
+    ASSERT_TRUE(reply.ok) << reply.error;
+    EXPECT_EQ(reply.payload, cold_payload);
+    EXPECT_EQ(reply.payload, directResultText());
+    EXPECT_EQ(warm.stats().counter("serve.store_hits", "").value(), 1);
+    EXPECT_EQ(warm.stats().counter("serve.runs", "").value(), 0);
+}
+
+TEST(Service, ConcurrentIdenticalSubmissionsShareOneRun)
+{
+    // Hold the first job open on its worker thread so the dedup window
+    // is provably active when the second identical spec arrives.
+    std::mutex m;
+    std::condition_variable cv;
+    bool started = false, release = false;
+
+    ServiceConfig config;
+    config.onJobStart = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    };
+    ExperimentService service(config);
+
+    const std::string text = specTextFromArg(kSpecLine);
+    ExperimentService::Submitted first = service.submit(text);
+    ASSERT_TRUE(first.ok) << first.error;
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return started; });
+    }
+
+    // The identical spec joins the in-flight job instead of queueing a
+    // second simulation.
+    ExperimentService::Submitted second = service.submit(text);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_NE(first.ticket, second.ticket);
+    EXPECT_EQ(service.stats().counter("serve.dedup_hits", "").value(), 1);
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+
+    ExperimentService::Reply a = service.wait(first.ticket);
+    ExperimentService::Reply b = service.wait(second.ticket);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.payload, b.payload);
+    EXPECT_EQ(service.stats().counter("serve.runs", "").value(), 1);
+    EXPECT_EQ(service.stats().counter("serve.requests", "").value(), 2);
+}
+
+TEST(Service, BadSpecsAndUnknownTicketsAreErrorsNotCrashes)
+{
+    ExperimentService service;
+    ExperimentService::Submitted bad = service.submit("site=atlantis\n");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_NE(bad.error, "");
+    EXPECT_EQ(service.stats().counter("serve.parse_errors", "").value(),
+              1);
+
+    ExperimentService::Reply reply = service.wait(999);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.error.find("unknown ticket"), std::string::npos);
+
+    // Tickets are consumed: waiting twice reports the second unknown.
+    ExperimentService::Submitted ok =
+        service.submit(specTextFromArg(kSpecLine));
+    ASSERT_TRUE(ok.ok);
+    EXPECT_TRUE(service.wait(ok.ticket).ok);
+    EXPECT_FALSE(service.wait(ok.ticket).ok);
+}
+
+TEST(Service, StatsTextCoversServeAndStoreCounters)
+{
+    TempDir dir("stats");
+    ServiceConfig config;
+    config.cacheDir = dir.path.string();
+    ExperimentService service(config);
+    ASSERT_TRUE(service.run(specTextFromArg(kSpecLine)).ok);
+
+    const std::string text = service.statsText();
+    EXPECT_NE(text.find("serve.requests"), std::string::npos);
+    EXPECT_NE(text.find("serve.latency_seconds"), std::string::npos);
+    EXPECT_NE(text.find("store.stores"), std::string::npos);
+}
+
+// --------------------------------------------------------------- socket
+
+TEST(Server, FullRoundTripOverUnixSocket)
+{
+    TempDir dir("socket");
+    ServiceConfig service_config;
+    service_config.cacheDir = (dir.path / "store").string();
+    ExperimentService service(service_config);
+
+    ServerConfig server_config;
+    server_config.unixPath = (dir.path / "serve.sock").string();
+    LineServer server(service, server_config);
+    server.start();
+
+    Client client = Client::connectUnix(server_config.unixPath);
+
+    Client::Response pong = client.request("PING");
+    ASSERT_TRUE(pong.ok) << pong.error;
+    EXPECT_EQ(pong.status, "PONG");
+
+    // SUBMIT + WAIT serves the byte-exact direct result.
+    uint64_t ticket = 0;
+    Client::Response sub =
+        client.submit(kSpecLine, ticket);
+    ASSERT_TRUE(sub.ok) << sub.error;
+    Client::Response result =
+        client.request("WAIT " + std::to_string(ticket));
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.payload, directResultText());
+
+    // RUN answers warm now and stays byte-identical.
+    Client::Response rerun = client.request(std::string("RUN ") + kSpecLine);
+    ASSERT_TRUE(rerun.ok) << rerun.error;
+    EXPECT_EQ(rerun.payload, result.payload);
+
+    Client::Response bad = client.request("RUN site=atlantis");
+    EXPECT_FALSE(bad.ok);
+
+    Client::Response stats = client.request("STATS");
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_NE(stats.payload.find("serve.store_hits"), std::string::npos);
+    EXPECT_NE(stats.payload.find("serve.connections"), std::string::npos);
+
+    Client::Response bye = client.request("SHUTDOWN");
+    ASSERT_TRUE(bye.ok) << bye.error;
+    EXPECT_EQ(bye.status, "BYE");
+    server.waitForShutdown();  // returns because SHUTDOWN was received
+    server.stop();
+}
+
+TEST(Server, EphemeralTcpPortIsResolvedAndServes)
+{
+    ServerConfig server_config;
+    server_config.tcpPort = 0;  // pick any free port
+    ExperimentService service;
+    LineServer server(service, server_config);
+    server.start();
+    ASSERT_GT(server.tcpPort(), 0);
+
+    Client client = Client::connectTcp(server.tcpPort());
+    Client::Response pong = client.request("PING");
+    ASSERT_TRUE(pong.ok) << pong.error;
+    EXPECT_EQ(pong.status, "PONG");
+
+    Client::Response garbage = client.request("NOT A VERB");
+    EXPECT_FALSE(garbage.ok);  // ERR reply, connection stays up
+
+    Client::Response still = client.request("PING");
+    ASSERT_TRUE(still.ok) << still.error;
+    server.stop();
+}

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Strict-input regression tests for the three trust boundaries fixed
+ * together: weather CSV ingestion (atof silently zeroing garbage
+ * cells), environment-variable knobs (atoi accepting typos), and the
+ * result store's size headers (unchecked digit accumulation wrapping
+ * to small values and mis-framing the payload read).
+ */
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "environment/weather.hpp"
+#include "store/result_store.hpp"
+#include "util/parse.hpp"
+
+using namespace coolair;
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- util/parse
+
+TEST(ParseInt, AcceptsCompleteNumbers)
+{
+    long long v = 0;
+    EXPECT_TRUE(util::parseInt("0", v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(util::parseInt("-42", v));
+    EXPECT_EQ(v, -42);
+    EXPECT_TRUE(util::parseInt("+7", v));
+    EXPECT_EQ(v, 7);
+    EXPECT_TRUE(util::parseInt("9223372036854775807", v));
+    EXPECT_EQ(v, 9223372036854775807LL);
+}
+
+TEST(ParseInt, RejectsPartialAndOverflow)
+{
+    long long v = 0;
+    EXPECT_FALSE(util::parseInt("", v));
+    EXPECT_FALSE(util::parseInt("8x", v));       // the atoi trap
+    EXPECT_FALSE(util::parseInt("x8", v));
+    EXPECT_FALSE(util::parseInt("-", v));
+    EXPECT_FALSE(util::parseInt("1 ", v));
+    EXPECT_FALSE(util::parseInt(" 1", v));
+    EXPECT_FALSE(util::parseInt("9223372036854775808", v));  // LLONG_MAX+1
+}
+
+TEST(ParseDouble, AcceptsCompleteNumbers)
+{
+    double v = 0.0;
+    EXPECT_TRUE(util::parseDouble("12.5", v));
+    EXPECT_DOUBLE_EQ(v, 12.5);
+    EXPECT_TRUE(util::parseDouble("-3e2", v));
+    EXPECT_DOUBLE_EQ(v, -300.0);
+    EXPECT_TRUE(util::parseDouble(".5", v));
+    EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(ParseDouble, RejectsGarbageInfinityAndNan)
+{
+    double v = 0.0;
+    EXPECT_FALSE(util::parseDouble("", v));
+    EXPECT_FALSE(util::parseDouble("12abc", v));  // the atof trap
+    EXPECT_FALSE(util::parseDouble("oops", v));
+    EXPECT_FALSE(util::parseDouble("-", v));
+    EXPECT_FALSE(util::parseDouble("1.5.2", v));
+    EXPECT_FALSE(util::parseDouble("inf", v));
+    EXPECT_FALSE(util::parseDouble("nan", v));
+    EXPECT_FALSE(util::parseDouble("1e999", v));  // overflows to inf
+    EXPECT_FALSE(util::parseDouble("0x10", v));   // hex floats
+    EXPECT_FALSE(util::parseDouble(" 1", v));     // leading whitespace
+}
+
+TEST(ParseSize, RejectsOverflowInsteadOfWrapping)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(util::parseSize("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(util::parseSize("18446744073709551615", v));  // UINT64_MAX
+    EXPECT_EQ(v, UINT64_MAX);
+    // One past UINT64_MAX: digit accumulation would wrap to 0.
+    EXPECT_FALSE(util::parseSize("18446744073709551616", v));
+    EXPECT_FALSE(util::parseSize("99999999999999999999999", v));
+    EXPECT_FALSE(util::parseSize("-1", v));  // sign is not a size
+    EXPECT_FALSE(util::parseSize("+1", v));
+    EXPECT_FALSE(util::parseSize("", v));
+    EXPECT_FALSE(util::parseSize("12 ", v));
+}
+
+TEST(ParseSize, EnforcesCallerCap)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(util::parseSize("1024", v, 1024));
+    EXPECT_EQ(v, 1024u);
+    EXPECT_FALSE(util::parseSize("1025", v, 1024));
+}
+
+TEST(EnvInt, UnsetYieldsFallbackSilently)
+{
+    ::unsetenv("COOLAIR_TEST_KNOB");
+    EXPECT_EQ(util::envInt("COOLAIR_TEST_KNOB", 7), 7);
+}
+
+TEST(EnvInt, ParsesValidValues)
+{
+    ::setenv("COOLAIR_TEST_KNOB", "12", 1);
+    EXPECT_EQ(util::envInt("COOLAIR_TEST_KNOB", 7), 12);
+    ::unsetenv("COOLAIR_TEST_KNOB");
+}
+
+TEST(EnvInt, MalformedAndOutOfRangeFallBack)
+{
+    ::setenv("COOLAIR_TEST_KNOB", "8x", 1);  // typo'd knob
+    EXPECT_EQ(util::envInt("COOLAIR_TEST_KNOB", 7), 7);
+    ::setenv("COOLAIR_TEST_KNOB", "-1", 1);  // below the floor
+    EXPECT_EQ(util::envInt("COOLAIR_TEST_KNOB", 7, 0, 100), 7);
+    ::setenv("COOLAIR_TEST_KNOB", "101", 1);  // above the cap
+    EXPECT_EQ(util::envInt("COOLAIR_TEST_KNOB", 7, 0, 100), 7);
+    ::setenv("COOLAIR_TEST_KNOB", "", 1);  // empty counts as unset
+    EXPECT_EQ(util::envInt("COOLAIR_TEST_KNOB", 7), 7);
+    ::unsetenv("COOLAIR_TEST_KNOB");
+}
+
+// ------------------------------------------------------------- weather CSV
+
+namespace {
+
+environment::CsvWeatherSeries
+parseCsv(const std::string &text)
+{
+    std::istringstream in(text);
+    return environment::CsvWeatherSeries::fromCsv(in);
+}
+
+/** The invalid_argument message for a CSV that must fail to parse. */
+std::string
+csvError(const std::string &text)
+{
+    try {
+        parseCsv(text);
+    } catch (const std::invalid_argument &e) {
+        return e.what();
+    }
+    return "";  // parsed fine (the caller EXPECTs a non-empty message)
+}
+
+} // anonymous namespace
+
+TEST(WeatherCsv, ParsesWellFormedRows)
+{
+    environment::CsvWeatherSeries series = parseCsv("hour,temp_c,rh\n"
+                                                    "0,10.0,50\n"
+                                                    "1,12.5,55\n"
+                                                    "3,14.0,60\n");
+    EXPECT_EQ(series.hours(), 4u);  // hour 2 repeats hour 1
+    EXPECT_DOUBLE_EQ(series.sample(util::SimTime(1 * 3600)).tempC, 12.5);
+    EXPECT_DOUBLE_EQ(series.sample(util::SimTime(2 * 3600)).tempC, 12.5);
+}
+
+TEST(WeatherCsv, RejectsGarbageCellsWithRowNumbers)
+{
+    // Before the fix, atof turned "1o.0" into 1.0 silently.
+    EXPECT_NE(csvError("h,t,rh\n0,1o.0,50\n"), "");
+    EXPECT_NE(csvError("h,t,rh\n0,10.0,50\n1,,55\n").find("weather row 2"),
+              std::string::npos);
+    EXPECT_NE(csvError("h,t,rh\n0,10.0,fifty\n").find("weather row 1"),
+              std::string::npos);
+    EXPECT_NE(csvError("h,t,rh\n0\n"), "");                // missing columns
+    EXPECT_NE(csvError("h,t,rh\n0,10.0,50,9,9\n"), "");    // extra columns
+    // rh_percent is optional; a 2-cell row is well-formed.
+    EXPECT_EQ(csvError("h,t\n0,10.0\n"), "");
+}
+
+TEST(WeatherCsv, RejectsBadHourIndices)
+{
+    EXPECT_NE(csvError("h,t,rh\n-1,10.0,50\n"), "");       // negative
+    EXPECT_NE(csvError("h,t,rh\n0.5,10.0,50\n"), "");      // fractional
+    EXPECT_NE(csvError("h,t,rh\n99999999,10.0,50\n"), ""); // past a year
+    EXPECT_NE(csvError("h,t,rh\n5,10.0,50\n5,11.0,50\n"),  // not increasing
+              "");
+    EXPECT_NE(csvError("h,t,rh\n5,10.0,50\n4,11.0,50\n"), "");
+}
+
+TEST(WeatherCsv, RejectsEmptyInput)
+{
+    EXPECT_NE(csvError("hour,temp_c,rh\n"), "");  // header only
+    EXPECT_NE(csvError(""), "");
+}
+
+// --------------------------------------------------- store size headers
+
+namespace {
+
+/** The single .res entry file in @p dir. */
+fs::path
+onlyEntry(const fs::path &dir)
+{
+    fs::path found;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".res")
+            found = e.path();
+    return found;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const fs::path &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+/** Replace one whole header line ("name old" -> "name new"). */
+std::string
+patchHeader(std::string blob, const std::string &name,
+            const std::string &value)
+{
+    const std::string prefix = name + " ";
+    const size_t at = blob.find("\n" + prefix) + 1;
+    const size_t end = blob.find('\n', at);
+    return blob.replace(at, end - at, prefix + value);
+}
+
+struct TempDir
+{
+    fs::path path;
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("coolair_strict." +
+                std::to_string(uint64_t(::getpid())) + "." +
+                std::string(
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+} // anonymous namespace
+
+TEST(StoreSizeHeaders, OverflowingCountIsCorruptNotCrash)
+{
+    TempDir dir;
+    store::ResultStore store(dir.path.string(), "salt", 1);
+    ASSERT_TRUE(store.store("spec-id", "payload text\n"));
+
+    // A header whose digits wrap a 64-bit accumulator: with unchecked
+    // accumulation this parsed as a small number and mis-framed the
+    // payload read.
+    const fs::path entry = onlyEntry(dir.path);
+    ASSERT_FALSE(entry.empty());
+    writeFile(entry, patchHeader(readFile(entry), "payload_bytes",
+                                 "18446744073709551629"));  // wraps to 13
+
+    std::string payload;
+    EXPECT_FALSE(store.lookup("spec-id", payload));
+    EXPECT_EQ(store.stats().corruptEntries, 1u);
+    EXPECT_FALSE(fs::exists(entry));  // corrupt entries are removed
+}
+
+TEST(StoreSizeHeaders, AbsurdButNonWrappingCountIsCorrupt)
+{
+    TempDir dir;
+    store::ResultStore store(dir.path.string(), "salt", 1);
+    ASSERT_TRUE(store.store("spec-id", "payload text\n"));
+
+    const fs::path entry = onlyEntry(dir.path);
+    ASSERT_FALSE(entry.empty());
+    // 4 GiB claimed: fits in 64 bits but exceeds the per-entry sanity
+    // cap, so it must be rejected before any allocation is attempted.
+    writeFile(entry, patchHeader(readFile(entry), "id_bytes",
+                                 "4294967296"));
+
+    std::string payload;
+    EXPECT_FALSE(store.lookup("spec-id", payload));
+    EXPECT_EQ(store.stats().corruptEntries, 1u);
+}
+
+TEST(StoreSizeHeaders, NonNumericCountIsCorrupt)
+{
+    TempDir dir;
+    store::ResultStore store(dir.path.string(), "salt", 1);
+    ASSERT_TRUE(store.store("spec-id", "payload text\n"));
+
+    const fs::path entry = onlyEntry(dir.path);
+    ASSERT_FALSE(entry.empty());
+    writeFile(entry,
+              patchHeader(readFile(entry), "payload_bytes", "13x"));
+
+    std::string payload;
+    EXPECT_FALSE(store.lookup("spec-id", payload));
+    EXPECT_EQ(store.stats().corruptEntries, 1u);
+}
+
+TEST(StoreSizeHeaders, IntactEntryStillRoundTrips)
+{
+    TempDir dir;
+    store::ResultStore store(dir.path.string(), "salt", 1);
+    ASSERT_TRUE(store.store("spec-id", "payload text\n"));
+    std::string payload;
+    ASSERT_TRUE(store.lookup("spec-id", payload));
+    EXPECT_EQ(payload, "payload text\n");
+}
