@@ -9,9 +9,12 @@
 
 #include "core/optimizer.hpp"
 #include "core/predictor.hpp"
+#include "environment/world_grid.hpp"
 #include "model/learner.hpp"
 #include "model/linreg.hpp"
 #include "plant/parasol.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/runner.hpp"
 #include "sim/scenario.hpp"
 #include "sim/spec_io.hpp"
 #include "util/rng.hpp"
@@ -212,6 +215,97 @@ BENCHMARK(BM_YearRun)
     ->Args({1, 0})
     ->Args({0, 1})
     ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The world-sweep shape the lane-batched engine targets: 8 worldGrid
+ * sites, FacebookProfile workload, 26 strided weeks at a 120 s physics
+ * step (bench_world_sweep's per-site spec).  Seeds match the sweep's
+ * derivation so the work is byte-for-byte the sweep's.  Arg: system
+ * (0 = Baseline, 1 = AllNd).
+ */
+std::vector<sim::ExperimentSpec>
+worldShapeSpecs(int system, int batch)
+{
+    auto sites = environment::worldGrid(8);
+    std::vector<sim::ExperimentSpec> specs;
+    specs.reserve(sites.size());
+    for (size_t i = 0; i < sites.size(); ++i) {
+        sim::ExperimentSpec spec;
+        spec.location = sites[i];
+        spec.workload = sim::WorkloadKind::FacebookProfile;
+        spec.weeks = 26;
+        spec.physicsStepS = 120.0;
+        spec.seed = sim::ExperimentRunner::deriveSeed(7, i, sites[i].name);
+        spec.batch = batch;
+        if (system != 0)
+            spec.system = sim::SystemId::AllNd;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Simulated minutes covered by one pass over @p specs. */
+double
+worldShapeSimMinutes(const std::vector<sim::ExperimentSpec> &specs)
+{
+    // Per spec: 26 sampled days of 24 h plus a 2 h warm-up each.
+    return double(specs.size()) * 26.0 * (24.0 + 2.0) * 60.0;
+}
+
+/** Scalar oracle on the world-sweep shape (the 4x gate's numerator is
+    BM_YearRunBatched; this records the honest same-shape scalar). */
+void
+BM_YearRunWorld(benchmark::State &state)
+{
+    const auto specs = worldShapeSpecs(int(state.range(0)), 0);
+    sim::prewarmSharedState(specs);
+
+    for (auto _ : state) {
+        for (const auto &spec : specs) {
+            sim::ExperimentResult r = sim::runExperiment(spec);
+            benchmark::DoNotOptimize(r.system.pue);
+        }
+    }
+
+    state.counters["sim_minutes_per_s"] = benchmark::Counter(
+        worldShapeSimMinutes(specs) * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YearRunWorld)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The tentpole gate: the same 8-site world-sweep shape through the
+ * lane-batched engine, all 8 lanes per instruction stream.  The
+ * sim_minutes_per_s counter must be >= 4x the scalar BM_YearRun
+ * FacebookProfile baseline recorded in BENCH_micro.json
+ * (compare_bench.py asserts the ratio).
+ */
+void
+BM_YearRunBatched(benchmark::State &state)
+{
+    const auto specs = worldShapeSpecs(int(state.range(0)), 8);
+    sim::prewarmSharedState(specs);
+
+    for (auto _ : state) {
+        auto lanes = sim::runBatchedGroup(specs, 8);
+        for (const auto &lane : lanes) {
+            if (!lane.ok)
+                state.SkipWithError(lane.error.c_str());
+            benchmark::DoNotOptimize(lane.result.system.pue);
+        }
+    }
+
+    state.counters["sim_minutes_per_s"] = benchmark::Counter(
+        worldShapeSimMinutes(specs) * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YearRunBatched)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void

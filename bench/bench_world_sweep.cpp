@@ -21,6 +21,11 @@
  * results persist in the on-disk result store there, so a repeat run
  * (or a run after editing only some sites' specs) only simulates what
  * changed — and still prints byte-identical aggregates.
+ *
+ * Set COOLAIR_BATCH=N (e.g. 8) to run the sweep on the lane-batched
+ * engine, N same-shape sites per instruction stream.  Batched results
+ * match the scalar sweep within the DESIGN.md §10 tolerance, not byte
+ * for byte, and are cached under distinct keys.
  */
 
 #include <cmath>
@@ -68,6 +73,9 @@ main()
     auto sites = environment::worldGrid(count);
 
     const char *cache_dir = std::getenv("COOLAIR_CACHE_DIR");
+    const int batch = util::envInt("COOLAIR_BATCH", 0, 0, 64);
+    if (batch > 0)
+        std::printf("(lane-batched engine, %d lanes per batch)\n", batch);
 
     // Two experiments per site, in a fixed order, so both the run and
     // the aggregation below are independent of worker scheduling.
@@ -80,6 +88,7 @@ main()
         spec.weeks = 26;  // every other week, strided over all seasons
         spec.physicsStepS = 120.0;
         spec.seed = sim::ExperimentRunner::deriveSeed(7, i, sites[i].name);
+        spec.batch = batch;
         if (cache_dir)
             spec.cacheDirPath = cache_dir;
         spec.system = sim::SystemId::Baseline;

@@ -2,12 +2,19 @@
 """Compare a fresh bench_micro run against the committed perf baseline.
 
 Runs the given bench_micro binary on the regression-gated benchmarks
-(BM_YearRun, BM_PlantStep), loads the committed baseline
+(BM_YearRun*, BM_PlantStep), loads the committed baseline
 (bench/BENCH_micro.json by default), and flags any benchmark whose
 real_time regressed by more than the threshold (15% by default).
 
-Exit status: 0 when every gated benchmark is within the threshold,
-1 on a regression, 2 on usage / IO errors.
+On top of the relative check, the lane-batched engine carries an
+absolute throughput gate: the fresh BM_YearRunBatched run must deliver
+at least MIN_BATCH_SPEEDUP x the sim_minutes_per_s of the committed
+scalar BM_YearRun FacebookProfile baseline (the PR 3 reference the
+batched engine was built against).
+
+Exit status: 0 when every gated benchmark is within the threshold and
+the batched-speedup gate holds, 1 on a regression, 2 on usage / IO
+errors.
 
 Usage:
     python3 bench/compare_bench.py --bench build/bench/bench_micro
@@ -30,6 +37,17 @@ import tempfile
 
 GATED_FILTER = "BM_YearRun|BM_PlantStep"
 
+# The tentpole's absolute gate: fresh batched throughput vs the
+# committed scalar baseline it was measured against (PR 3 numbers,
+# preserved in BENCH_micro.json — see its coolair_provenance block).
+# Keys are fresh BM_YearRunBatched entries, values the baseline
+# BM_YearRun {system}/{workload=FacebookProfile} entries.
+MIN_BATCH_SPEEDUP = 4.0
+BATCH_SPEEDUP_PAIRS = {
+    "BM_YearRunBatched/0": "BM_YearRun/0/1",
+    "BM_YearRunBatched/1": "BM_YearRun/1/1",
+}
+
 
 def load_doc(path):
     """The full benchmark JSON document (benchmarks + context)."""
@@ -46,6 +64,46 @@ def benchmarks_of(doc):
             continue
         out[b["name"]] = float(b["real_time"])
     return out
+
+
+def sim_rates_of(doc):
+    """name -> sim_minutes_per_s for entries that carry the counter."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if "sim_minutes_per_s" in b:
+            out[b["name"]] = float(b["sim_minutes_per_s"])
+    return out
+
+
+def check_batch_speedup(baseline_doc, fresh_doc):
+    """The >= MIN_BATCH_SPEEDUP x gate; returns a list of violations."""
+    base_rates = sim_rates_of(baseline_doc)
+    fresh_rates = sim_rates_of(fresh_doc)
+    violations = []
+    for batched, scalar in sorted(BATCH_SPEEDUP_PAIRS.items()):
+        base = base_rates.get(scalar)
+        fresh = fresh_rates.get(batched)
+        if base is None:
+            violations.append((batched,
+                               f"baseline lacks {scalar} sim_minutes_per_s"))
+            continue
+        if fresh is None:
+            # A vanished batched benchmark is already reported as
+            # MISSING by the real_time comparison once committed; only
+            # complain here if the fresh run never produced the rate.
+            violations.append((batched, "no fresh sim_minutes_per_s"))
+            continue
+        ratio = fresh / base
+        print(f"batch speedup: {batched} {fresh:,.0f} sim-min/s vs "
+              f"{scalar} baseline {base:,.0f} = {ratio:.2f}x "
+              f"(gate {MIN_BATCH_SPEEDUP:.1f}x)")
+        if ratio < MIN_BATCH_SPEEDUP:
+            violations.append(
+                (batched, f"only {ratio:.2f}x vs {scalar} baseline "
+                          f"(need {MIN_BATCH_SPEEDUP:.1f}x)"))
+    return violations
 
 
 def warn_on_context_mismatch(baseline_doc, fresh_doc):
@@ -162,14 +220,17 @@ def main():
         print("| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) +
               " |")
 
+    print()
+    regressions += check_batch_speedup(baseline_doc, fresh_doc)
+
     if regressions:
-        print(f"\ncompare_bench: {len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\ncompare_bench: {len(regressions)} regression(s):",
+              file=sys.stderr)
         for name, why in regressions:
             print(f"  {name}: {why}", file=sys.stderr)
         return 1
     print(f"\ncompare_bench: all benchmarks within {args.threshold:.0%} "
-          "of baseline")
+          "of baseline and the batched-speedup gate holds")
     return 0
 
 

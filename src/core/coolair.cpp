@@ -201,8 +201,12 @@ CoolAir::control(const plant::SensorReadings &sensors,
             _activePods.push_back(int(p));
     }
 
-    OptimizerDecision opt = _optimizer.choose(
-        _predictor, _state, _outlook, _activePods, _band, _trajScratch);
+    OptimizerDecision opt =
+        _batchedCandidates
+            ? _optimizer.chooseBatched(_predictor, _state, _outlook,
+                                       _activePods, _band)
+            : _optimizer.choose(_predictor, _state, _outlook,
+                                _activePods, _band, _trajScratch);
 
     Decision decision;
     decision.regime = opt.regime;

@@ -130,6 +130,18 @@ class CoolAir
     /** The regime selector (for stats harvesting / inspection). */
     const CoolingOptimizer &optimizer() const { return _optimizer; }
 
+    /**
+     * Route candidate scoring through the batched one-pass scorer
+     * (CoolingOptimizer::chooseBatched) instead of per-candidate
+     * rollouts.  Same decisions up to last-ulp score ties; used by the
+     * lane-batched engine, whose tolerance contract (DESIGN.md §10)
+     * covers the difference.
+     */
+    void setBatchedCandidates(bool on) { _batchedCandidates = on; }
+
+    /** True when candidate scoring runs through the batched scorer. */
+    bool batchedCandidates() const { return _batchedCandidates; }
+
   private:
     void refreshDay(util::SimTime now);
     cooling::Regime regimeFromStatus(const plant::CoolingStatus &cs) const;
@@ -145,6 +157,7 @@ class CoolAir
     TemperatureBand _band;
     environment::Forecast _dayForecast;
     int _bandDay = -1;
+    bool _batchedCandidates = false;
 
     // Controller memory feeding the model's "last" inputs.
     std::vector<double> _prevTemp;

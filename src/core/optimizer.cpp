@@ -103,5 +103,67 @@ CoolingOptimizer::choose(const CoolingPredictor &predictor,
     return best;
 }
 
+OptimizerDecision
+CoolingOptimizer::chooseBatched(const CoolingPredictor &predictor,
+                                const PredictorState &state,
+                                const EpochOutlook &outlook,
+                                const std::vector<int> &activePods,
+                                const TemperatureBand &band) const
+{
+    ++_stats.epochs;
+    _stats.candidates += int64_t(_menu.candidates.size());
+
+    const cooling::RegimeClass current_cls =
+        cooling::classify(state.currentRegime);
+    _switchTerms.resize(_menu.candidates.size());
+    for (size_t c = 0; c < _menu.candidates.size(); ++c) {
+        _switchTerms[c] =
+            cooling::classify(_menu.candidates[c]) != current_cls
+                ? _utility.switchPenalty
+                : 0.0;
+    }
+
+    predictor.scoreCandidates(state, _menu, outlook, activePods, band,
+                              _utility, _switchTerms, _scores);
+
+    // Selection replicates choose(): first candidate wins outright,
+    // then strictly-better (1e-9), then the tie window preferring the
+    // incumbent and the cheaper rollout.
+    OptimizerDecision best;
+    bool have_best = false;
+    for (size_t c = 0; c < _menu.candidates.size(); ++c) {
+        const cooling::Regime &candidate = _menu.candidates[c];
+        const CandidateScore &cs = _scores[c];
+
+        bool better;
+        if (!have_best) {
+            better = true;
+        } else if (cs.score < best.score - 1e-9) {
+            better = true;
+        } else if (cs.score < best.score + 1e-9) {
+            bool cand_incumbent = candidate == state.currentRegime;
+            bool best_incumbent = best.regime == state.currentRegime;
+            if (cand_incumbent && !best_incumbent)
+                better = true;
+            else if (cand_incumbent == best_incumbent &&
+                     cs.energyKwh < best.energyKwh - 1e-12)
+                better = true;
+            else
+                better = false;
+        } else {
+            better = false;
+        }
+
+        if (better) {
+            best.regime = candidate;
+            best.penalty = cs.penalty;
+            best.energyKwh = cs.energyKwh;
+            best.score = cs.score;
+            have_best = true;
+        }
+    }
+    return best;
+}
+
 } // namespace core
 } // namespace coolair

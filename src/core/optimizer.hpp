@@ -61,6 +61,22 @@ class CoolingOptimizer
                              const TemperatureBand &band,
                              Trajectory &traj_scratch) const;
 
+    /**
+     * choose() via the predictor's batched candidate scorer: every
+     * candidate of the epoch is rolled out in one flat-array pass
+     * against the shared @p outlook, then the winner is selected with
+     * exactly choose()'s comparison semantics (1e-9 tie window,
+     * incumbent preference, 1e-12 energy tie).  Scores can differ from
+     * the scalar path in the last ulps (the batched scorer reassociates
+     * the model arithmetic), so a near-tie may resolve differently —
+     * covered by the batched engine's tolerance contract, DESIGN.md §10.
+     */
+    OptimizerDecision chooseBatched(const CoolingPredictor &predictor,
+                                    const PredictorState &state,
+                                    const EpochOutlook &outlook,
+                                    const std::vector<int> &activePods,
+                                    const TemperatureBand &band) const;
+
     /** The candidate menu. */
     const cooling::RegimeMenu &menu() const { return _menu; }
 
@@ -81,6 +97,11 @@ class CoolingOptimizer
     cooling::RegimeMenu _menu;
     UtilityConfig _utility;
     mutable OptimizerStats _stats;
+
+    // chooseBatched() scratch (one optimizer per controller; never
+    // shared across threads).
+    mutable std::vector<double> _switchTerms;
+    mutable std::vector<CandidateScore> _scores;
 };
 
 } // namespace core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/predictor_kernels.hpp"
+#include "physics/psychrometrics.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
@@ -87,6 +89,36 @@ CoolingPredictor::resolved(const cooling::TransitionKey &key) const
     if (!entry.valid) {
         _model->resolveTempModels(key, entry.temp);
         entry.humidity = _model->resolveHumidityModel(key);
+
+        // Flatten for the batched scorer: transposed (feature-major)
+        // weight banks, persistence encoded as an identity row so the
+        // collapse kernel needs no null checks.
+        constexpr size_t kT = model::TempFeatures::kCount;
+        const size_t pods = entry.temp.size();
+        entry.tempW.assign(pods * kT, 0.0);
+        for (size_t p = 0; p < pods; ++p) {
+            if (const model::LinearModel *m = entry.temp[p]) {
+                const std::vector<double> &w = m->weights();
+                if (w.size() != kT)
+                    util::panic(
+                        "CoolingPredictor: temp-model arity mismatch");
+                for (size_t f = 0; f < kT; ++f)
+                    entry.tempW[f * pods + p] = w[f];
+            } else {
+                entry.tempW[1 * pods + p] = 1.0;  // persistence: T' = T
+            }
+        }
+        entry.humW.fill(0.0);
+        if (entry.humidity) {
+            const std::vector<double> &w = entry.humidity->weights();
+            if (w.size() != entry.humW.size())
+                util::panic(
+                    "CoolingPredictor: humidity-model arity mismatch");
+            std::copy(w.begin(), w.end(), entry.humW.begin());
+        } else {
+            entry.humW[1] = 1.0;  // persistence: h' = h
+        }
+
         entry.valid = true;
         ++_stats.resolveMisses;
     } else {
@@ -116,6 +148,331 @@ CoolingPredictor::predictInto(const PredictorState &state,
     ScoreContext none;  // utility == nullptr: roll out without scoring
     double penalty = 0.0;
     (void)predictScoredInto(state, candidate, outlook, none, traj, penalty);
+}
+
+void
+CoolingPredictor::scoreCandidates(const PredictorState &state,
+                                  const cooling::RegimeMenu &menu,
+                                  const EpochOutlook &outlook,
+                                  const std::vector<int> &activePods,
+                                  const TemperatureBand &band,
+                                  const UtilityConfig &cfg,
+                                  const std::vector<double> &switch_terms,
+                                  std::vector<CandidateScore> &out) const
+{
+    using cooling::RegimeClass;
+
+    const int pods = int(state.podTempC.size());
+    const int cands = int(menu.candidates.size());
+    const int horizon = _horizonSteps;
+    if (pods > _model->config().numPods)
+        util::panic("CoolingPredictor: pod out of range");
+    if (int(outlook.outsideC.size()) < horizon)
+        util::panic("CoolingPredictor: outlook shorter than the horizon");
+    if (int(switch_terms.size()) != cands)
+        util::panic("scoreCandidates: switch_terms arity mismatch");
+    for (int pod : activePods)
+        if (pod < 0 || pod >= pods)
+            util::panic("trajectoryPenalty: pod index out of range");
+    _stats.rollouts += cands;
+
+    const double step_h = _model->config().stepS / 3600.0;
+    const RegimeClass cur_cls = cooling::classify(state.currentRegime);
+
+    const size_t n = size_t(cands) * size_t(pods);
+    const size_t nh = size_t(cands) * size_t(horizon);
+    _ctA0.resize(n); _ctB0.resize(n); _ctC0.resize(n);
+    _ctA1.resize(n); _ctB1.resize(n); _ctC1.resize(n);
+    _ctT.resize(n); _ctTPrev.resize(n);
+    _ctHist.resize(size_t(horizon + 1) * n);
+    _ctTmpA.resize(size_t(pods));
+    _ctTmpB.resize(size_t(pods));
+    _ctTmpC.resize(size_t(pods));
+    _chAlpha0.resize(size_t(cands)); _chBeta0.resize(size_t(cands));
+    _chAlpha1.resize(size_t(cands)); _chBeta1.resize(size_t(cands));
+    _chHist.resize(nh);
+    _cAvgT.resize(nh); _cRh.resize(nh);
+    _cPowerW.resize(size_t(cands));
+    _cPf.resize(size_t(pods));
+    _cMask.resize(size_t(pods));
+    _cMaskN.resize(n);
+    _cPeA.resize(n);
+    _cPen.resize(size_t(cands));
+    _cFan.resize(size_t(cands));
+    _cOutC.resize(size_t(cands));
+    _cOutPrev0.resize(size_t(cands));
+    _cFanPrev0.resize(size_t(cands));
+    _cCandFan.resize(size_t(cands));
+    _cBankFirst.resize(size_t(cands));
+    _cBankRest.resize(size_t(cands));
+    out.assign(size_t(cands), CandidateScore{});
+
+    for (int p = 0; p < pods; ++p)
+        _cPf[size_t(p)] = p < int(state.podPowerFraction.size())
+                              ? state.podPowerFraction[size_t(p)]
+                              : 0.5;
+    std::fill(_cMask.begin(), _cMask.end(), 0.0);
+    for (int pod : activePods)
+        _cMask[size_t(pod)] = 1.0;
+    for (int c = 0; c < cands; ++c)
+        std::copy(_cMask.begin(), _cMask.end(),
+                  _cMaskN.begin() + size_t(c) * size_t(pods));
+
+    // --- Collapse each (candidate, pod) linear model into an affine
+    // recurrence T' = a*T + b*Tprev + c.  Per candidate, only two
+    // resolved-model sets ever apply (current->candidate at step 0,
+    // candidate->candidate after), and the outlook holds every
+    // non-state feature constant, so the collapse happens once per
+    // rollout instead of per pod per step.  The transposed weight banks
+    // (persistence = identity rows) keep the collapse kernel branch-
+    // free over contiguous pod lanes.
+    const double dc_u = state.dcUtilization;
+    bool any_interp = false;
+
+    // Per-epoch memo of the resolved banks by candidate class: the menu
+    // reuses a handful of transition keys, so resolve each at most once
+    // per epoch instead of per candidate.
+    constexpr size_t kCls = size_t(RegimeClass::NumClasses);
+    std::array<const ResolvedModels *, kCls> first_by_cls{};
+    std::array<const ResolvedModels *, kCls> rest_by_cls{};
+    auto first_for = [&](RegimeClass cls) {
+        const ResolvedModels *&e = first_by_cls[size_t(cls)];
+        if (!e)
+            e = &resolved({cur_cls, cls});
+        return e;
+    };
+    auto rest_for = [&](RegimeClass cls) {
+        const ResolvedModels *&e = rest_by_cls[size_t(cls)];
+        if (!e)
+            e = &resolved({cls, cls});
+        return e;
+    };
+
+    for (int c = 0; c < cands; ++c) {
+        const cooling::Regime &candidate = menu.candidates[size_t(c)];
+        const double candidate_fan =
+            candidate.mode == cooling::Mode::FreeCooling
+                ? candidate.fanSpeed
+                : 0.0;
+        const bool evap = candidate.mode == cooling::Mode::FreeCooling &&
+                          candidate.evaporative;
+        const RegimeClass cand_cls = cooling::classify(candidate);
+        const bool ac_interp =
+            candidate.mode == cooling::Mode::AirConditioning &&
+            candidate.compressorOn &&
+            candidate.compressorSpeed < 1.0 - 1e-9;
+        const double interp_s =
+            util::clamp(candidate.compressorSpeed, 0.0, 1.0);
+        const double fan = ac_interp ? 0.0 : candidate_fan;
+
+        const ResolvedModels *res_first = nullptr;
+        const ResolvedModels *res_rest = nullptr;
+        const ResolvedModels *res_first_off = nullptr;
+        const ResolvedModels *res_rest_off = nullptr;
+        if (ac_interp) {
+            // cand_cls is AcCompressor here, so the class memo covers
+            // the "on" banks; the off banks share one key pair across
+            // every interpolated candidate.
+            res_first = first_for(RegimeClass::AcCompressor);
+            res_rest = rest_for(RegimeClass::AcCompressor);
+            res_first_off = first_for(RegimeClass::AcFanOnly);
+            res_rest_off = &resolved({cand_cls, RegimeClass::AcFanOnly});
+        } else {
+            res_first = first_for(cand_cls);
+            res_rest = rest_for(cand_cls);
+        }
+
+        _cPowerW[size_t(c)] = _model->predictCoolingPower(candidate);
+
+        // Outside features: held at the observation (or the evaporative
+        // outlet) for the whole horizon; only outsidePrevC differs at
+        // step 0.
+        const double out_c =
+            evap ? outlook.evapOutletC : outlook.outsideC[0];
+        const double out_prev0 =
+            evap ? outlook.evapOutletC : outlook.outsidePrevC;
+
+        // Collapse inputs for the fused menu kernel below.
+        const size_t base = size_t(c) * size_t(pods);
+        _cBankFirst[size_t(c)] = res_first->tempW.data();
+        _cBankRest[size_t(c)] = res_rest->tempW.data();
+        _cFan[size_t(c)] = fan;
+        _cOutC[size_t(c)] = out_c;
+        _cOutPrev0[size_t(c)] = out_prev0;
+        _cFanPrev0[size_t(c)] = state.fanSpeedPrev;
+        _cCandFan[size_t(c)] = candidate_fan;
+        any_interp = any_interp || ac_interp;
+
+        // Humidity: h' = alpha*h + beta, constant across the horizon
+        // except the step-0 transition model.
+        auto collapse_h = [&](const ResolvedModels *res, double &alpha,
+                              double &beta) {
+            const auto &w = res->humW;
+            alpha = w[1] + w[4] * fan;
+            beta = w[0] + (w[2] + w[5] * fan) * state.outsideAbsHumidity +
+                   w[3] * fan;
+        };
+        double al_on, be_on;
+        collapse_h(res_first, al_on, be_on);
+        if (ac_interp) {
+            double al_off, be_off;
+            collapse_h(res_first_off, al_off, be_off);
+            _chAlpha0[size_t(c)] = al_off + (al_on - al_off) * interp_s;
+            _chBeta0[size_t(c)] = be_off + (be_on - be_off) * interp_s;
+        } else {
+            _chAlpha0[size_t(c)] = al_on;
+            _chBeta0[size_t(c)] = be_on;
+        }
+        collapse_h(res_rest, al_on, be_on);
+        if (ac_interp) {
+            double al_off, be_off;
+            collapse_h(res_rest_off, al_off, be_off);
+            _chAlpha1[size_t(c)] = al_off + (al_on - al_off) * interp_s;
+            _chBeta1[size_t(c)] = be_off + (be_on - be_off) * interp_s;
+        } else {
+            _chAlpha1[size_t(c)] = al_on;
+            _chBeta1[size_t(c)] = be_on;
+        }
+
+        // Rollout state + history row 0 (the step-0 rate reference).
+        for (int p = 0; p < pods; ++p) {
+            _ctT[base + size_t(p)] = state.podTempC[size_t(p)];
+            _ctTPrev[base + size_t(p)] = state.podTempPrevC[size_t(p)];
+            _ctHist[base + size_t(p)] = state.podTempC[size_t(p)];
+        }
+    }
+
+    // --- Fused collapse: every candidate's step-0 and steady banks in
+    // two kernel calls, from the inputs staged above.
+    kernels::collapseMenuN(cands, pods, _cBankFirst.data(), _cFan.data(),
+                           _cOutC.data(), _cOutPrev0.data(),
+                           _cFanPrev0.data(), dc_u, _cPf.data(),
+                           _ctA0.data(), _ctB0.data(), _ctC0.data());
+    kernels::collapseMenuN(cands, pods, _cBankRest.data(), _cFan.data(),
+                           _cOutC.data(), _cOutC.data(), _cCandFan.data(),
+                           dc_u, _cPf.data(), _ctA1.data(), _ctB1.data(),
+                           _ctC1.data());
+    if (any_interp) {
+        // Interpolated AC: blend each candidate's compressor-on affine
+        // map toward the compressor-off map by compressor speed (affine
+        // maps blend coefficient-wise exactly like outputs).  Every
+        // interpolated candidate has fan = 0 and is not evaporative, so
+        // one off-bank collapse serves them all.
+        auto is_interp = [&](const cooling::Regime &r) {
+            return r.mode == cooling::Mode::AirConditioning &&
+                   r.compressorOn && r.compressorSpeed < 1.0 - 1e-9;
+        };
+        const double out_c = outlook.outsideC[0];
+        const ResolvedModels &off_first =
+            resolved({cur_cls, RegimeClass::AcFanOnly});
+        kernels::collapseAffineN(pods, off_first.tempW.data(), 0.0, out_c,
+                                 outlook.outsidePrevC, state.fanSpeedPrev,
+                                 dc_u, _cPf.data(), _ctTmpA.data(),
+                                 _ctTmpB.data(), _ctTmpC.data());
+        for (int c = 0; c < cands; ++c) {
+            const cooling::Regime &candidate = menu.candidates[size_t(c)];
+            if (!is_interp(candidate))
+                continue;
+            const size_t base = size_t(c) * size_t(pods);
+            kernels::blendAffineN(
+                pods, _ctTmpA.data(), _ctTmpB.data(), _ctTmpC.data(),
+                util::clamp(candidate.compressorSpeed, 0.0, 1.0),
+                _ctA0.data() + base, _ctB0.data() + base,
+                _ctC0.data() + base);
+        }
+        const ResolvedModels &off_rest =
+            resolved({RegimeClass::AcCompressor, RegimeClass::AcFanOnly});
+        kernels::collapseAffineN(pods, off_rest.tempW.data(), 0.0, out_c,
+                                 out_c, 0.0, dc_u, _cPf.data(),
+                                 _ctTmpA.data(), _ctTmpB.data(),
+                                 _ctTmpC.data());
+        for (int c = 0; c < cands; ++c) {
+            const cooling::Regime &candidate = menu.candidates[size_t(c)];
+            if (!is_interp(candidate))
+                continue;
+            const size_t base = size_t(c) * size_t(pods);
+            kernels::blendAffineN(
+                pods, _ctTmpA.data(), _ctTmpB.data(), _ctTmpC.data(),
+                util::clamp(candidate.compressorSpeed, 0.0, 1.0),
+                _ctA1.data() + base, _ctB1.data() + base,
+                _ctC1.data() + base);
+        }
+    }
+
+    // --- Advance all candidates x pods in one pass, keeping the whole
+    // temperature history for the penalty kernel.
+    kernels::rolloutN(int64_t(n), horizon, _ctA0.data(), _ctB0.data(),
+                      _ctC0.data(), _ctA1.data(), _ctB1.data(),
+                      _ctC1.data(), _ctT.data(), _ctTPrev.data(),
+                      _ctHist.data());
+
+    // Per-step cold-aisle averages and the humidity recurrences, then
+    // one batched RH conversion for the whole candidates x steps grid.
+    if (pods > 0)
+        kernels::podAvgN(cands, pods, horizon, _ctHist.data(),
+                         _cAvgT.data());
+    else
+        std::fill(_cAvgT.begin(), _cAvgT.end(), 20.0);
+    for (int c = 0; c < cands; ++c) {
+        const size_t hbase = size_t(c) * size_t(horizon);
+        double h = state.coldAbsHumidity;
+        for (int step = 0; step < horizon; ++step) {
+            h = (step == 0 ? _chAlpha0[size_t(c)] : _chAlpha1[size_t(c)]) *
+                    h +
+                (step == 0 ? _chBeta0[size_t(c)] : _chBeta1[size_t(c)]);
+            _chHist[hbase + size_t(step)] = h;
+        }
+    }
+    physics::relativeHumidityN(_cAvgT.data(), _chHist.data(), _cRh.data(),
+                               int(nh));
+
+    // --- Penalty pass: the temperature terms run in the kernel (each
+    // max()/mask term is zero exactly when the scalar branch would not
+    // fire); humidity, energy, and the AC-full surcharge finish here.
+    const double w_mt = cfg.penalizeMaxTemp ? 2.0 : 0.0;   // 1 / 0.5 C
+    const double w_band = cfg.penalizeBand ? 2.0 : 0.0;
+    const double w_rate = cfg.penalizeRate ? 1.0 : 0.0;
+    const double w_center =
+        cfg.penalizeBand && cfg.centeringWeightPerC > 0.0
+            ? cfg.centeringWeightPerC
+            : 0.0;
+    const double inv_h = 1.0 / std::max(step_h, 1e-9);
+    kernels::penaltyN(cands, pods, horizon, _ctHist.data(),
+                      _cMaskN.data(), w_mt, cfg.maxTempC, w_band,
+                      band.lowC, band.highC, w_rate, inv_h, step_h,
+                      cfg.maxRateCPerHour, w_center, band.center(),
+                      _cPeA.data(), _cPen.data());
+
+    for (int c = 0; c < cands; ++c) {
+        const cooling::Regime &candidate = menu.candidates[size_t(c)];
+        CandidateScore &cs = out[size_t(c)];
+        const size_t hbase = size_t(c) * size_t(horizon);
+        double pen = _cPen[size_t(c)];
+        if (cfg.penalizeHumidity) {
+            for (int step = 0; step < horizon; ++step) {
+                const double rh = _cRh[hbase + size_t(step)];
+                if (rh > cfg.humidityMaxPercent)
+                    pen += (rh - cfg.humidityMaxPercent) / 5.0;
+                else if (rh < cfg.humidityMinPercent)
+                    pen += (cfg.humidityMinPercent - rh) / 5.0;
+            }
+        }
+        cs.energyKwh =
+            _cPowerW[size_t(c)] * step_h / 1000.0 * double(horizon);
+
+        const bool ac_full =
+            cfg.penalizeAcFull &&
+            candidate.mode == cooling::Mode::AirConditioning &&
+            candidate.compressorOn &&
+            candidate.compressorSpeed >= 1.0 - 1e-9;
+        if (ac_full)
+            pen += double(horizon);
+        cs.penalty = pen;
+        cs.score = cs.penalty;
+        if (cfg.energyAware)
+            cs.score += cfg.energyWeightPerKwh * cs.energyKwh;
+        cs.score += switch_terms[size_t(c)];
+    }
 }
 
 bool

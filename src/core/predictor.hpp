@@ -9,6 +9,7 @@
  * the Optimizer's 10-minute decision horizon.
  */
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -114,6 +115,14 @@ struct ScoreContext
     double abandonAtScore = std::numeric_limits<double>::infinity();
 };
 
+/** One candidate's fully-evaluated score (batched scoring path). */
+struct CandidateScore
+{
+    double penalty = 0.0;    ///< Violation units along the horizon.
+    double energyKwh = 0.0;  ///< Predicted cooling energy.
+    double score = 0.0;      ///< penalty + energy term + switch term.
+};
+
 /** Chains the Cooling Model over the optimizer horizon. */
 class CoolingPredictor
 {
@@ -160,6 +169,35 @@ class CoolingPredictor
                            const ScoreContext &score, Trajectory &traj,
                            double &penalty) const;
 
+    /**
+     * Score every candidate of @p menu against the shared @p outlook in
+     * one batched pass (the lane-batched engine's scoring path).
+     *
+     * Algebraically this evaluates exactly what predictScoredInto()
+     * does per candidate, but the linear models are collapsed once per
+     * (candidate, pod) into affine recurrences
+     * `T' = a*T + b*Tprev + c` (the outlook holds outside conditions
+     * fixed, so every non-state feature is rollout-constant) and the
+     * rollout then advances all candidates x pods through flat arrays.
+     * The reassociation means scores can differ from the scalar path in
+     * the last ulps — a near-tie between candidates may resolve the
+     * other way, which is why the batched engine carries a tolerance
+     * contract instead of bit-identity (DESIGN.md §10).  No candidate
+     * is abandoned: all scores in @p out are fully evaluated, with the
+     * energy and @p switch_terms already folded into .score.
+     *
+     * @p out is resized to the menu; @p switch_terms holds the exact
+     * per-candidate switch-penalty term choose() would use.
+     */
+    void scoreCandidates(const PredictorState &state,
+                         const cooling::RegimeMenu &menu,
+                         const EpochOutlook &outlook,
+                         const std::vector<int> &activePods,
+                         const TemperatureBand &band,
+                         const UtilityConfig &utility,
+                         const std::vector<double> &switch_terms,
+                         std::vector<CandidateScore> &out) const;
+
     /** Number of steps per rollout. */
     int horizonSteps() const { return _horizonSteps; }
 
@@ -189,6 +227,17 @@ class CoolingPredictor
         bool valid = false;
         std::vector<const model::LinearModel *> temp;
         const model::LinearModel *humidity = nullptr;
+
+        /**
+         * The same models flattened for the batched scorer: tempW holds
+         * the temperature weights transposed (feature-major,
+         * [feature * pods + pod]) so the per-pod collapse kernel reads
+         * contiguous lanes, and humW the humidity weights.  Persistence
+         * (null) entries are encoded as identity rows (weight 1 on the
+         * inside-state feature) so the collapse runs branch-free.
+         */
+        std::vector<double> tempW;
+        std::array<double, model::HumidityFeatures::kCount> humW{};
     };
 
     /**
@@ -205,6 +254,30 @@ class CoolingPredictor
     // controller, controllers are never shared across threads).
     mutable std::vector<double> _temp;
     mutable std::vector<double> _tempPrev;
+
+    // Batched-scoring scratch, candidate-major ([cand*pods+pod],
+    // [cand*horizon+step], or [cand]); sized on first use, reused per
+    // epoch.
+    mutable std::vector<double> _ctA0, _ctB0, _ctC0;  ///< step-0 affine
+    mutable std::vector<double> _ctA1, _ctB1, _ctC1;  ///< later steps
+    mutable std::vector<double> _ctT, _ctTPrev;       ///< rollout state
+    mutable std::vector<double> _ctHist;              ///< temps per step
+    mutable std::vector<double> _ctTmpA, _ctTmpB, _ctTmpC;  ///< blend
+    mutable std::vector<double> _chAlpha0, _chBeta0;  ///< humidity, step 0
+    mutable std::vector<double> _chAlpha1, _chBeta1;
+    mutable std::vector<double> _chHist;              ///< humidity per step
+    mutable std::vector<double> _cAvgT, _cRh;         ///< per-step RH
+    mutable std::vector<double> _cPowerW;             ///< steady power
+    mutable std::vector<double> _cPf;                 ///< pod power frac
+    mutable std::vector<double> _cMask;               ///< active-pod mask
+    mutable std::vector<double> _cMaskN;              ///< mask tiled to n
+    mutable std::vector<double> _cPeA;                ///< per-lane penalty
+    mutable std::vector<double> _cPen;                ///< penalty per cand
+    // Per-candidate collapse inputs for the fused menu kernel.
+    mutable std::vector<double> _cFan, _cOutC, _cOutPrev0, _cFanPrev0,
+        _cCandFan;
+    mutable std::vector<const double *> _cBankFirst, _cBankRest;
+
     mutable std::vector<ResolvedModels> _resolveCache;
     mutable uint64_t _resolveRevision = 0;
     mutable bool _resolveCacheReady = false;

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Batched-scorer kernels.  This TU is compiled with
+ * COOLAIR_KERNEL_OPTIONS (see the top-level CMakeLists.txt): fast-math
+ * and the native ISA, so GCC vectorizes the pod/lane loops and may
+ * reassociate reductions — covered by the batched path's tolerance
+ * contract (DESIGN.md §10).  Keep the loops free of per-element
+ * branches; express conditionals as max()/mask terms.
+ */
+
+#include "core/predictor_kernels.hpp"
+
+#include <cmath>
+
+namespace coolair {
+namespace core {
+namespace kernels {
+
+void
+collapseAffineN(int pods, const double *__restrict WT, double fan,
+                double out_c, double out_prev, double fan_prev, double dc_u,
+                const double *__restrict pf, double *__restrict A,
+                double *__restrict B, double *__restrict C)
+{
+    // TempFeatures order: {1, insideC, insidePrevC, outsideC,
+    // outsidePrevC, fan, fanPrev, dcUtil, fan*insideC, fan*outsideC,
+    // podPowerFraction}.  Terms 1 and 8 fold into a, 2 into b, the rest
+    // into the constant c.
+    const int64_t P = pods;
+    const double fan_out = fan * out_c;
+    const double *w0 = WT;
+    const double *w1 = WT + P;
+    const double *w2 = WT + 2 * P;
+    const double *w3 = WT + 3 * P;
+    const double *w4 = WT + 4 * P;
+    const double *w5 = WT + 5 * P;
+    const double *w6 = WT + 6 * P;
+    const double *w7 = WT + 7 * P;
+    const double *w8 = WT + 8 * P;
+    const double *w9 = WT + 9 * P;
+    const double *w10 = WT + 10 * P;
+    for (int64_t p = 0; p < P; ++p) {
+        A[p] = w1[p] + w8[p] * fan;
+        B[p] = w2[p];
+        C[p] = w0[p] + w3[p] * out_c + w4[p] * out_prev + w5[p] * fan +
+               w6[p] * fan_prev + w7[p] * dc_u + w9[p] * fan_out +
+               w10[p] * pf[p];
+    }
+}
+
+void
+collapseMenuN(int cands, int pods, const double *const *WT,
+              const double *__restrict fan, const double *__restrict out_c,
+              const double *__restrict out_prev,
+              const double *__restrict fan_prev, double dc_u,
+              const double *__restrict pf, double *__restrict A,
+              double *__restrict B, double *__restrict C)
+{
+    for (int c = 0; c < cands; ++c) {
+        const int64_t base = int64_t(c) * pods;
+        collapseAffineN(pods, WT[c], fan[c], out_c[c], out_prev[c],
+                        fan_prev[c], dc_u, pf, A + base, B + base,
+                        C + base);
+    }
+}
+
+void
+blendAffineN(int pods, const double *__restrict offA,
+             const double *__restrict offB, const double *__restrict offC,
+             double s, double *__restrict A, double *__restrict B,
+             double *__restrict C)
+{
+    for (int p = 0; p < pods; ++p) {
+        A[p] = offA[p] + (A[p] - offA[p]) * s;
+        B[p] = offB[p] + (B[p] - offB[p]) * s;
+        C[p] = offC[p] + (C[p] - offC[p]) * s;
+    }
+}
+
+void
+rolloutN(int64_t n, int horizon, const double *__restrict A0,
+         const double *__restrict B0, const double *__restrict C0,
+         const double *__restrict A1, const double *__restrict B1,
+         const double *__restrict C1, double *__restrict T,
+         double *__restrict Tprev, double *__restrict hist)
+{
+    for (int step = 0; step < horizon; ++step) {
+        const bool first = step == 0;
+        const double *__restrict A = first ? A0 : A1;
+        const double *__restrict B = first ? B0 : B1;
+        const double *__restrict C = first ? C0 : C1;
+        double *__restrict out = hist + (int64_t(step) + 1) * n;
+        for (int64_t i = 0; i < n; ++i) {
+            const double t = T[i];
+            const double tn = A[i] * t + B[i] * Tprev[i] + C[i];
+            Tprev[i] = t;
+            T[i] = tn;
+            out[i] = tn;
+        }
+    }
+}
+
+void
+podAvgN(int cands, int pods, int horizon, const double *__restrict hist,
+        double *__restrict avg)
+{
+    const int64_t n = int64_t(cands) * pods;
+    const double inv = 1.0 / double(pods);
+    for (int step = 0; step < horizon; ++step) {
+        const double *row = hist + (int64_t(step) + 1) * n;
+        for (int c = 0; c < cands; ++c) {
+            const double *t = row + int64_t(c) * pods;
+            double sum = 0.0;
+            for (int p = 0; p < pods; ++p)
+                sum += t[p];
+            avg[int64_t(c) * horizon + step] = sum * inv;
+        }
+    }
+}
+
+void
+penaltyN(int cands, int pods, int horizon, const double *__restrict hist,
+         const double *__restrict maskN, double w_mt, double max_t,
+         double w_band, double band_lo, double band_hi, double w_rate,
+         double inv_h, double step_h, double max_rate, double w_center,
+         double center, double *__restrict peA, double *__restrict pen)
+{
+    // Element-wise accumulation over the full cands x pods width: every
+    // loop is a single flat streaming pass with no per-row horizontal
+    // reductions (the per-candidate sums happen once at the end, over
+    // pods values each).
+    const int64_t n = int64_t(cands) * pods;
+    for (int64_t i = 0; i < n; ++i)
+        peA[i] = 0.0;
+    for (int step = 0; step < horizon; ++step) {
+        const double *t = hist + (int64_t(step) + 1) * n;
+        const double *prev = hist + int64_t(step) * n;
+        for (int64_t i = 0; i < n; ++i) {
+            const double x = t[i];
+            double term = w_mt * std::fmax(x - max_t, 0.0);
+            term += w_band * (std::fmax(band_lo - x, 0.0) +
+                              std::fmax(x - band_hi, 0.0));
+            const double rate = std::fabs(x - prev[i]) * inv_h;
+            term += w_rate * std::fmax(rate - max_rate, 0.0) * step_h;
+            peA[i] += maskN[i] * term;
+        }
+    }
+    const double *last = hist + int64_t(horizon) * n;
+    for (int64_t i = 0; i < n; ++i)
+        peA[i] += w_center * maskN[i] * std::fabs(last[i] - center);
+    for (int c = 0; c < cands; ++c) {
+        const double *e = peA + int64_t(c) * pods;
+        double acc = 0.0;
+        for (int p = 0; p < pods; ++p)
+            acc += e[p];
+        pen[c] = acc;
+    }
+}
+
+} // namespace kernels
+} // namespace core
+} // namespace coolair

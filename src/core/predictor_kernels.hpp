@@ -1,0 +1,101 @@
+#ifndef COOLAIR_CORE_PREDICTOR_KERNELS_HPP
+#define COOLAIR_CORE_PREDICTOR_KERNELS_HPP
+
+/**
+ * @file
+ * Flat-array kernels for the batched candidate scorer
+ * (CoolingPredictor::scoreCandidates).  Compiled in their own TU with
+ * COOLAIR_KERNEL_OPTIONS (fast-math + native ISA), so everything here
+ * lives under the batched path's tolerance contract (DESIGN.md §10) —
+ * never call these from the scalar oracle path.
+ *
+ * Layout conventions (matching the scorer's scratch):
+ *   - "banks" are feature-major transposed weight tables
+ *     [feature * pods + pod] so the per-pod collapse loops read
+ *     contiguous lanes;
+ *   - rollout state is candidate-major [cand * pods + pod] (= one flat
+ *     array of n = cands * pods recurrences);
+ *   - the temperature history holds horizon+1 rows of n: row 0 is the
+ *     tiled current temps, row s+1 the prediction for step s.
+ */
+
+#include <cstdint>
+
+namespace coolair {
+namespace core {
+namespace kernels {
+
+/**
+ * Collapse one transposed temperature-weight bank into per-pod affine
+ * coefficients `T' = a*T + b*Tprev + c`, holding every non-state
+ * feature at its rollout-constant value.  @p WT is feature-major
+ * (TempFeatures::kCount rows of @p pods), @p pf the per-pod power
+ * fractions; outputs are @p pods wide.
+ */
+void collapseAffineN(int pods, const double *WT, double fan, double out_c,
+                     double out_prev, double fan_prev, double dc_u,
+                     const double *pf, double *A, double *B, double *C);
+
+/**
+ * collapseAffineN over a whole candidate menu in one call: candidate c
+ * reads bank WT[c] with its per-candidate fan / outside / fan-prev
+ * values and writes pods-wide coefficient blocks at c * pods.  One
+ * kernel call per epoch instead of one per candidate.
+ */
+void collapseMenuN(int cands, int pods, const double *const *WT,
+                   const double *fan, const double *out_c,
+                   const double *out_prev, const double *fan_prev,
+                   double dc_u, const double *pf, double *A, double *B,
+                   double *C);
+
+/**
+ * In-place blend of affine coefficients toward a compressor-off bank:
+ * X[i] = offX[i] + (X[i] - offX[i]) * s (the interpolated-AC model;
+ * affine maps blend coefficient-wise exactly like outputs).
+ */
+void blendAffineN(int pods, const double *offA, const double *offB,
+                  const double *offC, double s, double *A, double *B,
+                  double *C);
+
+/**
+ * Advance all n recurrences @p horizon steps, using the step-0 banks
+ * (A0/B0/C0) for the first step and the steady banks after.  @p T and
+ * @p Tprev hold the current and one-step-back temps on entry and are
+ * clobbered; rows 1..horizon of @p hist receive the predictions (row 0
+ * is the caller-tiled current temps and is read as the step-0 rate
+ * reference).
+ */
+void rolloutN(int64_t n, int horizon, const double *A0, const double *B0,
+              const double *C0, const double *A1, const double *B1,
+              const double *C1, double *T, double *Tprev, double *hist);
+
+/**
+ * Per-(candidate, step) cold-aisle averages over pods: avg[c * horizon
+ * + s] = mean of hist row s+1, candidate block c.  @p pods must be > 0.
+ */
+void podAvgN(int cands, int pods, int horizon, const double *hist,
+             double *avg);
+
+/**
+ * The per-step temperature penalty terms of trajectoryPenalty(),
+ * accumulated per candidate: max-temp and band violations (in 0.5 °C
+ * units via w_mt / w_band = 2 or 0), the rate-of-change excess, and the
+ * final-step centering pull.  @p maskN is the active-pod mask tiled to
+ * all n = cands * pods lanes (1.0 active, 0.0 not) — each max()/mask
+ * term is zero exactly when the scalar branch would not fire, so
+ * masking keeps the sum equal to iterating the active subset.  The
+ * per-step sweep accumulates element-wise into the n-wide scratch
+ * @p peA (no per-row horizontal reductions); the per-candidate pod sums
+ * land in @p pen.
+ */
+void penaltyN(int cands, int pods, int horizon, const double *hist,
+              const double *maskN, double w_mt, double max_t,
+              double w_band, double band_lo, double band_hi, double w_rate,
+              double inv_h, double step_h, double max_rate,
+              double w_center, double center, double *peA, double *pen);
+
+} // namespace kernels
+} // namespace core
+} // namespace coolair
+
+#endif // COOLAIR_CORE_PREDICTOR_KERNELS_HPP

@@ -26,6 +26,8 @@
 
 #include <array>
 #include <cstdint>
+#include <cstddef>
+#include <vector>
 
 #include "environment/weather.hpp"
 #include "physics/psychrometrics.hpp"
@@ -33,6 +35,30 @@
 
 namespace coolair {
 namespace environment {
+
+/**
+ * A pre-evaluated weather time series on a uniform grid, produced by
+ * Climate::sampleGridInto for the batched engine: one contiguous array
+ * per field (structure-of-arrays) so downstream consumers index by step
+ * without re-deriving the climate's sinusoid bank per query.
+ */
+struct WeatherGrid
+{
+    util::SimTime startTime;          ///< Time of grid point 0.
+    int64_t stepS = 0;                ///< Grid spacing [s].
+    std::vector<double> tempC;        ///< Dry-bulb temperature [°C].
+    std::vector<double> rhPercent;    ///< Relative humidity [0..100].
+    std::vector<double> absHumidity;  ///< Absolute humidity [g/m^3].
+
+    /** Number of grid points. */
+    size_t points() const { return tempC.size(); }
+
+    /** The full observation at grid index @p i. */
+    WeatherSample at(size_t i) const
+    {
+        return WeatherSample{tempC[i], rhPercent[i], absHumidity[i]};
+    }
+};
 
 /** Parameters describing a location's climate. */
 struct ClimateParams
@@ -99,6 +125,17 @@ class Climate : public WeatherProvider
 
     /** Full weather observation at @p t. */
     WeatherSample sample(util::SimTime t) const override;
+
+    /**
+     * Evaluate @p n grid points starting at @p start with spacing
+     * @p step_s into @p out (vectors are resized; prior contents
+     * dropped).  Matches sample() at every grid point up to the
+     * last-few-ulps drift of the kernel TU's fast-math build (see
+     * DESIGN.md §10); implemented in climate_kernels.cpp with the
+     * sinusoid banks walked time-inner so the loops vectorize.
+     */
+    void sampleGridInto(util::SimTime start, int64_t step_s, int n,
+                        WeatherGrid &out) const;
 
     /** The parameters this climate was built from. */
     const ClimateParams &params() const { return _params; }

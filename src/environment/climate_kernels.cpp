@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Grid-evaluated climate sampling for the batched engine.
+ *
+ * Climate::sample is the hottest function of a scalar Baseline year run
+ * (~55% of wall time): every physics step pays 12 sin/cos calls plus the
+ * psychrometric exps.  The batched path instead evaluates a whole day of
+ * grid points at once; this TU is built with COOLAIR_KERNEL_OPTIONS
+ * (fast-math) so the time-inner loops vectorize through libmvec.
+ *
+ * The formulas transliterate climate.cpp exactly — sinusoid banks walked
+ * outer, time inner — so grid values match sample() to within the
+ * fast-math ulp drift documented in DESIGN.md §10.
+ */
+
+#include "environment/climate.hpp"
+
+#include <cmath>
+
+namespace coolair {
+namespace environment {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+} // anonymous namespace
+
+void
+Climate::sampleGridInto(util::SimTime start, int64_t step_s, int n,
+                        WeatherGrid &out) const
+{
+    out.startTime = start;
+    out.stepS = step_s;
+    out.tempC.assign(size_t(n), 0.0);
+    out.rhPercent.assign(size_t(n), 0.0);
+    out.absHumidity.assign(size_t(n), 0.0);
+    if (n <= 0)
+        return;
+
+    double *temp = out.tempC.data();
+    double *rh = out.rhPercent.data();
+    double *abs = out.absHumidity.data();
+
+    // Scratch: fractional day / hour-of-day per grid point, then the
+    // accumulated sinusoid banks.  Sized once per call; callers reuse
+    // one WeatherGrid per lane so the allocations amortize to nothing.
+    const size_t nz = size_t(n);
+    std::vector<double> day(nz), hour(nz);
+    std::vector<double> depression(nz, 0.0);
+    std::vector<double> diurnal_mod(nz, 0.0);
+
+    for (int i = 0; i < n; ++i) {
+        util::SimTime t = start + int64_t(i) * step_s;
+        day[size_t(i)] = t.days();
+        hour[size_t(i)] = t.fractionalHourOfDay();
+    }
+
+    double peak_day = _params.seasonalPeakDay;
+    if (_params.southernHemisphere)
+        peak_day = std::fmod(peak_day + 182.5, 365.0);
+
+    // Seasonal term + synoptic bank into temp[].
+    const double seas_amp = _params.seasonalAmplitudeC;
+    const double base = _params.annualMeanC;
+    for (int i = 0; i < n; ++i)
+        temp[i] = base + seas_amp *
+            std::cos(kTwoPi * (day[size_t(i)] - peak_day) /
+                     double(util::kDaysPerYear));
+    for (const auto &s : _bank) {
+        const double w = 1.8 * _params.synopticAmplitudeC * s.amplitude;
+        const double omega = kTwoPi / s.periodDays;
+        const double phase = s.phase;
+        for (int i = 0; i < n; ++i)
+            temp[i] += w * std::sin(omega * day[size_t(i)] + phase);
+    }
+
+    // Diurnal modulation bank, then the diurnal term itself.
+    double mod_weight = 0.0;
+    for (const auto &s : _diurnalModBank) {
+        const double omega = kTwoPi / s.periodDays;
+        const double phase = s.phase;
+        const double amp = s.amplitude;
+        mod_weight += amp;
+        for (int i = 0; i < n; ++i)
+            diurnal_mod[size_t(i)] +=
+                amp * std::sin(omega * day[size_t(i)] + phase);
+    }
+    const double di_amp = _params.diurnalAmplitudeC;
+    const double peak_hour = _params.diurnalPeakHour;
+    for (int i = 0; i < n; ++i) {
+        double mod = 1.0 + 0.55 * (diurnal_mod[size_t(i)] / mod_weight);
+        temp[i] += di_amp * mod *
+            std::cos(kTwoPi * (hour[size_t(i)] - peak_hour) / 24.0);
+    }
+
+    // Humidity bank -> dew-point depression, clamped at 0.
+    for (const auto &s : _humidityBank) {
+        const double w = 1.6 * _params.dewPointVariabilityC * s.amplitude;
+        const double omega = kTwoPi / s.periodDays;
+        const double phase = s.phase;
+        for (int i = 0; i < n; ++i)
+            depression[size_t(i)] +=
+                w * std::sin(omega * day[size_t(i)] + phase);
+    }
+    const double dep_base = _params.dewPointDepressionC;
+    for (int i = 0; i < n; ++i)
+        depression[size_t(i)] =
+            std::max(0.0, dep_base + depression[size_t(i)]);
+
+    // RH from the saturation-pressure ratio at dew vs. air temperature,
+    // then absolute humidity — same formulas as Climate::sample, with
+    // the svp exps batched through the vectorizable kernel loops.
+    std::vector<double> dew(nz), svp_dew(nz), svp_air(nz);
+    for (int i = 0; i < n; ++i)
+        dew[size_t(i)] = temp[i] - depression[size_t(i)];
+    physics::saturationVaporPressureN(dew.data(), svp_dew.data(), n);
+    physics::saturationVaporPressureN(temp, svp_air.data(), n);
+    for (int i = 0; i < n; ++i) {
+        double r = 100.0 * svp_dew[size_t(i)] / svp_air[size_t(i)];
+        rh[i] = std::min(std::max(r, 1.0), 100.0);
+        // absoluteHumidity(tempC, rh) inlined against the already-
+        // computed svp_air.
+        double vp = svp_air[size_t(i)] * rh[i] / 100.0;
+        abs[i] = 1000.0 * vp /
+                 (physics::kVaporGasConstant * (temp[i] + 273.15));
+    }
+}
+
+} // namespace environment
+} // namespace coolair

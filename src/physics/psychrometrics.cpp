@@ -8,18 +8,6 @@
 namespace coolair {
 namespace physics {
 
-namespace {
-
-// Magnus-Tetens coefficients (Alduchov & Eskridge 1996).
-constexpr double kMagnusA = 17.625;
-constexpr double kMagnusB = 243.04;   // [°C]
-constexpr double kMagnusC = 610.94;   // [Pa]
-
-// Specific gas constant for water vapor [J/(kg*K)].
-constexpr double kVaporGasConstant = 461.5;
-
-} // anonymous namespace
-
 double
 saturationVaporPressure(double temp_c)
 {

@@ -21,6 +21,16 @@ constexpr double kAirDensity = 1.2;
 /** Specific heat capacity of air [J/(kg*K)]. */
 constexpr double kAirSpecificHeat = 1005.0;
 
+// Magnus-Tetens coefficients (Alduchov & Eskridge 1996).  Shared by the
+// scalar implementations below and the flat-array kernel TU
+// (psychrometrics_kernels.cpp), which must agree on the formulas.
+inline constexpr double kMagnusA = 17.625;
+inline constexpr double kMagnusB = 243.04;   // [°C]
+inline constexpr double kMagnusC = 610.94;   // [Pa]
+
+/** Specific gas constant for water vapor [J/(kg*K)]. */
+inline constexpr double kVaporGasConstant = 461.5;
+
 /**
  * Saturation vapor pressure of water over liquid [Pa] at temperature
  * @p temp_c [°C] (Magnus–Tetens).
@@ -89,6 +99,32 @@ AirState mix(const AirState &a, const AirState &b, double frac_a);
  * @p heat_joules of heat (negative to cool).
  */
 double heatAirMass(double temp_c, double volume_m3, double heat_joules);
+
+/**
+ * Flat-array overloads of the hot transforms, for the batched (SoA)
+ * execution path.  Each applies the scalar formula element-wise over
+ * @p n lanes with no per-lane branching, from a translation unit built
+ * with the vectorizer-friendly COOLAIR_KERNEL_OPTIONS flags
+ * (-ffast-math on the kernel TU only), so results may differ from the
+ * scalar functions in the last few ulps — see DESIGN.md §10 for the
+ * tolerance contract.  Input and output arrays may not alias unless
+ * they are identical (in-place use is allowed).
+ */
+
+/** Lane-wise saturationVaporPressure: out[i] = svp(temp_c[i]). */
+void saturationVaporPressureN(const double *temp_c, double *out, int n);
+
+/** Lane-wise absoluteHumidity: out[i] = absHum(temp_c[i], rh[i]). */
+void absoluteHumidityN(const double *temp_c, const double *rh_percent,
+                       double *out, int n);
+
+/** Lane-wise relativeHumidity: out[i] = relHum(temp_c[i], abs[i]). */
+void relativeHumidityN(const double *temp_c, const double *abs_gm3,
+                       double *out, int n);
+
+/** Lane-wise wetBulb (Stull fit, RH clamped to [5, 99] as in scalar). */
+void wetBulbN(const double *temp_c, const double *rh_percent, double *out,
+              int n);
 
 } // namespace physics
 } // namespace coolair

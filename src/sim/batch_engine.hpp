@@ -1,0 +1,153 @@
+#ifndef COOLAIR_SIM_BATCH_ENGINE_HPP
+#define COOLAIR_SIM_BATCH_ENGINE_HPP
+
+/**
+ * @file
+ * The batched simulation engine: N whole experiments ("lanes") stepped
+ * in lockstep through one instruction stream.
+ *
+ * Lanes must share one *shape* — every spec field except the location,
+ * the seed, and the output/cache paths — so the batch shares a single
+ * physics-step/sample/epoch timeline and one plant::BatchedPlant.  The
+ * per-step protocol transliterates sim::Engine::runRange exactly (same
+ * step truncation, sample cadence, control-epoch bookkeeping, command
+ * persistence across days); what changes is execution layout:
+ *
+ *  - plant physics and sensor noise run as SoA kernels across lanes
+ *    (plant/parasol_batch.hpp, fast-math TUs);
+ *  - engine-loop weather comes from per-lane pre-evaluated grids
+ *    (environment::Climate::sampleGridInto) instead of per-step scalar
+ *    sampling;
+ *  - workload, controller, forecaster and metrics stay per-lane scalar
+ *    objects walked at sample boundaries.
+ *
+ * The scalar path is the exactness oracle: batched Summary metrics
+ * match it within the tolerance documented in DESIGN.md §10, not
+ * bit-exactly.  A lane that throws — at construction (e.g. trace output
+ * is unsupported here) or mid-run — is captured as a failed LaneResult
+ * while the remaining lanes run to completion.
+ */
+
+#include <string>
+#include <vector>
+
+#include "plant/parasol_batch.hpp"
+#include "sim/soa_state.hpp"
+
+namespace coolair {
+namespace sim {
+
+/**
+ * The batch-shape key of a spec: its canonical text with the per-lane
+ * fields (location, seed, cache/output paths) cleared.  Specs with
+ * equal shape keys may share a BatchedEngine; the sweep runner groups
+ * by this key.
+ */
+std::string batchShapeKey(const ExperimentSpec &spec);
+
+/** Outcome of one lane of a batched run. */
+struct LaneResult
+{
+    bool ok = false;
+    std::string error;          ///< Set when !ok.
+    ExperimentResult result;    ///< Valid when ok.
+};
+
+/** Steps a batch of same-shape experiments in lockstep. */
+class BatchedEngine
+{
+  public:
+    /**
+     * Build a batch, one lane per spec.
+     *
+     * @param specs  Same-shape specs (see batchShapeKey); every spec
+     *               must have batch > 0.
+     * @param requested_width  The lane width the caller aimed for; a
+     *               batch smaller than it is a ragged tail (counted in
+     *               stats().raggedTailLanes).  0 means "exact".
+     * @throws std::invalid_argument if the batch is empty, a spec has
+     *         batch == 0, shapes differ, or the shared shape is
+     *         unrunnable (ScenarioBuilder's validation).
+     *
+     * Per-lane construction failures (e.g. trace output requested) do
+     * NOT throw: the lane is marked dead and surfaces as a failed
+     * LaneResult from run().
+     */
+    explicit BatchedEngine(std::vector<ExperimentSpec> specs,
+                           int requested_width = 0);
+
+    int lanes() const { return int(_lanes.size()); }
+
+    /**
+     * Run the shared runKind protocol and return one LaneResult per
+     * lane, in spec order.  Writes per-lane RunReports (reportJsonPath)
+     * and merges stats into obs::registry() when obs is enabled.  Call
+     * once.
+     */
+    std::vector<LaneResult> run();
+
+    /** Batch counters of this engine (valid after run()). */
+    const BatchStats &stats() const { return _stats; }
+
+    /** Noise-free plant probe for tests. */
+    const plant::BatchedPlant &plant() const { return *_plant; }
+
+  private:
+    void runDay(int day_of_year);
+    void runDayRange(int start_day, int end_day);
+    void runRange(int64_t start_s, int64_t end_s, bool collect);
+    void sampleAll(util::SimTime now, bool collect);
+    void initDay(int64_t warm_start_s);
+    void refreshGrids(int64_t from_s, int64_t end_s);
+    void failLane(int lane, const char *what);
+    void collectLaneStats(const LaneState &lane,
+                          obs::StatsRegistry &reg) const;
+    void addBatchStats(obs::StatsRegistry &reg) const;
+
+    std::vector<LaneState> _lanes;
+    std::unique_ptr<plant::BatchedPlant> _plant;
+    plant::PlantConfig _plantConfig;
+
+    // Shared timeline (shape-derived).
+    double _physicsStepS = 0.0;
+    int64_t _stepS = 0;        ///< int64_t(physicsStepS), like Engine.
+    int64_t _intervalS = 0;    ///< max(60, step), like ScenarioBuilder.
+    int64_t _warmupS = 0;
+
+    // Current grid chunk: lane grids all start at _gridStartS with
+    // _gridPoints samples spaced _stepS apart.
+    int64_t _gridStartS = 0;
+    int _gridPoints = 0;
+
+    // Contiguous per-lane spans the plant kernels consume.
+    std::vector<environment::WeatherSample> _outside;
+    std::vector<plant::PodLoad> _loads;
+    std::vector<cooling::Regime> _commands;
+    std::vector<plant::SensorReadings> _sensors;
+
+    BatchStats _stats;
+    bool _ran = false;
+};
+
+/**
+ * Run one spec through the batched engine (a single-lane batch).
+ * The batched counterpart of the scalar scenario path behind
+ * runExperiment(); spec.batch must be positive.
+ *
+ * @throws std::invalid_argument for an unrunnable spec,
+ *         std::runtime_error if the lane itself fails.
+ */
+ExperimentResult runBatchedExperiment(const ExperimentSpec &spec);
+
+/**
+ * Run several same-shape specs as one batch, returning per-lane
+ * outcomes in spec order (the sweep runner's entry point).
+ */
+std::vector<LaneResult>
+runBatchedGroup(const std::vector<ExperimentSpec> &specs,
+                int requested_width);
+
+} // namespace sim
+} // namespace coolair
+
+#endif // COOLAIR_SIM_BATCH_ENGINE_HPP

@@ -129,6 +129,13 @@ class CoolAirController : public Controller
     /** The wrapped manager (for inspection). */
     const core::CoolAir &coolair() const { return _coolair; }
 
+    /** Forwarder for the batched engine: score an epoch's candidates
+        in one batched pass (core::CoolAir::setBatchedCandidates). */
+    void setBatchedCandidates(bool on)
+    {
+        _coolair.setBatchedCandidates(on);
+    }
+
   private:
     core::CoolAir _coolair;
     const char *_name;

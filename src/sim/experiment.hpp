@@ -166,6 +166,17 @@ struct ExperimentSpec
     std::string traceJsonPath;
 
     /**
+     * Lane width of the batched (SoA lockstep) execution path: 0 runs
+     * the scalar engine (the exactness oracle), N > 0 opts into
+     * sim/batch_engine.hpp with batches of up to N lanes.  Batched
+     * results match the scalar oracle within the tolerance documented
+     * in DESIGN.md §10, not bit-exactly, so batched and scalar specs
+     * never share a result-cache identity (the key is emitted only
+     * when non-zero).
+     */
+    int batch = 0;
+
+    /**
      * Tuning overrides for CoolAir systems (the bench_ablation knobs).
      * Unset means "use the Table 1 version preset".
      */

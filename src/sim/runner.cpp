@@ -12,6 +12,7 @@
 
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
 #include "store/result_store.hpp"
@@ -266,19 +267,90 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
             pending_specs.push_back(specs[i]);
         prewarmSharedState(pending_specs);
 
+        // Batch-enabled pending specs (batch > 0) are grouped by shape
+        // and chunked into lane batches of up to spec.batch; everything
+        // else stays a one-spec job.  The job list is derived only from
+        // spec order and shape keys (std::map iteration), never from
+        // scheduling, so outcomes stay deterministic.
+        std::vector<size_t> scalar_jobs;
+        std::map<std::string, std::vector<size_t>> by_shape;
+        for (size_t i : pending) {
+            if (specs[i].batch > 0)
+                by_shape[batchShapeKey(specs[i])].push_back(i);
+            else
+                scalar_jobs.push_back(i);
+        }
+        std::vector<std::vector<size_t>> chunks;
+        for (auto &[shape, members] : by_shape) {
+            const size_t width = size_t(specs[members.front()].batch);
+            for (size_t at = 0; at < members.size(); at += width)
+                chunks.emplace_back(
+                    members.begin() + at,
+                    members.begin() +
+                        std::min(at + width, members.size()));
+        }
+
+        // Per-chunk lane failures: each vector is written only by the
+        // one job that owns the chunk, merged (and index-sorted) after
+        // the pool drains.  A lane that fails never blocks its batch —
+        // the engine completes the remaining lanes — and every failure
+        // is reported at the lane's original spec index.
+        std::vector<std::vector<ExperimentFailure>> chunk_failures(
+            chunks.size());
+
+        const size_t total = scalar_jobs.size() + chunks.size();
         std::vector<TaskFailure> run_failures =
-            forEach(pending.size(), [&](size_t k) {
-                const size_t i = pending[k];
-                if (spec_store[i])
-                    outcome.results[i] =
-                        runAndStore(specs[i], *spec_store[i], ids[i]);
-                else
-                    outcome.results[i] = runExperiment(specs[i]);
+            forEach(total, [&](size_t j) {
+                if (j < scalar_jobs.size()) {
+                    const size_t i = scalar_jobs[j];
+                    if (spec_store[i])
+                        outcome.results[i] =
+                            runAndStore(specs[i], *spec_store[i], ids[i]);
+                    else
+                        outcome.results[i] = runExperiment(specs[i]);
+                    return;
+                }
+                const size_t c = j - scalar_jobs.size();
+                const std::vector<size_t> &chunk = chunks[c];
+                std::vector<ExperimentSpec> lane_specs;
+                lane_specs.reserve(chunk.size());
+                for (size_t i : chunk)
+                    lane_specs.push_back(specs[i]);
+                std::vector<LaneResult> lanes = runBatchedGroup(
+                    lane_specs, specs[chunk.front()].batch);
+                for (size_t l = 0; l < chunk.size(); ++l) {
+                    const size_t i = chunk[l];
+                    if (!lanes[l].ok) {
+                        chunk_failures[c].push_back(
+                            {i, specs[i], std::move(lanes[l].error)});
+                        continue;
+                    }
+                    try {
+                        if (spec_store[i])
+                            spec_store[i]->store(
+                                ids[i], formatResult(lanes[l].result));
+                        outcome.results[i] = std::move(lanes[l].result);
+                    } catch (const std::exception &e) {
+                        chunk_failures[c].push_back({i, specs[i], e.what()});
+                    }
+                }
             });
-        for (auto &failure : run_failures)
-            outcome.failures.push_back({pending[failure.index],
-                                        specs[pending[failure.index]],
-                                        std::move(failure.message)});
+        for (auto &failure : run_failures) {
+            if (failure.index < scalar_jobs.size()) {
+                const size_t i = scalar_jobs[failure.index];
+                outcome.failures.push_back(
+                    {i, specs[i], std::move(failure.message)});
+                continue;
+            }
+            // A whole-batch failure (unrunnable shared shape) fails
+            // every lane of the chunk at its own index.
+            for (size_t i : chunks[failure.index - scalar_jobs.size()])
+                outcome.failures.push_back({i, specs[i], failure.message});
+        }
+        for (auto &list : chunk_failures)
+            outcome.failures.insert(outcome.failures.end(),
+                                    std::make_move_iterator(list.begin()),
+                                    std::make_move_iterator(list.end()));
     }
 
     std::sort(outcome.failures.begin(), outcome.failures.end(),

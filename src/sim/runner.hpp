@@ -31,6 +31,13 @@
  * hit/miss in the outcome (SweepOutcome::fromCache), results are
  * byte-identical warm vs. cold (spec_io's exact result round trip), and
  * a failing job is reported without writing anything to the store.
+ *
+ * Specs with batch > 0 opt into the lane-batched engine: pending specs
+ * are grouped by batchShapeKey (deterministically, never by
+ * scheduling), chunked into lane batches of up to spec.batch, and each
+ * chunk runs as one pool job through runBatchedGroup.  Results and
+ * failures still land at each spec's original index — a failing lane
+ * neither reorders nor drops the others, which run to completion.
  */
 
 #include <condition_variable>

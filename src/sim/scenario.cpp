@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
 #include "sim/trace_csv.hpp"
@@ -454,6 +455,11 @@ runExperiment(const ExperimentSpec &spec)
             st.addStats(obs::registry());
         return result;
     }
+    // batch= routes through the lane-batched engine (a one-lane batch
+    // here; sweeps group lanes in ExperimentRunner).  Opt-in only: the
+    // batched path carries a tolerance contract, not bit-identity.
+    if (spec.batch > 0)
+        return runBatchedExperiment(spec);
     return ScenarioBuilder(spec).build()->run();
 }
 

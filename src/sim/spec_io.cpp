@@ -310,6 +310,11 @@ formatSpec(const ExperimentSpec &spec)
         os << "sleep_decay = " << fmtDouble(*spec.sleepDecayPerEpoch) << "\n";
     if (spec.horizonSteps)
         os << "horizon = " << *spec.horizonSteps << "\n";
+    // batch=0 (the scalar path) is the default and omitted; emitting the
+    // key only for batched specs gives them a distinct normalized cache
+    // identity, so batched and scalar results never alias in the store.
+    if (spec.batch != 0)
+        os << "batch = " << spec.batch << "\n";
     return os.str();
 }
 
@@ -402,7 +407,11 @@ applyKeyValue(ExperimentSpec &spec, const std::string &key,
         spec.sleepDecayPerEpoch = parseDouble(key, value);
     else if (key == "horizon")
         spec.horizonSteps = parseInt(key, value);
-    else
+    else if (key == "batch") {
+        spec.batch = parseInt(key, value);
+        if (spec.batch < 0 || spec.batch > 1024)
+            badValue(key, value);
+    } else
         throw std::invalid_argument("spec: unknown key '" + key + "'");
 }
 

@@ -330,6 +330,8 @@ randomSpec(Rng &rng)
         spec.sleepDecayPerEpoch = rng.uniform(0.0, 1.0);
     if (rng.bernoulli(0.3))
         spec.horizonSteps = int(rng.uniformInt(1, 16));
+    if (rng.bernoulli(0.3))
+        spec.batch = int(rng.uniformInt(1, 64));
     return spec;
 }
 

@@ -18,6 +18,7 @@
 #include "obs/stats.hpp"
 #include "sim/engine.hpp"
 #include "sim/scenario.hpp"
+#include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
 #include "sim/trace_csv.hpp"
 #include "workload/cluster.hpp"
@@ -527,6 +528,52 @@ TEST(SpecIo, CacheKeysRoundTrip)
     text = sim::formatSpec(newarkSpec());
     EXPECT_EQ(std::string::npos, text.find("result_cache"));
     EXPECT_EQ(std::string::npos, text.find("cache_dir"));
+}
+
+TEST(SpecIo, BatchKeyRoundTripsAndIsStrict)
+{
+    // batch=0 (the scalar path) is the default and omitted from the
+    // canonical text; a batched spec round-trips exactly.
+    sim::ExperimentSpec spec = newarkSpec();
+    EXPECT_EQ(std::string::npos, sim::formatSpec(spec).find("batch"));
+
+    spec.batch = 8;
+    std::string text = sim::formatSpec(spec);
+    EXPECT_NE(std::string::npos, text.find("batch = 8"));
+    EXPECT_EQ(spec, sim::parseSpec(text));
+
+    // Strict integer parsing: trailing junk, non-numbers, negatives and
+    // absurd widths are rejected, never truncated or wrapped.
+    sim::ExperimentSpec target;
+    EXPECT_THROW(sim::applySpecAssignment(target, "batch=8x"),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::applySpecAssignment(target, "batch=wide"),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::applySpecAssignment(target, "batch=-1"),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::applySpecAssignment(target, "batch=1025"),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::applySpecAssignment(target, "batch=2.5"),
+                 std::invalid_argument);
+    sim::applySpecAssignment(target, "batch=16");
+    EXPECT_EQ(16, target.batch);
+}
+
+TEST(SpecIo, BatchKeyGivesDistinctCacheIdentity)
+{
+    // A batched run honors a tolerance contract, not bit-identity, so
+    // its results must never alias the scalar ones in the result store.
+    sim::ExperimentSpec scalar = newarkSpec();
+    scalar.cacheDirPath = "/tmp/coolair-results";
+    sim::ExperimentSpec batched = scalar;
+    batched.batch = 8;
+    EXPECT_NE(sim::resultCacheId(scalar), sim::resultCacheId(batched));
+
+    // Output paths still do not contribute to either identity.
+    sim::ExperimentSpec batched_with_report = batched;
+    batched_with_report.reportJsonPath = "/tmp/report.json";
+    EXPECT_EQ(sim::resultCacheId(batched),
+              sim::resultCacheId(batched_with_report));
 }
 
 // ---------------------------------------------------------------------------
