@@ -19,6 +19,18 @@
  *   COOLAIR_SERVE_HOT_PCT   hot share in percent  (default 75)
  *   COOLAIR_THREADS         daemon worker threads (default all cores)
  *
+ * Machine-readable output (the compare_bench.py / google-benchmark
+ * JSON schema, so the serve numbers ride the same regression gate as
+ * bench_micro):
+ *   --benchmark_filter=<regex>   emit only matching entries
+ *   --benchmark_out=<path>       write the JSON document there
+ *   --benchmark_out_format=json  (the only supported format)
+ * Entries: BM_ServeColdWarmup (ns per cold spec) and BM_ServeMixed
+ * (ns per mixed request, with specs_per_s and latency_p50/p95/p99_ms
+ * counters).  Regenerate the committed baseline with:
+ *   build/bench/bench_serve --benchmark_out=bench/BENCH_serve.json \
+ *       --benchmark_out_format=json
+ *
  * The driver asserts the serving contract as it measures: every hot
  * response must be byte-identical to the response the same spec line
  * got in the warm-up phase.
@@ -26,15 +38,20 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <regex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/stats.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -73,11 +90,115 @@ coldSpecLine(size_t client, size_t request)
            std::to_string(100000 + n);
 }
 
+/** One benchmark entry of the emitted JSON document. */
+struct BenchEntry
+{
+    std::string name;
+    int64_t iterations = 0;
+    double realTimeNs = 0.0;  ///< wall time per iteration
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/** The value below which @p q of the sorted samples fall. */
+double
+quantileOf(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = q * double(sorted.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/**
+ * Write @p entries as a google-benchmark JSON document — the schema
+ * bench/compare_bench.py consumes (context block for comparability
+ * warnings, one object per benchmark with real_time in ns).
+ */
+bool
+writeBenchJson(const std::string &path,
+               const std::vector<BenchEntry> &entries)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << "{\n  \"context\": {\n"
+        << "    \"executable\": \"bench_serve\",\n"
+        << "    \"num_cpus\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "    \"library_build_type\": \""
+#ifdef NDEBUG
+           "release"
+#else
+           "debug"
+#endif
+        << "\"\n  },\n  \"benchmarks\": [";
+    bool first = true;
+    for (const BenchEntry &e : entries) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n    {\n"
+            << "      \"name\": \"" << e.name << "\",\n"
+            << "      \"run_name\": \"" << e.name << "\",\n"
+            << "      \"run_type\": \"iteration\",\n"
+            << "      \"repetitions\": 1,\n"
+            << "      \"repetition_index\": 0,\n"
+            << "      \"threads\": 1,\n"
+            << "      \"iterations\": " << e.iterations << ",\n"
+            << "      \"real_time\": " << obs::formatDouble(e.realTimeNs)
+            << ",\n"
+            << "      \"cpu_time\": " << obs::formatDouble(e.realTimeNs)
+            << ",\n"
+            << "      \"time_unit\": \"ns\"";
+        for (const auto &[key, value] : e.counters)
+            out << ",\n      \"" << key
+                << "\": " << obs::formatDouble(value);
+        out << "\n    }";
+    }
+    out << "\n  ]\n}\n";
+    return bool(out);
+}
+
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string out_path;
+    std::string filter = ".";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&](const char *flag, std::string &into) {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) != 0)
+                return false;
+            into = arg.substr(prefix.size());
+            return true;
+        };
+        std::string format;
+        if (valueOf("--benchmark_out", out_path) ||
+            valueOf("--benchmark_filter", filter))
+            continue;
+        if (valueOf("--benchmark_out_format", format)) {
+            if (format != "json") {
+                std::fprintf(stderr,
+                             "bench_serve: only json output is "
+                             "supported (got '%s')\n",
+                             format.c_str());
+                return 2;
+            }
+            continue;
+        }
+        if (arg.rfind("--benchmark_", 0) == 0)
+            continue;  // tolerate other google-benchmark flags
+        std::fprintf(stderr, "bench_serve: unknown argument '%s'\n",
+                     arg.c_str());
+        return 2;
+    }
+
     const int clients = util::envInt("COOLAIR_SERVE_CLIENTS", 8, 1, 256);
     const int requests = util::envInt("COOLAIR_SERVE_REQUESTS", 32, 1,
                                       100000);
@@ -106,6 +227,7 @@ main()
     // Phase 1: run the hot set cold, remember the exact bytes served.
     const std::vector<std::string> hot = hotSpecLines();
     std::map<std::string, std::string> hot_bytes;
+    double cold_s = 0.0;
     {
         serve::Client warmup = serve::Client::connectUnix(socket_path);
         const auto t0 = std::chrono::steady_clock::now();
@@ -118,7 +240,7 @@ main()
             }
             hot_bytes[line] = r.payload;
         }
-        const double cold_s =
+        cold_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
                 .count();
@@ -126,11 +248,15 @@ main()
                     hot.size(), cold_s, double(hot.size()) / cold_s);
     }
 
-    // Phase 2: the mixed load.
+    // Phase 2: the mixed load, with per-request latencies collected so
+    // the emitted entry carries the tail, not just the mean.
     std::vector<std::thread> pool;
     std::vector<int> failures(size_t(clients), 0);
+    std::vector<std::vector<double>> latencies_ms;
+    latencies_ms.resize(size_t(clients));
     const auto t0 = std::chrono::steady_clock::now();
     for (int c = 0; c < clients; ++c) {
+        latencies_ms[size_t(c)].reserve(size_t(requests));
         pool.emplace_back([&, c] {
             serve::Client client = serve::Client::connectUnix(socket_path);
             util::Rng rng(42, "bench_serve#" + std::to_string(c));
@@ -141,7 +267,12 @@ main()
                     is_hot ? hot[size_t(rng.uniformInt(
                                  0, int64_t(hot.size()) - 1))]
                            : coldSpecLine(size_t(c), size_t(i));
+                const auto r0 = std::chrono::steady_clock::now();
                 serve::Client::Response r = client.request("RUN " + line);
+                latencies_ms[size_t(c)].push_back(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count());
                 if (!r.ok ||
                     (is_hot && r.payload != hot_bytes.at(line)))
                     ++failures[size_t(c)];
@@ -158,9 +289,22 @@ main()
     for (int f : failures)
         failed += f;
     const size_t total = size_t(clients) * size_t(requests);
+
+    std::vector<double> sorted_ms;
+    sorted_ms.reserve(total);
+    for (const auto &per_client : latencies_ms)
+        sorted_ms.insert(sorted_ms.end(), per_client.begin(),
+                         per_client.end());
+    std::sort(sorted_ms.begin(), sorted_ms.end());
+    const double p50 = quantileOf(sorted_ms, 0.50);
+    const double p95 = quantileOf(sorted_ms, 0.95);
+    const double p99 = quantileOf(sorted_ms, 0.99);
+
     std::printf("mixed load: %zu requests in %.2f s -> %.1f specs/s "
                 "sustained (%d failures)\n",
                 total, wall, double(total) / wall, failed);
+    std::printf("latency: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n", p50,
+                p95, p99);
 
     {
         serve::Client admin = serve::Client::connectUnix(socket_path);
@@ -178,6 +322,41 @@ main()
         std::fprintf(stderr, "FAILED: %d responses wrong or missing\n",
                      failed);
         return 1;
+    }
+
+    if (!out_path.empty()) {
+        std::vector<BenchEntry> entries;
+        BenchEntry cold;
+        cold.name = "BM_ServeColdWarmup";
+        cold.iterations = int64_t(hot.size());
+        cold.realTimeNs = cold_s * 1e9 / double(hot.size());
+        cold.counters = {{"specs_per_s", double(hot.size()) / cold_s}};
+        entries.push_back(std::move(cold));
+
+        BenchEntry mixed;
+        mixed.name = "BM_ServeMixed";
+        mixed.iterations = int64_t(total);
+        mixed.realTimeNs = wall * 1e9 / double(total);
+        mixed.counters = {{"specs_per_s", double(total) / wall},
+                          {"clients", double(clients)},
+                          {"hot_pct", double(hot_pct)},
+                          {"latency_p50_ms", p50},
+                          {"latency_p95_ms", p95},
+                          {"latency_p99_ms", p99}};
+        entries.push_back(std::move(mixed));
+
+        std::vector<BenchEntry> kept;
+        const std::regex re(filter);
+        for (BenchEntry &e : entries)
+            if (std::regex_search(e.name, re))
+                kept.push_back(std::move(e));
+        if (!writeBenchJson(out_path, kept)) {
+            std::fprintf(stderr, "bench_serve: cannot write '%s'\n",
+                         out_path.c_str());
+            return 2;
+        }
+        std::printf("wrote %zu benchmark entr%s to %s\n", kept.size(),
+                    kept.size() == 1 ? "y" : "ies", out_path.c_str());
     }
     return 0;
 }

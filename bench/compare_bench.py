@@ -86,8 +86,11 @@ def check_batch_speedup(baseline_doc, fresh_doc):
         base = base_rates.get(scalar)
         fresh = fresh_rates.get(batched)
         if base is None:
-            violations.append((batched,
-                               f"baseline lacks {scalar} sim_minutes_per_s"))
+            # The baseline does not track this pair at all (e.g. the
+            # serve-layer baseline, which has no engine benchmarks) —
+            # the gate belongs to a different bench binary, skip it.
+            print(f"batch speedup: skipping {batched} gate "
+                  f"(baseline has no {scalar})")
             continue
         if fresh is None:
             # A vanished batched benchmark is already reported as

@@ -16,10 +16,23 @@
  *                          sweeps); omit to serve without a store
  *     --threads <n>        worker threads (default: COOLAIR_THREADS
  *                          or all cores)
+ *     --trace-depth <n>    retain the last n completed request traces
+ *                          for the TRACE verb (default 0 = tracing
+ *                          off)
+ *     --slow-request-seconds <s>
+ *                          log one structured line (with per-stage
+ *                          span timings when tracing is on) for any
+ *                          request slower than s seconds (default 0 =
+ *                          off)
+ *     --sample-interval <s>
+ *                          seconds between time-series samples for
+ *                          the SERIES verb (default 1; 0 disables
+ *                          sampling)
  *
  * At least one of --socket/--port is required.  The daemon runs until
  * a client sends SHUTDOWN (or the process receives SIGINT/SIGTERM via
- * the shell).
+ * the shell).  Set COOLAIR_LOG_FORMAT=json for machine-parseable log
+ * lines.
  *
  * Protocol (see src/serve/protocol.hpp, drivable from netcat):
  *   PING                          -> PONG
@@ -27,7 +40,13 @@
  *   WAIT <ticket>                 -> RESULT <n> + formatResult text
  *   RUN site=newark; weeks=1      -> RESULT <n> + formatResult text
  *   STATS                         -> STATS <n> + counter dump
+ *   METRICS                       -> METRICS <n> + Prometheus text
+ *   SERIES serve.requests 60      -> SERIES <n> + `<unix-ms> <value>`
+ *   HEALTH                        -> HEALTH <n> + status lines
+ *   TRACE <ticket>                -> TRACE <n> + Chrome-trace JSON
  *   SHUTDOWN                      -> BYE (daemon exits)
+ *
+ * Watch a live server with coolair_top (same --socket/--port flags).
  *
  * Results are byte-identical to experiment_cli for the same spec —
  * the daemon adds caching and sharing, never a different answer.
@@ -87,6 +106,27 @@ main(int argc, char **argv)
             if (!util::parseInt(text, n) || n < 1 || n > 4096)
                 usage(("bad thread count: '" + text + "'").c_str());
             service_config.threads = int(n);
+        } else if (arg == "--trace-depth") {
+            long long n = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, n) || n < 0 || n > 65536)
+                usage(("bad trace depth: '" + text + "'").c_str());
+            service_config.traceDepth = int(n);
+        } else if (arg == "--slow-request-seconds") {
+            const std::string text = next();
+            char *end = nullptr;
+            const double s = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || s < 0.0)
+                usage(("bad slow-request threshold: '" + text + "'")
+                          .c_str());
+            service_config.slowRequestSeconds = s;
+        } else if (arg == "--sample-interval") {
+            const std::string text = next();
+            char *end = nullptr;
+            const double s = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || s < 0.0)
+                usage(("bad sample interval: '" + text + "'").c_str());
+            service_config.sampleIntervalSeconds = s;
         } else {
             usage(("unknown option: " + arg).c_str());
         }

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * coolair_top — a live terminal dashboard for a running coolair_serve
+ * daemon, built entirely on the public telemetry verbs:
+ *
+ *   HEALTH            status / uptime / worker occupancy
+ *   METRICS           Prometheus text (counters, latency histogram)
+ *   SERIES <stat> n   sampled history, rendered as a sparkline
+ *
+ * Usage:
+ *   coolair_top (--socket <path> | --port <port>)
+ *               [--interval <seconds>]   refresh period (default 2)
+ *               [--iterations <n>]       stop after n refreshes
+ *                                        (0 = run until interrupted)
+ *               [--no-ansi]              plain append-only output
+ *
+ * Latency quantiles (p50/p95/p99) are derived client-side from the
+ * cumulative `coolair_serve_latency_seconds_bucket{le="..."}` series,
+ * exactly as a Prometheus `histogram_quantile()` would, so the
+ * dashboard needs nothing beyond the scrape text.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "util/parse.hpp"
+
+using namespace coolair;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "error: %s\n(see the header comment in "
+                         "examples/coolair_top.cpp for usage)\n",
+                 msg);
+    std::exit(2);
+}
+
+/** Cumulative `le` histogram buckets scraped from METRICS. */
+struct ScrapedHistogram
+{
+    std::vector<double> bounds;      ///< finite `le` values, ascending.
+    std::vector<double> cumulative;  ///< counts at each bound.
+    double count = 0.0;              ///< the +Inf bucket / _count.
+};
+
+/** Everything one METRICS scrape yields. */
+struct Scrape
+{
+    std::map<std::string, double> values;
+    std::map<std::string, ScrapedHistogram> histograms;
+};
+
+/** Parse Prometheus text exposition (the subset coolair_serve emits). */
+Scrape
+parseMetrics(const std::string &text)
+{
+    Scrape out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t space = line.rfind(' ');
+        if (space == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, space);
+        const double value = std::strtod(line.c_str() + space + 1, nullptr);
+
+        const size_t brace = key.find('{');
+        if (brace == std::string::npos) {
+            out.values[key] = value;
+            continue;
+        }
+        // `<name>_bucket{le="..."}` is the only labeled shape we emit.
+        const std::string name = key.substr(0, brace);
+        const std::string suffix = "_bucket";
+        if (name.size() <= suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string metric = name.substr(0, name.size() - suffix.size());
+        const size_t q1 = key.find('"', brace);
+        const size_t q2 = q1 == std::string::npos ? std::string::npos
+                                                  : key.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        const std::string le = key.substr(q1 + 1, q2 - q1 - 1);
+        ScrapedHistogram &h = out.histograms[metric];
+        if (le == "+Inf") {
+            h.count = value;
+        } else {
+            h.bounds.push_back(std::strtod(le.c_str(), nullptr));
+            h.cumulative.push_back(value);
+        }
+    }
+    return out;
+}
+
+/** histogram_quantile over cumulative buckets (linear within bucket). */
+double
+quantile(const ScrapedHistogram &h, double q)
+{
+    if (h.count <= 0.0 || h.bounds.empty())
+        return 0.0;
+    const double target = q * h.count;
+    double lower = 0.0;
+    double below = 0.0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+        const double inBucket = h.cumulative[i] - below;
+        if (h.cumulative[i] >= target && inBucket > 0.0)
+            return lower + (target - below) / inBucket *
+                               (h.bounds[i] - lower);
+        below = h.cumulative[i];
+        lower = h.bounds[i];
+    }
+    return h.bounds.back();
+}
+
+/** Unicode sparkline of @p values scaled to their own max. */
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *kBlocks[] = {"▁", "▂", "▃",
+                                    "▄", "▅", "▆",
+                                    "▇", "█"};
+    double top = 0.0;
+    for (double v : values)
+        top = std::max(top, v);
+    std::string out;
+    for (double v : values) {
+        const int idx =
+            top > 0.0
+                ? std::min(7, int(v / top * 7.999))
+                : 0;
+        out += kBlocks[idx];
+    }
+    return out;
+}
+
+/** `SERIES <stat> n` payload -> per-second rates between samples. */
+std::vector<double>
+seriesRates(const std::string &payload)
+{
+    std::vector<std::pair<int64_t, double>> points;
+    std::istringstream is(payload);
+    int64_t ms = 0;
+    double value = 0.0;
+    while (is >> ms >> value)
+        points.emplace_back(ms, value);
+    std::vector<double> rates;
+    for (size_t i = 1; i < points.size(); ++i) {
+        const double dt =
+            double(points[i].first - points[i - 1].first) / 1000.0;
+        rates.push_back(
+            dt > 0.0
+                ? std::max(0.0, points[i].second - points[i - 1].second) / dt
+                : 0.0);
+    }
+    return rates;
+}
+
+double
+metricOr(const Scrape &s, const std::string &name, double fallback)
+{
+    auto it = s.values.find(name);
+    return it == s.values.end() ? fallback : it->second;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    int port = -1;
+    double interval = 2.0;
+    long long iterations = 0;
+    bool ansi = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = next();
+        } else if (arg == "--port") {
+            long long p = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, p) || p < 1 || p > 65535)
+                usage(("bad port: '" + text + "'").c_str());
+            port = int(p);
+        } else if (arg == "--interval") {
+            const std::string text = next();
+            char *end = nullptr;
+            interval = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || interval <= 0.0)
+                usage(("bad interval: '" + text + "'").c_str());
+        } else if (arg == "--iterations") {
+            const std::string text = next();
+            if (!util::parseInt(text, iterations) || iterations < 0)
+                usage(("bad iteration count: '" + text + "'").c_str());
+        } else if (arg == "--no-ansi") {
+            ansi = false;
+        } else {
+            usage(("unknown option: " + arg).c_str());
+        }
+    }
+    if (socketPath.empty() && port < 0)
+        usage("need --socket <path> or --port <port>");
+
+    try {
+        serve::Client client = socketPath.empty()
+                                   ? serve::Client::connectTcp(port)
+                                   : serve::Client::connectUnix(socketPath);
+
+        for (long long tick = 0; iterations == 0 || tick < iterations;
+             ++tick) {
+            auto health = client.request("HEALTH");
+            auto metrics = client.request("METRICS");
+            if (!health.ok || !metrics.ok) {
+                std::fprintf(stderr, "coolair_top: server went away (%s)\n",
+                             (!health.ok ? health.error : metrics.error)
+                                 .c_str());
+                return 1;
+            }
+            // The sampled request counter feeds the throughput spark;
+            // an ERR (sampler warming up / disabled) just means no
+            // sparkline this round.
+            auto series = client.request("SERIES serve.requests 60");
+            const std::vector<double> rates =
+                series.ok ? seriesRates(series.payload)
+                          : std::vector<double>();
+
+            const Scrape s = parseMetrics(metrics.payload);
+            const double requests =
+                metricOr(s, "coolair_serve_requests_total", 0);
+            const double storeHits =
+                metricOr(s, "coolair_serve_store_hits_total", 0);
+            const double dedupHits =
+                metricOr(s, "coolair_serve_dedup_hits_total", 0);
+            const double runs = metricOr(s, "coolair_serve_runs_total", 0);
+            const double failures =
+                metricOr(s, "coolair_serve_run_failures_total", 0);
+            const double warmPct =
+                requests > 0.0
+                    ? 100.0 * (storeHits + dedupHits) / requests
+                    : 0.0;
+            const double rate = rates.empty() ? 0.0 : rates.back();
+
+            if (ansi)
+                std::printf("\033[H\033[2J");
+            std::printf("coolair_top — %s\n\n", health.payload.substr(
+                            0, health.payload.find('\n')).c_str());
+            std::printf("%s\n", health.payload.c_str());
+            std::printf("requests %.0f   runs %.0f   store hits %.0f   "
+                        "dedup hits %.0f   failures %.0f\n",
+                        requests, runs, storeHits, dedupHits, failures);
+            std::printf("warm-served %.1f%%   throughput %.2f specs/s\n",
+                        warmPct, rate);
+            auto hist = s.histograms.find("coolair_serve_latency_seconds");
+            if (hist != s.histograms.end() && hist->second.count > 0)
+                std::printf("latency p50 %.4fs  p95 %.4fs  p99 %.4fs  "
+                            "(%.0f samples)\n",
+                            quantile(hist->second, 0.50),
+                            quantile(hist->second, 0.95),
+                            quantile(hist->second, 0.99),
+                            hist->second.count);
+            if (!rates.empty())
+                std::printf("specs/s %s\n", sparkline(rates).c_str());
+            std::fflush(stdout);
+
+            if (iterations == 0 || tick + 1 < iterations)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval));
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "coolair_top: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "obs/prometheus.hpp"
+
+#include <sstream>
+
+namespace coolair {
+namespace obs {
+
+namespace {
+
+bool
+legalNameChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/** HELP text escaping per the exposition format: backslash and
+    newline. */
+std::string
+escapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Label-value escaping: backslash, double quote, newline. */
+std::string
+escapeLabel(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+typeAndHelp(std::ostringstream &os, const std::string &metric,
+            const std::string &desc, const char *type)
+{
+    if (!desc.empty())
+        os << "# HELP " << metric << " " << escapeHelp(desc) << "\n";
+    os << "# TYPE " << metric << " " << type << "\n";
+}
+
+} // anonymous namespace
+
+std::string
+promSanitizeName(const std::string &statName)
+{
+    std::string out;
+    out.reserve(statName.size() + 1);
+    for (char c : statName)
+        out += legalNameChar(c) ? c : '_';
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+toPrometheusText(const std::vector<StatsRegistry::Entry> &entries,
+                 const PrometheusOptions &options)
+{
+    std::ostringstream os;
+    for (const StatsRegistry::Entry &e : entries) {
+        if (options.skipWallClock && (e.flags & kWallClock))
+            continue;
+        const std::string metric =
+            options.prefix + promSanitizeName(e.name);
+        switch (e.kind) {
+          case StatKind::Counter:
+            typeAndHelp(os, metric + "_total", e.desc, "counter");
+            os << metric << "_total " << e.counterValue << "\n";
+            break;
+          case StatKind::Gauge:
+            typeAndHelp(os, metric, e.desc, "gauge");
+            os << metric << " " << formatDouble(e.gaugeValue) << "\n";
+            break;
+          case StatKind::Histogram: {
+            const Histogram::Snapshot &h = e.histogram;
+            if (!h.bucketBounds.empty()) {
+                typeAndHelp(os, metric, e.desc, "histogram");
+                int64_t cumulative = 0;
+                for (size_t i = 0; i < h.bucketBounds.size(); ++i) {
+                    cumulative += h.bucketCounts[i];
+                    os << metric << "_bucket{le=\""
+                       << escapeLabel(formatDouble(h.bucketBounds[i]))
+                       << "\"} " << cumulative << "\n";
+                }
+                os << metric << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+                os << metric << "_sum " << formatDouble(h.weightedSum)
+                   << "\n";
+                os << metric << "_count " << h.count << "\n";
+            } else {
+                // Moment-only histogram: expose the moments as their
+                // own series (no le buckets to build a histogram from).
+                typeAndHelp(os, metric + "_count", e.desc, "counter");
+                os << metric << "_count " << h.count << "\n";
+                os << "# TYPE " << metric << "_sum gauge\n";
+                os << metric << "_sum " << formatDouble(h.weightedSum)
+                   << "\n";
+                os << "# TYPE " << metric << "_min gauge\n";
+                os << metric << "_min " << formatDouble(h.min) << "\n";
+                os << "# TYPE " << metric << "_max gauge\n";
+                os << metric << "_max " << formatDouble(h.max) << "\n";
+            }
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::string
+toPrometheusText(const StatsRegistry &registry,
+                 const PrometheusOptions &options)
+{
+    DumpOptions dump;
+    dump.skipWallClock = options.skipWallClock;
+    // snapshot() holds the registry lock only while copying entries;
+    // all formatting happens on this thread's private copy.
+    return toPrometheusText(registry.snapshot(dump), options);
+}
+
+} // namespace obs
+} // namespace coolair

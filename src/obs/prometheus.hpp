@@ -1,0 +1,61 @@
+#ifndef COOLAIR_OBS_PROMETHEUS_HPP
+#define COOLAIR_OBS_PROMETHEUS_HPP
+
+/**
+ * @file
+ * Prometheus text-format exposition (version 0.0.4) for a
+ * StatsRegistry snapshot — the canonical renderer behind the serve
+ * daemon's METRICS verb and anything else that wants to be scraped.
+ *
+ * Mapping:
+ *  - Counter   -> `<prefix><name>_total` with `# TYPE ... counter`
+ *  - Gauge     -> `<prefix><name>` with `# TYPE ... gauge`
+ *  - Histogram with buckets -> a full Prometheus histogram:
+ *    cumulative `_bucket{le="..."}` series (closed by `le="+Inf"`),
+ *    `_sum` (the weighted sum) and `_count`
+ *  - Histogram without buckets (the hot-path moment-only kind) ->
+ *    `_count`/`_sum` plus `_min`/`_max` gauges, typed untyped/gauge
+ *
+ * Dotted stat names sanitize to legal metric names (`serve.store_hits`
+ * -> `coolair_serve_store_hits_total`).  `# HELP` lines carry the
+ * registered description (escaped per the format).  Output order is the
+ * snapshot's (sorted by stat name) and every value renders through
+ * obs::formatDouble, so the exposition is byte-deterministic for equal
+ * registry contents — the property the serve METRICS thread-count
+ * parity test locks.
+ */
+
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace coolair {
+namespace obs {
+
+/** Exposition knobs. */
+struct PrometheusOptions
+{
+    /** Prepended to every sanitized metric name. */
+    std::string prefix = "coolair_";
+
+    /** Omit kWallClock-flagged stats (deterministic scrapes). */
+    bool skipWallClock = false;
+};
+
+/** `serve.store_hits` -> `serve_store_hits`: every character outside
+    [a-zA-Z0-9_:] becomes '_'; a leading digit gains a '_' prefix. */
+std::string promSanitizeName(const std::string &statName);
+
+/** Render @p entries (a StatsRegistry::snapshot) as Prometheus text. */
+std::string toPrometheusText(const std::vector<StatsRegistry::Entry> &entries,
+                             const PrometheusOptions &options = {});
+
+/** Snapshot @p registry (briefly, under its lock) and render outside. */
+std::string toPrometheusText(const StatsRegistry &registry,
+                             const PrometheusOptions &options = {});
+
+} // namespace obs
+} // namespace coolair
+
+#endif // COOLAIR_OBS_PROMETHEUS_HPP

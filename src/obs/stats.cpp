@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace coolair {
 namespace obs {
 
@@ -60,28 +62,7 @@ formatDouble(double v)
 std::string
 jsonQuote(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    out.push_back('"');
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out.push_back(c);
-            }
-        }
-    }
-    out.push_back('"');
-    return out;
+    return util::jsonQuote(s);
 }
 
 // ---------------------------------------------------------------------------
@@ -99,7 +80,53 @@ Histogram::record(double value, double weight)
         _s.min = value;
     if (!_any || value > _s.max)
         _s.max = value;
+    if (!_s.bucketBounds.empty()) {
+        // First bound >= value (Prometheus `le` semantics); a sample
+        // above every bound counts only in the total.
+        auto it = std::lower_bound(_s.bucketBounds.begin(),
+                                   _s.bucketBounds.end(), value);
+        if (it != _s.bucketBounds.end())
+            ++_s.bucketCounts[size_t(it - _s.bucketBounds.begin())];
+    }
     _any = true;
+}
+
+void
+Histogram::setBuckets(const std::vector<double> &upperBounds)
+{
+    for (size_t i = 1; i < upperBounds.size(); ++i)
+        if (!(upperBounds[i - 1] < upperBounds[i]))
+            throw std::invalid_argument(
+                "Histogram::setBuckets: bounds must be strictly "
+                "increasing");
+    std::lock_guard<std::mutex> lock(_mutex);
+    _s.bucketBounds = upperBounds;
+    _s.bucketCounts.assign(upperBounds.size(), 0);
+}
+
+double
+Histogram::Snapshot::quantile(double q) const
+{
+    if (count == 0 || bucketBounds.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * double(count);
+    int64_t cumulative = 0;
+    double lower = 0.0;
+    for (size_t i = 0; i < bucketBounds.size(); ++i) {
+        const int64_t in_bucket = bucketCounts[i];
+        if (double(cumulative) + double(in_bucket) >= target &&
+            in_bucket > 0) {
+            const double frac =
+                (target - double(cumulative)) / double(in_bucket);
+            return lower + frac * (bucketBounds[i] - lower);
+        }
+        cumulative += in_bucket;
+        lower = bucketBounds[i];
+    }
+    // Target falls above every bound: cap at the last bound, exactly
+    // like Prometheus histogram_quantile.
+    return bucketBounds.back();
 }
 
 Histogram::Snapshot
@@ -115,14 +142,28 @@ Histogram::combine(const Snapshot &other)
     if (other.count == 0)
         return;
     std::lock_guard<std::mutex> lock(_mutex);
-    if (!_any) {
+    if (!_any && _s.bucketBounds.empty()) {
         _s = other;
     } else {
         _s.count += other.count;
         _s.weightSum += other.weightSum;
         _s.weightedSum += other.weightedSum;
-        _s.min = std::min(_s.min, other.min);
-        _s.max = std::max(_s.max, other.max);
+        if (_any) {
+            _s.min = std::min(_s.min, other.min);
+            _s.max = std::max(_s.max, other.max);
+        } else {
+            _s.min = other.min;
+            _s.max = other.max;
+        }
+        if (_s.bucketBounds == other.bucketBounds) {
+            for (size_t i = 0; i < _s.bucketCounts.size(); ++i)
+                _s.bucketCounts[i] += other.bucketCounts[i];
+        } else {
+            // Mismatched bounds cannot be aligned; keep the moments,
+            // drop the buckets rather than invent counts.
+            _s.bucketBounds.clear();
+            _s.bucketCounts.clear();
+        }
     }
     _any = true;
 }
@@ -133,11 +174,14 @@ Histogram::combine(const Snapshot &other)
 
 StatsRegistry::Stat &
 StatsRegistry::lookup(const std::string &name, StatKind kind,
-                      const std::string &desc, uint32_t flags)
+                      const std::string &desc, uint32_t flags,
+                      bool *created)
 {
     if (name.empty())
         throw std::invalid_argument("StatsRegistry: empty stat name");
 
+    if (created)
+        *created = false;
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _stats.find(name);
     if (it != _stats.end()) {
@@ -164,6 +208,8 @@ StatsRegistry::lookup(const std::string &name, StatKind kind,
         stat.hist = std::make_unique<Histogram>();
         break;
     }
+    if (created)
+        *created = true;
     return _stats.emplace(name, std::move(stat)).first->second;
 }
 
@@ -183,9 +229,17 @@ StatsRegistry::gauge(const std::string &name, const std::string &desc,
 
 Histogram &
 StatsRegistry::histogram(const std::string &name, const std::string &desc,
-                         uint32_t flags)
+                         uint32_t flags,
+                         const std::vector<double> &buckets)
 {
-    return *lookup(name, StatKind::Histogram, desc, flags).hist;
+    bool created = false;
+    Histogram &h =
+        *lookup(name, StatKind::Histogram, desc, flags, &created).hist;
+    // Bounds stick from the first registration only, like desc; later
+    // callers (merges, scrapes) must not reset accumulated counts.
+    if (created && !buckets.empty())
+        h.setBuckets(buckets);
+    return h;
 }
 
 std::vector<StatsRegistry::Entry>
@@ -232,7 +286,10 @@ StatsRegistry::merge(const StatsRegistry &other)
                 gauge(e.name, e.desc, e.flags).set(e.gaugeValue);
             break;
           case StatKind::Histogram:
-            histogram(e.name, e.desc, e.flags).combine(e.histogram);
+            // Pass the source's bounds through so a fresh merge target
+            // (statsText, sampler snapshots) reproduces the buckets.
+            histogram(e.name, e.desc, e.flags, e.histogram.bucketBounds)
+                .combine(e.histogram);
             break;
         }
     }

@@ -83,15 +83,31 @@ class Gauge
 };
 
 /**
- * A weighted sample distribution: count, weighted mean, min, max.
+ * A weighted sample distribution: count, weighted mean, min, max, and
+ * (optionally) fixed value buckets for quantile estimation.
  * Record with weight = seconds covered for a time-weighted histogram
  * (the mean is then a time average), or weight 1 for plain samples.
  * Empty histograms report mean/min/max of 0.
+ *
+ * Buckets: setBuckets() installs strictly-increasing upper bounds (the
+ * Prometheus `le` boundaries).  record() then also increments the first
+ * bucket whose bound >= value; samples above every bound count only in
+ * the total.  Bucket counts are stored per-bucket (non-cumulative);
+ * the Prometheus renderer prefix-sums them into cumulative `le` series.
+ * Moment-only histograms (no buckets) cost exactly what they did
+ * before — buckets are opt-in per stat, never a hot-path default.
  */
 class Histogram
 {
   public:
     void record(double value, double weight = 1.0);
+
+    /**
+     * Install bucket upper bounds (must be strictly increasing; throws
+     * std::invalid_argument otherwise).  Resets any previously
+     * accumulated bucket counts; moments are preserved.
+     */
+    void setBuckets(const std::vector<double> &upperBounds);
 
     /** Immutable copy of the accumulated moments. */
     struct Snapshot
@@ -102,15 +118,35 @@ class Histogram
         double min = 0.0;
         double max = 0.0;
 
+        /** Bucket upper bounds; empty for moment-only histograms. */
+        std::vector<double> bucketBounds;
+
+        /** Per-bucket (non-cumulative) sample counts, sized like
+            bucketBounds. */
+        std::vector<int64_t> bucketCounts;
+
         double mean() const
         {
             return weightSum > 0.0 ? weightedSum / weightSum : 0.0;
         }
+
+        /**
+         * Value below which @p q (in [0,1]) of the samples fall,
+         * linearly interpolated within the owning bucket; 0 with no
+         * buckets or no samples.  The last bound caps the estimate
+         * (Prometheus histogram_quantile semantics).
+         */
+        double quantile(double q) const;
     };
 
     Snapshot snapshot() const;
 
-    /** Fold another histogram's moments into this one. */
+    /**
+     * Fold another histogram's moments (and, when both sides carry the
+     * same bucket bounds, bucket counts) into this one.  Mismatched
+     * bounds drop the buckets and keep the moments — a merge never
+     * invents counts it cannot align.
+     */
     void combine(const Snapshot &other);
 
   private:
@@ -156,9 +192,17 @@ class StatsRegistry
                      uint32_t flags = kNoFlags);
     Gauge &gauge(const std::string &name, const std::string &desc = "",
                  uint32_t flags = kNoFlags);
+
+    /**
+     * Register (or look up) a histogram.  @p buckets, when non-empty on
+     * first registration, installs Prometheus-style upper bounds (see
+     * Histogram::setBuckets); later registrations of the same name keep
+     * the first registration's bounds, mirroring how desc behaves.
+     */
     Histogram &histogram(const std::string &name,
                          const std::string &desc = "",
-                         uint32_t flags = kNoFlags);
+                         uint32_t flags = kNoFlags,
+                         const std::vector<double> &buckets = {});
 
     /** One registry entry, for snapshot()-based consumers. */
     struct Entry
@@ -211,7 +255,8 @@ class StatsRegistry
     };
 
     Stat &lookup(const std::string &name, StatKind kind,
-                 const std::string &desc, uint32_t flags);
+                 const std::string &desc, uint32_t flags,
+                 bool *created = nullptr);
 
     mutable std::mutex _mutex;
     std::map<std::string, Stat> _stats;

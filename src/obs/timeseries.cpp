@@ -1,0 +1,185 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace coolair {
+namespace obs {
+
+namespace {
+
+int64_t
+wallClockMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // anonymous namespace
+
+TimeSeriesSampler::TimeSeriesSampler(SnapshotFn source,
+                                     TimeSeriesConfig config)
+    : _source(std::move(source)), _config(config)
+{
+    if (_config.capacity == 0)
+        _config.capacity = 1;
+}
+
+TimeSeriesSampler::~TimeSeriesSampler()
+{
+    stop();
+}
+
+void
+TimeSeriesSampler::start()
+{
+    std::lock_guard<std::mutex> lock(_threadMutex);
+    if (_running)
+        return;
+    _running = true;
+    _stopRequested = false;
+    _thread = std::thread([this] { runLoop(); });
+}
+
+void
+TimeSeriesSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(_threadMutex);
+        if (!_running)
+            return;
+        _stopRequested = true;
+    }
+    _cv.notify_all();
+    _thread.join();
+    std::lock_guard<std::mutex> lock(_threadMutex);
+    _running = false;
+}
+
+void
+TimeSeriesSampler::runLoop()
+{
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.01, _config.intervalSeconds));
+    std::unique_lock<std::mutex> lock(_threadMutex);
+    while (!_stopRequested) {
+        // Sample outside the thread mutex so stop() never waits on a
+        // slow snapshot function.
+        lock.unlock();
+        sampleNow();
+        lock.lock();
+        _cv.wait_for(lock, interval, [this] { return _stopRequested; });
+    }
+}
+
+void
+TimeSeriesSampler::append(Ring &ring, SeriesPoint point)
+{
+    if (ring.points.size() < _config.capacity) {
+        ring.points.push_back(point);
+    } else {
+        ring.points[ring.head] = point;
+        ring.head = (ring.head + 1) % ring.points.size();
+    }
+}
+
+std::vector<SeriesPoint>
+TimeSeriesSampler::unroll(const Ring &ring) const
+{
+    std::vector<SeriesPoint> out;
+    out.reserve(ring.points.size());
+    for (size_t i = 0; i < ring.points.size(); ++i)
+        out.push_back(ring.points[(ring.head + i) % ring.points.size()]);
+    return out;
+}
+
+void
+TimeSeriesSampler::sampleNow(int64_t unixMs)
+{
+    if (unixMs < 0)
+        unixMs = wallClockMs();
+    // The source takes the registry lock only while copying; the
+    // sampler's own lock is taken only for the appends below.
+    std::vector<StatsRegistry::Entry> entries = _source();
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const StatsRegistry::Entry &e : entries) {
+        switch (e.kind) {
+          case StatKind::Counter:
+            append(_rings[e.name],
+                   SeriesPoint{unixMs, double(e.counterValue)});
+            break;
+          case StatKind::Gauge:
+            append(_rings[e.name], SeriesPoint{unixMs, e.gaugeValue});
+            break;
+          case StatKind::Histogram:
+            append(_rings[e.name + "::count"],
+                   SeriesPoint{unixMs, double(e.histogram.count)});
+            append(_rings[e.name + "::mean"],
+                   SeriesPoint{unixMs, e.histogram.mean()});
+            break;
+        }
+    }
+    ++_samples;
+}
+
+std::vector<std::string>
+TimeSeriesSampler::seriesNames() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::string> out;
+    out.reserve(_rings.size());
+    for (const auto &[name, ring] : _rings)  // std::map: sorted
+        out.push_back(name);
+    return out;
+}
+
+std::vector<SeriesPoint>
+TimeSeriesSampler::series(const std::string &name, size_t maxPoints) const
+{
+    std::vector<SeriesPoint> out;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _rings.find(name);
+        if (it == _rings.end())
+            return out;
+        out = unroll(it->second);
+    }
+    if (maxPoints > 0 && out.size() > maxPoints)
+        out.erase(out.begin(), out.end() - ptrdiff_t(maxPoints));
+    return out;
+}
+
+std::vector<SeriesPoint>
+TimeSeriesSampler::ratePerSecond(const std::string &name,
+                                 size_t maxPoints) const
+{
+    // Ask for one extra raw point: n rate points need n+1 samples.
+    std::vector<SeriesPoint> raw =
+        series(name, maxPoints > 0 ? maxPoints + 1 : 0);
+    std::vector<SeriesPoint> out;
+    if (raw.size() < 2)
+        return out;
+    out.reserve(raw.size() - 1);
+    for (size_t i = 1; i < raw.size(); ++i) {
+        const double dtSec =
+            double(raw[i].unixMs - raw[i - 1].unixMs) / 1000.0;
+        double rate = 0.0;
+        if (dtSec > 0.0)
+            rate = std::max(0.0, raw[i].value - raw[i - 1].value) / dtSec;
+        out.push_back(SeriesPoint{raw[i].unixMs, rate});
+    }
+    return out;
+}
+
+size_t
+TimeSeriesSampler::sampleCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _samples;
+}
+
+} // namespace obs
+} // namespace coolair

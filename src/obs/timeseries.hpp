@@ -1,0 +1,138 @@
+#ifndef COOLAIR_OBS_TIMESERIES_HPP
+#define COOLAIR_OBS_TIMESERIES_HPP
+
+/**
+ * @file
+ * Bounded-memory time-series sampling over a StatsRegistry.
+ *
+ * A TimeSeriesSampler periodically evaluates a snapshot function (the
+ * serve daemon passes one that merges its per-service registry) and
+ * appends one point per stat to a fixed-capacity ring buffer:
+ *
+ *  - Counter            -> one series of the raw cumulative value
+ *  - Gauge              -> one series of the last-set value
+ *  - Histogram          -> two series, `<name>::count` and
+ *                          `<name>::mean`
+ *
+ * Memory is bounded by `capacity * series-count` points, no matter how
+ * long the daemon runs; when a ring fills, the oldest point is
+ * overwritten.  Counters stay cumulative in the ring (so the data
+ * composes with Prometheus-style rate()); ratePerSecond() derives the
+ * per-interval delta/dt series on demand for dashboards that want
+ * specs/s directly.
+ *
+ * Locking: the sampler calls the snapshot function *outside* its own
+ * mutex (the function takes the registry lock only while copying), then
+ * appends under its mutex.  Readers copy points out under the same
+ * mutex; no lock is held while formatting or writing to a socket.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace coolair {
+namespace obs {
+
+/** One sampled value. */
+struct SeriesPoint
+{
+    int64_t unixMs = 0;  ///< wall-clock sample time, ms since epoch
+    double value = 0.0;
+};
+
+/** Sampler knobs. */
+struct TimeSeriesConfig
+{
+    /** Seconds between samples when running the background thread. */
+    double intervalSeconds = 1.0;
+
+    /** Points retained per series (ring capacity).  At the default
+        1 s interval, 600 points = 10 minutes of history. */
+    size_t capacity = 600;
+};
+
+class TimeSeriesSampler
+{
+  public:
+    using SnapshotFn = std::function<std::vector<StatsRegistry::Entry>()>;
+
+    TimeSeriesSampler(SnapshotFn source, TimeSeriesConfig config = {});
+    ~TimeSeriesSampler();
+
+    TimeSeriesSampler(const TimeSeriesSampler &) = delete;
+    TimeSeriesSampler &operator=(const TimeSeriesSampler &) = delete;
+
+    /** Start the background sampling thread (idempotent). */
+    void start();
+
+    /** Stop and join the background thread (idempotent; also run by
+        the destructor). */
+    void stop();
+
+    /**
+     * Take one sample synchronously.  @p unixMs stamps the points
+     * (pass a fixed value in tests for deterministic output); -1 means
+     * "now" per the system clock.
+     */
+    void sampleNow(int64_t unixMs = -1);
+
+    /** Names of every series sampled so far, sorted. */
+    std::vector<std::string> seriesNames() const;
+
+    /**
+     * Oldest-to-newest copy of one series' ring, trimmed to the last
+     * @p maxPoints when nonzero.  Empty if the name was never sampled.
+     */
+    std::vector<SeriesPoint> series(const std::string &name,
+                                    size_t maxPoints = 0) const;
+
+    /**
+     * The per-second rate series derived from consecutive samples of
+     * @p name: point i holds (v[i] - v[i-1]) / dt stamped at sample
+     * i's time.  One fewer point than series(); negative deltas (a
+     * counter reset) clamp to 0.
+     */
+    std::vector<SeriesPoint> ratePerSecond(const std::string &name,
+                                           size_t maxPoints = 0) const;
+
+    size_t sampleCount() const;
+
+    const TimeSeriesConfig &config() const { return _config; }
+
+  private:
+    struct Ring
+    {
+        std::vector<SeriesPoint> points;  ///< sized up to capacity
+        size_t head = 0;                  ///< next write slot once full
+    };
+
+    void append(Ring &ring, SeriesPoint point);
+    std::vector<SeriesPoint> unroll(const Ring &ring) const;
+    void runLoop();
+
+    SnapshotFn _source;
+    TimeSeriesConfig _config;
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Ring> _rings;
+    size_t _samples = 0;
+
+    std::mutex _threadMutex;
+    std::condition_variable _cv;
+    std::thread _thread;
+    bool _running = false;
+    bool _stopRequested = false;
+};
+
+} // namespace obs
+} // namespace coolair
+
+#endif // COOLAIR_OBS_TIMESERIES_HPP

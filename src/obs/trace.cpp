@@ -24,6 +24,9 @@ steadyNowNs()
 // read so untracked threads still get distinct tracks.
 thread_local int t_track = -1;
 
+// The thread's active trace context (0 = no request attribution).
+thread_local uint64_t t_traceId = 0;
+
 } // anonymous namespace
 
 void
@@ -38,6 +41,18 @@ threadTrack()
     if (t_track < 0)
         t_track = g_nextAutoTrack.fetch_add(1, std::memory_order_relaxed);
     return t_track;
+}
+
+uint64_t
+currentTraceId()
+{
+    return t_traceId;
+}
+
+void
+setCurrentTraceId(uint64_t id)
+{
+    t_traceId = id;
 }
 
 Tracer::Tracer() : _epochNs(steadyNowNs())
@@ -59,12 +74,63 @@ Tracer::nowUs() const
 
 void
 Tracer::recordComplete(const std::string &name, const std::string &cat,
-                       int64_t tsUs, int64_t durUs, int tid)
+                       int64_t tsUs, int64_t durUs, int tid,
+                       uint64_t traceId)
 {
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(_mutex);
-    _events.push_back(TraceEvent{name, cat, tsUs, durUs, tid});
+    if (_maxEvents > 0 && _events.size() >= _maxEvents) {
+        // Shed the oldest quarter in one move, so a saturated daemon
+        // pays the erase rarely instead of per event.
+        const size_t drop = std::max<size_t>(1, _maxEvents / 4);
+        _events.erase(_events.begin(),
+                      _events.begin() + std::min(drop, _events.size()));
+        _dropped += drop;
+    }
+    _events.push_back(TraceEvent{name, cat, tsUs, durUs, tid, traceId});
+}
+
+void
+Tracer::setMaxEvents(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _maxEvents = cap;
+}
+
+size_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _dropped;
+}
+
+std::vector<TraceEvent>
+Tracer::takeTrace(uint64_t traceId)
+{
+    std::vector<TraceEvent> out;
+    if (traceId == 0)
+        return out;
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto keep = _events.begin();
+    for (auto it = _events.begin(); it != _events.end(); ++it) {
+        if (it->traceId == traceId) {
+            out.push_back(std::move(*it));
+        } else {
+            if (keep != it)
+                *keep = std::move(*it);
+            ++keep;
+        }
+    }
+    _events.erase(keep, _events.end());
+    return out;
+}
+
+std::vector<std::pair<int, std::string>>
+Tracer::trackNames() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _trackNames;
 }
 
 void
@@ -88,15 +154,9 @@ Tracer::eventCount() const
 }
 
 void
-Tracer::writeJson(std::ostream &os) const
+writeTraceEventsJson(std::ostream &os, std::vector<TraceEvent> events,
+                     std::vector<std::pair<int, std::string>> tracks)
 {
-    std::vector<TraceEvent> events;
-    std::vector<std::pair<int, std::string>> tracks;
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        events = _events;
-        tracks = _trackNames;
-    }
     // Stable order: by start time, then track; makes the export
     // reproducible for a given set of events.
     std::stable_sort(events.begin(), events.end(),
@@ -127,11 +187,27 @@ Tracer::writeJson(std::ostream &os) const
            << ", \"ph\": \"X\", \"pid\": 1"
            << ", \"tid\": " << e.tid
            << ", \"ts\": " << e.tsUs
-           << ", \"dur\": " << e.durUs << "}";
+           << ", \"dur\": " << e.durUs;
+        if (e.traceId != 0)
+            os << ", \"args\": {\"trace_id\": " << e.traceId << "}";
+        os << "}";
     }
     if (!first)
         os << "\n  ";
     os << "],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    std::vector<TraceEvent> events;
+    std::vector<std::pair<int, std::string>> tracks;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        events = _events;
+        tracks = _trackNames;
+    }
+    writeTraceEventsJson(os, std::move(events), std::move(tracks));
 }
 
 void
@@ -140,6 +216,7 @@ Tracer::clear()
     std::lock_guard<std::mutex> lock(_mutex);
     _events.clear();
     _trackNames.clear();
+    _dropped = 0;
 }
 
 } // namespace obs

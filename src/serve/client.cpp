@@ -170,7 +170,11 @@ Client::request(const std::string &line)
         return r;
     }
     if (r.status.rfind("RESULT ", 0) == 0 ||
-        r.status.rfind("STATS ", 0) == 0) {
+        r.status.rfind("STATS ", 0) == 0 ||
+        r.status.rfind("METRICS ", 0) == 0 ||
+        r.status.rfind("SERIES ", 0) == 0 ||
+        r.status.rfind("HEALTH ", 0) == 0 ||
+        r.status.rfind("TRACE ", 0) == 0) {
         std::string tag, err;
         uint64_t bytes = 0;
         if (!parsePayloadHeader(r.status, tag, bytes, err)) {

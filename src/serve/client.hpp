@@ -40,7 +40,8 @@ class Client
     {
         bool ok = false;      ///< false for ERR replies and IO failures.
         std::string status;   ///< the full first line ("OK 3", "PONG"...).
-        std::string payload;  ///< RESULT/STATS body, empty otherwise.
+        std::string payload;  ///< sized-frame body (RESULT, STATS,
+                              ///< METRICS, SERIES, HEALTH, TRACE).
         std::string error;    ///< ERR text or transport failure.
     };
 

@@ -71,6 +71,10 @@ parseRequest(const std::string &raw, Request &out, std::string &error)
         return noArg(Verb::Ping);
     if (verb == "STATS")
         return noArg(Verb::Stats);
+    if (verb == "METRICS")
+        return noArg(Verb::Metrics);
+    if (verb == "HEALTH")
+        return noArg(Verb::Health);
     if (verb == "SHUTDOWN")
         return noArg(Verb::Shutdown);
     if (verb == "SUBMIT")
@@ -79,6 +83,10 @@ parseRequest(const std::string &raw, Request &out, std::string &error)
         return withArg(Verb::Run, "a spec line");
     if (verb == "WAIT")
         return withArg(Verb::Wait, "a ticket");
+    if (verb == "SERIES")
+        return withArg(Verb::Series, "a stat name");
+    if (verb == "TRACE")
+        return withArg(Verb::Trace, "a ticket");
 
     error = "unknown verb '" + verb + "'";
     return false;

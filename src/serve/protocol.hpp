@@ -16,6 +16,15 @@
  *     WAIT <ticket>           block until done; replies a RESULT frame
  *     RUN <spec-line>         SUBMIT + WAIT in one round trip
  *     STATS                   server counters; replies a STATS frame
+ *     METRICS                 Prometheus text exposition; METRICS frame
+ *     SERIES <stat> [n]       last n points of one sampled time series
+ *                             (default 120, capped at kMaxSeriesPoints);
+ *                             replies a SERIES frame of
+ *                             `<unix-ms> <value>` lines
+ *     HEALTH                  liveness detail (status, uptime, workers,
+ *                             backlog); replies a HEALTH frame
+ *     TRACE <ticket>          Chrome-trace JSON of one completed
+ *                             request; replies a TRACE frame
  *     SHUTDOWN                stop the daemon; replies `BYE`
  *
  * `<spec-line>` is ordinary sim/spec_io spec text with semicolons in
@@ -44,6 +53,10 @@ namespace serve {
 /** Hard cap on one response frame's payload (16 MiB). */
 inline constexpr uint64_t kMaxFrameBytes = uint64_t(16) << 20;
 
+/** Hard cap on one SERIES request's point count; a hostile count above
+    this is a protocol error, never a large allocation. */
+inline constexpr uint64_t kMaxSeriesPoints = 10000;
+
 /** Request kinds. */
 enum class Verb
 {
@@ -52,6 +65,10 @@ enum class Verb
     Wait,
     Run,
     Stats,
+    Metrics,
+    Series,
+    Health,
+    Trace,
     Shutdown
 };
 
@@ -59,7 +76,8 @@ enum class Verb
 struct Request
 {
     Verb verb = Verb::Ping;
-    std::string arg;  ///< spec line (Submit/Run) or ticket text (Wait).
+    std::string arg;  ///< spec line (Submit/Run), ticket (Wait/Trace),
+                      ///< or `<stat> [n]` (Series).
 };
 
 /**

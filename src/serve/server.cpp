@@ -266,6 +266,56 @@ LineServer::handleConnection(int fd)
               case Verb::Stats:
                 response = framePayload("STATS", _service.statsText());
                 break;
+              case Verb::Metrics:
+                response =
+                    framePayload("METRICS", _service.metricsText());
+                break;
+              case Verb::Health:
+                response = framePayload("HEALTH", _service.healthText());
+                break;
+              case Verb::Series: {
+                // `<stat> [count]`; the count parses strictly and is
+                // capped — a hostile count is an ERR, never a large
+                // allocation.
+                std::string name = req.arg;
+                uint64_t count = 120;
+                const size_t space = req.arg.find(' ');
+                if (space != std::string::npos) {
+                    name = req.arg.substr(0, space);
+                    const size_t at =
+                        req.arg.find_first_not_of(" \t", space);
+                    const std::string text =
+                        at == std::string::npos ? ""
+                                                : req.arg.substr(at);
+                    if (!util::parseSize(text, count,
+                                         kMaxSeriesPoints) ||
+                        count == 0) {
+                        _protocolErrors.inc();
+                        response = frameErr(
+                            "bad point count '" + text + "' (1.." +
+                            std::to_string(kMaxSeriesPoints) + ")");
+                        break;
+                    }
+                }
+                std::string payload, serr;
+                response = _service.seriesText(name, count, payload, serr)
+                               ? framePayload("SERIES", payload)
+                               : frameErr(serr);
+                break;
+              }
+              case Verb::Trace: {
+                uint64_t ticket = 0;
+                if (!util::parseSize(req.arg, ticket)) {
+                    _protocolErrors.inc();
+                    response = frameErr("bad ticket '" + req.arg + "'");
+                    break;
+                }
+                std::string payload, terr;
+                response = _service.traceJson(ticket, payload, terr)
+                               ? framePayload("TRACE", payload)
+                               : frameErr(terr);
+                break;
+              }
               case Verb::Shutdown:
                 response = "BYE\n";
                 shutdown_requested = true;

@@ -1,13 +1,32 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
+#include "util/logging.hpp"
 
 namespace coolair {
 namespace serve {
+
+namespace {
+
+/** serve.latency_seconds bucket bounds: sub-millisecond warm hits
+    through minute-long cold runs, roughly log-spaced. */
+const std::vector<double> &
+latencyBuckets()
+{
+    static const std::vector<double> bounds{
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+        0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0};
+    return bounds;
+}
+
+} // anonymous namespace
 
 ExperimentService::ExperimentService(ServiceConfig config)
     : _config(std::move(config)),
@@ -29,54 +48,96 @@ ExperimentService::ExperimentService(ServiceConfig config)
           _stats.counter("serve.run_failures", "simulations that threw")),
       _latency(_stats.histogram("serve.latency_seconds",
                                 "submit-to-done wall latency [s]",
-                                obs::kWallClock)),
+                                obs::kWallClock, latencyBuckets())),
+      _startTime(std::chrono::steady_clock::now()),
       _pool(_config.threads)
 {
+    if (_config.traceDepth > 0) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        if (!tracer.enabled()) {
+            tracer.setEnabled(true);
+            _enabledTracer = true;
+        }
+    }
+    if (_config.sampleIntervalSeconds > 0.0) {
+        obs::TimeSeriesConfig ts;
+        ts.intervalSeconds = _config.sampleIntervalSeconds;
+        ts.capacity = _config.seriesCapacity;
+        _sampler = std::make_unique<obs::TimeSeriesSampler>(
+            [this] { return mergedSnapshot(); }, ts);
+        _sampler->start();
+    }
 }
 
-ExperimentService::~ExperimentService() = default;
+ExperimentService::~ExperimentService()
+{
+    // Drain before the member destructors run so in-flight jobs still
+    // record spans while the tracer is in the state they expect.
+    _pool.drain();
+    if (_sampler)
+        _sampler->stop();
+    if (_enabledTracer)
+        obs::Tracer::instance().setEnabled(false);
+}
 
 ExperimentService::Submitted
 ExperimentService::submit(const std::string &spec_text)
 {
+    // Every submission runs under its own trace context; all spans
+    // recorded on its behalf — here, on the pool worker that picks the
+    // job up (sim::JobPool re-opens this scope there), and inside the
+    // engine — carry this id and reassemble into one request trace.
+    const uint64_t traceId =
+        _config.traceDepth > 0
+            ? _nextTraceId.fetch_add(1, std::memory_order_relaxed)
+            : 0;
+    obs::TraceContextScope traceScope(traceId);
+
     _requests.inc();
 
     sim::ExperimentSpec spec;
-    try {
-        spec = sim::parseSpec(spec_text);
-    } catch (const std::exception &e) {
-        _parseErrors.inc();
-        return {false, 0, e.what()};
-    }
-
-    // Serving is metrics-only: side outputs would be written on the
-    // server, and cache placement is the server's choice — strip both
-    // so the spec the job runs *is* its canonical identity.
-    spec.traceCsvPath.clear();
-    spec.reportJsonPath.clear();
-    spec.traceJsonPath.clear();
-    spec.cacheDirPath.clear();
-    spec.resultCache = true;
-    const std::string id = sim::resultCacheId(spec);
-
+    std::string id;
     JobPtr job;
     uint64_t ticket = 0;
     bool fresh = false;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
-        auto it = _inflight.find(id);
-        if (it != _inflight.end()) {
-            job = it->second;
-            _dedupHits.inc();
-        } else {
-            job = std::make_shared<Job>();
-            job->id = id;
-            job->submitted = std::chrono::steady_clock::now();
-            _inflight.emplace(id, job);
-            fresh = true;
+        obs::Span span("serve.submit", "serve");
+        try {
+            obs::Span parseSpan("serve.parse", "serve");
+            spec = sim::parseSpec(spec_text);
+        } catch (const std::exception &e) {
+            _parseErrors.inc();
+            return {false, 0, e.what()};
         }
-        ticket = _nextTicket++;
-        _tickets.emplace(ticket, job);
+
+        // Serving is metrics-only: side outputs would be written on the
+        // server, and cache placement is the server's choice — strip
+        // both so the spec the job runs *is* its canonical identity.
+        spec.traceCsvPath.clear();
+        spec.reportJsonPath.clear();
+        spec.traceJsonPath.clear();
+        spec.cacheDirPath.clear();
+        spec.resultCache = true;
+        id = sim::resultCacheId(spec);
+
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            auto it = _inflight.find(id);
+            if (it != _inflight.end()) {
+                job = it->second;
+                _dedupHits.inc();
+            } else {
+                job = std::make_shared<Job>();
+                job->id = id;
+                job->submitted = std::chrono::steady_clock::now();
+                job->traceId = traceId;
+                _inflight.emplace(id, job);
+                fresh = true;
+            }
+            ticket = _nextTicket++;
+            _tickets.emplace(ticket, job);
+            job->tickets.push_back(ticket);
+        }
     }
 
     if (fresh) {
@@ -85,7 +146,12 @@ ExperimentService::submit(const std::string &spec_text)
         // identical submit meanwhile joins the in-flight entry and
         // shares whatever this resolves to.
         sim::ExperimentResult cached;
-        if (_store && sim::cacheLookup(*_store, id, cached)) {
+        bool hit = false;
+        {
+            obs::Span lookupSpan("serve.store_lookup", "serve");
+            hit = _store && sim::cacheLookup(*_store, id, cached);
+        }
+        if (hit) {
             _storeHits.inc();
             complete(job, true, sim::formatResult(cached));
         } else {
@@ -128,6 +194,30 @@ ExperimentService::run(const std::string &spec_text)
 void
 ExperimentService::complete(const JobPtr &job, bool ok, std::string text)
 {
+    const double latency =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job->submitted)
+            .count();
+    _latency.record(latency);
+
+    // Extract this request's spans from the global tracer and render
+    // them as one finished Chrome-trace document *before* the job is
+    // marked done.  Extraction keeps per-request memory bounded by the
+    // service's own traceDepth ring rather than the process-wide event
+    // buffer; rendering first means a waiter that sees done == true is
+    // guaranteed to find the trace retained (no TRACE-after-WAIT race).
+    const uint64_t traceId = job->traceId;
+    std::vector<obs::TraceEvent> events;
+    std::string traceDoc;
+    if (_config.traceDepth > 0 && traceId != 0) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        events = tracer.takeTrace(traceId);
+        std::ostringstream os;
+        obs::writeTraceEventsJson(os, events, tracer.trackNames());
+        traceDoc = os.str();
+    }
+
+    std::vector<uint64_t> tickets;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         job->done = true;
@@ -136,15 +226,46 @@ ExperimentService::complete(const JobPtr &job, bool ok, std::string text)
             job->payload = std::move(text);
         else
             job->error = std::move(text);
+        tickets = job->tickets;
         // The dedup window spans the whole run: only now do identical
         // submissions stop attaching to this job.
         auto it = _inflight.find(job->id);
         if (it != _inflight.end() && it->second == job)
             _inflight.erase(it);
+        if (!traceDoc.empty()) {
+            _traces.push_back(
+                CompletedTrace{traceId, tickets, std::move(traceDoc)});
+            while (_traces.size() > size_t(_config.traceDepth))
+                _traces.pop_front();
+        }
     }
-    _latency.record(std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - job->submitted)
-                        .count());
+
+    if (_config.slowRequestSeconds > 0.0 &&
+        latency > _config.slowRequestSeconds) {
+        std::vector<util::LogField> fields;
+        fields.push_back({"latency_s", obs::formatDouble(latency)});
+        fields.push_back({"ok", ok ? "true" : "false"});
+        std::string ticketList;
+        for (uint64_t t : tickets) {
+            if (!ticketList.empty())
+                ticketList += ",";
+            ticketList += std::to_string(t);
+        }
+        fields.push_back({"tickets", ticketList});
+        if (traceId != 0)
+            fields.push_back({"trace_id", std::to_string(traceId)});
+        // Per-stage timings: total span seconds by name, so the line
+        // says *where* the request spent its time.
+        std::map<std::string, double> stageSeconds;
+        for (const obs::TraceEvent &e : events)
+            stageSeconds[e.name] += double(e.durUs) / 1e6;
+        for (const auto &[name, seconds] : stageSeconds)
+            fields.push_back(
+                {"span." + name, obs::formatDouble(seconds)});
+        util::Logger::instance().log(util::LogLevel::Warn,
+                                     "slow request", fields);
+    }
+
     _done.notify_all();
 }
 
@@ -154,18 +275,36 @@ ExperimentService::runJob(const sim::ExperimentSpec &spec, const JobPtr &job)
     if (_config.onJobStart)
         _config.onJobStart();
     _runs.inc();
-    try {
-        sim::ExperimentResult result =
-            _store ? sim::runAndStore(spec, *_store, job->id)
-                   : sim::runExperiment(spec);
-        complete(job, true, sim::formatResult(result));
-    } catch (const std::exception &e) {
-        _runFailures.inc();
-        complete(job, false, e.what());
-    } catch (...) {
-        _runFailures.inc();
-        complete(job, false, "unknown exception");
+    bool ok = false;
+    std::string text;
+    {
+        // Span closed before complete() so takeTrace sees it.
+        obs::Span span("serve.run", "serve");
+        try {
+            sim::ExperimentResult result =
+                _store ? sim::runAndStore(spec, *_store, job->id)
+                       : sim::runExperiment(spec);
+            ok = true;
+            text = sim::formatResult(result);
+        } catch (const std::exception &e) {
+            _runFailures.inc();
+            text = e.what();
+        } catch (...) {
+            _runFailures.inc();
+            text = "unknown exception";
+        }
     }
+    complete(job, ok, std::move(text));
+}
+
+std::vector<obs::StatsRegistry::Entry>
+ExperimentService::mergedSnapshot() const
+{
+    obs::StatsRegistry merged;
+    merged.merge(_stats);
+    if (_store)
+        _store->addStats(merged);
+    return merged.snapshot();
 }
 
 std::string
@@ -178,6 +317,115 @@ ExperimentService::statsText() const
     std::ostringstream os;
     merged.dumpText(os);
     return os.str();
+}
+
+std::string
+ExperimentService::metricsText(bool skipWallClock) const
+{
+    obs::PrometheusOptions options;
+    options.skipWallClock = skipWallClock;
+    return obs::toPrometheusText(mergedSnapshot(), options);
+}
+
+std::string
+ExperimentService::healthText() const
+{
+    size_t inflight = 0;
+    size_t outstanding = 0;
+    size_t traces = 0;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        inflight = _inflight.size();
+        outstanding = _tickets.size();
+        traces = _traces.size();
+    }
+    const int workers = _pool.threads();
+    const double uptime = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - _startTime)
+                              .count();
+
+    std::ostringstream os;
+    // Backlog rule: more in-flight canonical specs than 4x the worker
+    // pool means submissions are arriving faster than they drain.
+    if (inflight > size_t(workers) * 4)
+        os << "status: DEGRADED (backlog: " << inflight
+           << " in-flight specs on " << workers << " workers)\n";
+    else
+        os << "status: OK\n";
+    os << "uptime_seconds: " << obs::formatDouble(uptime) << "\n";
+    os << "workers: " << workers << "\n";
+    os << "inflight_specs: " << inflight << "\n";
+    os << "tickets_outstanding: " << outstanding << "\n";
+    os << "store: " << (_config.cacheDir.empty() ? "(none)"
+                                                 : _config.cacheDir)
+       << "\n";
+    os << "trace_depth: " << _config.traceDepth << "\n";
+    os << "traces_retained: " << traces << "\n";
+    os << "sampling_interval_s: "
+       << obs::formatDouble(_sampler ? _config.sampleIntervalSeconds : 0.0)
+       << "\n";
+    os << "build: "
+#ifdef NDEBUG
+          "release"
+#else
+          "debug"
+#endif
+          ", result format v"
+       << sim::kResultFormatVersion << "\n";
+    return os.str();
+}
+
+bool
+ExperimentService::seriesText(const std::string &name, uint64_t maxPoints,
+                              std::string &out, std::string &error) const
+{
+    if (!_sampler) {
+        error = "time-series sampling is disabled on this server";
+        return false;
+    }
+    const std::vector<obs::SeriesPoint> points =
+        _sampler->series(name, size_t(maxPoints));
+    if (points.empty()) {
+        error = "unknown series '" + name +
+                "' (stat names from METRICS; histograms expose "
+                "::count and ::mean)";
+        return false;
+    }
+    std::ostringstream os;
+    for (const obs::SeriesPoint &p : points)
+        os << p.unixMs << " " << obs::formatDouble(p.value) << "\n";
+    out = os.str();
+    return true;
+}
+
+bool
+ExperimentService::traceJson(uint64_t ticket, std::string &out,
+                             std::string &error) const
+{
+    if (_config.traceDepth <= 0) {
+        error = "tracing is disabled on this server "
+                "(start with --trace-depth)";
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    // Newest-first: after a ticket-counter lifetime of requests the
+    // recent ones are the ones asked about.
+    for (auto it = _traces.rbegin(); it != _traces.rend(); ++it) {
+        if (std::find(it->tickets.begin(), it->tickets.end(), ticket) !=
+            it->tickets.end()) {
+            out = it->json;
+            return true;
+        }
+    }
+    auto t = _tickets.find(ticket);
+    if (t != _tickets.end() && !t->second->done) {
+        error = "ticket " + std::to_string(ticket) +
+                " is still in flight; WAIT for it first";
+        return false;
+    }
+    error = "no retained trace for ticket " + std::to_string(ticket) +
+            " (unknown, evicted, or submitted before tracing)";
+    return false;
 }
 
 } // namespace serve

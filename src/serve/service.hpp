@@ -33,20 +33,37 @@
  * Observability: the service owns an obs::StatsRegistry (always on —
  * no global enable needed) holding serve.requests, serve.parse_errors,
  * serve.store_hits, serve.dedup_hits, serve.runs, serve.run_failures
- * and a serve.latency_seconds histogram; statsText() merges in the
- * store's counters for the STATS endpoint.
+ * and a bucketed serve.latency_seconds histogram; statsText() merges in
+ * the store's counters for the STATS endpoint, metricsText() renders
+ * the same merged registry as Prometheus text for METRICS, and a
+ * TimeSeriesSampler snapshots it on a fixed interval into bounded
+ * per-stat rings for SERIES.
+ *
+ * Tracing: with ServiceConfig::traceDepth > 0, every submission gets a
+ * process-unique trace id, carried by a thread-local TraceContextScope
+ * from the connection thread through the JobPool onto the worker and
+ * down into the engine — so all spans of one request correlate.  As a
+ * request completes, its events are extracted from the global Tracer
+ * and retained (as finished Chrome-trace JSON) in a ring of the last
+ * traceDepth requests, retrievable by any of the request's tickets via
+ * traceJson().  Requests slower than slowRequestSeconds additionally
+ * emit one structured log line with per-stage span timings.
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <chrono>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/runner.hpp"
 #include "store/result_store.hpp"
 
@@ -74,6 +91,27 @@ struct ServiceConfig
      * pin down dedup-in-flight windows deterministically.
      */
     std::function<void()> onJobStart;
+
+    /**
+     * Retain the last this-many completed request traces for the
+     * TRACE verb (and enable the global Tracer for the service's
+     * lifetime).  0 disables request tracing entirely.
+     */
+    int traceDepth = 0;
+
+    /**
+     * Log one structured line (with per-stage span timings when
+     * tracing is on) for any request slower than this many seconds of
+     * submit-to-done wall time.  <= 0 disables the slow-request log.
+     */
+    double slowRequestSeconds = 0.0;
+
+    /** Seconds between time-series samples (SERIES verb); <= 0
+        disables the background sampler. */
+    double sampleIntervalSeconds = 1.0;
+
+    /** Points retained per sampled series. */
+    size_t seriesCapacity = 600;
 };
 
 /** The serving core (transport-agnostic; see serve/server.hpp). */
@@ -124,6 +162,46 @@ class ExperimentService
     /** Deterministically-ordered text dump of serve.* and store.*. */
     std::string statsText() const;
 
+    /**
+     * The same merged serve.* / store.* registry as Prometheus text
+     * exposition (obs/prometheus.hpp).  @p skipWallClock omits stats
+     * whose value depends on wall time or scheduling, leaving output
+     * that is byte-identical across thread counts for an identical
+     * request sequence.  Snapshots briefly under per-stat locks and
+     * renders on the caller's thread — never holds a lock across
+     * formatting or socket writes.
+     */
+    std::string metricsText(bool skipWallClock = false) const;
+
+    /**
+     * One-frame liveness summary for the HEALTH verb: `status: OK` (or
+     * `status: DEGRADED (<reason>)` when the in-flight backlog exceeds
+     * 4x the worker count), uptime, worker/backlog occupancy, and
+     * build info.
+     */
+    std::string healthText() const;
+
+    /**
+     * The last @p maxPoints points of sampled series @p name as
+     * `<unix-ms> <value>` lines.  False (with @p error) when sampling
+     * is off or the series does not exist.
+     */
+    bool seriesText(const std::string &name, uint64_t maxPoints,
+                    std::string &out, std::string &error) const;
+
+    /**
+     * The retained Chrome-trace JSON of the completed request that
+     * ticket @p ticket attached to.  False (with @p error) when
+     * tracing is off, the request is still in flight, or the trace
+     * was never retained / already evicted.
+     */
+    bool traceJson(uint64_t ticket, std::string &out,
+                   std::string &error) const;
+
+    /** The background sampler, or nullptr when sampling is disabled.
+        Tests drive sampleNow() through this for deterministic rings. */
+    obs::TimeSeriesSampler *sampler() { return _sampler.get(); }
+
     /** The service's live registry (server transports add their own
         serve.connections-style counters here). */
     obs::StatsRegistry &stats() { return _stats; }
@@ -144,11 +222,22 @@ class ExperimentService
         bool ok = false;
         std::string payload;
         std::string error;
+        uint64_t traceId = 0;  ///< first submitter's trace context.
+        std::vector<uint64_t> tickets;  ///< every attached ticket.
     };
     using JobPtr = std::shared_ptr<Job>;
 
+    /** One retained completed-request trace. */
+    struct CompletedTrace
+    {
+        uint64_t traceId = 0;
+        std::vector<uint64_t> tickets;
+        std::string json;  ///< finished Chrome-trace document.
+    };
+
     void complete(const JobPtr &job, bool ok, std::string text);
     void runJob(const sim::ExperimentSpec &spec, const JobPtr &job);
+    std::vector<obs::StatsRegistry::Entry> mergedSnapshot() const;
 
     ServiceConfig _config;
     std::unique_ptr<store::ResultStore> _store;
@@ -162,11 +251,17 @@ class ExperimentService
     obs::Counter &_runFailures;
     obs::Histogram &_latency;
 
+    std::chrono::steady_clock::time_point _startTime;
+    std::atomic<uint64_t> _nextTraceId{1};
+    bool _enabledTracer = false;
+    std::unique_ptr<obs::TimeSeriesSampler> _sampler;
+
     mutable std::mutex _mutex;
     std::condition_variable _done;
     std::map<std::string, JobPtr> _inflight;  ///< canonical id -> job
     std::map<uint64_t, JobPtr> _tickets;
     uint64_t _nextTicket = 1;
+    std::deque<CompletedTrace> _traces;  ///< last traceDepth requests.
 
     /** Last member: destroyed (and drained) before the state above. */
     sim::JobPool _pool;

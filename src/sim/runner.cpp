@@ -120,7 +120,8 @@ ExperimentRunner::forEach(size_t count,
                 if (tracer.enabled())
                     tracer.recordComplete(
                         _config.progressLabel + " #" + std::to_string(i),
-                        "runner", ts_us, tracer.nowUs() - ts_us, int(slot));
+                        "runner", ts_us, tracer.nowUs() - ts_us, int(slot),
+                        obs::currentTraceId());
                 if (obs::enabled()) {
                     obs::StatsRegistry &reg = obs::registry();
                     reg.counter("runner.jobs", "jobs completed").inc();
@@ -373,7 +374,7 @@ JobPool::JobPool(int threads)
     const int n = ExperimentRunner::resolveThreads(threads);
     _workers.reserve(size_t(n));
     for (int t = 0; t < n; ++t)
-        _workers.emplace_back(&JobPool::workerLoop, this);
+        _workers.emplace_back(&JobPool::workerLoop, this, t);
 }
 
 JobPool::~JobPool()
@@ -390,6 +391,15 @@ JobPool::~JobPool()
 void
 JobPool::submit(std::function<void()> job)
 {
+    // Carry the submitter's trace context onto the worker: spans the
+    // job records (serve.run, the engine's) join the request's trace.
+    const uint64_t traceId = obs::currentTraceId();
+    if (traceId != 0) {
+        job = [traceId, inner = std::move(job)] {
+            obs::TraceContextScope scope(traceId);
+            inner();
+        };
+    }
     {
         std::lock_guard<std::mutex> lock(_mutex);
         _queue.push_back(std::move(job));
@@ -405,8 +415,13 @@ JobPool::drain()
 }
 
 void
-JobPool::workerLoop()
+JobPool::workerLoop(int slot)
 {
+    // A named track per pool worker, so exported request traces show
+    // which worker ran the job (the counterpart of forEach's
+    // "worker N" tracks for sweeps).
+    obs::Tracer::instance().nameTrack(obs::threadTrack(),
+                                      "pool worker " + std::to_string(slot));
     for (;;) {
         std::function<void()> job;
         {

@@ -208,6 +208,11 @@ class JobPool
      * Enqueue @p job.  Thread-safe.  Must not be called after the
      * destructor has begun (the serve layer guarantees this by owning
      * the pool as its last member, destroyed first).
+     *
+     * Trace propagation: the submitter's current obs trace context
+     * (obs::currentTraceId) is captured here and re-opened around the
+     * job on whichever worker runs it, so spans recorded inside the
+     * job correlate with the submitting request's trace.
      */
     void submit(std::function<void()> job);
 
@@ -215,7 +220,7 @@ class JobPool
     void drain();
 
   private:
-    void workerLoop();
+    void workerLoop(int slot);
 
     std::mutex _mutex;
     std::condition_variable _wake;   ///< workers wait for jobs/stop

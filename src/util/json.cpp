@@ -1,0 +1,105 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace coolair {
+namespace util {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace {
+
+/** One hex digit's value, or -1. */
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+bool
+jsonUnquote(const std::string &token, std::string &out)
+{
+    out.clear();
+    if (token.size() < 2 || token.front() != '"' || token.back() != '"')
+        return false;
+    const size_t end = token.size() - 1;
+    size_t i = 1;
+    while (i < end) {
+        char c = token[i];
+        if (c == '"')
+            return false;  // an unescaped quote before the end
+        if (c != '\\') {
+            out.push_back(c);
+            ++i;
+            continue;
+        }
+        if (i + 1 >= end)
+            return false;  // dangling backslash
+        char esc = token[i + 1];
+        switch (esc) {
+          case '"':  out.push_back('"');  i += 2; break;
+          case '\\': out.push_back('\\'); i += 2; break;
+          case '/':  out.push_back('/');  i += 2; break;
+          case 'n':  out.push_back('\n'); i += 2; break;
+          case 'r':  out.push_back('\r'); i += 2; break;
+          case 't':  out.push_back('\t'); i += 2; break;
+          case 'b':  out.push_back('\b'); i += 2; break;
+          case 'f':  out.push_back('\f'); i += 2; break;
+          case 'u': {
+            if (i + 6 > end)
+                return false;
+            int v = 0;
+            for (int d = 0; d < 4; ++d) {
+                int h = hexVal(token[i + 2 + size_t(d)]);
+                if (h < 0)
+                    return false;
+                v = v * 16 + h;
+            }
+            if (v > 0x7f)
+                return false;  // our writers only emit Basic Latin
+            out.push_back(char(v));
+            i += 6;
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace util
+} // namespace coolair

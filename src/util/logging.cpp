@@ -1,8 +1,13 @@
 #include "util/logging.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
+
+#include "util/json.hpp"
 
 namespace coolair {
 namespace util {
@@ -36,35 +41,102 @@ levelFromEnv()
     return LogLevel::Warn;
 }
 
+/** COOLAIR_LOG_FORMAT=json|text (unset/invalid: Text). */
+LogFormat
+formatFromEnv()
+{
+    const char *env = std::getenv("COOLAIR_LOG_FORMAT");
+    if (env && std::strcmp(env, "json") == 0)
+        return LogFormat::Json;
+    return LogFormat::Text;
+}
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "unknown";
+}
+
+/** Wall-clock UTC timestamp with millisecond precision (ISO 8601). */
+std::string
+isoTimestamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const int ms = int(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now.time_since_epoch())
+                           .count() %
+                       1000);
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, ms);
+    return buf;
+}
+
 } // anonymous namespace
 
 Logger &
 Logger::instance()
 {
-    static Logger logger(levelFromEnv());
+    static Logger logger(levelFromEnv(), formatFromEnv());
     return logger;
+}
+
+std::string
+Logger::formatLine(LogLevel level, const std::string &msg,
+                   const std::vector<LogField> &fields) const
+{
+    std::ostringstream line;
+    if (format() == LogFormat::Json) {
+        line << "{\"ts\": " << jsonQuote(isoTimestamp())
+             << ", \"level\": " << jsonQuote(levelTag(level))
+             << ", \"msg\": " << jsonQuote(msg);
+        if (!fields.empty()) {
+            line << ", \"fields\": {";
+            bool first = true;
+            for (const LogField &f : fields) {
+                if (!first)
+                    line << ", ";
+                first = false;
+                line << jsonQuote(f.key) << ": " << jsonQuote(f.value);
+            }
+            line << "}";
+        }
+        line << "}";
+    } else {
+        line << "[coolair:" << levelTag(level) << "] " << msg;
+        for (const LogField &f : fields)
+            line << " " << f.key << "=" << f.value;
+    }
+    return line.str();
 }
 
 void
 Logger::log(LogLevel level, const std::string &msg)
 {
+    log(level, msg, {});
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg,
+            const std::vector<LogField> &fields)
+{
     if (static_cast<int>(level) < static_cast<int>(this->level()))
         return;
-
-    const char *tag = "";
-    switch (level) {
-      case LogLevel::Debug: tag = "debug"; break;
-      case LogLevel::Info:  tag = "info";  break;
-      case LogLevel::Warn:  tag = "warn";  break;
-      case LogLevel::Error: tag = "error"; break;
-    }
 
     // Format the whole line locally, then emit it in one shot under the
     // mutex: concurrent workers get whole lines, never interleaved
     // fragments.
-    std::ostringstream line;
-    line << "[coolair:" << tag << "] " << msg << "\n";
-    const std::string text = line.str();
+    const std::string text = formatLine(level, msg, fields) + "\n";
     {
         std::lock_guard<std::mutex> lock(logMutex());
         std::cerr << text;

@@ -15,6 +15,8 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace coolair {
 namespace util {
@@ -28,11 +30,33 @@ enum class LogLevel
     Error
 };
 
+/** Output shape of one log line. */
+enum class LogFormat
+{
+    /** `[coolair:level] msg key=value ...` — the human default. */
+    Text,
+
+    /**
+     * One JSON object per line: {"ts": "...", "level": "...",
+     * "msg": "...", "fields": {...}} — machine-parseable, strictly
+     * escaped (util::jsonQuote), selected by COOLAIR_LOG_FORMAT=json.
+     */
+    Json
+};
+
+/** One structured key/value attached to a log line. */
+struct LogField
+{
+    std::string key;
+    std::string value;
+};
+
 /**
  * Global log configuration.  The level defaults to Warn so that library
  * consumers are not spammed; tests and benches raise it as needed, and
  * the COOLAIR_LOG_LEVEL environment variable (debug/info/warn/error)
- * overrides the default at first use.
+ * overrides the default at first use.  COOLAIR_LOG_FORMAT=json switches
+ * every line to one strictly-escaped JSON object (LogFormat::Json).
  *
  * Thread-safe: messages are formatted locally and emitted whole under a
  * mutex, so concurrent workers never interleave partial lines.
@@ -52,13 +76,45 @@ class Logger
     /** Current minimum level. */
     LogLevel level() const { return _level.load(std::memory_order_relaxed); }
 
+    /** Set the output format (overrides COOLAIR_LOG_FORMAT). */
+    void setFormat(LogFormat format)
+    {
+        _format.store(format, std::memory_order_relaxed);
+    }
+
+    /** Current output format. */
+    LogFormat format() const
+    {
+        return _format.load(std::memory_order_relaxed);
+    }
+
     /** Emit a message if @p level is at or above the configured level. */
     void log(LogLevel level, const std::string &msg);
 
+    /**
+     * Emit a message with structured fields.  Text format appends
+     * `key=value` pairs; JSON format nests them under "fields" with
+     * both keys and values escaped, so any byte string round-trips.
+     */
+    void log(LogLevel level, const std::string &msg,
+             const std::vector<LogField> &fields);
+
+    /**
+     * Render one log line exactly as log() would emit it (minus the
+     * trailing newline), regardless of the configured level.  Exposed
+     * so tests can lock the JSON shape without capturing stderr.
+     */
+    std::string formatLine(LogLevel level, const std::string &msg,
+                           const std::vector<LogField> &fields) const;
+
   private:
-    explicit Logger(LogLevel level) : _level(level) {}
+    Logger(LogLevel level, LogFormat format)
+        : _level(level), _format(format)
+    {
+    }
 
     std::atomic<LogLevel> _level;
+    std::atomic<LogFormat> _format;
 };
 
 /** Emit an informational message (normal operation). */

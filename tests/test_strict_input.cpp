@@ -1,10 +1,13 @@
 /**
  * @file
- * Strict-input regression tests for the three trust boundaries fixed
- * together: weather CSV ingestion (atof silently zeroing garbage
- * cells), environment-variable knobs (atoi accepting typos), and the
- * result store's size headers (unchecked digit accumulation wrapping
- * to small values and mis-framing the payload read).
+ * Strict-input regression tests for the untrusted-byte boundaries:
+ * weather CSV ingestion (atof silently zeroing garbage cells),
+ * environment-variable knobs (atoi accepting typos), the result
+ * store's size headers (unchecked digit accumulation wrapping to
+ * small values and mis-framing the payload read), and the serve
+ * protocol's request lines — including the telemetry verbs
+ * (METRICS/SERIES/HEALTH/TRACE), whose arguments arrive straight off
+ * a socket.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +22,7 @@
 #include <string>
 
 #include "environment/weather.hpp"
+#include "serve/protocol.hpp"
 #include "store/result_store.hpp"
 #include "util/parse.hpp"
 
@@ -322,4 +326,92 @@ TEST(StoreSizeHeaders, IntactEntryStillRoundTrips)
     std::string payload;
     ASSERT_TRUE(store.lookup("spec-id", payload));
     EXPECT_EQ(payload, "payload text\n");
+}
+
+// --------------------------------------------------- serve protocol lines
+
+namespace {
+
+/** Parse one request line, expecting rejection; returns the error. */
+std::string
+requestError(const std::string &line)
+{
+    serve::Request req;
+    std::string error;
+    if (serve::parseRequest(line, req, error))
+        return "";  // parsed fine (the caller EXPECTs a message)
+    EXPECT_FALSE(error.empty()) << "silent rejection of '" << line << "'";
+    return error;
+}
+
+} // anonymous namespace
+
+TEST(ServeProtocol, ParsesTelemetryVerbs)
+{
+    serve::Request req;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest("METRICS", req, error)) << error;
+    EXPECT_EQ(req.verb, serve::Verb::Metrics);
+    ASSERT_TRUE(serve::parseRequest("HEALTH", req, error)) << error;
+    EXPECT_EQ(req.verb, serve::Verb::Health);
+    ASSERT_TRUE(serve::parseRequest("SERIES serve.requests 60", req,
+                                    error))
+        << error;
+    EXPECT_EQ(req.verb, serve::Verb::Series);
+    EXPECT_EQ(req.arg, "serve.requests 60");
+    ASSERT_TRUE(serve::parseRequest("TRACE 7", req, error)) << error;
+    EXPECT_EQ(req.verb, serve::Verb::Trace);
+    EXPECT_EQ(req.arg, "7");
+}
+
+TEST(ServeProtocol, RejectsMalformedTelemetryLines)
+{
+    // Every rejection must name the problem; none may throw.  The
+    // variants cover missing arguments, forbidden arguments, case
+    // mangling, and whitespace abuse — all as they arrive off a socket.
+    const char *lines[] = {
+        "",
+        " ",
+        "METRICS now",       // METRICS takes no argument
+        "HEALTH check",
+        "SERIES",            // SERIES needs a stat name
+        "TRACE",             // TRACE needs a ticket
+        "metrics",           // verbs are case-sensitive
+        "Series serve.requests",
+        "TRACEROUTE 1",      // prefix of a verb is not the verb
+        "METRICSX",
+        "\tMETRICS",         // no leading whitespace tolerance
+        " METRICS",
+    };
+    for (const char *line : lines)
+        EXPECT_NE(requestError(line), "") << "'" << line << "'";
+}
+
+TEST(ServeProtocol, FrameHeaderRejectsHostileSizes)
+{
+    // The same strict-size discipline the store headers get: a count
+    // that wraps, overflows the cap, or trails garbage is a framing
+    // error before any allocation happens.
+    std::string tag, error;
+    uint64_t bytes = 0;
+    EXPECT_TRUE(
+        serve::parsePayloadHeader("METRICS 12", tag, bytes, error));
+    EXPECT_EQ(tag, "METRICS");
+    EXPECT_EQ(bytes, 12u);
+
+    const char *bad[] = {
+        "METRICS",                                // no size at all
+        "METRICS ",                               // empty size
+        "METRICS -1",                             // sign is not a size
+        "METRICS 12x",                            // trailing garbage
+        "METRICS 18446744073709551616",           // wraps uint64
+        "METRICS 99999999999999999999999999",     // way past uint64
+        "METRICS 16777217",                       // kMaxFrameBytes + 1
+        "METRICS 12 13",                          // two sizes
+    };
+    for (const char *line : bad) {
+        EXPECT_FALSE(serve::parsePayloadHeader(line, tag, bytes, error))
+            << "'" << line << "'";
+        EXPECT_FALSE(error.empty()) << "'" << line << "'";
+    }
 }

@@ -1,0 +1,903 @@
+/**
+ * @file
+ * Tests for the live telemetry plane: Prometheus text exposition,
+ * bucketed histograms, the time-series sampler, request-trace context
+ * propagation, structured JSON logging, the serve daemon's
+ * METRICS/SERIES/HEALTH/TRACE verbs (including hostile inputs, which
+ * must always come back as ERR), and concurrent scrapes under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/prometheus.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+using namespace coolair;
+
+namespace {
+
+/** A spec cheap enough to simulate in tens of milliseconds. */
+const char kSpecLine[] =
+    "run=day; day=10; site=newark; system=baseline; workload=profile; "
+    "physics_step=120";
+
+/** A distinct cheap spec per @p n (seed changes the identity). */
+std::string
+specLine(int n)
+{
+    return std::string(kSpecLine) + "; seed=" + std::to_string(n);
+}
+
+/** Number of occurrences of @p needle in @p text. */
+size_t
+countOf(const std::string &text, const std::string &needle)
+{
+    size_t count = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size()))
+        ++count;
+    return count;
+}
+
+} // anonymous namespace
+
+// --------------------------------------------------- Prometheus exposition
+
+TEST(Prometheus, SanitizesMetricNames)
+{
+    EXPECT_EQ(obs::promSanitizeName("serve.store_hits"),
+              "serve_store_hits");
+    EXPECT_EQ(obs::promSanitizeName("a-b c/d"), "a_b_c_d");
+    EXPECT_EQ(obs::promSanitizeName("7zip"), "_7zip");
+    EXPECT_EQ(obs::promSanitizeName("already_legal:name"),
+              "already_legal:name");
+}
+
+TEST(Prometheus, RendersCountersAndGauges)
+{
+    obs::StatsRegistry reg;
+    reg.counter("serve.requests", "specs submitted").add(42);
+    reg.gauge("sim.speed", "simulated minutes per second").set(1.5);
+
+    const std::string text = obs::toPrometheusText(reg);
+    EXPECT_NE(text.find("# HELP coolair_serve_requests_total "
+                        "specs submitted\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE coolair_serve_requests_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_serve_requests_total 42\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE coolair_sim_speed gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_sim_speed 1.5\n"), std::string::npos);
+}
+
+TEST(Prometheus, RendersBucketedHistogramCumulatively)
+{
+    obs::StatsRegistry reg;
+    obs::Histogram &h =
+        reg.histogram("lat", "latency", obs::kNoFlags, {1.0, 2.0, 4.0});
+    h.record(0.5);
+    h.record(1.5);
+    h.record(1.75);
+    h.record(3.0);
+    h.record(100.0);  // above every bound: only in +Inf
+
+    const std::string text = obs::toPrometheusText(reg);
+    EXPECT_NE(text.find("# TYPE coolair_lat histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_lat_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_lat_bucket{le=\"2\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_lat_bucket{le=\"4\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_lat_bucket{le=\"+Inf\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolair_lat_sum 106.75\n"), std::string::npos);
+    EXPECT_NE(text.find("coolair_lat_count 5\n"), std::string::npos);
+}
+
+TEST(Prometheus, MomentOnlyHistogramExposesMoments)
+{
+    obs::StatsRegistry reg;
+    obs::Histogram &h = reg.histogram("temp", "zone temperature");
+    h.record(10.0);
+    h.record(30.0);
+
+    const std::string text = obs::toPrometheusText(reg);
+    EXPECT_NE(text.find("coolair_temp_count 2\n"), std::string::npos);
+    EXPECT_NE(text.find("coolair_temp_sum 40\n"), std::string::npos);
+    EXPECT_NE(text.find("coolair_temp_min 10\n"), std::string::npos);
+    EXPECT_NE(text.find("coolair_temp_max 30\n"), std::string::npos);
+    EXPECT_EQ(text.find("_bucket"), std::string::npos);
+}
+
+TEST(Prometheus, SkipsWallClockStatsOnRequest)
+{
+    obs::StatsRegistry reg;
+    reg.counter("steady", "deterministic").add(1);
+    reg.histogram("timing", "wall-clock timing", obs::kWallClock)
+        .record(0.5);
+
+    EXPECT_NE(obs::toPrometheusText(reg).find("coolair_timing"),
+              std::string::npos);
+    obs::PrometheusOptions skip;
+    skip.skipWallClock = true;
+    const std::string text = obs::toPrometheusText(reg, skip);
+    EXPECT_EQ(text.find("coolair_timing"), std::string::npos);
+    EXPECT_NE(text.find("coolair_steady_total 1\n"), std::string::npos);
+}
+
+TEST(Prometheus, ByteIdenticalForEqualRegistries)
+{
+    auto build = [] {
+        obs::StatsRegistry reg;
+        reg.counter("b.second", "desc").add(2);
+        reg.counter("a.first", "desc").add(1);
+        reg.histogram("c.hist", "h", obs::kNoFlags, {1.0, 2.0}).record(1.5);
+        return obs::toPrometheusText(reg);
+    };
+    const std::string one = build();
+    EXPECT_EQ(one, build());
+    // Sorted by stat name regardless of registration order.
+    EXPECT_LT(one.find("coolair_a_first"), one.find("coolair_b_second"));
+    EXPECT_LT(one.find("coolair_b_second"), one.find("coolair_c_hist"));
+}
+
+// --------------------------------------------------- bucketed histograms
+
+TEST(HistogramBuckets, QuantileInterpolatesWithinBuckets)
+{
+    obs::Histogram h;
+    h.setBuckets({1.0, 2.0, 4.0});
+    for (int i = 0; i < 100; ++i)
+        h.record(1.5);  // all in the (1, 2] bucket
+
+    const obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 1.5);   // midway through bucket 2
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(HistogramBuckets, QuantileCapsAtLastBound)
+{
+    obs::Histogram h;
+    h.setBuckets({1.0});
+    h.record(50.0);  // above every bound
+    EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 1.0);
+}
+
+TEST(HistogramBuckets, CombineAddsMatchingBounds)
+{
+    obs::Histogram a, b;
+    a.setBuckets({1.0, 2.0});
+    b.setBuckets({1.0, 2.0});
+    a.record(0.5);
+    b.record(1.5);
+    b.record(0.25);
+    a.combine(b.snapshot());
+
+    const obs::Histogram::Snapshot s = a.snapshot();
+    EXPECT_EQ(s.count, 3);
+    ASSERT_EQ(s.bucketCounts.size(), 2u);
+    EXPECT_EQ(s.bucketCounts[0], 2);
+    EXPECT_EQ(s.bucketCounts[1], 1);
+}
+
+TEST(HistogramBuckets, CombineDropsMismatchedBoundsKeepsMoments)
+{
+    obs::Histogram a, b;
+    a.setBuckets({1.0, 2.0});
+    b.setBuckets({5.0});
+    a.record(0.5);
+    b.record(4.0);
+    a.combine(b.snapshot());
+
+    const obs::Histogram::Snapshot s = a.snapshot();
+    EXPECT_EQ(s.count, 2);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_TRUE(s.bucketBounds.empty());  // never invent counts
+}
+
+TEST(HistogramBuckets, RejectsNonIncreasingBounds)
+{
+    obs::Histogram h;
+    EXPECT_THROW(h.setBuckets({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(h.setBuckets({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramBuckets, RegistryKeepsFirstRegistrationsBounds)
+{
+    obs::StatsRegistry reg;
+    reg.histogram("h", "", obs::kNoFlags, {1.0, 2.0}).record(0.5);
+    // A later registration with different bounds must not reset counts.
+    reg.histogram("h", "", obs::kNoFlags, {9.0});
+    const auto entries = reg.snapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    ASSERT_EQ(entries[0].histogram.bucketBounds.size(), 2u);
+    EXPECT_EQ(entries[0].histogram.bucketCounts[0], 1);
+}
+
+TEST(HistogramBuckets, MergePropagatesBounds)
+{
+    obs::StatsRegistry source;
+    source.histogram("h", "", obs::kNoFlags, {1.0, 2.0}).record(1.5);
+    obs::StatsRegistry target;
+    target.merge(source);
+    const auto entries = target.snapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    ASSERT_EQ(entries[0].histogram.bucketBounds.size(), 2u);
+    EXPECT_EQ(entries[0].histogram.bucketCounts[1], 1);
+}
+
+TEST(HistogramBuckets, DumpTextUnchangedByBuckets)
+{
+    // Buckets surface only through the Prometheus exposition; the
+    // gem5-style dumps must stay byte-identical to the bucketless
+    // shape (the cross-layer determinism contract).
+    obs::StatsRegistry plain, bucketed;
+    plain.histogram("h", "d").record(1.5);
+    bucketed.histogram("h", "d", obs::kNoFlags, {1.0, 2.0}).record(1.5);
+    std::ostringstream a, b;
+    plain.dumpText(a);
+    bucketed.dumpText(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+// --------------------------------------------------- time-series sampler
+
+TEST(TimeSeries, SamplesCountersGaugesAndHistograms)
+{
+    obs::StatsRegistry reg;
+    obs::Counter &c = reg.counter("reqs");
+    reg.gauge("load").set(0.5);
+    obs::Histogram &h = reg.histogram("lat");
+
+    obs::TimeSeriesSampler sampler([&] { return reg.snapshot(); });
+    c.add(2);
+    h.record(4.0);
+    sampler.sampleNow(1000);
+    c.add(3);
+    sampler.sampleNow(2000);
+
+    const auto names = sampler.seriesNames();
+    ASSERT_EQ(names.size(), 4u);  // sorted: lat::count, lat::mean, ...
+    EXPECT_EQ(names[0], "lat::count");
+    EXPECT_EQ(names[1], "lat::mean");
+    EXPECT_EQ(names[2], "load");
+    EXPECT_EQ(names[3], "reqs");
+
+    const auto reqs = sampler.series("reqs");
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].unixMs, 1000);
+    EXPECT_DOUBLE_EQ(reqs[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(reqs[1].value, 5.0);
+    EXPECT_DOUBLE_EQ(sampler.series("lat::mean")[0].value, 4.0);
+    EXPECT_TRUE(sampler.series("no.such").empty());
+}
+
+TEST(TimeSeries, RingOverwritesOldestAtCapacity)
+{
+    obs::StatsRegistry reg;
+    obs::Counter &c = reg.counter("n");
+    obs::TimeSeriesConfig config;
+    config.capacity = 3;
+    obs::TimeSeriesSampler sampler([&] { return reg.snapshot(); },
+                                   config);
+    for (int i = 1; i <= 5; ++i) {
+        c.inc();
+        sampler.sampleNow(i * 1000);
+    }
+    const auto points = sampler.series("n");
+    ASSERT_EQ(points.size(), 3u);  // bounded memory
+    EXPECT_EQ(points[0].unixMs, 3000);  // oldest two evicted
+    EXPECT_EQ(points[2].unixMs, 5000);
+    EXPECT_DOUBLE_EQ(points[2].value, 5.0);
+
+    const auto last2 = sampler.series("n", 2);
+    ASSERT_EQ(last2.size(), 2u);
+    EXPECT_EQ(last2[0].unixMs, 4000);
+}
+
+TEST(TimeSeries, RatePerSecondDerivesCounterDeltas)
+{
+    obs::StatsRegistry reg;
+    obs::Counter &c = reg.counter("n");
+    obs::TimeSeriesSampler sampler([&] { return reg.snapshot(); });
+    sampler.sampleNow(1000);
+    c.add(4);
+    sampler.sampleNow(3000);  // 2 s later: 2/s
+    c.add(1);
+    sampler.sampleNow(4000);  // 1 s later: 1/s
+
+    const auto rates = sampler.ratePerSecond("n");
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_EQ(rates[0].unixMs, 3000);
+    EXPECT_DOUBLE_EQ(rates[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(rates[1].value, 1.0);
+    EXPECT_TRUE(sampler.ratePerSecond("missing").empty());
+}
+
+TEST(TimeSeries, BackgroundThreadStartsAndStops)
+{
+    obs::StatsRegistry reg;
+    reg.counter("n").inc();
+    obs::TimeSeriesConfig config;
+    config.intervalSeconds = 0.01;
+    obs::TimeSeriesSampler sampler([&] { return reg.snapshot(); },
+                                   config);
+    sampler.start();
+    for (int spins = 0; sampler.sampleCount() == 0 && spins < 500;
+         ++spins)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sampler.stop();
+    EXPECT_GT(sampler.sampleCount(), 0u);
+    EXPECT_FALSE(sampler.series("n").empty());
+}
+
+// --------------------------------------------------- trace context
+
+TEST(TraceContext, ScopesNestAndRestore)
+{
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    {
+        obs::TraceContextScope outer(7);
+        EXPECT_EQ(obs::currentTraceId(), 7u);
+        {
+            obs::TraceContextScope inner(9);
+            EXPECT_EQ(obs::currentTraceId(), 9u);
+        }
+        EXPECT_EQ(obs::currentTraceId(), 7u);
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+}
+
+TEST(TraceContext, SpansInheritTheCurrentTraceId)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    {
+        obs::TraceContextScope scope(42);
+        obs::Span span("work", "test");
+    }
+    tracer.setEnabled(false);
+
+    const auto events = tracer.takeTrace(42);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "work");
+    EXPECT_EQ(events[0].traceId, 42u);
+    tracer.clear();
+}
+
+TEST(TraceContext, TakeTraceExtractsOnlyMatchingEvents)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    tracer.recordComplete("a", "t", 0, 1, 0, 1);
+    tracer.recordComplete("b", "t", 1, 1, 0, 2);
+    tracer.recordComplete("c", "t", 2, 1, 0, 1);
+    tracer.setEnabled(false);
+
+    const auto one = tracer.takeTrace(1);
+    ASSERT_EQ(one.size(), 2u);
+    EXPECT_EQ(one[0].name, "a");
+    EXPECT_EQ(one[1].name, "c");
+    EXPECT_EQ(tracer.eventCount(), 1u);   // "b" stays
+    EXPECT_TRUE(tracer.takeTrace(0).empty());  // 0 never matches
+    tracer.clear();
+}
+
+TEST(TraceContext, EventCapShedsOldestAndCounts)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.setMaxEvents(8);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 12; ++i)
+        tracer.recordComplete("e" + std::to_string(i), "t", i, 1, 0, 0);
+    tracer.setEnabled(false);
+
+    EXPECT_LE(tracer.eventCount(), 8u);  // bounded daemon memory
+    EXPECT_GE(tracer.droppedEvents(), 2u);
+    tracer.setMaxEvents(obs::Tracer::kDefaultMaxEvents);
+    tracer.clear();
+}
+
+TEST(TraceContext, WriteTraceEventsJsonIsDeterministic)
+{
+    std::vector<obs::TraceEvent> events{
+        {"late", "t", 10, 5, 2, 3},
+        {"early", "t", 1, 2, 1, 3},
+    };
+    std::vector<std::pair<int, std::string>> tracks{{2, "b"}, {1, "a"}};
+    std::ostringstream os;
+    obs::writeTraceEventsJson(os, events, tracks);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.rfind("{\n  \"traceEvents\": [", 0), 0u);
+    EXPECT_LT(json.find("\"early\""), json.find("\"late\""));  // ts order
+    EXPECT_LT(json.find("\"a\""), json.find("\"b\""));  // tid order
+    EXPECT_NE(json.find("\"args\": {\"trace_id\": 3}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+}
+
+// --------------------------------------------------- structured logging
+
+namespace {
+
+/** Extract the quoted JSON token following `<quoted key>: `. */
+std::string
+jsonTokenAfter(const std::string &line, const std::string &key)
+{
+    const std::string marker = util::jsonQuote(key) + ": ";
+    const size_t at = line.find(marker);
+    if (at == std::string::npos)
+        return "";
+    size_t i = at + marker.size();
+    if (i >= line.size() || line[i] != '"')
+        return "";
+    for (size_t j = i + 1; j < line.size(); ++j) {
+        if (line[j] == '\\') {
+            ++j;
+            continue;
+        }
+        if (line[j] == '"')
+            return line.substr(i, j - i + 1);
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+TEST(JsonLogging, RoundTripsHostileBytesExactly)
+{
+    util::Logger &logger = util::Logger::instance();
+    const util::LogFormat saved = logger.format();
+    logger.setFormat(util::LogFormat::Json);
+
+    const std::string hostile =
+        "quote \" backslash \\ newline \n tab \t ctrl \x01 utf8 \xc3\xa9";
+    const std::string line = logger.formatLine(
+        util::LogLevel::Warn, hostile,
+        {{"key \"k\"", "value\nwith\tescapes \\"}});
+    logger.setFormat(saved);
+
+    EXPECT_EQ(line.find('\n'), std::string::npos);  // one line per record
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+
+    std::string out;
+    ASSERT_TRUE(util::jsonUnquote(jsonTokenAfter(line, "msg"), out));
+    EXPECT_EQ(out, hostile);
+    ASSERT_TRUE(util::jsonUnquote(jsonTokenAfter(line, "level"), out));
+    EXPECT_EQ(out, "warn");
+    ASSERT_TRUE(util::jsonUnquote(jsonTokenAfter(line, "key \"k\""), out));
+    EXPECT_EQ(out, "value\nwith\tescapes \\");
+}
+
+TEST(JsonLogging, QuoteUnquoteIsExactInverse)
+{
+    std::string all;
+    for (int c = 1; c < 256; ++c)
+        all += char(c);
+    std::string out;
+    ASSERT_TRUE(util::jsonUnquote(util::jsonQuote(all), out));
+    EXPECT_EQ(out, all);
+}
+
+TEST(JsonLogging, UnquoteRejectsMalformedTokens)
+{
+    std::string out;
+    EXPECT_FALSE(util::jsonUnquote("", out));
+    EXPECT_FALSE(util::jsonUnquote("\"", out));          // unterminated
+    EXPECT_FALSE(util::jsonUnquote("\"a\"x", out));      // trailing bytes
+    EXPECT_FALSE(util::jsonUnquote("\"\\q\"", out));     // unknown escape
+    EXPECT_FALSE(util::jsonUnquote("\"\\u12\"", out));   // truncated \u
+    EXPECT_FALSE(util::jsonUnquote("\"\\u0100\"", out)); // above latin
+    EXPECT_FALSE(util::jsonUnquote("noquotes", out));
+    EXPECT_TRUE(util::jsonUnquote("\"\\u0041\"", out));
+    EXPECT_EQ(out, "A");
+}
+
+TEST(JsonLogging, TextFormatAppendsFields)
+{
+    util::Logger &logger = util::Logger::instance();
+    const util::LogFormat saved = logger.format();
+    logger.setFormat(util::LogFormat::Text);
+    const std::string line = logger.formatLine(
+        util::LogLevel::Info, "hello", {{"k", "v"}});
+    logger.setFormat(saved);
+    EXPECT_NE(line.find("hello"), std::string::npos);
+    EXPECT_NE(line.find("k=v"), std::string::npos);
+}
+
+// --------------------------------------------------- serve: METRICS
+
+TEST(ServeMetrics, ByteIdenticalAcrossThreadCounts)
+{
+    auto scrape = [](int threads) {
+        serve::ServiceConfig config;
+        config.threads = threads;
+        config.sampleIntervalSeconds = 0.0;  // no background sampler
+        serve::ExperimentService service(config);
+        for (int i = 0; i < 3; ++i)
+            EXPECT_TRUE(service.run(
+                serve::specTextFromArg(specLine(i))).ok);
+        // Repeat one spec: reruns (no store), still deterministic.
+        EXPECT_TRUE(service.run(
+            serve::specTextFromArg(specLine(0))).ok);
+        return service.metricsText(/*skipWallClock=*/true);
+    };
+    const std::string one = scrape(1);
+    const std::string eight = scrape(8);
+    EXPECT_EQ(one, eight);
+    EXPECT_NE(one.find("coolair_serve_requests_total 4\n"),
+              std::string::npos);
+    // Wall-clock-dependent stats are the only thing omitted.
+    EXPECT_EQ(one.find("latency"), std::string::npos);
+}
+
+TEST(ServeMetrics, ExposesLatencyHistogramWithBuckets)
+{
+    serve::ServiceConfig config;
+    config.threads = 2;
+    config.sampleIntervalSeconds = 0.0;
+    serve::ExperimentService service(config);
+    ASSERT_TRUE(service.run(serve::specTextFromArg(specLine(0))).ok);
+
+    const std::string text = service.metricsText();
+    EXPECT_NE(
+        text.find("# TYPE coolair_serve_latency_seconds histogram\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("coolair_serve_latency_seconds_bucket{le=\"+Inf\"} 1\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("coolair_serve_latency_seconds_count 1\n"),
+              std::string::npos);
+    // Cumulative: every finite bucket count <= the +Inf count, and the
+    // sequence never decreases.
+    long long prev = -1;
+    size_t buckets = 0;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("coolair_serve_latency_seconds_bucket{le=", 0) !=
+            0)
+            continue;
+        const long long v =
+            std::stoll(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(v, prev);
+        prev = v;
+        ++buckets;
+    }
+    EXPECT_GE(buckets, 10u);
+}
+
+// --------------------------------------------------- serve: HEALTH
+
+TEST(ServeHealth, ReportsOkThenDegradedUnderBacklog)
+{
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool release = false;
+
+    serve::ServiceConfig config;
+    config.threads = 1;
+    config.sampleIntervalSeconds = 0.0;
+    config.onJobStart = [&] {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return release; });
+    };
+    serve::ExperimentService service(config);
+    EXPECT_EQ(service.healthText().rfind("status: OK", 0), 0u);
+
+    // 6 distinct held specs on 1 worker: inflight > 4x threads.
+    std::vector<uint64_t> tickets;
+    for (int i = 0; i < 6; ++i) {
+        auto sub = service.submit(serve::specTextFromArg(specLine(i)));
+        ASSERT_TRUE(sub.ok);
+        tickets.push_back(sub.ticket);
+    }
+    const std::string degraded = service.healthText();
+    EXPECT_EQ(degraded.rfind("status: DEGRADED", 0), 0u);
+    EXPECT_NE(degraded.find("backlog"), std::string::npos);
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    for (uint64_t t : tickets)
+        EXPECT_TRUE(service.wait(t).ok);
+    EXPECT_EQ(service.healthText().rfind("status: OK", 0), 0u);
+}
+
+// --------------------------------------------------- serve: TRACE
+
+TEST(ServeTrace, RetainsCorrelatedRequestTraces)
+{
+    serve::ServiceConfig config;
+    config.threads = 2;
+    config.traceDepth = 4;
+    config.sampleIntervalSeconds = 0.0;
+    serve::ExperimentService service(config);
+
+    auto sub = service.submit(serve::specTextFromArg(specLine(0)));
+    ASSERT_TRUE(sub.ok);
+    ASSERT_TRUE(service.wait(sub.ticket).ok);
+
+    std::string json, error;
+    ASSERT_TRUE(service.traceJson(sub.ticket, json, error)) << error;
+    // Well-formed Chrome-trace JSON covering serve -> pool -> engine.
+    EXPECT_EQ(json.rfind("{\n  \"traceEvents\": [", 0), 0u);
+    EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+    EXPECT_NE(json.find("\"serve.submit\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve.run\""), std::string::npos);
+    EXPECT_NE(json.find("\"scenario.run\""), std::string::npos);
+    EXPECT_NE(json.find("\"engine.runDay\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+    EXPECT_NE(json.find("pool worker"), std::string::npos);
+    // Every complete event carries the same trace id.
+    EXPECT_EQ(countOf(json, "\"trace_id\""), countOf(json, "\"ph\": \"X\""));
+}
+
+TEST(ServeTrace, DedupTicketsShareTheFirstSubmittersTrace)
+{
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool release = false;
+
+    serve::ServiceConfig config;
+    config.threads = 1;
+    config.traceDepth = 4;
+    config.sampleIntervalSeconds = 0.0;
+    config.onJobStart = [&] {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return release; });
+    };
+    serve::ExperimentService service(config);
+
+    auto first = service.submit(serve::specTextFromArg(specLine(0)));
+    auto second = service.submit(serve::specTextFromArg(specLine(0)));
+    ASSERT_TRUE(first.ok);
+    ASSERT_TRUE(second.ok);
+
+    // In flight: TRACE must say so, not "unknown".
+    std::string json, error;
+    EXPECT_FALSE(service.traceJson(first.ticket, json, error));
+    EXPECT_NE(error.find("in flight"), std::string::npos);
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    ASSERT_TRUE(service.wait(first.ticket).ok);
+    ASSERT_TRUE(service.wait(second.ticket).ok);
+
+    std::string json2;
+    ASSERT_TRUE(service.traceJson(first.ticket, json, error)) << error;
+    ASSERT_TRUE(service.traceJson(second.ticket, json2, error)) << error;
+    EXPECT_EQ(json, json2);  // one shared run, one shared trace
+}
+
+TEST(ServeTrace, EvictsBeyondDepthAndRejectsUnknown)
+{
+    serve::ServiceConfig config;
+    config.threads = 2;
+    config.traceDepth = 2;
+    config.sampleIntervalSeconds = 0.0;
+    serve::ExperimentService service(config);
+
+    std::vector<uint64_t> tickets;
+    for (int i = 0; i < 3; ++i) {
+        auto sub = service.submit(serve::specTextFromArg(specLine(i)));
+        ASSERT_TRUE(sub.ok);
+        ASSERT_TRUE(service.wait(sub.ticket).ok);
+        tickets.push_back(sub.ticket);
+    }
+
+    std::string json, error;
+    EXPECT_TRUE(service.traceJson(tickets[2], json, error));
+    EXPECT_TRUE(service.traceJson(tickets[1], json, error));
+    EXPECT_FALSE(service.traceJson(tickets[0], json, error));  // evicted
+    EXPECT_FALSE(service.traceJson(999999, json, error));      // unknown
+
+    serve::ServiceConfig off;
+    off.threads = 1;
+    off.sampleIntervalSeconds = 0.0;
+    serve::ExperimentService untraced(off);
+    EXPECT_FALSE(untraced.traceJson(1, json, error));
+    EXPECT_NE(error.find("disabled"), std::string::npos);
+}
+
+// --------------------------------------------------- serve: socket verbs
+
+namespace {
+
+/** A started server on an ephemeral TCP port. */
+struct LiveServer
+{
+    serve::ExperimentService service;
+    serve::LineServer server;
+
+    explicit LiveServer(serve::ServiceConfig config)
+        : service(std::move(config)), server(service, tcpConfig())
+    {
+        server.start();
+    }
+    static serve::ServerConfig tcpConfig()
+    {
+        serve::ServerConfig config;
+        config.tcpPort = 0;  // ephemeral
+        return config;
+    }
+    serve::Client connect()
+    {
+        return serve::Client::connectTcp(server.tcpPort());
+    }
+};
+
+} // anonymous namespace
+
+TEST(ServeVerbs, MetricsSeriesHealthTraceOverTheWire)
+{
+    serve::ServiceConfig config;
+    config.threads = 2;
+    config.traceDepth = 4;
+    config.sampleIntervalSeconds = 1e6;  // sampler on, but test-driven
+    LiveServer live(config);
+    serve::Client client = live.connect();
+
+    uint64_t ticket = 0;
+    ASSERT_TRUE(client.submit(specLine(0), ticket).ok);
+    ASSERT_TRUE(client.request("WAIT " + std::to_string(ticket)).ok);
+
+    auto metrics = client.request("METRICS");
+    ASSERT_TRUE(metrics.ok) << metrics.error;
+    EXPECT_EQ(metrics.status.rfind("METRICS ", 0), 0u);
+    EXPECT_NE(metrics.payload.find("coolair_serve_requests_total 1\n"),
+              std::string::npos);
+
+    auto health = client.request("HEALTH");
+    ASSERT_TRUE(health.ok) << health.error;
+    EXPECT_EQ(health.payload.rfind("status: OK", 0), 0u);
+    EXPECT_NE(health.payload.find("workers: 2"), std::string::npos);
+
+    // The background sampler takes one sample at startup; wait it out
+    // so the two test-driven samples below land after it in the ring.
+    ASSERT_NE(live.service.sampler(), nullptr);
+    for (int spins = 0;
+         live.service.sampler()->sampleCount() == 0 && spins < 1000;
+         ++spins)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_GT(live.service.sampler()->sampleCount(), 0u);
+    live.service.sampler()->sampleNow(1000);
+    live.service.sampler()->sampleNow(2000);
+    auto series = client.request("SERIES serve.requests 2");
+    ASSERT_TRUE(series.ok) << series.error;
+    EXPECT_EQ(series.payload, "1000 1\n2000 1\n");
+
+    auto trace = client.request("TRACE " + std::to_string(ticket));
+    ASSERT_TRUE(trace.ok) << trace.error;
+    EXPECT_NE(trace.payload.find("\"serve.run\""), std::string::npos);
+    EXPECT_NE(trace.payload.find("\"engine.runDay\""), std::string::npos);
+}
+
+TEST(ServeVerbs, HostileInputsAlwaysErrNeverKillTheConnection)
+{
+    serve::ServiceConfig config;
+    config.threads = 1;
+    config.traceDepth = 2;
+    config.sampleIntervalSeconds = 1e6;
+    LiveServer live(config);
+    serve::Client client = live.connect();
+    live.service.sampler()->sampleNow(1000);
+
+    const char *hostile[] = {
+        "SERIES",                                  // missing arg
+        "SERIES serve.requests 0",                 // zero count
+        "SERIES serve.requests -5",                // negative count
+        "SERIES serve.requests 10001",             // above the cap
+        "SERIES serve.requests 99999999999999999999999",  // wraps u64
+        "SERIES serve.requests 10x",               // trailing garbage
+        "SERIES no.such.stat 5",                   // unknown series
+        "SERIES ../../etc/passwd 5",               // hostile name
+        "TRACE",                                   // missing arg
+        "TRACE abc",                               // non-numeric
+        "TRACE -1",                                // signed
+        "TRACE 18446744073709551616",              // wraps u64
+        "TRACE 424242",                            // unknown ticket
+        "METRICS now",                             // forbidden arg
+        "HEALTH please",                           // forbidden arg
+        "metrics",                                 // case-sensitive
+    };
+    for (const char *line : hostile) {
+        auto r = client.request(line);
+        EXPECT_FALSE(r.ok) << line;
+        EXPECT_FALSE(r.error.empty()) << line;
+        // The connection survives every rejection.
+        EXPECT_TRUE(client.request("PING").ok) << line;
+    }
+}
+
+TEST(ServeVerbs, ConcurrentScrapesUnderLoadStayWellFormed)
+{
+    serve::ServiceConfig config;
+    config.threads = 2;
+    config.traceDepth = 8;
+    config.sampleIntervalSeconds = 0.01;
+    LiveServer live(config);
+
+    std::atomic<bool> failed{false};
+    std::atomic<int> specs_done{0};
+
+    // Two submitters run distinct cheap specs...
+    std::vector<std::thread> threads;
+    for (int s = 0; s < 2; ++s) {
+        threads.emplace_back([&live, &failed, &specs_done, s] {
+            serve::Client client = live.connect();
+            for (int i = 0; i < 6; ++i) {
+                auto r = client.request(
+                    "RUN " + specLine(s * 100 + i));
+                if (!r.ok || r.payload.empty())
+                    failed = true;
+                ++specs_done;
+            }
+        });
+    }
+    // ...while four scrapers hammer every read-only verb.  The scrape
+    // path snapshots under brief locks and renders outside them, so
+    // this must neither crash, deadlock, nor produce torn frames.
+    for (int s = 0; s < 4; ++s) {
+        threads.emplace_back([&live, &failed, &specs_done] {
+            serve::Client client = live.connect();
+            while (specs_done.load() < 12) {
+                for (const char *verb :
+                     {"METRICS", "HEALTH", "STATS"}) {
+                    auto r = client.request(verb);
+                    if (!r.ok || r.payload.empty())
+                        failed = true;
+                }
+                auto series =
+                    client.request("SERIES serve.requests 100");
+                if (!series.ok &&
+                    series.error.find("unknown series") ==
+                        std::string::npos)
+                    failed = true;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(failed.load());
+
+    serve::Client client = live.connect();
+    auto metrics = client.request("METRICS");
+    ASSERT_TRUE(metrics.ok);
+    EXPECT_NE(metrics.payload.find("coolair_serve_requests_total 12\n"),
+              std::string::npos);
+}
