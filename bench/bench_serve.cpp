@@ -10,13 +10,26 @@
  *      the result store and the learned-model shared state);
  *   2. mixed load: each client thread issues a deterministic
  *      hot/cold request mix — hot requests repeat the hot set (served
- *      from the store), cold requests are fresh single-day specs
- *      (each simulates once; concurrent duplicates dedup in flight).
+ *      from the in-memory hot cache or the store), cold requests are
+ *      fresh single-day specs (each simulates once; concurrent
+ *      duplicates dedup in flight);
+ *   3. cold-heavy coalescing A/B: the same stream of batch=8 cold
+ *      specs against two fresh services — scheduler off, then
+ *      --coalesce on — reporting the cross-request batching speedup
+ *      (the ISSUE-10 >=2x-at-16-clients measure).
  *
  * Environment knobs (strict util::envInt parsing):
  *   COOLAIR_SERVE_CLIENTS   client threads        (default 8)
  *   COOLAIR_SERVE_REQUESTS  requests per client   (default 32)
  *   COOLAIR_SERVE_HOT_PCT   hot share in percent  (default 75)
+ *   COOLAIR_SERVE_HOT_KB    hot-cache budget KiB  (default 8192; 0
+ *                           serves phase 2 from disk only)
+ *   COOLAIR_SERVE_HOT_SHARDS hot-cache stripes    (default 8)
+ *   COOLAIR_SERVE_COALESCE  lane target of phase 3 (default 16; <2
+ *                           skips the phase and its entries)
+ *   COOLAIR_SERVE_COALESCE_CLIENTS  phase-3 clients      (default 16)
+ *   COOLAIR_SERVE_COALESCE_REQUESTS per-client requests  (default 4)
+ *   COOLAIR_SERVE_COALESCE_WAIT_MS  collection window    (default 20)
  *   COOLAIR_THREADS         daemon worker threads (default all cores)
  *
  * Machine-readable output (the compare_bench.py / google-benchmark
@@ -25,15 +38,18 @@
  *   --benchmark_filter=<regex>   emit only matching entries
  *   --benchmark_out=<path>       write the JSON document there
  *   --benchmark_out_format=json  (the only supported format)
- * Entries: BM_ServeColdWarmup (ns per cold spec) and BM_ServeMixed
- * (ns per mixed request, with specs_per_s and latency_p50/p95/p99_ms
- * counters).  Regenerate the committed baseline with:
+ * Entries: BM_ServeColdWarmup (ns per cold spec), BM_ServeMixed (ns
+ * per mixed request, with specs_per_s and latency_p50/p95/p99_ms
+ * counters), and BM_ServeColdSolo / BM_ServeColdCoalesced (phase 3;
+ * the coalesced entry carries coalesce_speedup, gated >= 2x by
+ * compare_bench.py).  Regenerate the committed baseline with:
  *   build/bench/bench_serve --benchmark_out=bench/BENCH_serve.json \
  *       --benchmark_out_format=json
  *
  * The driver asserts the serving contract as it measures: every hot
  * response must be byte-identical to the response the same spec line
- * got in the warm-up phase.
+ * got in the warm-up phase, and every coalesced response must be
+ * byte-identical to the solo service's answer for the same spec.
  */
 
 #include <unistd.h>
@@ -98,6 +114,41 @@ struct BenchEntry
     double realTimeNs = 0.0;  ///< wall time per iteration
     std::vector<std::pair<std::string, double>> counters;
 };
+
+/**
+ * DESIGN.md §10 tolerance compare of two formatResult payloads: same
+ * keys in the same order, every numeric value within 2% relative or
+ * 0.02 absolute.  Coalesced lanes may land in a different batch
+ * composition than the solo run of the same spec, and SoA kernels
+ * reassociate differently per width — bytes can drift at the last
+ * ulp, the contract is the tolerance (byte-identity holds only for
+ * identical lane sets; tests/test_serve.cpp locks that).
+ */
+bool
+payloadsWithinTolerance(const std::string &a, const std::string &b)
+{
+    std::istringstream ia(a), ib(b);
+    std::string la, lb;
+    for (;;) {
+        const bool ga = bool(std::getline(ia, la));
+        const bool gb = bool(std::getline(ib, lb));
+        if (ga != gb)
+            return false;
+        if (!ga)
+            return true;
+        if (la == lb)
+            continue;
+        const size_t ea = la.find('='), eb = lb.find('=');
+        if (ea == std::string::npos || la.substr(0, ea) != lb.substr(0, eb))
+            return false;
+        char *end = nullptr;
+        const double va = std::strtod(la.c_str() + ea + 1, &end);
+        const double vb = std::strtod(lb.c_str() + eb + 1, &end);
+        if (std::fabs(va - vb) >
+            std::max(0.02, 0.02 * std::max(std::fabs(va), std::fabs(vb))))
+            return false;
+    }
+}
 
 /** The value below which @p q of the sorted samples fall. */
 double
@@ -203,6 +254,10 @@ main(int argc, char **argv)
     const int requests = util::envInt("COOLAIR_SERVE_REQUESTS", 32, 1,
                                       100000);
     const int hot_pct = util::envInt("COOLAIR_SERVE_HOT_PCT", 75, 0, 100);
+    const int hot_kb = util::envInt("COOLAIR_SERVE_HOT_KB", 8192, 0,
+                                    1 << 20);
+    const int hot_shards =
+        util::envInt("COOLAIR_SERVE_HOT_SHARDS", 8, 1, 4096);
 
     namespace fs = std::filesystem;
     const fs::path dir =
@@ -213,6 +268,8 @@ main(int argc, char **argv)
 
     serve::ServiceConfig service_config;
     service_config.cacheDir = (dir / "store").string();
+    service_config.hotCacheBytes = size_t(hot_kb) << 10;
+    service_config.hotCacheShards = hot_shards;
     serve::ExperimentService service(service_config);
 
     serve::ServerConfig server_config;
@@ -315,6 +372,102 @@ main(int argc, char **argv)
     }
     server.stop();
 
+    // Phase 3: cold-heavy coalescing A/B.  The same stream of cold
+    // batch=8 specs (same shape, distinct seeds — exactly what a sweep
+    // fan-out or many parameter-study clients produce) is driven at
+    // two fresh services: scheduler off, then on.  Every coalesced
+    // response must match the solo service's answer for the same spec
+    // within the §10 tolerance (lane sets differ between the passes,
+    // so last-ulp byte drift is the documented contract).
+    const int co_lanes = util::envInt("COOLAIR_SERVE_COALESCE", 16, 0, 64);
+    const int co_clients =
+        util::envInt("COOLAIR_SERVE_COALESCE_CLIENTS", 16, 1, 256);
+    const int co_requests =
+        util::envInt("COOLAIR_SERVE_COALESCE_REQUESTS", 4, 1, 10000);
+    const int co_wait_ms =
+        util::envInt("COOLAIR_SERVE_COALESCE_WAIT_MS", 20, 0, 60000);
+    const size_t co_total = size_t(co_clients) * size_t(co_requests);
+    double solo_s = 0.0;
+    double coal_s = 0.0;
+    if (co_lanes >= 2) {
+        auto coldBatchLine = [&](int c, int i) {
+            return "run=range; start_day=60; end_day=74; "
+                   "site=santiago; system=baseline; "
+                   "workload=profile; physics_step=15; batch=" +
+                   std::to_string(co_lanes) + "; seed=" +
+                   std::to_string(500000 + c * 1000 + i);
+        };
+        std::map<std::string, std::string> solo_bytes;
+        std::mutex bytes_mutex;
+        for (int pass = 0; pass < 2; ++pass) {
+            const bool coalesce = pass == 1;
+            serve::ServiceConfig cfg;
+            cfg.cacheDir =
+                (dir / (coalesce ? "store_coal" : "store_solo")).string();
+            if (coalesce) {
+                cfg.coalesceLanes = co_lanes;
+                cfg.coalesceWaitMs = double(co_wait_ms);
+            }
+            serve::ExperimentService svc(cfg);
+            serve::ServerConfig scfg;
+            scfg.unixPath =
+                (dir / (coalesce ? "coal.sock" : "solo.sock")).string();
+            serve::LineServer srv(svc, scfg);
+            srv.start();
+
+            std::vector<std::thread> cold_pool;
+            std::vector<int> cold_fails(size_t(co_clients), 0);
+            const auto c0 = std::chrono::steady_clock::now();
+            for (int c = 0; c < co_clients; ++c) {
+                cold_pool.emplace_back([&, c] {
+                    serve::Client cl =
+                        serve::Client::connectUnix(scfg.unixPath);
+                    for (int i = 0; i < co_requests; ++i) {
+                        const std::string line = coldBatchLine(c, i);
+                        serve::Client::Response r =
+                            cl.request("RUN " + line);
+                        std::lock_guard<std::mutex> lk(bytes_mutex);
+                        if (!r.ok) {
+                            ++cold_fails[size_t(c)];
+                        } else if (!coalesce) {
+                            solo_bytes[line] = r.payload;
+                        } else {
+                            auto it = solo_bytes.find(line);
+                            if (it == solo_bytes.end() ||
+                                !payloadsWithinTolerance(it->second,
+                                                         r.payload))
+                                ++cold_fails[size_t(c)];
+                        }
+                    }
+                });
+            }
+            for (auto &t : cold_pool)
+                t.join();
+            const double wall_s = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      c0)
+                                      .count();
+            (coalesce ? coal_s : solo_s) = wall_s;
+            for (int f : cold_fails)
+                failed += f;
+
+            std::printf("cold %s: %zu batch=%d specs, %d clients in "
+                        "%.2f s -> %.1f specs/s\n",
+                        coalesce ? "coalesced" : "solo", co_total,
+                        co_lanes, co_clients, wall_s,
+                        double(co_total) / wall_s);
+            serve::Client admin =
+                serve::Client::connectUnix(scfg.unixPath);
+            serve::Client::Response stats = admin.request("STATS");
+            if (coalesce && stats.ok)
+                std::fputs(stats.payload.c_str(), stdout);
+            admin.request("SHUTDOWN");
+            srv.stop();
+        }
+        std::printf("coalesce speedup: %.2fx (target >= 2x)\n",
+                    solo_s / coal_s);
+    }
+
     std::error_code ec;
     fs::remove_all(dir, ec);
 
@@ -344,6 +497,27 @@ main(int argc, char **argv)
                           {"latency_p95_ms", p95},
                           {"latency_p99_ms", p99}};
         entries.push_back(std::move(mixed));
+
+        if (co_lanes >= 2) {
+            BenchEntry solo;
+            solo.name = "BM_ServeColdSolo";
+            solo.iterations = int64_t(co_total);
+            solo.realTimeNs = solo_s * 1e9 / double(co_total);
+            solo.counters = {{"specs_per_s", double(co_total) / solo_s},
+                             {"clients", double(co_clients)},
+                             {"lanes", double(co_lanes)}};
+            entries.push_back(std::move(solo));
+
+            BenchEntry coal;
+            coal.name = "BM_ServeColdCoalesced";
+            coal.iterations = int64_t(co_total);
+            coal.realTimeNs = coal_s * 1e9 / double(co_total);
+            coal.counters = {{"specs_per_s", double(co_total) / coal_s},
+                             {"clients", double(co_clients)},
+                             {"lanes", double(co_lanes)},
+                             {"coalesce_speedup", solo_s / coal_s}};
+            entries.push_back(std::move(coal));
+        }
 
         std::vector<BenchEntry> kept;
         const std::regex re(filter);

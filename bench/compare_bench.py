@@ -43,6 +43,12 @@ GATED_FILTER = "BM_YearRun|BM_PlantStep"
 # Keys are fresh BM_YearRunBatched entries, values the baseline
 # BM_YearRun {system}/{workload=FacebookProfile} entries.
 MIN_BATCH_SPEEDUP = 4.0
+
+# The serve-layer counterpart (ISSUE 10): cross-request coalescing must
+# keep delivering at least this many x the solo cold throughput in
+# bench_serve's cold-heavy scenario.  Read from the fresh run's own
+# A/B ratio, so the gate needs no baseline entry.
+MIN_COALESCE_SPEEDUP = 2.0
 BATCH_SPEEDUP_PAIRS = {
     "BM_YearRunBatched/0": "BM_YearRun/0/1",
     "BM_YearRunBatched/1": "BM_YearRun/1/1",
@@ -106,6 +112,43 @@ def check_batch_speedup(baseline_doc, fresh_doc):
             violations.append(
                 (batched, f"only {ratio:.2f}x vs {scalar} baseline "
                           f"(need {MIN_BATCH_SPEEDUP:.1f}x)"))
+    return violations
+
+
+def check_coalesce_speedup(fresh_doc):
+    """The serve-layer >= MIN_COALESCE_SPEEDUP x gate.
+
+    bench_serve's cold-heavy scenario drives the same spec stream at a
+    coalescing and a non-coalescing service and records the wall-clock
+    ratio on the coalesced entry.  The gate reads the fresh run only
+    (both passes happen inside one invocation, so no baseline value is
+    needed) and skips itself for binaries that never emit the entry
+    (bench_micro has no serving layer).
+    """
+    violations = []
+    seen = False
+    for b in fresh_doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if b.get("name") != "BM_ServeColdCoalesced":
+            continue
+        seen = True
+        speedup = b.get("coalesce_speedup")
+        if speedup is None:
+            violations.append(("BM_ServeColdCoalesced",
+                               "no coalesce_speedup counter"))
+            continue
+        speedup = float(speedup)
+        print(f"coalesce speedup: BM_ServeColdCoalesced {speedup:.2f}x "
+              f"vs solo (gate {MIN_COALESCE_SPEEDUP:.1f}x)")
+        if speedup < MIN_COALESCE_SPEEDUP:
+            violations.append(
+                ("BM_ServeColdCoalesced",
+                 f"only {speedup:.2f}x vs solo cold throughput "
+                 f"(need {MIN_COALESCE_SPEEDUP:.1f}x)"))
+    if not seen:
+        print("coalesce speedup: skipping gate (fresh run has no "
+              "BM_ServeColdCoalesced)")
     return violations
 
 
@@ -225,6 +268,7 @@ def main():
 
     print()
     regressions += check_batch_speedup(baseline_doc, fresh_doc)
+    regressions += check_coalesce_speedup(fresh_doc)
 
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} regression(s):",
@@ -233,7 +277,7 @@ def main():
             print(f"  {name}: {why}", file=sys.stderr)
         return 1
     print(f"\ncompare_bench: all benchmarks within {args.threshold:.0%} "
-          "of baseline and the batched-speedup gate holds")
+          "of baseline and the speedup gates hold")
     return 0
 
 

@@ -28,6 +28,22 @@
  *                          seconds between time-series samples for
  *                          the SERIES verb (default 1; 0 disables
  *                          sampling)
+ *     --coalesce <n>       park cold batch>0 submissions and dispatch
+ *                          them to the SoA batched engine as n-lane
+ *                          batches (default 0 = off; lanes group by
+ *                          batch shape, DESIGN.md §12)
+ *     --coalesce-wait-ms <ms>
+ *                          collection window: a parked batch older
+ *                          than this dispatches partially filled
+ *                          (default 5)
+ *     --hot-cache-mb <mb>  in-memory hot-result cache budget in MiB;
+ *                          repeats of recently-served specs skip disk
+ *                          entirely (default 0 = off)
+ *     --hot-cache-shards <n>
+ *                          mutex stripes for the hot cache (default 8)
+ *     --max-pending <n>    reject fresh SUBMITs with `ERR busy: ...`
+ *                          while n canonical specs are in flight
+ *                          (default 0 = unbounded)
  *
  * At least one of --socket/--port is required.  The daemon runs until
  * a client sends SHUTDOWN (or the process receives SIGINT/SIGTERM via
@@ -127,6 +143,40 @@ main(int argc, char **argv)
             if (end == text.c_str() || *end != '\0' || s < 0.0)
                 usage(("bad sample interval: '" + text + "'").c_str());
             service_config.sampleIntervalSeconds = s;
+        } else if (arg == "--coalesce") {
+            long long n = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, n) || n < 0 || n > 4096)
+                usage(("bad coalesce lane count: '" + text + "'")
+                          .c_str());
+            service_config.coalesceLanes = int(n);
+        } else if (arg == "--coalesce-wait-ms") {
+            const std::string text = next();
+            char *end = nullptr;
+            const double ms = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || ms < 0.0 ||
+                ms > 3600000.0)
+                usage(("bad coalesce window: '" + text + "'").c_str());
+            service_config.coalesceWaitMs = ms;
+        } else if (arg == "--hot-cache-mb") {
+            long long mb = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, mb) || mb < 0 || mb > 1048576)
+                usage(("bad hot-cache size: '" + text + "'").c_str());
+            service_config.hotCacheBytes = size_t(mb) << 20;
+        } else if (arg == "--hot-cache-shards") {
+            long long n = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, n) || n < 1 || n > 4096)
+                usage(("bad hot-cache shard count: '" + text + "'")
+                          .c_str());
+            service_config.hotCacheShards = int(n);
+        } else if (arg == "--max-pending") {
+            long long n = 0;
+            const std::string text = next();
+            if (!util::parseInt(text, n) || n < 0)
+                usage(("bad max-pending cap: '" + text + "'").c_str());
+            service_config.maxPending = size_t(n);
         } else {
             usage(("unknown option: " + arg).c_str());
         }
@@ -144,6 +194,17 @@ main(int argc, char **argv)
                      service_config.cacheDir.empty()
                          ? "(none)"
                          : service_config.cacheDir.c_str());
+        if (service_config.coalesceLanes >= 2)
+            std::fprintf(stderr,
+                         "coalescing batch>0 submissions into %d-lane "
+                         "batches (window %.1f ms)\n",
+                         service_config.coalesceLanes,
+                         service_config.coalesceWaitMs);
+        if (service_config.hotCacheBytes > 0)
+            std::fprintf(stderr,
+                         "hot-result cache: %zu MiB in %d shards\n",
+                         service_config.hotCacheBytes >> 20,
+                         service_config.hotCacheShards);
         if (!server.unixPath().empty())
             std::fprintf(stderr, "listening on unix socket %s\n",
                          server.unixPath().c_str());

@@ -272,6 +272,37 @@ main(int argc, char **argv)
                         requests, runs, storeHits, dedupHits, failures);
             std::printf("warm-served %.1f%%   throughput %.2f specs/s\n",
                         warmPct, rate);
+            // Hot-tier line only when the server runs one: hit rate of
+            // the in-RAM cache plus its LRU eviction pressure.
+            const double hotHits =
+                metricOr(s, "coolair_serve_hot_hits_total", 0);
+            const double hotMisses =
+                metricOr(s, "coolair_serve_hot_misses_total", 0);
+            if (hotHits + hotMisses > 0.0)
+                std::printf("hot cache %.1f%% hit   entries %.0f   "
+                            "bytes %.0f   evictions %.0f\n",
+                            100.0 * hotHits / (hotHits + hotMisses),
+                            metricOr(s, "coolair_serve_hot_entries", 0),
+                            metricOr(s, "coolair_serve_hot_bytes", 0),
+                            metricOr(s,
+                                     "coolair_serve_hot_evictions_total",
+                                     0));
+            // Coalescing line only when batches have dispatched: mean
+            // lane fill tells whether offered load actually fills the
+            // --coalesce target or the window keeps flushing partials.
+            auto fill = s.histograms.find("coolair_serve_lane_fill");
+            if (fill != s.histograms.end() && fill->second.count > 0) {
+                const double parked =
+                    metricOr(s, "coolair_serve_parked", 0);
+                std::printf("lane fill mean %.2f  p50 %.1f  p95 %.1f  "
+                            "(%.0f batches, %.0f parked)\n",
+                            metricOr(s, "coolair_serve_lane_fill_sum",
+                                     0) /
+                                fill->second.count,
+                            quantile(fill->second, 0.50),
+                            quantile(fill->second, 0.95),
+                            fill->second.count, parked);
+            }
             auto hist = s.histograms.find("coolair_serve_latency_seconds");
             if (hist != s.histograms.end() && hist->second.count > 0)
                 std::printf("latency p50 %.4fs  p95 %.4fs  p99 %.4fs  "

@@ -32,9 +32,9 @@ Climate::sampleGridInto(util::SimTime start, int64_t step_s, int n,
 {
     out.startTime = start;
     out.stepS = step_s;
-    out.tempC.assign(size_t(n), 0.0);
-    out.rhPercent.assign(size_t(n), 0.0);
-    out.absHumidity.assign(size_t(n), 0.0);
+    out.tempC.resize(size_t(n));
+    out.rhPercent.resize(size_t(n));
+    out.absHumidity.resize(size_t(n));
     if (n <= 0)
         return;
 
@@ -43,12 +43,15 @@ Climate::sampleGridInto(util::SimTime start, int64_t step_s, int n,
     double *abs = out.absHumidity.data();
 
     // Scratch: fractional day / hour-of-day per grid point, then the
-    // accumulated sinusoid banks.  Sized once per call; callers reuse
-    // one WeatherGrid per lane so the allocations amortize to nothing.
+    // accumulated sinusoid banks.  thread_local so repeated chunk
+    // evaluations (one call per lane per chunk) never reallocate;
+    // sampling stays safe to run concurrently on one Climate.
     const size_t nz = size_t(n);
-    std::vector<double> day(nz), hour(nz);
-    std::vector<double> depression(nz, 0.0);
-    std::vector<double> diurnal_mod(nz, 0.0);
+    thread_local std::vector<double> day, hour, depression, diurnal_mod;
+    day.resize(nz);
+    hour.resize(nz);
+    depression.assign(nz, 0.0);
+    diurnal_mod.assign(nz, 0.0);
 
     for (int i = 0; i < n; ++i) {
         util::SimTime t = start + int64_t(i) * step_s;
@@ -111,7 +114,10 @@ Climate::sampleGridInto(util::SimTime start, int64_t step_s, int n,
     // RH from the saturation-pressure ratio at dew vs. air temperature,
     // then absolute humidity — same formulas as Climate::sample, with
     // the svp exps batched through the vectorizable kernel loops.
-    std::vector<double> dew(nz), svp_dew(nz), svp_air(nz);
+    thread_local std::vector<double> dew, svp_dew, svp_air;
+    dew.resize(nz);
+    svp_dew.resize(nz);
+    svp_air.resize(nz);
     for (int i = 0; i < n; ++i)
         dew[size_t(i)] = temp[i] - depression[size_t(i)];
     physics::saturationVaporPressureN(dew.data(), svp_dew.data(), n);

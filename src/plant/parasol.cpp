@@ -58,24 +58,6 @@ PodLoad::podPowerFraction(int pod) const
     return watts / (double(serversPerPod) * 30.0);
 }
 
-double
-SensorReadings::maxPodInletC() const
-{
-    double hi = -1e9;
-    for (double t : podInletC)
-        hi = std::max(hi, t);
-    return hi;
-}
-
-double
-SensorReadings::avgPodInletC() const
-{
-    if (podInletC.empty())
-        return 0.0;
-    double sum = std::accumulate(podInletC.begin(), podInletC.end(), 0.0);
-    return sum / double(podInletC.size());
-}
-
 PlantConfig
 PlantConfig::parasol()
 {

@@ -28,6 +28,7 @@
  * system and unconditionally stable at any step size.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -121,11 +122,26 @@ struct SensorReadings
     /** Fraction of all servers awake [0..1]. */
     double dcUtilization = 1.0;
 
-    /** Warmest pod inlet reading. */
-    double maxPodInletC() const;
+    /** Warmest pod inlet reading.  Inline: the controller and the
+        metrics collector each call this every sample. */
+    double maxPodInletC() const
+    {
+        double hi = -1e9;
+        for (double t : podInletC)
+            hi = std::max(hi, t);
+        return hi;
+    }
 
     /** Mean pod inlet reading. */
-    double avgPodInletC() const;
+    double avgPodInletC() const
+    {
+        if (podInletC.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (double t : podInletC)
+            sum += t;
+        return sum / double(podInletC.size());
+    }
 };
 
 /** Static description of the container and its units. */

@@ -68,6 +68,7 @@ BatchedPlant::BatchedPlant(const PlantConfig &config,
     _uAcFan.assign(L, 0.0);
     _uComp.assign(L, 0.0);
     _uDamper.assign(L, 0.0);
+    _evapOn.assign(L, 0);
     _qFc.assign(L, 0.0);
     _qAc.assign(L, 0.0);
     _intakeC.assign(L, 0.0);
@@ -115,10 +116,13 @@ BatchedPlant::initializeSteadyState(
 }
 
 void
-BatchedPlant::updateItPower(const PodLoad *loads)
+BatchedPlant::updateItPower(const PodLoad *loads,
+                            const unsigned char *loads_dirty)
 {
     const size_t L = size_t(_lanes);
     for (int l = 0; l < _lanes; ++l) {
+        if (loads_dirty && !loads_dirty[l])
+            continue;  // Unchanged load: cached power state still holds.
         const PodLoad &load = loads[l];
         if (int(load.activeServers.size()) != _pods ||
             int(load.utilization.size()) != _pods) {
@@ -150,7 +154,9 @@ BatchedPlant::updateItPower(const PodLoad *loads)
 
 void
 BatchedPlant::step(double dt_s, const environment::WeatherSample *outside,
-                   const PodLoad *loads, const cooling::Regime *commands)
+                   const PodLoad *loads, const cooling::Regime *commands,
+                   const unsigned char *loads_dirty,
+                   const unsigned char *commands_dirty)
 {
     if (dt_s <= 0.0)
         util::panic("BatchedPlant::step: dt must be positive");
@@ -163,28 +169,40 @@ BatchedPlant::step(double dt_s, const environment::WeatherSample *outside,
                               _config.structuralMassJPerK);
     }
 
+    // Abrupt actuators snap to the command and then hold: with a clean
+    // command mask the gathered state (fans, damper, flows) is exactly
+    // last step's, so the whole gather is skipped.  Smooth actuators
+    // ramp every step and always re-gather.
+    const bool settles =
+        _config.actuators.style == cooling::ActuatorStyle::Abrupt;
     for (int l = 0; l < _lanes; ++l) {
-        _act[size_t(l)].setCommand(commands[l]);
-        _act[size_t(l)].step(dt_s);
-        const auto &unit = _act[size_t(l)].state();
-        _uFcFan[size_t(l)] = unit.fcFanSpeed;
-        _uAcFan[size_t(l)] = unit.acFanSpeed;
-        _uComp[size_t(l)] = unit.compressorSpeed;
-        _uDamper[size_t(l)] = unit.damperOpen ? 1.0 : 0.0;
+        const bool cmd_dirty = !commands_dirty || commands_dirty[l];
+        if (cmd_dirty)
+            _act[size_t(l)].setCommand(commands[l]);
+        if (cmd_dirty || !settles) {
+            _act[size_t(l)].step(dt_s);
+            const auto &unit = _act[size_t(l)].state();
+            _uFcFan[size_t(l)] = unit.fcFanSpeed;
+            _uAcFan[size_t(l)] = unit.acFanSpeed;
+            _uComp[size_t(l)] = unit.compressorSpeed;
+            _uDamper[size_t(l)] = unit.damperOpen ? 1.0 : 0.0;
+            _evapOn[size_t(l)] = unit.evapOn ? 1 : 0;
 
-        double q_fc = unit.damperOpen
-                          ? unit.fcFanSpeed * _config.maxFcAirflow
-                          : 0.0;
-        double q_ac = unit.acFanSpeed * _config.acAirflow;
-        _qFc[size_t(l)] = q_fc;
-        _qAc[size_t(l)] = q_ac;
+            double q_fc = unit.damperOpen
+                              ? unit.fcFanSpeed * _config.maxFcAirflow
+                              : 0.0;
+            _qFc[size_t(l)] = q_fc;
+            _qAc[size_t(l)] = unit.acFanSpeed * _config.acAirflow;
+        }
 
         // Intake conditions, incl. the adiabatic pre-cooler; the wetBulb
         // transcendental stays on the strict scalar implementation
         // (evaporative lanes only — off the common path).
+        const double q_fc = _qFc[size_t(l)];
         double intake_c = outside[l].tempC;
         double intake_abs = outside[l].absHumidity;
-        if (_config.hasEvaporativeCooler && unit.evapOn && q_fc > 0.0) {
+        if (_config.hasEvaporativeCooler && _evapOn[size_t(l)] != 0 &&
+            q_fc > 0.0) {
             double wb =
                 physics::wetBulb(outside[l].tempC, outside[l].rhPercent);
             intake_c = outside[l].tempC -
@@ -200,7 +218,7 @@ BatchedPlant::step(double dt_s, const environment::WeatherSample *outside,
         _intakeAbs[size_t(l)] = intake_abs;
     }
 
-    updateItPower(loads);
+    updateItPower(loads, loads_dirty);
     stepPhysics(dt_s, outside, loads);
 
     for (int l = 0; l < _lanes; ++l)

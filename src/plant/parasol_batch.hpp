@@ -63,9 +63,20 @@ class BatchedPlant
     /**
      * Advance every lane by @p dt_s.  @p outside, @p loads and
      * @p commands are per-lane arrays of length lanes().
+     *
+     * @p loads_dirty and @p commands_dirty are optional per-lane masks
+     * (length lanes(); null = all dirty).  A zero entry promises the
+     * lane's load/command is unchanged since the previous step, letting
+     * the plant skip the IT-power recompute or actuator re-command for
+     * that lane; the resulting state is identical either way.  Loads
+     * and commands are piecewise-constant between control epochs, so
+     * callers that track changes (the batched engine) skip nearly every
+     * per-step recompute.
      */
     void step(double dt_s, const environment::WeatherSample *outside,
-              const PodLoad *loads, const cooling::Regime *commands);
+              const PodLoad *loads, const cooling::Regime *commands,
+              const unsigned char *loads_dirty = nullptr,
+              const unsigned char *commands_dirty = nullptr);
 
     /**
      * Noisy sensor observations for every lane into @p out (array of
@@ -92,8 +103,11 @@ class BatchedPlant
                      const environment::WeatherSample *outside,
                      const PodLoad *loads);
 
-    /** Per-lane IT power/awake bookkeeping (scalar updateItPower). */
-    void updateItPower(const PodLoad *loads);
+    /** Per-lane IT power/awake bookkeeping (scalar updateItPower).
+        Lanes with a zero @p loads_dirty entry keep their cached power
+        state (null = recompute every lane). */
+    void updateItPower(const PodLoad *loads,
+                       const unsigned char *loads_dirty);
 
     PlantConfig _config;
     int _lanes;
@@ -138,6 +152,7 @@ class BatchedPlant
     // flows), filled by step() before stepPhysics().
     std::vector<double> _uFcFan, _uAcFan, _uComp;
     std::vector<double> _uDamper;          // 0/1
+    std::vector<unsigned char> _evapOn;    // 0/1, cached with the gather
     std::vector<double> _qFc, _qAc;
     std::vector<double> _intakeC, _intakeAbs;
 

@@ -35,6 +35,10 @@
  *
  *     PONG | OK <ticket> | ERR <message> | BYE
  *
+ * (an overloaded server rejects SUBMIT/RUN with the structured
+ * `ERR busy: ...` form — see kBusyPrefix — and HEALTH reports
+ * DEGRADED until the backlog drains)
+ *
  * — or a sized frame: a header line `RESULT <nbytes>` / `STATS
  * <nbytes>` followed by exactly nbytes of payload.  A RESULT payload
  * is the spec_io::formatResult text of the experiment, byte-identical
@@ -56,6 +60,16 @@ inline constexpr uint64_t kMaxFrameBytes = uint64_t(16) << 20;
 /** Hard cap on one SERIES request's point count; a hostile count above
     this is a protocol error, never a large allocation. */
 inline constexpr uint64_t kMaxSeriesPoints = 10000;
+
+/**
+ * Structured-rejection prefix: when the service refuses a SUBMIT/RUN
+ * because its pending-job backlog is at the configured cap
+ * (--max-pending), the ERR message starts with exactly this text
+ * (`ERR busy: ...`).  Clients key retry/backoff on the prefix rather
+ * than on the human-readable remainder; every other ERR (parse
+ * failure, unknown ticket, ...) never uses it.
+ */
+inline constexpr const char kBusyPrefix[] = "busy: ";
 
 /** Request kinds. */
 enum class Verb

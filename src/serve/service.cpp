@@ -6,6 +6,8 @@
 
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/result_cache.hpp"
 #include "sim/spec_io.hpp"
 #include "util/logging.hpp"
@@ -23,6 +25,17 @@ latencyBuckets()
     static const std::vector<double> bounds{
         0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
         0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0};
+    return bounds;
+}
+
+/** serve.lane_fill bucket bounds: how full dispatched batches were.
+    Small counts exact, larger ones coarsening — lane targets past 32
+    are off the efficiency curve anyway (DESIGN.md §10). */
+const std::vector<double> &
+laneFillBuckets()
+{
+    static const std::vector<double> bounds{1,  2,  3,  4,  6,
+                                            8,  12, 16, 24, 32};
     return bounds;
 }
 
@@ -46,12 +59,36 @@ ExperimentService::ExperimentService(ServiceConfig config)
       _runs(_stats.counter("serve.runs", "simulations actually run")),
       _runFailures(
           _stats.counter("serve.run_failures", "simulations that threw")),
+      _coalesced(_stats.counter(
+          "serve.coalesced",
+          "cold submissions parked for cross-request batching")),
+      _fullDispatches(_stats.counter(
+          "serve.coalesce_full_dispatches",
+          "batches dispatched because the lane target filled",
+          obs::kWallClock)),
+      _partialDispatches(_stats.counter(
+          "serve.coalesce_partial_dispatches",
+          "batches dispatched on collection-window expiry",
+          obs::kWallClock)),
+      _rejectedBusy(_stats.counter(
+          "serve.rejected_busy",
+          "submissions refused at the max-pending backlog cap",
+          obs::kWallClock)),
+      _parkedGauge(_stats.gauge(
+          "serve.parked", "submissions currently parked for coalescing",
+          obs::kWallClock)),
+      _laneFill(_stats.histogram("serve.lane_fill",
+                                 "lanes per dispatched batch",
+                                 obs::kWallClock, laneFillBuckets())),
       _latency(_stats.histogram("serve.latency_seconds",
                                 "submit-to-done wall latency [s]",
                                 obs::kWallClock, latencyBuckets())),
       _startTime(std::chrono::steady_clock::now()),
       _pool(_config.threads)
 {
+    if (_config.hotCacheBytes > 0)
+        _hot = std::make_unique<store::HotResultCache>(
+            _config.hotCacheBytes, _config.hotCacheShards);
     if (_config.traceDepth > 0) {
         obs::Tracer &tracer = obs::Tracer::instance();
         if (!tracer.enabled()) {
@@ -67,10 +104,33 @@ ExperimentService::ExperimentService(ServiceConfig config)
             [this] { return mergedSnapshot(); }, ts);
         _sampler->start();
     }
+    if (_config.coalesceLanes >= 2)
+        _collector = std::thread([this] { collectorLoop(); });
 }
 
 ExperimentService::~ExperimentService()
 {
+    // Stop the collector first, then flush whatever it left parked so
+    // every outstanding ticket resolves before the pool drains.
+    if (_collector.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _stopCollector = true;
+        }
+        _collectorWake.notify_all();
+        _collector.join();
+    }
+    std::vector<ParkedBatchPtr> leftovers;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (auto &entry : _parked)
+            leftovers.push_back(entry.second);
+        _parked.clear();
+        _parkedCount = 0;
+        _parkedGauge.set(0.0);
+    }
+    for (const ParkedBatchPtr &batch : leftovers)
+        dispatchBatch(batch, /*full=*/false);
     // Drain before the member destructors run so in-flight jobs still
     // record spans while the tracer is in the state they expect.
     _pool.drain();
@@ -126,6 +186,18 @@ ExperimentService::submit(const std::string &spec_text)
             if (it != _inflight.end()) {
                 job = it->second;
                 _dedupHits.inc();
+            } else if (_config.maxPending > 0 &&
+                       _inflight.size() >= _config.maxPending) {
+                // Admission control: a fresh spec would add work to an
+                // already-saturated backlog.  Joins (above) are always
+                // admitted — they ride an existing run.
+                _rejectedBusy.inc();
+                return {false, 0,
+                        kBusyPrefix +
+                            std::to_string(_inflight.size()) +
+                            " specs in flight (cap " +
+                            std::to_string(_config.maxPending) +
+                            "); retry after the backlog drains"};
             } else {
                 job = std::make_shared<Job>();
                 job->id = id;
@@ -141,6 +213,16 @@ ExperimentService::submit(const std::string &spec_text)
     }
 
     if (fresh) {
+        // Hot tier first: a repeat of a recently-served spec answers
+        // from RAM — no disk open, no CRC pass.  The bytes were cached
+        // at a previous completion, so they are the served bytes.
+        std::string hotPayload;
+        if (_hot && _hot->lookup(id, hotPayload)) {
+            complete(job, true, std::move(hotPayload),
+                     /*cacheHot=*/false);
+            return {true, ticket, ""};
+        }
+
         // Warm path: the store answers without a simulation.  Lookup
         // runs outside the table lock (it is file IO); a concurrent
         // identical submit meanwhile joins the in-flight entry and
@@ -154,6 +236,10 @@ ExperimentService::submit(const std::string &spec_text)
         if (hit) {
             _storeHits.inc();
             complete(job, true, sim::formatResult(cached));
+        } else if (_config.coalesceLanes >= 2 && spec.batch > 0) {
+            // Cold, and the spec opted into batching: park it for
+            // cross-request lane coalescing instead of running solo.
+            parkJob(spec, job);
         } else {
             _pool.submit([this, spec, job] { runJob(spec, job); });
         }
@@ -192,8 +278,15 @@ ExperimentService::run(const std::string &spec_text)
 }
 
 void
-ExperimentService::complete(const JobPtr &job, bool ok, std::string text)
+ExperimentService::complete(const JobPtr &job, bool ok, std::string text,
+                            bool cacheHot)
 {
+    // Successful payloads enter the hot tier before waiters wake, so
+    // an immediate repeat submission can already hit RAM.  Hot-served
+    // completions skip re-insertion (lookup refreshed their recency).
+    if (ok && cacheHot && _hot)
+        _hot->insert(job->id, text);
+
     const double latency =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       job->submitted)
@@ -297,6 +390,204 @@ ExperimentService::runJob(const sim::ExperimentSpec &spec, const JobPtr &job)
     complete(job, ok, std::move(text));
 }
 
+void
+ExperimentService::parkJob(const sim::ExperimentSpec &spec,
+                           const JobPtr &job)
+{
+    job->parkUs = obs::Tracer::instance().nowUs();
+    _coalesced.inc();
+    ParkedBatchPtr ready;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ParkedBatchPtr &queue = _parked[sim::batchShapeKey(spec)];
+        if (!queue) {
+            queue = std::make_shared<ParkedBatch>();
+            queue->oldest = std::chrono::steady_clock::now();
+        }
+        queue->specs.push_back(spec);
+        queue->jobs.push_back(job);
+        ++_parkedCount;
+        if (int(queue->jobs.size()) >= _config.coalesceLanes) {
+            // Lane target reached: extract under the lock, dispatch
+            // outside it.  The map slot empties so a late same-shape
+            // arrival starts a new collection round.
+            ready = std::move(queue);
+            _parked.erase(sim::batchShapeKey(spec));
+            _parkedCount -= ready->jobs.size();
+        }
+        _parkedGauge.set(double(_parkedCount));
+    }
+    if (ready)
+        dispatchBatch(ready, /*full=*/true);
+    else
+        _collectorWake.notify_one();
+}
+
+void
+ExperimentService::dispatchBatch(const ParkedBatchPtr &batch, bool full)
+{
+    (full ? _fullDispatches : _partialDispatches).inc();
+    _laneFill.record(double(batch->jobs.size()));
+
+    obs::Tracer &tracer = obs::Tracer::instance();
+    batch->dispatchUs = tracer.nowUs();
+    // Each parked request's own trace gets its park interval — the
+    // time it spent waiting for lane-mates — not just the shared run.
+    if (_config.traceDepth > 0) {
+        for (const JobPtr &job : batch->jobs)
+            if (job->traceId != 0)
+                tracer.recordComplete("serve.park", "serve",
+                                      job->parkUs,
+                                      batch->dispatchUs - job->parkUs,
+                                      obs::threadTrack(), job->traceId);
+    }
+
+    _pool.submit([this, batch] { runBatch(batch); });
+}
+
+void
+ExperimentService::runBatch(const ParkedBatchPtr &batch)
+{
+    if (_config.onJobStart)
+        _config.onJobStart();
+
+    const size_t n = batch->jobs.size();
+    _runs.add(int64_t(n));
+    obs::Tracer &tracer = obs::Tracer::instance();
+
+    // Per-lane pre-start hook: a throw fails just that lane; the
+    // survivors still run as a smaller batch (lane results are
+    // composition-independent, so their answers are unchanged).
+    std::vector<std::string> preError(n);
+    std::vector<sim::ExperimentSpec> live;
+    std::vector<size_t> liveIndex;
+    live.reserve(n);
+    liveIndex.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (_config.onLaneStart) {
+            try {
+                _config.onLaneStart(batch->specs[i]);
+            } catch (const std::exception &e) {
+                preError[i] = e.what();
+                continue;
+            } catch (...) {
+                preError[i] = "unknown exception";
+                continue;
+            }
+        }
+        live.push_back(batch->specs[i]);
+        liveIndex.push_back(i);
+    }
+
+    const int64_t runStartUs = tracer.nowUs();
+    std::vector<sim::LaneResult> lanes;
+    std::string batchError;
+    if (!live.empty()) {
+        // Engine-internal spans correlate with the first live lane's
+        // request; every joined request still gets its own serve.lane
+        // span below.
+        obs::TraceContextScope scope(
+            batch->jobs[liveIndex.front()]->traceId);
+        obs::Span span("serve.batch_run", "serve");
+        try {
+            lanes = sim::runBatchedGroup(live, _config.coalesceLanes);
+        } catch (const std::exception &e) {
+            batchError = e.what();
+        } catch (...) {
+            batchError = "unknown exception";
+        }
+    }
+    const int64_t runEndUs = tracer.nowUs();
+
+    size_t liveSlot = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const JobPtr &job = batch->jobs[i];
+        // The request's trace shows the dispatch gap and its own lane
+        // span; recorded before complete() extracts the trace.
+        if (_config.traceDepth > 0 && job->traceId != 0) {
+            tracer.recordComplete("serve.batch_dispatch", "serve",
+                                  batch->dispatchUs,
+                                  runStartUs - batch->dispatchUs,
+                                  obs::threadTrack(), job->traceId);
+            tracer.recordComplete("serve.lane", "serve", runStartUs,
+                                  runEndUs - runStartUs,
+                                  obs::threadTrack(), job->traceId);
+        }
+        if (!preError[i].empty()) {
+            _runFailures.inc();
+            complete(job, false, std::move(preError[i]));
+            continue;
+        }
+        const size_t slot = liveSlot++;
+        if (!batchError.empty() || slot >= lanes.size()) {
+            // Whole-batch failure (shape rejected, engine threw):
+            // every lane resolves with the same error, each to its own
+            // waiters only.
+            _runFailures.inc();
+            complete(job, false,
+                     batchError.empty() ? "batched run produced no lane"
+                                        : batchError);
+            continue;
+        }
+        sim::LaneResult &lane = lanes[slot];
+        if (lane.ok) {
+            std::string text = sim::formatResult(lane.result);
+            if (_store)
+                _store->store(job->id, text);
+            complete(job, true, std::move(text));
+        } else {
+            _runFailures.inc();
+            complete(job, false, std::move(lane.error));
+        }
+    }
+}
+
+void
+ExperimentService::collectorLoop()
+{
+    // The window as a steady_clock duration (rounded up: the collector
+    // may fire late, never early enough to halve a real window).
+    const auto window =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(0.0, _config.coalesceWaitMs)));
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_stopCollector) {
+        if (_parked.empty()) {
+            _collectorWake.wait(lock, [this] {
+                return _stopCollector || !_parked.empty();
+            });
+            continue;
+        }
+        auto deadline = std::chrono::steady_clock::time_point::max();
+        for (const auto &entry : _parked)
+            deadline = std::min(deadline, entry.second->oldest + window);
+        const auto now = std::chrono::steady_clock::now();
+        if (now < deadline) {
+            _collectorWake.wait_until(lock, deadline);
+            continue;
+        }
+        // Window expired for at least one queue: extract every expired
+        // queue under the lock, dispatch partial batches outside it.
+        std::vector<ParkedBatchPtr> expired;
+        for (auto it = _parked.begin(); it != _parked.end();) {
+            if (it->second->oldest + window <= now) {
+                expired.push_back(it->second);
+                _parkedCount -= it->second->jobs.size();
+                it = _parked.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        _parkedGauge.set(double(_parkedCount));
+        lock.unlock();
+        for (const ParkedBatchPtr &batch : expired)
+            dispatchBatch(batch, /*full=*/false);
+        lock.lock();
+    }
+}
+
 std::vector<obs::StatsRegistry::Entry>
 ExperimentService::mergedSnapshot() const
 {
@@ -304,6 +595,8 @@ ExperimentService::mergedSnapshot() const
     merged.merge(_stats);
     if (_store)
         _store->addStats(merged);
+    if (_hot)
+        _hot->addStats(merged);
     return merged.snapshot();
 }
 
@@ -314,6 +607,8 @@ ExperimentService::statsText() const
     merged.merge(_stats);
     if (_store)
         _store->addStats(merged);
+    if (_hot)
+        _hot->addStats(merged);
     std::ostringstream os;
     merged.dumpText(os);
     return os.str();
@@ -333,21 +628,29 @@ ExperimentService::healthText() const
     size_t inflight = 0;
     size_t outstanding = 0;
     size_t traces = 0;
+    size_t parked = 0;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         inflight = _inflight.size();
         outstanding = _tickets.size();
         traces = _traces.size();
+        parked = _parkedCount;
     }
     const int workers = _pool.threads();
+    const size_t poolPending = _pool.pending();
     const double uptime = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - _startTime)
                               .count();
 
     std::ostringstream os;
-    // Backlog rule: more in-flight canonical specs than 4x the worker
-    // pool means submissions are arriving faster than they drain.
-    if (inflight > size_t(workers) * 4)
+    // Admission cap first (it is what makes SUBMIT bounce), then the
+    // softer backlog rule: more in-flight canonical specs than 4x the
+    // worker pool means submissions arrive faster than they drain.
+    if (_config.maxPending > 0 && inflight >= _config.maxPending)
+        os << "status: DEGRADED (at max_pending cap: " << inflight
+           << " of " << _config.maxPending
+           << " in-flight specs; SUBMIT answers ERR busy)\n";
+    else if (inflight > size_t(workers) * 4)
         os << "status: DEGRADED (backlog: " << inflight
            << " in-flight specs on " << workers << " workers)\n";
     else
@@ -355,10 +658,26 @@ ExperimentService::healthText() const
     os << "uptime_seconds: " << obs::formatDouble(uptime) << "\n";
     os << "workers: " << workers << "\n";
     os << "inflight_specs: " << inflight << "\n";
+    os << "pool_pending_jobs: " << poolPending << "\n";
+    os << "max_pending: " << _config.maxPending << "\n";
     os << "tickets_outstanding: " << outstanding << "\n";
+    os << "coalesce_lanes: " << _config.coalesceLanes << "\n";
+    if (_config.coalesceLanes >= 2) {
+        os << "coalesce_wait_ms: "
+           << obs::formatDouble(_config.coalesceWaitMs) << "\n";
+        os << "parked_specs: " << parked << "\n";
+    }
     os << "store: " << (_config.cacheDir.empty() ? "(none)"
                                                  : _config.cacheDir)
        << "\n";
+    if (_hot) {
+        const store::HotResultCache::Stats hs = _hot->stats();
+        os << "hot_cache_bytes: " << hs.bytes << " of "
+           << _hot->capacityBytes() << " (" << hs.entries
+           << " entries, " << _hot->shards() << " shards)\n";
+    } else {
+        os << "hot_cache_bytes: (disabled)\n";
+    }
     os << "trace_depth: " << _config.traceDepth << "\n";
     os << "traces_retained: " << traces << "\n";
     os << "sampling_interval_s: "

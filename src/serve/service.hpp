@@ -24,11 +24,42 @@
  *     -> normalize away output paths and cache keys (serving is
  *        metrics-only), derive the canonical id
  *     -> in-flight table hit?   share that job   (serve.dedup_hits)
+ *     -> backlog at cap?        reject `busy: ...` (serve.rejected_busy)
+ *     -> hot-cache hit?         complete at once (serve.hot_hits)
  *     -> store hit?             complete at once (serve.store_hits)
+ *     -> batch>0 + coalescing?  park for a lane  (serve.coalesced)
  *     -> else                   schedule a run   (serve.runs)
  *   wait(ticket) blocks until the shared job completes and consumes
  *   the ticket (each submission gets its own ticket; the job is
  *   shared, the ticket is not).
+ *
+ * Coalescing (ServiceConfig::coalesceLanes >= 2): cold submissions
+ * whose spec opts in with batch > 0 are *parked* in a per-shape
+ * collection queue (sim::batchShapeKey — every field but location,
+ * seed, and output paths) instead of dispatching immediately.  A
+ * queue dispatches to sim::runBatchedGroup as one SoA batch either
+ * when it fills to coalesceLanes (full dispatch) or when its oldest
+ * entry has waited coalesceWaitMs (partial dispatch by the collector
+ * thread) — so lane fill rides offered load and latency never stalls
+ * past the window.  Per-lane failures resolve only their own request;
+ * dedup joiners attach to the parked entry like any in-flight job.
+ * Lane results land under each spec's own result-cache id (batched
+ * identity — batch=N is part of the id) and honor the DESIGN.md §10
+ * tolerance contract; lane results are composition-independent, so a
+ * coalesced answer is byte-identical to the same lane set submitted
+ * directly as one batch (locked by tests).
+ *
+ * Hot cache (ServiceConfig::hotCacheBytes > 0): a sharded in-memory
+ * byte-capped LRU (store::HotResultCache) in front of the on-disk
+ * store.  Every successful completion caches its payload bytes; a
+ * repeat submission is answered from RAM without touching disk or
+ * re-verifying a CRC (serve.hot_hits / serve.hot_evictions).
+ *
+ * Admission (ServiceConfig::maxPending > 0): a fresh submission that
+ * would push the in-flight table past the cap is rejected with a
+ * structured `busy: ...` error (the wire layer renders `ERR busy:`)
+ * instead of queueing unboundedly; HEALTH reports DEGRADED while at
+ * the cap.  Dedup joins are always admitted — they add no work.
  *
  * Observability: the service owns an obs::StatsRegistry (always on —
  * no global enable needed) holding serve.requests, serve.parse_errors,
@@ -60,11 +91,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/stats.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/runner.hpp"
+#include "store/hot_cache.hpp"
 #include "store/result_store.hpp"
 
 namespace coolair {
@@ -87,10 +120,50 @@ struct ServiceConfig
 
     /**
      * Test hook: when set, every scheduled run calls this on its
-     * worker thread before simulating.  Lets tests hold jobs open to
-     * pin down dedup-in-flight windows deterministically.
+     * worker thread before simulating (once per dispatched batch on
+     * the coalesced path).  Lets tests hold jobs open to pin down
+     * dedup-in-flight and coalesce windows deterministically.
      */
     std::function<void()> onJobStart;
+
+    /**
+     * Test/fault-injection hook: on the coalesced path, called once
+     * per lane (with that lane's spec) before the batch runs.  A
+     * throwing hook fails *only* that lane — its request resolves
+     * with the exception text while the surviving lanes run as a
+     * smaller batch.  This is the service-level counterpart of the
+     * batch engine's trace-path fault lever (which submit()'s
+     * normalization strips away).
+     */
+    std::function<void(const sim::ExperimentSpec &)> onLaneStart;
+
+    /**
+     * Coalescing lane target: >= 2 parks cold batch>0 submissions in
+     * per-shape queues and dispatches them to the batched engine as
+     * lanes fill (the --coalesce server flag).  0/1 disables
+     * coalescing — every cold miss runs immediately.
+     */
+    int coalesceLanes = 0;
+
+    /** Collection window: a parked queue older than this dispatches
+        partially filled rather than waiting for coalesceLanes (the
+        --coalesce-wait-ms flag).  <= 0 means dispatch-on-next-tick. */
+    double coalesceWaitMs = 5.0;
+
+    /** In-memory hot-result cache budget in bytes; 0 disables the hot
+        tier (the --hot-cache-mb flag). */
+    size_t hotCacheBytes = 0;
+
+    /** Mutex stripes for the hot cache. */
+    int hotCacheShards = 8;
+
+    /**
+     * Admission cap: a fresh submission arriving while this many
+     * canonical specs are already in flight is rejected with a
+     * structured `busy: ...` error (serve.rejected_busy, HEALTH
+     * DEGRADED).  0 = unbounded (the --max-pending flag).
+     */
+    size_t maxPending = 0;
 
     /**
      * Retain the last this-many completed request traces for the
@@ -223,9 +296,21 @@ class ExperimentService
         std::string payload;
         std::string error;
         uint64_t traceId = 0;  ///< first submitter's trace context.
+        int64_t parkUs = 0;    ///< tracer timestamp when parked (0 =
+                               ///< never coalesced).
         std::vector<uint64_t> tickets;  ///< every attached ticket.
     };
     using JobPtr = std::shared_ptr<Job>;
+
+    /** One per-shape collection queue of parked cold submissions. */
+    struct ParkedBatch
+    {
+        std::vector<sim::ExperimentSpec> specs;  ///< lane order.
+        std::vector<JobPtr> jobs;                ///< parallel to specs.
+        std::chrono::steady_clock::time_point oldest;  ///< first park.
+        int64_t dispatchUs = 0;  ///< tracer timestamp at dispatch.
+    };
+    using ParkedBatchPtr = std::shared_ptr<ParkedBatch>;
 
     /** One retained completed-request trace. */
     struct CompletedTrace
@@ -235,12 +320,18 @@ class ExperimentService
         std::string json;  ///< finished Chrome-trace document.
     };
 
-    void complete(const JobPtr &job, bool ok, std::string text);
+    void complete(const JobPtr &job, bool ok, std::string text,
+                  bool cacheHot = true);
     void runJob(const sim::ExperimentSpec &spec, const JobPtr &job);
+    void parkJob(const sim::ExperimentSpec &spec, const JobPtr &job);
+    void dispatchBatch(const ParkedBatchPtr &batch, bool full);
+    void runBatch(const ParkedBatchPtr &batch);
+    void collectorLoop();
     std::vector<obs::StatsRegistry::Entry> mergedSnapshot() const;
 
     ServiceConfig _config;
     std::unique_ptr<store::ResultStore> _store;
+    std::unique_ptr<store::HotResultCache> _hot;
 
     obs::StatsRegistry _stats;
     obs::Counter &_requests;
@@ -249,6 +340,12 @@ class ExperimentService
     obs::Counter &_dedupHits;
     obs::Counter &_runs;
     obs::Counter &_runFailures;
+    obs::Counter &_coalesced;
+    obs::Counter &_fullDispatches;
+    obs::Counter &_partialDispatches;
+    obs::Counter &_rejectedBusy;
+    obs::Gauge &_parkedGauge;
+    obs::Histogram &_laneFill;
     obs::Histogram &_latency;
 
     std::chrono::steady_clock::time_point _startTime;
@@ -262,6 +359,15 @@ class ExperimentService
     std::map<uint64_t, JobPtr> _tickets;
     uint64_t _nextTicket = 1;
     std::deque<CompletedTrace> _traces;  ///< last traceDepth requests.
+
+    // Coalescing scheduler state (guarded by _mutex).  The collector
+    // thread owns partial (window-expiry) dispatch; full queues
+    // dispatch inline from the parking submit.
+    std::map<std::string, ParkedBatchPtr> _parked;  ///< shape -> queue
+    size_t _parkedCount = 0;  ///< total parked jobs across queues.
+    bool _stopCollector = false;
+    std::condition_variable _collectorWake;
+    std::thread _collector;
 
     /** Last member: destroyed (and drained) before the state above. */
     sim::JobPool _pool;

@@ -125,6 +125,9 @@ BatchedEngine::BatchedEngine(std::vector<ExperimentSpec> specs,
                                              0.5));
     _commands.assign(n, cooling::Regime::closed());
     _sensors.resize(n);
+    // First plant step must consume every seeded load/command.
+    _loadsDirty.assign(n, 1);
+    _cmdsDirty.assign(n, 1);
 
     if (requested_width > 0 && int(n) < requested_width)
         _stats.raggedTailLanes = int64_t(n);
@@ -177,13 +180,23 @@ BatchedEngine::sampleAll(util::SimTime now, bool collect)
 
             if (now.seconds() >= lane.nextControlS) {
                 workload::WorkloadStatus status = lane.workload->status();
-                lane.workload->podLoadInto(_loads[size_t(l)]);
+                const uint64_t v = lane.workload->loadVersion();
+                if (v == 0 || v != lane.loadVersion) {
+                    lane.workload->podLoadInto(_loads[size_t(l)]);
+                    lane.loadVersion = v;
+                    _loadsDirty[size_t(l)] = 1;
+                }
                 ControlDecision decision = lane.controller->control(
                     sensors, status, _loads[size_t(l)], now);
                 ++lane.controlEpochs;
-                if (!(decision.regime == _commands[size_t(l)]))
+                if (!(decision.regime == _commands[size_t(l)])) {
                     ++lane.regimeTransitions;
-                _commands[size_t(l)] = decision.regime;
+                    _commands[size_t(l)] = decision.regime;
+                    _cmdsDirty[size_t(l)] = 1;
+                }
+                // An unchanged decision leaves the command (and the
+                // actuator, via the clean mask) untouched: setCommand
+                // with an equal regime is a no-op by construction.
                 if (decision.hasPlan)
                     lane.workload->applyPlan(decision.plan);
                 lane.nextControlS =
@@ -197,8 +210,8 @@ BatchedEngine::sampleAll(util::SimTime now, bool collect)
             if (sensors.cooling.mode == cooling::Mode::AirConditioning)
                 ++lane.acSamples;
 
-            lane.metrics->record(now, sensors, double(_intervalS));
-            lane.metrics->recordOutside(now, _outside[size_t(l)].tempC);
+            lane.metrics->record(now, sensors, double(_intervalS),
+                                 _outside[size_t(l)].tempC);
         } catch (const std::exception &e) {
             failLane(l, e.what());
         }
@@ -238,13 +251,23 @@ BatchedEngine::runRange(int64_t start_s, int64_t end_s, bool collect)
                 continue;
             try {
                 lane.workload->step(now, double(step));
-                lane.workload->podLoadInto(_loads[size_t(l)]);
+                const uint64_t v = lane.workload->loadVersion();
+                if (v == 0 || v != lane.loadVersion) {
+                    lane.workload->podLoadInto(_loads[size_t(l)]);
+                    lane.loadVersion = v;
+                    _loadsDirty[size_t(l)] = 1;
+                }
             } catch (const std::exception &e) {
                 failLane(l, e.what());
             }
         }
         _plant->step(double(step), _outside.data(), _loads.data(),
-                     _commands.data());
+                     _commands.data(), _loadsDirty.data(),
+                     _cmdsDirty.data());
+        std::fill(_loadsDirty.begin(), _loadsDirty.end(),
+                  static_cast<unsigned char>(0));
+        std::fill(_cmdsDirty.begin(), _cmdsDirty.end(),
+                  static_cast<unsigned char>(0));
         ++gi;
     }
 }

@@ -125,6 +125,14 @@ class BatchedEngine
     std::vector<cooling::Regime> _commands;
     std::vector<plant::SensorReadings> _sensors;
 
+    // Per-lane change masks handed to BatchedPlant::step: set when a
+    // lane's load is re-copied (workload loadVersion moved) or its
+    // command reassigned (control epoch), cleared after each plant
+    // step.  They only elide recomputation of values that could not
+    // have changed — results are identical with the masks disabled.
+    std::vector<unsigned char> _loadsDirty;
+    std::vector<unsigned char> _cmdsDirty;
+
     BatchStats _stats;
     bool _ran = false;
 };

@@ -30,7 +30,11 @@ Engine::sample(util::SimTime now, bool collect,
     // Controller epoch?
     if (now.seconds() >= _nextControlS) {
         workload::WorkloadStatus status = _workload.status();
-        _workload.podLoadInto(_load);
+        const uint64_t v = _workload.loadVersion();
+        if (v == 0 || v != _loadVersion) {
+            _workload.podLoadInto(_load);
+            _loadVersion = v;
+        }
         ControlDecision decision =
             _controller.control(_sensors, status, _load, now);
         ++_stats.controlEpochs;
@@ -50,8 +54,8 @@ Engine::sample(util::SimTime now, bool collect,
         ++_acSamples;
 
     if (_metrics) {
-        _metrics->record(now, _sensors, double(_config.sampleIntervalS));
-        _metrics->recordOutside(now, outside.tempC);
+        _metrics->record(now, _sensors, double(_config.sampleIntervalS),
+                         outside.tempC);
     }
 
     if (_sink) {
@@ -108,7 +112,11 @@ Engine::runRange(util::SimTime start, util::SimTime end, bool collect)
             sample(now, collect, outside);
 
         _workload.step(now, double(step));
-        _workload.podLoadInto(_load);
+        const uint64_t v = _workload.loadVersion();
+        if (v == 0 || v != _loadVersion) {
+            _workload.podLoadInto(_load);
+            _loadVersion = v;
+        }
         _plant.step(double(step), outside, _load, _command);
     }
 }

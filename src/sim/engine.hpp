@@ -148,6 +148,11 @@ class Engine
     // no heap allocation (buffers reach capacity within one sample).
     plant::SensorReadings _sensors;
     plant::PodLoad _load;
+
+    /** workload.loadVersion() at the last _load refresh; the per-step
+        copy is skipped while it is unchanged (0 = no tracking: always
+        copy).  ~0 forces the first copy. */
+    uint64_t _loadVersion = ~uint64_t(0);
 };
 
 } // namespace sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/logging.hpp"
 
@@ -19,22 +20,23 @@ MetricsCollector::MetricsCollector(const MetricsConfig &config, int num_pods)
 }
 
 void
-MetricsCollector::record(util::SimTime now,
-                         const plant::SensorReadings &sensors, double dt_s)
+MetricsCollector::recordSample(util::SimTime now,
+                               const plant::SensorReadings &sensors,
+                               double dt_s, const double *outside_c)
 {
     if (int(sensors.podInletC.size()) != _numPods)
         util::panic("MetricsCollector::record: pod arity mismatch");
 
     int day = int(now.seconds() / util::kSecondsPerDay);
     double max_inlet = sensors.maxPodInletC();
-    _maxInlet.add(max_inlet);
+    _maxInletSum += max_inlet;
     if (max_inlet > _config.maxTempC)
         ++_violationSamples;
 
     for (int p = 0; p < _numPods; ++p) {
         double t = sensors.podInletC[size_t(p)];
         _ranges.record(day, size_t(p), t);
-        _violations.add(std::max(0.0, t - _config.maxTempC));
+        _violationSum += std::max(0.0, t - _config.maxTempC);
     }
 
     if (sensors.coldAisleRhPercent > _config.maxRhPercent)
@@ -42,13 +44,19 @@ MetricsCollector::record(util::SimTime now,
 
     // Rate of change measured over a 10-minute window, so sensor noise
     // does not masquerade as fast temperature swings.
-    while (!_rateWindow.empty() &&
-           now.seconds() - _rateWindow.front().timeS > kRateWindowS) {
-        _rateWindow.erase(_rateWindow.begin());
+    while (_rateHead < _rateWindow.size() &&
+           now.seconds() - _rateWindow[_rateHead].timeS > kRateWindowS) {
+        _rateSpare.push_back(std::move(_rateWindow[_rateHead].temps));
+        ++_rateHead;
     }
-    if (!_rateWindow.empty() &&
-        now.seconds() - _rateWindow.front().timeS >= kRateWindowS / 2) {
-        const RateSample &old = _rateWindow.front();
+    if (_rateHead >= 16) {
+        _rateWindow.erase(_rateWindow.begin(),
+                          _rateWindow.begin() + long(_rateHead));
+        _rateHead = 0;
+    }
+    if (_rateHead < _rateWindow.size() &&
+        now.seconds() - _rateWindow[_rateHead].timeS >= kRateWindowS / 2) {
+        const RateSample &old = _rateWindow[_rateHead];
         double hours =
             double(now.seconds() - old.timeS) / double(util::kSecondsPerHour);
         for (int p = 0; p < _numPods; ++p) {
@@ -61,11 +69,21 @@ MetricsCollector::record(util::SimTime now,
             }
         }
     }
-    _rateWindow.push_back({now.seconds(), sensors.podInletC});
+    RateSample fresh;
+    fresh.timeS = now.seconds();
+    if (!_rateSpare.empty()) {
+        fresh.temps = std::move(_rateSpare.back());
+        _rateSpare.pop_back();
+    }
+    fresh.temps.assign(sensors.podInletC.begin(), sensors.podInletC.end());
+    _rateWindow.push_back(std::move(fresh));
 
     _itJoules += sensors.itPowerW * dt_s;
     _coolingJoules += sensors.coolingPowerW * dt_s;
     _samples++;
+
+    if (outside_c)
+        _outsideRanges.record(day, 0, *outside_c);
 }
 
 void
@@ -82,7 +100,10 @@ MetricsCollector::summary() const
     util::DailyRangeTracker ranges = _ranges;
     ranges.finish();
 
-    s.avgViolationC = _violations.mean();
+    s.avgViolationC =
+        _samples > 0 && _numPods > 0
+            ? _violationSum / double(_samples * size_t(_numPods))
+            : 0.0;
     s.avgWorstDailyRangeC = ranges.averageWorstDailyRange();
     s.minWorstDailyRangeC = ranges.minWorstDailyRange();
     s.maxWorstDailyRangeC = ranges.maxWorstDailyRange();
@@ -100,7 +121,8 @@ MetricsCollector::summary() const
             double(_humidityViolations) / double(_samples);
         s.rateViolationFrac = double(_rateViolations) / double(_samples);
     }
-    s.avgMaxInletC = _maxInlet.mean();
+    s.avgMaxInletC =
+        _samples > 0 ? _maxInletSum / double(_samples) : 0.0;
     return s;
 }
 

@@ -74,7 +74,20 @@ class MetricsCollector
      * @param dt_s     seconds this snapshot represents (for energy)
      */
     void record(util::SimTime now, const plant::SensorReadings &sensors,
-                double dt_s);
+                double dt_s)
+    {
+        recordSample(now, sensors, dt_s, nullptr);
+    }
+
+    /**
+     * record() plus recordOutside() as one pass — the engines' per-
+     * sample path, sharing a single day computation and call.
+     */
+    void record(util::SimTime now, const plant::SensorReadings &sensors,
+                double dt_s, double outside_c)
+    {
+        recordSample(now, sensors, dt_s, &outside_c);
+    }
 
     /** Also track outside temperature ranges (Fig. 9's Outside bars). */
     void recordOutside(util::SimTime now, double outside_c);
@@ -93,13 +106,20 @@ class MetricsCollector
     int64_t violationSamples() const { return _violationSamples; }
 
   private:
+    void recordSample(util::SimTime now,
+                      const plant::SensorReadings &sensors, double dt_s,
+                      const double *outside_c);
+
     MetricsConfig _config;
     int _numPods;
 
     util::DailyRangeTracker _ranges;
     util::DailyRangeTracker _outsideRanges;
-    util::RunningStats _violations;
-    util::RunningStats _maxInlet;
+    /** Plain sums (means are computed once in summary()): only the
+        averages are ever read, and a running Welford accumulator would
+        spend a divide per pod per sample on the engine's hot path. */
+    double _violationSum = 0.0;
+    double _maxInletSum = 0.0;
     double _itJoules = 0.0;
     double _coolingJoules = 0.0;
     size_t _humidityViolations = 0;
@@ -114,6 +134,16 @@ class MetricsCollector
         std::vector<double> temps;
     };
     std::vector<RateSample> _rateWindow;
+
+    /** Index of the oldest live entry in _rateWindow.  Expiry advances
+        the head instead of erasing (which would shift the whole vector
+        every sample); the dead prefix is compacted away once it grows
+        past a handful of entries. */
+    size_t _rateHead = 0;
+
+    /** Temp buffers recycled from expired rate samples, so the
+        per-sample record() path stays allocation-free in steady state. */
+    std::vector<std::vector<double>> _rateSpare;
 
     /** Rate is measured over this window [s] (noise-robust). */
     static constexpr int64_t kRateWindowS = 600;

@@ -414,6 +414,13 @@ JobPool::drain()
     _idle.wait(lock, [this] { return _queue.empty() && _running == 0; });
 }
 
+size_t
+JobPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _queue.size() + _running;
+}
+
 void
 JobPool::workerLoop(int slot)
 {

@@ -219,10 +219,18 @@ class JobPool
     /** Block until every job submitted so far has finished running. */
     void drain();
 
+    /**
+     * Jobs queued or currently executing.  A snapshot — by the time
+     * the caller acts on it more jobs may have arrived or finished —
+     * so it is for backlog reporting (HEALTH) and admission control,
+     * not for synchronization (use drain() for that).
+     */
+    size_t pending() const;
+
   private:
     void workerLoop(int slot);
 
-    std::mutex _mutex;
+    mutable std::mutex _mutex;       ///< mutable: pending() is const
     std::condition_variable _wake;   ///< workers wait for jobs/stop
     std::condition_variable _idle;   ///< drain() waits for quiescence
     std::deque<std::function<void()>> _queue;

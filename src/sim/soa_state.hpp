@@ -53,6 +53,14 @@ struct LaneState
     int64_t nextControlS = 0;
 
     /**
+     * workload->loadVersion() at the last pod-load copy into the
+     * engine's flat loads array.  The copy (and the plant's IT-power
+     * recompute) is skipped while the version is unchanged; ~0 forces
+     * the first copy.
+     */
+    uint64_t loadVersion = ~uint64_t(0);
+
+    /**
      * A dead lane failed (construction or a thrown step) and is masked
      * from workload/controller/metrics work; its plant lane keeps
      * stepping harmlessly so the surviving lanes stay in lockstep.

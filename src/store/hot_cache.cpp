@@ -1,0 +1,137 @@
+#include "store/hot_cache.hpp"
+
+#include <functional>
+
+namespace coolair {
+namespace store {
+
+namespace {
+
+/** Bytes an entry charges against its shard's budget. */
+size_t
+entryCost(const std::string &id, const std::string &payload)
+{
+    return id.size() + payload.size();
+}
+
+} // anonymous namespace
+
+HotResultCache::HotResultCache(size_t capacityBytes, int shards)
+    : _capacityBytes(capacityBytes)
+{
+    if (shards < 1)
+        shards = 1;
+    _shards.reserve(size_t(shards));
+    for (int i = 0; i < shards; ++i)
+        _shards.push_back(std::make_unique<Shard>());
+    // Budget splits evenly; a zero per-shard slice would reject every
+    // insert, so tiny-but-nonzero budgets round up to one byte.
+    _shardCapacity = _capacityBytes / size_t(shards);
+    if (_capacityBytes > 0 && _shardCapacity == 0)
+        _shardCapacity = 1;
+}
+
+HotResultCache::Shard &
+HotResultCache::shardFor(const std::string &id)
+{
+    return *_shards[std::hash<std::string>{}(id) % _shards.size()];
+}
+
+bool
+HotResultCache::lookup(const std::string &id, std::string &out)
+{
+    Shard &shard = shardFor(id);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(id);
+        if (it != shard.index.end()) {
+            // Refresh recency: splice the node to the front in place —
+            // no reallocation, iterators in the index stay valid.
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            out = it->second->second;
+            _hits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    _misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+HotResultCache::insert(const std::string &id, const std::string &payload)
+{
+    const size_t cost = entryCost(id, payload);
+    if (cost > _shardCapacity)
+        return;  // would evict the whole shard and still thrash
+
+    Shard &shard = shardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+        // Replace in place (same id, possibly different bytes — e.g. a
+        // store re-run after corruption) and refresh recency.
+        const size_t old = entryCost(id, it->second->second);
+        shard.bytes -= old;
+        _bytes.fetch_sub(int64_t(old), std::memory_order_relaxed);
+        it->second->second = payload;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+        shard.lru.emplace_front(id, payload);
+        shard.index.emplace(id, shard.lru.begin());
+        _entries.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.bytes += cost;
+    _bytes.fetch_add(int64_t(cost), std::memory_order_relaxed);
+    _insertions.fetch_add(1, std::memory_order_relaxed);
+
+    while (shard.bytes > _shardCapacity) {
+        // The just-inserted entry sits at the front and costs at most
+        // one shard, so the tail here is always an older entry.
+        auto victim = std::prev(shard.lru.end());
+        const size_t freed = entryCost(victim->first, victim->second);
+        shard.index.erase(victim->first);
+        shard.lru.erase(victim);
+        shard.bytes -= freed;
+        _bytes.fetch_sub(int64_t(freed), std::memory_order_relaxed);
+        _entries.fetch_sub(1, std::memory_order_relaxed);
+        _evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+HotResultCache::Stats
+HotResultCache::stats() const
+{
+    Stats s;
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    s.insertions = _insertions.load(std::memory_order_relaxed);
+    s.evictions = _evictions.load(std::memory_order_relaxed);
+    s.entries = _entries.load(std::memory_order_relaxed);
+    s.bytes = _bytes.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+HotResultCache::addStats(obs::StatsRegistry &reg) const
+{
+    Stats s = stats();
+    reg.counter("serve.hot_hits",
+                "submissions served from the in-memory hot cache")
+        .add(s.hits);
+    reg.counter("serve.hot_misses", "hot-cache lookups that fell "
+                                    "through to the result store")
+        .add(s.misses);
+    reg.counter("serve.hot_insertions", "payloads cached in memory")
+        .add(s.insertions);
+    reg.counter("serve.hot_evictions",
+                "payloads evicted by the byte-capped LRU")
+        .add(s.evictions);
+    reg.gauge("serve.hot_entries", "live hot-cache entries")
+        .set(double(s.entries));
+    reg.gauge("serve.hot_bytes", "live hot-cache id+payload bytes")
+        .set(double(s.bytes));
+}
+
+} // namespace store
+} // namespace coolair

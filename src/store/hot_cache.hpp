@@ -1,0 +1,146 @@
+#ifndef COOLAIR_STORE_HOT_CACHE_HPP
+#define COOLAIR_STORE_HOT_CACHE_HPP
+
+/**
+ * @file
+ * A sharded in-memory hot-result cache: the RAM tier in front of the
+ * persistent ResultStore.  The serve layer consults it before touching
+ * disk, so a repeat request for a recently-served spec skips the file
+ * open, the CRC pass, and the stale/corrupt classification entirely —
+ * the stored payload bytes come straight back.
+ *
+ * Shape:
+ *
+ *  - Keys are the same canonical result-cache ids the ResultStore
+ *    uses (sim::resultCacheId text); values are the exact payload
+ *    bytes that would be served (spec_io::formatResult text).  The
+ *    hot tier never re-derives or re-formats — it can only return
+ *    bytes an earlier store/lookup produced, so hot answers are
+ *    byte-identical to cold ones by construction.
+ *
+ *  - N mutex-striped shards, chosen by std::hash of the id.  A
+ *    lookup or insert locks exactly one shard, so concurrent
+ *    connection threads serving different specs never contend.
+ *
+ *  - Each shard is an LRU list (front = most recent) capped in
+ *    *bytes*, not entries: results vary from a few hundred bytes
+ *    (single-day summaries) to tens of KiB (year sweeps with many
+ *    pods), so an entry-count cap would make memory use depend on the
+ *    workload mix.  The per-shard cap is capacityBytes / shards;
+ *    inserting over the cap evicts from the LRU tail.  An entry
+ *    larger than a whole shard is not cached (it would evict
+ *    everything and then itself rotate out).
+ *
+ * Lifetime counters (hits/misses/insertions/evictions plus live
+ * entries/bytes) are lock-free atomics published to an
+ * obs::StatsRegistry via addStats(), following the ResultStore idiom:
+ * add to a given registry at most once per cache or the merge
+ * double-counts.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace coolair {
+namespace store {
+
+/** Byte-capped, sharded, LRU map of result-cache id -> payload text. */
+class HotResultCache
+{
+  public:
+    /**
+     * @param capacityBytes  Total byte budget across all shards
+     *                       (id + payload bytes are both charged).
+     * @param shards         Mutex stripes; clamped to >= 1.  More
+     *                       shards means less cross-connection
+     *                       contention but coarser LRU (eviction is
+     *                       per-shard, not global).
+     */
+    explicit HotResultCache(size_t capacityBytes, int shards = 8);
+
+    HotResultCache(const HotResultCache &) = delete;
+    HotResultCache &operator=(const HotResultCache &) = delete;
+
+    /**
+     * Copy the payload cached under @p id into @p out and refresh its
+     * LRU position.  False (and counts a miss) when absent.
+     * Thread-safe.
+     */
+    bool lookup(const std::string &id, std::string &out);
+
+    /**
+     * Cache @p payload under @p id, replacing any previous entry and
+     * evicting least-recently-used entries of the same shard until the
+     * shard fits its byte cap again.  A payload larger than one whole
+     * shard is ignored (counted as neither insertion nor eviction).
+     * Thread-safe.
+     */
+    void insert(const std::string &id, const std::string &payload);
+
+    /** Lifetime counters plus current occupancy. */
+    struct Stats
+    {
+        int64_t hits = 0;
+        int64_t misses = 0;
+        int64_t insertions = 0;
+        int64_t evictions = 0;
+        int64_t entries = 0;  ///< live entries right now
+        int64_t bytes = 0;    ///< live id+payload bytes right now
+    };
+    Stats stats() const;
+
+    /**
+     * Publish the counters as serve.hot_* into @p reg (hits, misses,
+     * insertions, evictions as counters; entries and bytes as
+     * gauges).  Lifetime totals — add to a registry at most once per
+     * cache, like ResultStore::addStats.
+     */
+    void addStats(obs::StatsRegistry &reg) const;
+
+    /** Total configured byte budget. */
+    size_t capacityBytes() const { return _capacityBytes; }
+
+    /** Shard count after clamping. */
+    int shards() const { return int(_shards.size()); }
+
+  private:
+    /** One mutex stripe: an LRU list plus an index into it. */
+    struct Shard
+    {
+        std::mutex mutex;
+        /** front = most recently used; entries own their bytes. */
+        std::list<std::pair<std::string, std::string>> lru;
+        std::unordered_map<std::string,
+                           std::list<std::pair<std::string,
+                                               std::string>>::iterator>
+            index;
+        size_t bytes = 0;
+    };
+
+    Shard &shardFor(const std::string &id);
+
+    size_t _capacityBytes;
+    size_t _shardCapacity;
+    /** unique_ptr: Shard holds a mutex and cannot move. */
+    std::vector<std::unique_ptr<Shard>> _shards;
+
+    std::atomic<int64_t> _hits{0};
+    std::atomic<int64_t> _misses{0};
+    std::atomic<int64_t> _insertions{0};
+    std::atomic<int64_t> _evictions{0};
+    std::atomic<int64_t> _entries{0};
+    std::atomic<int64_t> _bytes{0};
+};
+
+} // namespace store
+} // namespace coolair
+
+#endif // COOLAIR_STORE_HOT_CACHE_HPP

@@ -7,16 +7,6 @@
 namespace coolair {
 namespace util {
 
-namespace {
-
-inline uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // anonymous namespace
-
 uint64_t
 Rng::splitMix64(uint64_t &x)
 {
@@ -48,35 +38,6 @@ Rng::Rng(uint64_t seed)
 Rng::Rng(uint64_t root_seed, const std::string &stream_name)
     : Rng(root_seed ^ fnv1a(stream_name))
 {
-}
-
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(_state[1] * 5, 7) * 9;
-    const uint64_t t = _state[1] << 17;
-
-    _state[2] ^= _state[0];
-    _state[3] ^= _state[1];
-    _state[1] ^= _state[2];
-    _state[0] ^= _state[3];
-    _state[2] ^= t;
-    _state[3] = rotl(_state[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high-quality bits -> double in [0, 1).
-    return double(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
 }
 
 int64_t

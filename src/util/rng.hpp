@@ -35,14 +35,35 @@ class Rng
      */
     Rng(uint64_t root_seed, const std::string &stream_name);
 
-    /** Next raw 64-bit value. */
-    uint64_t next();
+    /** Next raw 64-bit value.  Inline: the draw loops that gather
+        uniforms for batched Box-Muller kernels call this per draw. */
+    uint64_t next()
+    {
+        const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const uint64_t t = _state[1] << 17;
+
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high-quality bits -> double in [0, 1).
+        return double(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [lo, hi] inclusive (unbiased, via rejection). */
     int64_t uniformInt(int64_t lo, int64_t hi);
@@ -72,6 +93,11 @@ class Rng
     uint64_t _state[4];
     bool _haveSpare = false;
     double _spare = 0.0;
+
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
 
     static uint64_t splitMix64(uint64_t &x);
     static uint64_t fnv1a(const std::string &s);

@@ -10,22 +10,6 @@ namespace coolair {
 namespace util {
 
 void
-RunningStats::add(double x)
-{
-    if (_count == 0) {
-        _min = x;
-        _max = x;
-    } else {
-        _min = std::min(_min, x);
-        _max = std::max(_max, x);
-    }
-    ++_count;
-    double delta = x - _mean;
-    _mean += delta / double(_count);
-    _m2 += delta * (x - _mean);
-}
-
-void
 RunningStats::merge(const RunningStats &other)
 {
     if (other._count == 0)
@@ -155,29 +139,21 @@ EmpiricalCdf::sorted() const
 }
 
 DailyRangeTracker::DailyRangeTracker(size_t num_sensors)
-    : _numSensors(num_sensors), _dayStats(num_sensors)
+    : _numSensors(num_sensors),
+      _dayMin(num_sensors, 0.0),
+      _dayMax(num_sensors, 0.0),
+      _daySeen(num_sensors, 0)
 {
     if (num_sensors == 0)
         panic("DailyRangeTracker: need at least one sensor");
 }
 
 void
-DailyRangeTracker::record(int day_index, size_t sensor, double value)
+DailyRangeTracker::recordPanic(bool out_of_range)
 {
-    if (sensor >= _numSensors)
-        panic("DailyRangeTracker::record: sensor index out of range");
-    if (_dayOpen && day_index < _currentDay)
-        panic("DailyRangeTracker::record: days must be non-decreasing");
-
-    if (!_dayOpen) {
-        _currentDay = day_index;
-        _dayOpen = true;
-    } else if (day_index != _currentDay) {
-        closeDay();
-        _currentDay = day_index;
-        _dayOpen = true;
-    }
-    _dayStats[sensor].add(value);
+    panic(out_of_range
+              ? "DailyRangeTracker::record: sensor index out of range"
+              : "DailyRangeTracker::record: days must be non-decreasing");
 }
 
 void
@@ -191,10 +167,10 @@ void
 DailyRangeTracker::closeDay()
 {
     double worst = 0.0;
-    for (auto &stats : _dayStats) {
-        if (stats.count() > 0)
-            worst = std::max(worst, stats.range());
-        stats.reset();
+    for (size_t s = 0; s < _numSensors; ++s) {
+        if (_daySeen[s])
+            worst = std::max(worst, _dayMax[s] - _dayMin[s]);
+        _daySeen[s] = 0;
     }
     _worstRanges.push_back(worst);
     _dayOpen = false;

@@ -22,8 +22,22 @@ namespace util {
 class RunningStats
 {
   public:
-    /** Add one sample. */
-    void add(double x);
+    /** Add one sample.  Inline: the metrics collector calls this for
+        every pod sensor of every sample. */
+    void add(double x)
+    {
+        if (_count == 0) {
+            _min = x;
+            _max = x;
+        } else {
+            _min = std::min(_min, x);
+            _max = std::max(_max, x);
+        }
+        ++_count;
+        double delta = x - _mean;
+        _mean += delta / double(_count);
+        _m2 += delta * (x - _mean);
+    }
 
     /** Merge another accumulator into this one. */
     void merge(const RunningStats &other);
@@ -124,7 +138,30 @@ class DailyRangeTracker
      * fed in non-decreasing order; moving to a new day finalizes the
      * previous one.
      */
-    void record(int day_index, size_t sensor, double value);
+    void record(int day_index, size_t sensor, double value)
+    {
+        if (sensor >= _numSensors)
+            recordPanic(true);
+        if (_dayOpen && day_index < _currentDay)
+            recordPanic(false);
+
+        if (!_dayOpen) {
+            _currentDay = day_index;
+            _dayOpen = true;
+        } else if (day_index != _currentDay) {
+            closeDay();
+            _currentDay = day_index;
+            _dayOpen = true;
+        }
+        if (_daySeen[sensor]) {
+            _dayMin[sensor] = std::min(_dayMin[sensor], value);
+            _dayMax[sensor] = std::max(_dayMax[sensor], value);
+        } else {
+            _dayMin[sensor] = value;
+            _dayMax[sensor] = value;
+            _daySeen[sensor] = 1;
+        }
+    }
 
     /** Finalize the currently open day (call once at end of run). */
     void finish();
@@ -146,11 +183,18 @@ class DailyRangeTracker
 
   private:
     void closeDay();
+    [[noreturn]] static void recordPanic(bool out_of_range);
 
     size_t _numSensors;
     int _currentDay = -1;
     bool _dayOpen = false;
-    std::vector<RunningStats> _dayStats;
+    // Per-sensor min/max of the open day.  record() sits on the
+    // engine's per-sample path for every pod, so the day state is two
+    // flat arrays (plus a seen flag) rather than full RunningStats —
+    // only the range survives closeDay().
+    std::vector<double> _dayMin;
+    std::vector<double> _dayMax;
+    std::vector<unsigned char> _daySeen;
     std::vector<double> _worstRanges;
 };
 

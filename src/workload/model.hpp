@@ -11,6 +11,8 @@
  * task-level simulation would be needlessly expensive).
  */
 
+#include <cstdint>
+
 #include "plant/parasol.hpp"
 #include "util/sim_time.hpp"
 #include "workload/compute_plan.hpp"
@@ -58,6 +60,16 @@ class WorkloadModel
      * override it allocation-free.  Must produce exactly podLoad().
      */
     virtual void podLoadInto(plant::PodLoad &out) const { out = podLoad(); }
+
+    /**
+     * Monotonic counter that changes whenever podLoad() would change.
+     * 0 means "no change tracking": callers must re-read the load every
+     * step.  A nonzero value lets the engine skip the per-step load
+     * copy (and the plant its IT-power recompute) while the workload is
+     * between load changes — the values produced are identical either
+     * way.
+     */
+    virtual uint64_t loadVersion() const { return 0; }
 
     /** Current status for the Compute Manager. */
     virtual WorkloadStatus status() const = 0;

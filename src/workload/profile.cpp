@@ -74,16 +74,29 @@ ProfileWorkload::applyPlan(const ComputePlan &plan)
 {
     _plan = plan;
     _loadDirty = true;
+    ++_version;
 }
 
 void
 ProfileWorkload::step(util::SimTime now, double dt_s)
 {
     (void)dt_s;
+    const int64_t t = now.seconds();
+    if (t >= _windowStartS && t < _windowEndS)
+        return;  // Same profile interval: demand cannot have changed.
+
     double demand = _profile.demandFraction(now);
+    const int64_t interval = _profile.intervalS();
+    const int64_t into = now.secondOfDay() % interval;
+    _windowStartS = t - into;
+    // Clamp to the current day: demandFraction wraps on day boundaries
+    // (and on the profile length), so a window may never span midnight.
+    _windowEndS = std::min(_windowStartS + interval,
+                           t + (util::kSecondsPerDay - now.secondOfDay()));
     if (demand != _demand) {
         _demand = demand;
         _loadDirty = true;
+        ++_version;
     }
 }
 

@@ -66,6 +66,7 @@ class ProfileWorkload : public WorkloadModel
     plant::PodLoad podLoad() const override;
     void podLoadInto(plant::PodLoad &out) const override;
     WorkloadStatus status() const override;
+    uint64_t loadVersion() const override { return _version; }
 
   private:
     void computeLoad(plant::PodLoad &load) const;
@@ -74,6 +75,18 @@ class ProfileWorkload : public WorkloadModel
     UtilizationProfile _profile;
     ComputePlan _plan = ComputePlan::passthrough();
     double _demand = 0.0;   ///< Current busy-slot fraction.
+
+    // step() runs every physics step but the profile only changes at
+    // interval boundaries: while `now` stays inside the absolute window
+    // [_windowStartS, _windowEndS) the demand lookup is skipped
+    // entirely.  The window is re-derived on any exit — including
+    // backward jumps (each simulated day re-runs its warm-up) — so the
+    // demand always matches a fresh demandFraction(now).
+    int64_t _windowStartS = 0;
+    int64_t _windowEndS = -1;   ///< Empty window forces the first lookup.
+
+    /** Change counter backing loadVersion(); bumps with _loadDirty. */
+    uint64_t _version = 1;
 
     // The pod load is a pure function of (_demand, _plan), and both are
     // piecewise-constant — demand changes once per profile interval,

@@ -22,6 +22,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/spec_io.hpp"
 
@@ -263,6 +264,266 @@ TEST(Service, StatsTextCoversServeAndStoreCounters)
     EXPECT_NE(text.find("serve.requests"), std::string::npos);
     EXPECT_NE(text.find("serve.latency_seconds"), std::string::npos);
     EXPECT_NE(text.find("store.stores"), std::string::npos);
+}
+
+// ----------------------------------------------------------- coalescing
+
+namespace {
+
+/** A batch-opted spec line; distinct seeds make distinct lanes of one
+    shape (batchShapeKey ignores the seed). */
+std::string
+batchSpecLine(int lanes, uint64_t seed)
+{
+    return "run=day; day=10; site=newark; system=baseline; "
+           "workload=profile; physics_step=120; batch=" +
+           std::to_string(lanes) + "; seed=" + std::to_string(seed);
+}
+
+/** What the daemon must serve for a coalesced lane set, computed by
+    submitting the same specs directly to the batched engine. */
+std::vector<std::string>
+directBatchedTexts(const std::vector<std::string> &lines, int width)
+{
+    std::vector<sim::ExperimentSpec> specs;
+    for (const std::string &line : lines) {
+        sim::ExperimentSpec spec =
+            sim::parseSpec(specTextFromArg(line));
+        spec.resultCache = true;  // the service's normalization
+        specs.push_back(spec);
+    }
+    std::vector<sim::LaneResult> lanes =
+        sim::runBatchedGroup(specs, width);
+    std::vector<std::string> texts;
+    for (sim::LaneResult &lane : lanes) {
+        EXPECT_TRUE(lane.ok) << lane.error;
+        texts.push_back(sim::formatResult(lane.result));
+    }
+    return texts;
+}
+
+} // anonymous namespace
+
+TEST(Coalesce, FullLaneSetMatchesDirectBatchedRunByteForByte)
+{
+    ServiceConfig config;
+    config.coalesceLanes = 4;
+    config.coalesceWaitMs = 60000;  // only a full lane set dispatches
+    ExperimentService service(config);
+
+    std::vector<std::string> lines;
+    std::vector<uint64_t> tickets;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        lines.push_back(batchSpecLine(4, seed));
+        ExperimentService::Submitted sub =
+            service.submit(specTextFromArg(lines.back()));
+        ASSERT_TRUE(sub.ok) << sub.error;
+        tickets.push_back(sub.ticket);
+    }
+
+    const std::vector<std::string> direct = directBatchedTexts(lines, 4);
+    for (size_t i = 0; i < tickets.size(); ++i) {
+        ExperimentService::Reply reply = service.wait(tickets[i]);
+        ASSERT_TRUE(reply.ok) << reply.error;
+        EXPECT_EQ(reply.payload, direct[i]) << lines[i];
+    }
+
+    EXPECT_EQ(service.stats().counter("serve.coalesced", "").value(), 4);
+    EXPECT_EQ(service.stats()
+                  .counter("serve.coalesce_full_dispatches", "")
+                  .value(),
+              1);
+    EXPECT_EQ(service.stats()
+                  .counter("serve.coalesce_partial_dispatches", "")
+                  .value(),
+              0);
+}
+
+TEST(Coalesce, PartialLaneSetDispatchesAfterTheWindow)
+{
+    ServiceConfig config;
+    config.coalesceLanes = 8;      // never fills: only 3 submissions
+    config.coalesceWaitMs = 25.0;  // so the window must fire
+    ExperimentService service(config);
+
+    std::vector<std::string> lines;
+    std::vector<uint64_t> tickets;
+    for (uint64_t seed = 10; seed < 13; ++seed) {
+        lines.push_back(batchSpecLine(8, seed));
+        ExperimentService::Submitted sub =
+            service.submit(specTextFromArg(lines.back()));
+        ASSERT_TRUE(sub.ok) << sub.error;
+        tickets.push_back(sub.ticket);
+    }
+
+    // Lane results are composition-independent, so a 3-lane direct run
+    // of the same set must produce the same bytes the window dispatch
+    // serves.
+    const std::vector<std::string> direct = directBatchedTexts(lines, 8);
+    for (size_t i = 0; i < tickets.size(); ++i) {
+        ExperimentService::Reply reply = service.wait(tickets[i]);
+        ASSERT_TRUE(reply.ok) << reply.error;
+        EXPECT_EQ(reply.payload, direct[i]) << lines[i];
+    }
+
+    EXPECT_EQ(service.stats()
+                  .counter("serve.coalesce_full_dispatches", "")
+                  .value(),
+              0);
+    EXPECT_GE(service.stats()
+                  .counter("serve.coalesce_partial_dispatches", "")
+                  .value(),
+              1);
+}
+
+TEST(Coalesce, LaneFailureResolvesOnlyItsOwnRequest)
+{
+    ServiceConfig config;
+    config.coalesceLanes = 3;
+    config.coalesceWaitMs = 60000;
+    config.onLaneStart = [](const sim::ExperimentSpec &spec) {
+        if (spec.seed == 2)
+            throw std::runtime_error("injected lane fault");
+    };
+    ExperimentService service(config);
+
+    std::vector<uint64_t> tickets;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        ExperimentService::Submitted sub = service.submit(
+            specTextFromArg(batchSpecLine(3, seed)));
+        ASSERT_TRUE(sub.ok) << sub.error;
+        tickets.push_back(sub.ticket);
+    }
+
+    // The survivors run as a smaller batch with unchanged answers.
+    const std::vector<std::string> direct = directBatchedTexts(
+        {batchSpecLine(3, 1), batchSpecLine(3, 3)}, 3);
+
+    ExperimentService::Reply first = service.wait(tickets[0]);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.payload, direct[0]);
+
+    ExperimentService::Reply poisoned = service.wait(tickets[1]);
+    EXPECT_FALSE(poisoned.ok);
+    EXPECT_NE(poisoned.error.find("injected lane fault"),
+              std::string::npos);
+
+    ExperimentService::Reply third = service.wait(tickets[2]);
+    ASSERT_TRUE(third.ok) << third.error;
+    EXPECT_EQ(third.payload, direct[1]);
+
+    EXPECT_EQ(service.stats().counter("serve.run_failures", "").value(),
+              1);
+}
+
+TEST(Coalesce, JoinedRequestTraceShowsParkDispatchAndLane)
+{
+    ServiceConfig config;
+    config.coalesceLanes = 2;
+    config.coalesceWaitMs = 60000;
+    config.traceDepth = 8;
+    ExperimentService service(config);
+
+    ExperimentService::Submitted a =
+        service.submit(specTextFromArg(batchSpecLine(2, 21)));
+    ASSERT_TRUE(a.ok) << a.error;
+    ExperimentService::Submitted b =
+        service.submit(specTextFromArg(batchSpecLine(2, 22)));
+    ASSERT_TRUE(b.ok) << b.error;
+    ASSERT_TRUE(service.wait(a.ticket).ok);
+    ASSERT_TRUE(service.wait(b.ticket).ok);
+
+    // Both joined requests carry the scheduler's whole park ->
+    // dispatch -> lane story, not just the shared engine run.
+    for (uint64_t ticket : {a.ticket, b.ticket}) {
+        std::string json, error;
+        ASSERT_TRUE(service.traceJson(ticket, json, error)) << error;
+        EXPECT_NE(json.find("serve.park"), std::string::npos);
+        EXPECT_NE(json.find("serve.batch_dispatch"), std::string::npos);
+        EXPECT_NE(json.find("serve.lane"), std::string::npos);
+    }
+}
+
+// ----------------------------------------------------- hot cache + busy
+
+TEST(Service, HotHitsAreServedWithoutTouchingDisk)
+{
+    TempDir dir("hot");
+    ServiceConfig config;
+    config.cacheDir = dir.path.string();
+    config.hotCacheBytes = 1 << 20;
+    ExperimentService service(config);
+    const std::string text = specTextFromArg(kSpecLine);
+
+    ExperimentService::Reply cold = service.run(text);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    ASSERT_EQ(service.store()->stats().lookups, 1);  // the cold miss
+
+    ExperimentService::Reply hot = service.run(text);
+    ASSERT_TRUE(hot.ok) << hot.error;
+    EXPECT_EQ(hot.payload, cold.payload);
+
+    // The repeat was answered from RAM: no second disk lookup, no
+    // store hit, no second simulation.
+    EXPECT_EQ(service.store()->stats().lookups, 1);
+    EXPECT_EQ(service.stats().counter("serve.store_hits", "").value(),
+              0);
+    EXPECT_EQ(service.stats().counter("serve.runs", "").value(), 1);
+    EXPECT_NE(service.statsText().find("serve.hot_hits"),
+              std::string::npos);
+}
+
+TEST(Service, BusyBacklogRejectsFreshSubmitsAndDegradesHealth)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool started = false, release = false;
+
+    ServiceConfig config;
+    config.maxPending = 1;
+    config.onJobStart = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    };
+    ExperimentService service(config);
+
+    ExperimentService::Submitted first =
+        service.submit(specTextFromArg(kSpecLine));
+    ASSERT_TRUE(first.ok) << first.error;
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return started; });
+    }
+
+    // A fresh spec over the cap is refused with the structured busy
+    // error, and HEALTH degrades while the backlog is saturated.
+    ExperimentService::Submitted fresh = service.submit(specTextFromArg(
+        "run=day; day=11; site=newark; system=baseline; "
+        "workload=profile; physics_step=120"));
+    EXPECT_FALSE(fresh.ok);
+    EXPECT_EQ(fresh.error.rfind(kBusyPrefix, 0), 0u) << fresh.error;
+    EXPECT_EQ(service.stats().counter("serve.rejected_busy", "").value(),
+              1);
+    EXPECT_NE(service.healthText().find("DEGRADED"), std::string::npos);
+
+    // A duplicate of the in-flight spec still joins: joins ride the
+    // existing run and never add backlog.
+    ExperimentService::Submitted join =
+        service.submit(specTextFromArg(kSpecLine));
+    ASSERT_TRUE(join.ok) << join.error;
+    EXPECT_EQ(service.stats().counter("serve.dedup_hits", "").value(),
+              1);
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    EXPECT_TRUE(service.wait(first.ticket).ok);
+    EXPECT_TRUE(service.wait(join.ticket).ok);
+    EXPECT_EQ(service.healthText().find("DEGRADED"), std::string::npos);
 }
 
 // --------------------------------------------------------------- socket

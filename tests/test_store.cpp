@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.hpp"
 #include "sim/runner.hpp"
+#include "store/hot_cache.hpp"
 #include "store/result_store.hpp"
 
 using namespace coolair;
@@ -299,4 +301,114 @@ TEST_F(StoreTest, ConcurrentLookupAndStoreFromWorkerPool)
     EXPECT_EQ(0, s.corruptEntries);
     EXPECT_EQ(0, s.storeFailures);
     EXPECT_EQ(4u + kJobs, st.diskUsage().entries);
+}
+
+// ---------------------------------------------------------- hot cache
+//
+// The in-memory tier in front of the store: byte-capped, sharded LRU.
+// One shard makes the eviction order deterministic; ids are one byte
+// so an entry's charge is 1 + payload bytes.
+
+TEST(HotCache, LruEvictsOldestWithinByteCap)
+{
+    store::HotResultCache cache(64, /*shards=*/1);
+    const std::string payload(30, 'x');  // 31-byte charge per entry
+
+    cache.insert("a", payload);
+    cache.insert("b", payload);  // 62 of 64: both fit
+    cache.insert("c", payload);  // 93 > 64: "a" (LRU tail) evicts
+
+    std::string out;
+    EXPECT_FALSE(cache.lookup("a", out));
+    EXPECT_TRUE(cache.lookup("b", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+    EXPECT_EQ(out, payload);
+
+    const store::HotResultCache::Stats s = cache.stats();
+    EXPECT_EQ(1, s.evictions);
+    EXPECT_EQ(2, s.entries);
+    EXPECT_EQ(62, s.bytes);
+    EXPECT_EQ(2, s.hits);
+    EXPECT_EQ(1, s.misses);
+}
+
+TEST(HotCache, LookupRefreshesRecency)
+{
+    store::HotResultCache cache(64, /*shards=*/1);
+    const std::string payload(30, 'x');
+
+    cache.insert("a", payload);
+    cache.insert("b", payload);
+    std::string out;
+    ASSERT_TRUE(cache.lookup("a", out));  // "a" becomes most recent
+    cache.insert("c", payload);           // so "b" is now the victim
+
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_FALSE(cache.lookup("b", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+}
+
+TEST(HotCache, ReplaceInPlaceChargesOnce)
+{
+    store::HotResultCache cache(1024, /*shards=*/1);
+
+    cache.insert("a", std::string(10, 'x'));
+    cache.insert("a", std::string(30, 'y'));  // same id, new bytes
+
+    std::string out;
+    ASSERT_TRUE(cache.lookup("a", out));
+    EXPECT_EQ(out, std::string(30, 'y'));
+
+    const store::HotResultCache::Stats s = cache.stats();
+    EXPECT_EQ(1, s.entries);
+    EXPECT_EQ(31, s.bytes);  // only the replacement's charge remains
+    EXPECT_EQ(2, s.insertions);
+    EXPECT_EQ(0, s.evictions);
+}
+
+TEST(HotCache, OversizedPayloadIsNotCached)
+{
+    store::HotResultCache cache(64, /*shards=*/1);
+    const std::string small(30, 'x');
+    cache.insert("a", small);
+
+    // Larger than the whole shard: ignored, and the resident entry
+    // is not sacrificed for it.
+    cache.insert("big", std::string(100, 'z'));
+
+    std::string out;
+    EXPECT_FALSE(cache.lookup("big", out));
+    EXPECT_TRUE(cache.lookup("a", out));
+
+    const store::HotResultCache::Stats s = cache.stats();
+    EXPECT_EQ(1, s.insertions);
+    EXPECT_EQ(0, s.evictions);
+    EXPECT_EQ(1, s.entries);
+}
+
+TEST(HotCache, ShardedStatsAggregateAndPublish)
+{
+    store::HotResultCache cache(1 << 16, /*shards=*/4);
+    EXPECT_EQ(4, cache.shards());
+
+    for (int i = 0; i < 32; ++i)
+        cache.insert("key-" + std::to_string(i), std::string(100, 'p'));
+
+    std::string out;
+    for (int i = 0; i < 32; ++i)
+        ASSERT_TRUE(cache.lookup("key-" + std::to_string(i), out));
+    EXPECT_FALSE(cache.lookup("absent", out));
+
+    const store::HotResultCache::Stats s = cache.stats();
+    EXPECT_EQ(32, s.entries);
+    EXPECT_EQ(32, s.insertions);
+    EXPECT_EQ(32, s.hits);
+    EXPECT_EQ(1, s.misses);
+
+    obs::StatsRegistry reg;
+    cache.addStats(reg);
+    EXPECT_EQ(32, reg.counter("serve.hot_hits", "").value());
+    EXPECT_EQ(1, reg.counter("serve.hot_misses", "").value());
+    EXPECT_EQ(32, reg.counter("serve.hot_insertions", "").value());
+    EXPECT_EQ(0, reg.counter("serve.hot_evictions", "").value());
 }

@@ -23,6 +23,7 @@
 
 #include "environment/weather.hpp"
 #include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "store/result_store.hpp"
 #include "util/parse.hpp"
 
@@ -414,4 +415,104 @@ TEST(ServeProtocol, FrameHeaderRejectsHostileSizes)
             << "'" << line << "'";
         EXPECT_FALSE(error.empty()) << "'" << line << "'";
     }
+}
+
+TEST(ServeProtocol, BusyErrIsOneStructuredLine)
+{
+    // The busy rejection is the one ERR clients key retry logic on:
+    // it must keep its `ERR busy: ` prefix and stay a single line even
+    // when the human-readable remainder is hostile (embedded newlines
+    // would desynchronize the line protocol).
+    const std::string framed = serve::frameErr(
+        std::string(serve::kBusyPrefix) + "7 specs\nin flight\r\n");
+    EXPECT_EQ(framed.rfind("ERR busy: ", 0), 0u) << framed;
+    EXPECT_EQ(framed.find('\n'), framed.size() - 1) << framed;
+    EXPECT_EQ(framed.find('\r'), std::string::npos) << framed;
+
+    // No other rejection class may squat on the prefix by accident.
+    EXPECT_EQ(serve::frameErr("parse failure: busy site").rfind(
+                  "ERR busy: ", 0),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, RequestLineFuzzIsCrashFree)
+{
+    // Deterministic xorshift fuzz over request lines and frame
+    // headers: arbitrary socket bytes must parse or reject with a
+    // message — never throw, never reject silently.
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    const char *verbs[] = {"PING",   "SUBMIT", "WAIT",  "RUN",
+                           "STATS",  "METRICS", "SERIES", "HEALTH",
+                           "TRACE",  "SHUTDOWN"};
+    for (int round = 0; round < 2000; ++round) {
+        std::string line;
+        if (round % 3 == 0)
+            line = verbs[next() % 10];  // real verb, fuzzed argument
+        const size_t len = next() % 48;
+        for (size_t i = 0; i < len; ++i) {
+            // Bias toward protocol-meaningful bytes, keep raw ones.
+            const uint64_t r = next();
+            const char pool[] = " \t\r\n;=0123456789-xkMETRICS";
+            line += (r & 1) ? pool[(r >> 1) % (sizeof(pool) - 1)]
+                            : char(r >> 1 & 0xff);
+        }
+        serve::Request req;
+        std::string error;
+        if (!serve::parseRequest(line, req, error)) {
+            EXPECT_FALSE(error.empty()) << "silent reject: '" << line
+                                        << "'";
+        }
+        std::string tag;
+        uint64_t bytes = 0;
+        error.clear();
+        if (!serve::parsePayloadHeader(line, tag, bytes, error)) {
+            EXPECT_FALSE(error.empty()) << "silent reject: '" << line
+                                        << "'";
+        } else {
+            EXPECT_LE(bytes, serve::kMaxFrameBytes);
+        }
+    }
+}
+
+TEST(ServeSpec, HostileBatchValuesAreStructuredErrors)
+{
+    // The batch key is the coalescing opt-in and arrives off the
+    // socket: out-of-range, non-numeric, and overflowing values must
+    // come back as parse errors from a live coalescing service — no
+    // crash, no giant lane allocation.
+    serve::ServiceConfig config;
+    config.coalesceLanes = 2;
+    config.coalesceWaitMs = 5.0;
+    serve::ExperimentService service(config);
+
+    const char *bad[] = {
+        "batch=-1",      "batch=1025",
+        "batch=abc",     "batch=4x",
+        "batch=1e3",     "batch=99999999999999999999",
+    };
+    for (const char *key : bad) {
+        serve::ExperimentService::Submitted sub =
+            service.submit(serve::specTextFromArg(
+                std::string("run=day; day=10; site=newark; "
+                            "system=baseline; workload=profile; "
+                            "physics_step=120; ") +
+                key));
+        EXPECT_FALSE(sub.ok) << key;
+        EXPECT_FALSE(sub.error.empty()) << key;
+    }
+    EXPECT_EQ(service.stats().counter("serve.parse_errors", "").value(),
+              6);
+
+    // The in-range value still parks and runs through the window.
+    serve::ExperimentService::Reply ok = service.run(
+        serve::specTextFromArg("run=day; day=10; site=newark; "
+                               "system=baseline; workload=profile; "
+                               "physics_step=120; batch=2"));
+    EXPECT_TRUE(ok.ok) << ok.error;
 }
